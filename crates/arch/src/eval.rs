@@ -1,0 +1,312 @@
+//! Whole-graph evaluation: the Fig 10 / Fig 11 methodology.
+//!
+//! Every matmul (or, on FuseCU, every profitable fused pair) is optimized
+//! within the platform's dataflow space and executed back to back; memory
+//! traffic and compute overlap per step (double buffering). Softmax and
+//! elementwise nodes ride along in the producer's write-back path (the
+//! baseline systolic array already has the softmax unit, §V-C) and add
+//! neither traffic nor cycles of their own.
+
+use std::fmt;
+
+use fusecu_dataflow::CostModel;
+use fusecu_fusion::planner::{plan_chain, ChainStep};
+use fusecu_ir::OpGraph;
+
+use crate::fused::{FusedMapping, FusedPerf};
+use crate::intra::{optimize_op, OpPerf};
+use crate::platform::Platform;
+use crate::spec::ArraySpec;
+
+/// One scheduled step of a graph execution.
+#[derive(Debug, Clone)]
+pub enum StepPerf {
+    /// A matmul executed alone.
+    Solo(OpPerf),
+    /// A fused pair on FuseCU.
+    Fused(FusedPerf),
+}
+
+impl StepPerf {
+    /// Total memory access of the step.
+    pub fn total_ma(&self) -> u64 {
+        match self {
+            StepPerf::Solo(p) => p.total_ma(),
+            StepPerf::Fused(p) => p.total_ma(),
+        }
+    }
+
+    /// Execution cycles of the step.
+    pub fn cycles(&self) -> u64 {
+        match self {
+            StepPerf::Solo(p) => p.cycles(),
+            StepPerf::Fused(p) => p.cycles(),
+        }
+    }
+
+    /// MACs of the step.
+    pub fn macs(&self) -> u64 {
+        match self {
+            StepPerf::Solo(p) => p.macs(),
+            StepPerf::Fused(p) => p.macs(),
+        }
+    }
+}
+
+/// The evaluated performance of a whole operator graph on one platform.
+#[derive(Debug, Clone)]
+pub struct GraphPerf {
+    platform: Platform,
+    steps: Vec<StepPerf>,
+}
+
+impl GraphPerf {
+    /// The platform evaluated.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// The scheduled steps.
+    pub fn steps(&self) -> &[StepPerf] {
+        &self.steps
+    }
+
+    /// Total memory access in elements.
+    pub fn total_ma(&self) -> u64 {
+        self.steps.iter().map(StepPerf::total_ma).sum()
+    }
+
+    /// Total execution cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.steps.iter().map(StepPerf::cycles).sum()
+    }
+
+    /// Total MACs.
+    pub fn total_macs(&self) -> u64 {
+        self.steps.iter().map(StepPerf::macs).sum()
+    }
+
+    /// Achieved fraction of peak FLOPs — the Fig 10 line metric.
+    pub fn utilization(&self, spec: &ArraySpec) -> f64 {
+        let cycles = self.total_cycles();
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.total_macs() as f64 / (cycles as f64 * spec.peak_macs_per_cycle() as f64)
+    }
+
+    /// Number of fused pairs executed (zero on non-fusing platforms).
+    pub fn fused_steps(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, StepPerf::Fused(_)))
+            .count()
+    }
+
+    /// The fused mappings used, for reporting.
+    pub fn fused_mappings(&self) -> Vec<FusedMapping> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s {
+                StepPerf::Fused(p) => Some(p.mapping()),
+                StepPerf::Solo(_) => None,
+            })
+            .collect()
+    }
+
+    /// A per-step execution report: what ran where, with what dataflow,
+    /// and what it cost. The machine-readable companion of Fig 10's bars.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} execution plan ({} steps, {} fused):",
+            self.platform,
+            self.steps.len(),
+            self.fused_steps()
+        );
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                StepPerf::Solo(p) => {
+                    let _ = writeln!(
+                        out,
+                        "  [{i}] solo  {} x{}  {} on {}x{}  ma={} cycles={} ({})",
+                        p.mm(),
+                        p.count(),
+                        p.stationary(),
+                        p.shape().0,
+                        p.shape().1,
+                        p.total_ma(),
+                        p.cycles(),
+                        if p.dram_cycles() > p.compute_cycles() {
+                            "memory-bound"
+                        } else {
+                            "compute-bound"
+                        }
+                    );
+                }
+                StepPerf::Fused(p) => {
+                    let _ = writeln!(
+                        out,
+                        "  [{i}] fused {} x{}  {} on {} pipeline(s)  ma={} cycles={} ({})",
+                        p.fused().pair(),
+                        p.count(),
+                        p.mapping(),
+                        p.pipelines(),
+                        p.total_ma(),
+                        p.cycles(),
+                        if p.dram_cycles() > p.compute_cycles() {
+                            "memory-bound"
+                        } else {
+                            "compute-bound"
+                        }
+                    );
+                }
+            }
+        }
+        let _ = write!(
+            out,
+            "  total: ma={} cycles={}",
+            self.total_ma(),
+            self.total_cycles()
+        );
+        out
+    }
+}
+
+impl fmt::Display for GraphPerf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: MA={} elems, cycles={}, {} fused steps",
+            self.platform,
+            self.total_ma(),
+            self.total_cycles(),
+            self.fused_steps()
+        )
+    }
+}
+
+/// Evaluates an operator graph on a platform.
+///
+/// Non-fusing platforms run every matmul solo. FuseCU plans each fusable
+/// chain with Principle 4 (`fusecu-fusion`'s DP planner) and executes
+/// profitable pairs with tile or column fusion.
+///
+/// # Panics
+///
+/// Panics when the buffer cannot hold a unit tiling (`buffer < 3`).
+pub fn evaluate_graph(
+    spec: &ArraySpec,
+    platform: Platform,
+    model: &CostModel,
+    graph: &OpGraph,
+) -> GraphPerf {
+    spec.validate();
+    let mut steps = Vec::new();
+    if platform.supports_fusion() {
+        for (_, chain, count) in graph.mm_chains() {
+            let plan = plan_chain(model, &chain, spec.buffer_elems);
+            for step in plan.steps() {
+                match step {
+                    ChainStep::Solo { index, .. } => {
+                        steps.push(StepPerf::Solo(optimize_op(
+                            spec,
+                            platform,
+                            model,
+                            chain.mm(*index),
+                            count,
+                        )));
+                    }
+                    ChainStep::Pair { fused, .. } => {
+                        steps.push(StepPerf::Fused(FusedPerf::score(spec, *fused, count)));
+                    }
+                }
+            }
+        }
+    } else {
+        for (_, mm, count) in graph.matmuls() {
+            steps.push(StepPerf::Solo(optimize_op(spec, platform, model, mm, count)));
+        }
+    }
+    GraphPerf { platform, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusecu_models::zoo;
+
+    const MODEL: CostModel = CostModel {
+        partial_sums: fusecu_dataflow::PartialSumPolicy::PerVisit,
+    };
+
+    fn spec() -> ArraySpec {
+        ArraySpec::paper_default()
+    }
+
+    #[test]
+    fn fusecu_beats_tpu_on_bert() {
+        let g = zoo::bert().build_graph();
+        let tpu = evaluate_graph(&spec(), Platform::Tpuv4i, &MODEL, &g);
+        let fuse = evaluate_graph(&spec(), Platform::FuseCu, &MODEL, &g);
+        assert!(fuse.total_ma() < tpu.total_ma());
+        assert!(fuse.total_cycles() < tpu.total_cycles());
+        assert!(fuse.fused_steps() >= 1);
+        assert_eq!(tpu.fused_steps(), 0);
+        assert_eq!(fuse.total_macs(), tpu.total_macs());
+    }
+
+    #[test]
+    fn unfcu_sits_between_tpu_and_fusecu() {
+        let g = zoo::blenderbot().build_graph();
+        let tpu = evaluate_graph(&spec(), Platform::Tpuv4i, &MODEL, &g);
+        let unf = evaluate_graph(&spec(), Platform::UnfCu, &MODEL, &g);
+        let fuse = evaluate_graph(&spec(), Platform::FuseCu, &MODEL, &g);
+        assert!(unf.total_ma() <= tpu.total_ma());
+        assert!(fuse.total_ma() <= unf.total_ma());
+        assert_eq!(unf.fused_steps(), 0);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let g = zoo::bert().build_graph();
+        for p in Platform::ALL {
+            let perf = evaluate_graph(&spec(), p, &MODEL, &g);
+            let u = perf.utilization(&spec());
+            assert!(u > 0.0 && u <= 1.0, "{p}: {u}");
+        }
+    }
+
+    #[test]
+    fn fusecu_utilization_highest() {
+        let g = zoo::bert().build_graph();
+        let utils: Vec<(Platform, f64)> = Platform::ALL
+            .iter()
+            .map(|p| (*p, evaluate_graph(&spec(), *p, &MODEL, &g).utilization(&spec())))
+            .collect();
+        let fuse = utils.iter().find(|(p, _)| *p == Platform::FuseCu).unwrap().1;
+        let tpu = utils.iter().find(|(p, _)| *p == Platform::Tpuv4i).unwrap().1;
+        assert!(fuse > tpu, "FuseCU {fuse} vs TPUv4i {tpu}");
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let g = zoo::blenderbot().build_graph();
+        let perf = evaluate_graph(&spec(), Platform::FuseCu, &MODEL, &g);
+        let s = perf.to_string();
+        assert!(s.contains("FuseCU") && s.contains("cycles="), "{s}");
+    }
+
+    #[test]
+    fn report_details_every_step() {
+        let g = zoo::blenderbot().build_graph();
+        let perf = evaluate_graph(&spec(), Platform::FuseCu, &MODEL, &g);
+        let r = perf.report();
+        assert!(r.contains("fused"), "{r}");
+        assert!(r.contains("solo"), "{r}");
+        assert!(r.matches("bound").count() >= perf.steps().len(), "{r}");
+        assert!(r.contains("total: ma="), "{r}");
+    }
+}

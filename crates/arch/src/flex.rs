@@ -1,0 +1,190 @@
+//! Tiling (spatial-shape) flexibility menus and the per-tile cycle kernel.
+//!
+//! The paper's Table III grades platforms by "tiling flexibility": how
+//! freely the stationary tile can be shaped on the PE fabric.
+//!
+//! * **Low** (TPUv4i, Gemmini): one rigid `N×N` logical array per CU; a
+//!   stationary dimension smaller than `N` leaves rows or columns idle.
+//! * **Middle** (UnfCU, FuseCU): the four CUs rewire into square, wide, or
+//!   narrow fabrics (Fig 7(c–e)), giving per-CU effective shapes `N×N`,
+//!   `2N×N/2`, and `N/2×2N` — the paper's "untiled dimension size of up to
+//!   2N" with no PE count change.
+//! * **High** (Planaria): array fission into sub-arrays at a 16-PE
+//!   granularity; several sub-arrays process different spatial tiles
+//!   concurrently, recovering utilization for small dimensions at the cost
+//!   of the paper-reported interconnect overhead (Fig 12).
+
+use std::fmt;
+
+use crate::spec::ArraySpec;
+
+/// Planaria's fission granularity (PEs per sub-array edge).
+pub const FISSION_GRAIN: u64 = 16;
+
+/// Tiling-flexibility grade (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TilingFlex {
+    /// Rigid `N×N` array.
+    Low,
+    /// Square / wide / narrow CU reshapes.
+    Middle,
+    /// Arbitrary fission into 16-granular sub-arrays.
+    High,
+}
+
+impl TilingFlex {
+    /// The per-CU logical array shapes this grade offers, `(rows, cols)`.
+    pub fn shapes(self, spec: &ArraySpec) -> Vec<(u64, u64)> {
+        let n = spec.pe_dim;
+        match self {
+            TilingFlex::Low => vec![(n, n)],
+            TilingFlex::Middle => vec![(n, n), (2 * n, n / 2), (n / 2, 2 * n)],
+            TilingFlex::High => {
+                // 16-granular sub-array shapes with edges up to N; the
+                // remaining PEs host further sub-arrays (see
+                // [`TilingFlex::concurrency`]).
+                let mut out = Vec::new();
+                let mut a = FISSION_GRAIN;
+                while a <= n {
+                    let b = ((n * n / a).min(n)) / FISSION_GRAIN * FISSION_GRAIN;
+                    if b >= FISSION_GRAIN {
+                        out.push((a, b));
+                    }
+                    a += FISSION_GRAIN;
+                }
+                out
+            }
+        }
+    }
+
+    /// How many sub-arrays of shape `(a, b)` run concurrently per CU.
+    ///
+    /// Only fission (High) replicates; the other grades always drive one
+    /// logical array per CU.
+    pub fn concurrency(self, spec: &ArraySpec, a: u64, b: u64) -> u64 {
+        match self {
+            TilingFlex::High => (spec.pe_dim * spec.pe_dim / (a * b)).max(1),
+            _ => 1,
+        }
+    }
+
+    /// Table III grade name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TilingFlex::Low => "low",
+            TilingFlex::Middle => "middle",
+            TilingFlex::High => "high",
+        }
+    }
+}
+
+impl fmt::Display for TilingFlex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Compute cycles for streaming one matmul-shaped workload through a
+/// logical `a × b` array: the stationary tile spans `(d1, d2)`, the moving
+/// dimension has depth `d3`, and each spatial tile pays systolic fill and
+/// drain of `a + b` cycles on top of its `d3` streaming beats.
+///
+/// `concurrency` sub-arrays process distinct spatial tiles in parallel.
+pub fn stream_cycles(d1: u64, d2: u64, d3: u64, a: u64, b: u64, concurrency: u64) -> u64 {
+    let tiles = d1.div_ceil(a) * d2.div_ceil(b);
+    tiles.div_ceil(concurrency) * (d3 + a + b)
+}
+
+/// The best (minimum-cycle) mapping of a stationary-tile workload for a
+/// flexibility grade: returns `(cycles, shape)`.
+pub fn best_mapping(
+    flex: TilingFlex,
+    spec: &ArraySpec,
+    d1: u64,
+    d2: u64,
+    d3: u64,
+) -> (u64, (u64, u64)) {
+    flex.shapes(spec)
+        .into_iter()
+        .map(|(a, b)| {
+            let c = flex.concurrency(spec, a, b);
+            (stream_cycles(d1, d2, d3, a, b, c), (a, b))
+        })
+        .min()
+        .expect("every grade offers at least one shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ArraySpec {
+        ArraySpec::paper_default()
+    }
+
+    #[test]
+    fn shape_menus_conserve_pes() {
+        let s = spec();
+        for flex in [TilingFlex::Low, TilingFlex::Middle] {
+            for (a, b) in flex.shapes(&s) {
+                assert_eq!(a * b, s.pe_dim * s.pe_dim, "{flex}: {a}x{b}");
+            }
+        }
+        for (a, b) in TilingFlex::High.shapes(&s) {
+            assert!(a * b <= s.pe_dim * s.pe_dim);
+            assert_eq!(a % FISSION_GRAIN, 0);
+        }
+    }
+
+    #[test]
+    fn middle_supports_2n_dimension() {
+        let s = spec();
+        let max_edge = TilingFlex::Middle
+            .shapes(&s)
+            .into_iter()
+            .map(|(a, b)| a.max(b))
+            .max()
+            .unwrap();
+        assert_eq!(max_edge, 2 * s.pe_dim);
+    }
+
+    #[test]
+    fn stream_cycles_counts_fill_and_drain() {
+        // One 128x128 tile streaming 1000 beats: 1000 + 256 cycles.
+        assert_eq!(stream_cycles(128, 128, 1000, 128, 128, 1), 1256);
+        // Two tiles along d2.
+        assert_eq!(stream_cycles(128, 200, 1000, 128, 128, 1), 2 * 1256);
+        // Concurrency 2 halves the sequential tile count.
+        assert_eq!(stream_cycles(128, 200, 1000, 128, 128, 2), 1256);
+    }
+
+    #[test]
+    fn small_dimension_prefers_reshaped_fabric() {
+        // Stationary tile 64 x 2048 (e.g. a BERT attention weight slice):
+        // the rigid 128x128 array wastes half its rows; the wide 64-row
+        // reshape (N/2 x 2N) fits exactly.
+        let s = spec();
+        let (low, _) = best_mapping(TilingFlex::Low, &s, 64, 2048, 512);
+        let (mid, shape) = best_mapping(TilingFlex::Middle, &s, 64, 2048, 512);
+        assert!(mid < low, "middle {mid} vs low {low}");
+        assert_eq!(shape, (64, 256));
+    }
+
+    #[test]
+    fn fission_recovers_tiny_tiles() {
+        // 32 x 32 stationary tile: fission runs 16 sub-arrays of 32x32.
+        let s = spec();
+        let (high, _) = best_mapping(TilingFlex::High, &s, 256, 256, 64);
+        let (low, _) = best_mapping(TilingFlex::Low, &s, 256, 256, 64);
+        assert!(high <= low);
+    }
+
+    #[test]
+    fn best_mapping_prefers_fewer_cycles() {
+        let s = spec();
+        // A square large tile: every grade should land on full-fabric work.
+        let (low, shape) = best_mapping(TilingFlex::Low, &s, 1024, 1024, 1024);
+        assert_eq!(shape, (128, 128));
+        assert_eq!(low, 64 * (1024 + 256));
+    }
+}

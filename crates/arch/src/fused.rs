@@ -1,0 +1,302 @@
+//! FuseCU's fused-pair execution: tile fusion and column fusion (§IV-A).
+//!
+//! * **Tile fusion** (Fig 5(a) / Fig 7(c)-(d)): the intermediate tile
+//!   `C[T_M, T_L]` is the stationary tile; computation alternates OS
+//!   (producer, streaming `K`) and IS (consumer, streaming `N`) phases in
+//!   place — `C` never leaves the PEs.
+//! * **Column fusion** (Fig 5(b) / Fig 7(e)): the fabric splits into a
+//!   producer part (IS, `A` stationary) and a consumer part (OS, `E`
+//!   stationary); columns of `C` stream between them through the inter-CU
+//!   muxes, pipelined along the shared `L` dimension.
+//!
+//! Either mapping can run at several granularities: one fused pipeline
+//! spanning all four CUs, or several independent pipelines on CU subsets
+//! processing different instances (per-head attention) in parallel. Each
+//! CU group reshapes square/wide/narrow exactly like the unfused fabric
+//! (Fig 7 notes wide tile fusion and narrow column fusion exist but are
+//! omitted from the figure). The cheapest (mapping, granularity, shape)
+//! combination wins, reproducing the paper's rule of thumb: tile-like
+//! intermediate tiles map as stationary tiles, column-like ones as moving
+//! tiles.
+
+use std::fmt;
+
+use fusecu_fusion::{FusedDataflow, FusedDim};
+
+use crate::flex::stream_cycles;
+use crate::spec::ArraySpec;
+
+/// Which fused mapping executes a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FusedMapping {
+    /// OS→IS phases in place, `C` as stationary tile.
+    Tile,
+    /// IS part feeding OS part, `C` as moving columns.
+    Column,
+}
+
+impl fmt::Display for FusedMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FusedMapping::Tile => "tile fusion",
+            FusedMapping::Column => "column fusion",
+        })
+    }
+}
+
+/// Logical shapes available to a group of `cus` compute units: the square
+/// arrangement plus the 4:1 wide and 1:4 narrow reshapes, PE count
+/// conserved.
+fn group_shapes(spec: &ArraySpec, cus: u64) -> Vec<(u64, u64)> {
+    let n = spec.pe_dim;
+    match cus {
+        1 => vec![(n, n), (2 * n, n / 2), (n / 2, 2 * n)],
+        2 => vec![(2 * n, n), (n, 2 * n), (4 * n, n / 2), (n / 2, 4 * n)],
+        4 => vec![(2 * n, 2 * n), (4 * n, n), (n, 4 * n)],
+        _ => panic!("CU groups are 1, 2, or 4 units"),
+    }
+}
+
+/// Compute cycles of one fused-pair instance under tile fusion on a group
+/// of `cus` compute units: each `C` spatial tile hosts a producer phase
+/// (stream `K`) and a consumer phase (stream `N`), each paying one systolic
+/// fill/drain.
+pub fn tile_fusion_cycles(spec: &ArraySpec, fused: &FusedDataflow, cus: u64) -> u64 {
+    let pair = fused.pair();
+    let (m, k, l, n) = (
+        pair.dim(FusedDim::M),
+        pair.dim(FusedDim::K),
+        pair.dim(FusedDim::L),
+        pair.dim(FusedDim::N),
+    );
+    group_shapes(spec, cus)
+        .into_iter()
+        .map(|(a, b)| {
+            let tiles = m.div_ceil(a) * l.div_ceil(b);
+            tiles * (k + n + 2 * (a + b))
+        })
+        .min()
+        .expect("non-empty shape menu")
+}
+
+/// Compute cycles of one fused-pair instance under column fusion with
+/// producer and consumer halves of `cus` compute units each.
+///
+/// The halves run pipelined along the shared `L` stream; throughput is the
+/// slower half, plus one consumer drain at the end.
+pub fn column_fusion_cycles(spec: &ArraySpec, fused: &FusedDataflow, cus: u64) -> u64 {
+    let pair = fused.pair();
+    let (m, k, l, n) = (
+        pair.dim(FusedDim::M),
+        pair.dim(FusedDim::K),
+        pair.dim(FusedDim::L),
+        pair.dim(FusedDim::N),
+    );
+    let best_half = |d2: u64| {
+        group_shapes(spec, cus)
+            .into_iter()
+            .map(|(a, b)| stream_cycles(m, d2, l, a, b, 1))
+            .min()
+            .expect("non-empty shape menu")
+    };
+    best_half(k).max(best_half(n)) + spec.pe_dim
+}
+
+/// The performance of a fused pair on FuseCU.
+#[derive(Debug, Clone, Copy)]
+pub struct FusedPerf {
+    fused: FusedDataflow,
+    count: u64,
+    mapping: FusedMapping,
+    pipelines: u64,
+    compute_cycles: u64,
+    dram_cycles: u64,
+}
+
+impl FusedPerf {
+    /// Scores a fused dataflow over every (mapping, granularity) option and
+    /// keeps the cheapest, overlapping compute with the fused memory
+    /// traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count` is zero.
+    pub fn score(spec: &ArraySpec, fused: FusedDataflow, count: u64) -> FusedPerf {
+        assert!(count > 0, "instance count must be non-zero");
+        let mut best: Option<(u64, FusedMapping, u64)> = None; // (cycles, mapping, pipelines)
+        let mut consider = |cycles: u64, mapping: FusedMapping, pipelines: u64| {
+            if best.is_none_or(|(c, ..)| cycles < c) {
+                best = Some((cycles, mapping, pipelines));
+            }
+        };
+        for cus in [1u64, 2, 4] {
+            if cus > spec.num_cus {
+                continue;
+            }
+            let pipelines = spec.num_cus / cus;
+            let per = tile_fusion_cycles(spec, &fused, cus);
+            consider(count.div_ceil(pipelines) * per, FusedMapping::Tile, pipelines);
+        }
+        for half_cus in [1u64, 2] {
+            if 2 * half_cus > spec.num_cus {
+                continue;
+            }
+            let pipelines = spec.num_cus / (2 * half_cus);
+            let per = column_fusion_cycles(spec, &fused, half_cus);
+            consider(
+                count.div_ceil(pipelines) * per,
+                FusedMapping::Column,
+                pipelines,
+            );
+        }
+        let (compute_cycles, mapping, pipelines) =
+            best.expect("at least one fused mapping is always available");
+        FusedPerf {
+            fused,
+            count,
+            mapping,
+            pipelines,
+            compute_cycles,
+            dram_cycles: (fused.total_ma() * count).div_ceil(spec.bw_elems_per_cycle),
+        }
+    }
+
+    /// The fused dataflow.
+    pub fn fused(&self) -> &FusedDataflow {
+        &self.fused
+    }
+
+    /// Instance count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The chosen mapping.
+    pub fn mapping(&self) -> FusedMapping {
+        self.mapping
+    }
+
+    /// Number of independent fused pipelines running instances in parallel.
+    pub fn pipelines(&self) -> u64 {
+        self.pipelines
+    }
+
+    /// Total memory access over all instances.
+    pub fn total_ma(&self) -> u64 {
+        self.fused.total_ma() * self.count
+    }
+
+    /// Wall-clock compute cycles over all instances.
+    pub fn compute_cycles(&self) -> u64 {
+        self.compute_cycles
+    }
+
+    /// DRAM transfer cycles over all instances.
+    pub fn dram_cycles(&self) -> u64 {
+        self.dram_cycles
+    }
+
+    /// Execution cycles with compute/DRAM overlap.
+    pub fn cycles(&self) -> u64 {
+        self.compute_cycles.max(self.dram_cycles)
+    }
+
+    /// Total MACs over all instances.
+    pub fn macs(&self) -> u64 {
+        self.fused.pair().macs() * self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusecu_dataflow::CostModel;
+    use fusecu_fusion::{optimize_pair, FusedPair};
+    use fusecu_ir::MatMul;
+
+    const MODEL: CostModel = CostModel {
+        partial_sums: fusecu_dataflow::PartialSumPolicy::PerVisit,
+    };
+
+    fn spec() -> ArraySpec {
+        ArraySpec::paper_default()
+    }
+
+    fn fused_for(m: u64, k: u64, l: u64, n: u64) -> FusedDataflow {
+        let pair = FusedPair::try_new(MatMul::new(m, k, l), MatMul::new(m, l, n)).unwrap();
+        optimize_pair(&MODEL, pair, spec().buffer_elems).unwrap()
+    }
+
+    #[test]
+    fn group_shapes_conserve_pes() {
+        let s = spec();
+        for cus in [1u64, 2, 4] {
+            for (a, b) in group_shapes(&s, cus) {
+                assert_eq!(a * b, cus * s.pe_dim * s.pe_dim, "cus={cus}");
+            }
+        }
+    }
+
+    #[test]
+    fn some_mapping_is_chosen_and_overlapped() {
+        let perf = FusedPerf::score(&spec(), fused_for(1024, 64, 1024, 64), 192);
+        assert!(perf.compute_cycles() > 0);
+        assert_eq!(perf.cycles(), perf.compute_cycles().max(perf.dram_cycles()));
+        assert_eq!(perf.macs(), 192 * 2 * 1024 * 64 * 1024);
+        assert!(perf.pipelines() >= 1 && perf.pipelines() <= 4);
+    }
+
+    #[test]
+    fn many_instances_exploit_pipeline_parallelism() {
+        let fused = fused_for(1024, 64, 1024, 64);
+        let many = FusedPerf::score(&spec(), fused, 192);
+        let one = FusedPerf::score(&spec(), fused, 1);
+        // 192 instances must not cost 192x a single instance: narrow
+        // pipelines on CU subsets run heads in parallel.
+        assert!(many.compute_cycles() < 192 * one.compute_cycles());
+    }
+
+    #[test]
+    fn array_matched_batched_pairs_prefer_tile_fusion() {
+        // The paper's Single-NRA tile-fusion shape: C exactly covers one
+        // CU (128x128) and K, N stream long. With several instances the
+        // four per-CU tile pipelines beat the column arrangement, whose
+        // producer must iterate the large A tile.
+        let fused = fused_for(128, 4096, 128, 4096);
+        let per_cu_tile = tile_fusion_cycles(&spec(), &fused, 1);
+        let per_column = column_fusion_cycles(&spec(), &fused, 2);
+        // Per instance the two are close; across 8 instances the 4-way
+        // tile pipelines win.
+        let perf = FusedPerf::score(&spec(), fused, 8);
+        assert_eq!(perf.mapping(), FusedMapping::Tile);
+        assert_eq!(perf.pipelines(), 4);
+        assert_eq!(perf.compute_cycles(), 2 * per_cu_tile);
+        assert!(2 * per_cu_tile < 8 * per_column);
+    }
+
+    #[test]
+    fn attention_pairs_prefer_column_fusion() {
+        // Per-head attention: tiny K and N, huge L — the classic
+        // column-fusion shape (Fig 5(b)).
+        let perf = FusedPerf::score(&spec(), fused_for(1024, 64, 1024, 64), 192);
+        assert_eq!(perf.mapping(), FusedMapping::Column);
+    }
+
+    #[test]
+    fn column_halves_reshape_for_small_dims() {
+        // Producer stationary (M, K) = (1024, 64): the 4N x N/2 = (512, 64)
+        // reshape covers K exactly; the rigid (256, 128) half wastes half
+        // its columns.
+        let s = spec();
+        let fused = fused_for(1024, 64, 1024, 64);
+        let cycles = column_fusion_cycles(&s, &fused, 2);
+        let rigid_producer = stream_cycles(1024, 64, 1024, 2 * s.pe_dim, s.pe_dim, 1);
+        assert!(cycles < 2 * rigid_producer);
+    }
+
+    #[test]
+    fn mapping_names_render() {
+        assert_eq!(FusedMapping::Tile.to_string(), "tile fusion");
+        assert_eq!(FusedMapping::Column.to_string(), "column fusion");
+    }
+}

@@ -1,0 +1,310 @@
+//! Per-operator optimization within one platform's dataflow space.
+//!
+//! Following the paper's §II-A split, the buffer↔memory level (tiling +
+//! scheduling) and the PE↔buffer level (mapping) are optimized separately:
+//!
+//! * the buffer-level loop nest comes from the principle optimizer,
+//!   restricted to the platform's supported stationaries and — for rigid
+//!   systolic designs — to array-aligned stationary tiles;
+//! * the spatial mapping picks the best array shape from the platform's
+//!   flexibility menu ([`crate::flex`]).
+//!
+//! The two couple through the final cycle count `max(compute, DRAM)`; the
+//! chosen configuration minimizes `(cycles, memory access)`.
+
+use fusecu_dataflow::principles::stationary_sweep;
+use fusecu_dataflow::{CostModel, Dataflow, LoopNest, Tiling};
+use fusecu_ir::{MatMul, Operand};
+
+use crate::flex::best_mapping;
+use crate::platform::Platform;
+use crate::spec::ArraySpec;
+use crate::stationary::Stationary;
+
+/// Buffer-level dataflow of a rigid systolic design ("low tiling
+/// flexibility"): the stationary tensor is staged in exactly one `N × N`
+/// array panel at a time (clamped to the dimension sizes), so the two
+/// stationary dimensions' tiles are pinned to the panel edge and only the
+/// streamed dimension tiles freely (its tile does not change memory access;
+/// the minimum footprint of 1 is used). This is how TPU-class pipelines
+/// stage weights, and it is the restriction that costs TPUv4i/Gemmini their
+/// memory traffic in Fig 10: every panel switch re-streams the non-resident
+/// operands.
+///
+/// The staging pipeline can, however, chain consecutive panels along *one*
+/// stationary dimension (the weight-FIFO effect: panels prefetch back to
+/// back along the contraction or output-column axis), so one stationary
+/// tile may grow in panel multiples while the other stays pinned at `N`.
+/// Both aggregation axes are tried and the better one kept.
+///
+/// When even a single panel does not fit the buffer, the panel shrinks to
+/// the largest feasible edge — rigid hardware with a tiny scratchpad still
+/// runs, just with a smaller logical panel.
+fn panel_dataflow(
+    model: &CostModel,
+    mm: MatMul,
+    bs: u64,
+    stationary: Operand,
+    n: u64,
+) -> Option<Dataflow> {
+    let [da, db] = stationary.dims();
+    let dc = stationary.missing_dim();
+    let mut best: Option<Dataflow> = None;
+    for (agg, pin) in [(da, db), (db, da)] {
+        let mut edge = n;
+        while edge > 0 {
+            let t_pin = edge.min(mm.dim(pin));
+            let base = Tiling::new(1, 1, 1).with(pin, t_pin).with(dc, 1);
+            if !base.with(agg, edge.min(mm.dim(agg))).fits(mm, bs) {
+                edge /= 2;
+                continue;
+            }
+            // Largest panel multiple (or the full dimension) that fits.
+            let mut t_agg = edge.min(mm.dim(agg));
+            loop {
+                let next = if t_agg + edge >= mm.dim(agg) {
+                    mm.dim(agg)
+                } else {
+                    t_agg + edge
+                };
+                if next == t_agg || !base.with(agg, next).fits(mm, bs) {
+                    break;
+                }
+                t_agg = next;
+            }
+            let nest = LoopNest::new([da, db, dc], base.with(agg, t_agg));
+            let df = model.dataflow(mm, nest);
+            if best.is_none_or(|b| df.total_ma() < b.total_ma()) {
+                best = Some(df);
+            }
+            break;
+        }
+    }
+    best
+}
+
+/// The selected execution of one matmul on one platform.
+#[derive(Debug, Clone, Copy)]
+pub struct OpPerf {
+    mm: MatMul,
+    count: u64,
+    stationary: Stationary,
+    shape: (u64, u64),
+    dataflow: Dataflow,
+    compute_cycles: u64,
+    dram_cycles: u64,
+}
+
+impl OpPerf {
+    /// The matmul.
+    pub fn mm(&self) -> MatMul {
+        self.mm
+    }
+
+    /// Instance count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The chosen PE-level stationary.
+    pub fn stationary(&self) -> Stationary {
+        self.stationary
+    }
+
+    /// The chosen logical array shape per CU.
+    pub fn shape(&self) -> (u64, u64) {
+        self.shape
+    }
+
+    /// The chosen buffer-level dataflow.
+    pub fn dataflow(&self) -> &Dataflow {
+        &self.dataflow
+    }
+
+    /// Total memory access over all instances, in elements.
+    pub fn total_ma(&self) -> u64 {
+        self.dataflow.total_ma() * self.count
+    }
+
+    /// Wall-clock compute cycles over all instances (CU parallelism
+    /// applied).
+    pub fn compute_cycles(&self) -> u64 {
+        self.compute_cycles
+    }
+
+    /// DRAM transfer cycles over all instances.
+    pub fn dram_cycles(&self) -> u64 {
+        self.dram_cycles
+    }
+
+    /// Execution cycles with compute/DRAM overlap (double buffering).
+    pub fn cycles(&self) -> u64 {
+        self.compute_cycles.max(self.dram_cycles)
+    }
+
+    /// Total MACs over all instances.
+    pub fn macs(&self) -> u64 {
+        self.mm.macs() * self.count
+    }
+}
+
+/// Optimizes one matmul (with `count` identical instances) within a
+/// platform's dataflow space.
+///
+/// Instances are data-parallel across the CUs; compute cycles are CU-cycles
+/// divided by the CU count (ceiling).
+///
+/// # Panics
+///
+/// Panics when the buffer cannot hold even a unit tiling (`buffer < 3`).
+pub fn optimize_op(
+    spec: &ArraySpec,
+    platform: Platform,
+    model: &CostModel,
+    mm: MatMul,
+    count: u64,
+) -> OpPerf {
+    assert!(count > 0, "instance count must be non-zero");
+    let mut best: Option<OpPerf> = None;
+    for &stationary in platform.stationaries() {
+        let operand = stationary.operand();
+        let dataflow = if platform.array_aligned_tiles() {
+            panel_dataflow(model, mm, spec.buffer_elems, operand, spec.pe_dim)
+        } else {
+            stationary_sweep(model, mm, spec.buffer_elems, operand)
+        };
+        let Some(dataflow) = dataflow else { continue };
+        let [d1, d2] = stationary.array_dims().map(|d| mm.dim(d));
+        let d3 = mm.dim(stationary.moving_dim());
+        let (per_instance, shape) = best_mapping(platform.tiling_flex(), spec, d1, d2, d3);
+        let compute_cycles = (per_instance * count).div_ceil(spec.num_cus);
+        let dram_cycles = (dataflow.total_ma() * count).div_ceil(spec.bw_elems_per_cycle);
+        let cand = OpPerf {
+            mm,
+            count,
+            stationary,
+            shape,
+            dataflow,
+            compute_cycles,
+            dram_cycles,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => (cand.cycles(), cand.total_ma()) < (b.cycles(), b.total_ma()),
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    best.unwrap_or_else(|| {
+        panic!(
+            "buffer of {} elements cannot hold any tile of {mm}",
+            spec.buffer_elems
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ArraySpec {
+        ArraySpec::paper_default()
+    }
+
+    const MODEL: CostModel = CostModel {
+        partial_sums: fusecu_dataflow::PartialSumPolicy::PerVisit,
+    };
+
+    #[test]
+    fn panel_dataflow_pins_one_dim_and_aggregates_the_other() {
+        let mm = MatMul::new(4096, 768, 768);
+        let df = panel_dataflow(&MODEL, mm, 512 * 1024, Operand::Rhs, 128).unwrap();
+        let (tk, tl) = (
+            df.tiling().tile(fusecu_ir::MmDim::K),
+            df.tiling().tile(fusecu_ir::MmDim::L),
+        );
+        // One stationary dimension pinned to the 128-panel, the other
+        // aggregated to the full dimension through the staging FIFO.
+        assert!(
+            (tk == 768 && tl == 128) || (tk == 128 && tl == 768),
+            "got T_K={tk}, T_L={tl}"
+        );
+        assert_eq!(df.tiling().tile(fusecu_ir::MmDim::M), 1);
+        // Clamped when a dimension is shorter than the panel.
+        let small = MatMul::new(1024, 64, 1024);
+        let df = panel_dataflow(&MODEL, small, 512 * 1024, Operand::Rhs, 128).unwrap();
+        assert!(df.tiling().tile(fusecu_ir::MmDim::K) <= 64);
+    }
+
+    #[test]
+    fn panel_shrinks_under_tiny_buffers() {
+        let mm = MatMul::new(4096, 768, 768);
+        let df = panel_dataflow(&MODEL, mm, 4 * 1024, Operand::Rhs, 128).unwrap();
+        assert!(df.buffer_elems() <= 4 * 1024);
+        assert!(panel_dataflow(&MODEL, mm, 2, Operand::Rhs, 128).is_none());
+    }
+
+    #[test]
+    fn tpu_is_weight_stationary_only() {
+        let p = optimize_op(&spec(), Platform::Tpuv4i, &MODEL, MatMul::new(1024, 768, 768), 1);
+        assert_eq!(p.stationary(), Stationary::Ws);
+        assert_eq!(p.shape(), (128, 128));
+    }
+
+    #[test]
+    fn flexible_stationary_never_hurts() {
+        // Gemmini's space strictly contains TPUv4i's, UnfCU's contains
+        // Gemmini's: cycles and MA must be monotone along that chain.
+        let shapes = [
+            MatMul::new(1024, 64, 1024),
+            MatMul::new(16384, 768, 768),
+            MatMul::new(256, 4096, 256),
+        ];
+        for mm in shapes {
+            let tpu = optimize_op(&spec(), Platform::Tpuv4i, &MODEL, mm, 4);
+            let gem = optimize_op(&spec(), Platform::Gemmini, &MODEL, mm, 4);
+            let unf = optimize_op(&spec(), Platform::UnfCu, &MODEL, mm, 4);
+            assert!(gem.cycles() <= tpu.cycles(), "{mm}");
+            assert!(unf.total_ma() <= gem.total_ma(), "{mm}");
+        }
+    }
+
+    #[test]
+    fn small_reduction_dim_hurts_rigid_ws() {
+        // Attention QK^T per head: K = 64 < 128. TPU's weight panel is half
+        // idle; Planaria's fission and UnfCU's reshape recover utilization.
+        let mm = MatMul::new(1024, 64, 1024);
+        let tpu = optimize_op(&spec(), Platform::Tpuv4i, &MODEL, mm, 64);
+        let pla = optimize_op(&spec(), Platform::Planaria, &MODEL, mm, 64);
+        let unf = optimize_op(&spec(), Platform::UnfCu, &MODEL, mm, 64);
+        assert!(pla.compute_cycles() < tpu.compute_cycles());
+        assert!(unf.compute_cycles() < tpu.compute_cycles());
+    }
+
+    #[test]
+    fn cycles_overlap_compute_and_dram() {
+        let p = optimize_op(&spec(), Platform::FuseCu, &MODEL, MatMul::new(512, 512, 512), 1);
+        assert_eq!(p.cycles(), p.compute_cycles().max(p.dram_cycles()));
+        assert!(p.macs() == 512 * 512 * 512);
+    }
+
+    #[test]
+    fn count_scales_work() {
+        let mm = MatMul::new(512, 512, 512);
+        let one = optimize_op(&spec(), Platform::UnfCu, &MODEL, mm, 1);
+        let eight = optimize_op(&spec(), Platform::UnfCu, &MODEL, mm, 8);
+        assert_eq!(eight.total_ma(), 8 * one.total_ma());
+        assert!(eight.compute_cycles() >= 2 * one.compute_cycles());
+    }
+
+    #[test]
+    fn rigid_platforms_pay_more_memory_traffic() {
+        // The Fig 10 mechanism: panel staging re-streams the non-resident
+        // operands per panel; flexible tiling aggregates.
+        let mm = MatMul::new(16384, 768, 768);
+        let tpu = optimize_op(&spec(), Platform::Tpuv4i, &MODEL, mm, 1);
+        let unf = optimize_op(&spec(), Platform::UnfCu, &MODEL, mm, 1);
+        assert!(tpu.total_ma() > 2 * unf.total_ma());
+    }
+}

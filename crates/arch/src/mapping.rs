@@ -1,0 +1,125 @@
+//! The §IV-A mapping rule: classify the fused intermediate's tile shape
+//! and recommend the fused mapping.
+//!
+//! The paper distinguishes two optimal tile shapes for the intermediate
+//! tensor `C` in profitable fused dataflows:
+//!
+//! * **tile-like** (Fig 4(a), (c), (e)): both of `C`'s tile dimensions are
+//!   maximized or untiled — suited to being the *stationary tile* of tile
+//!   fusion (it matches the array);
+//! * **column-like** (Fig 4(b), (d)): one dimension maximized, the other
+//!   minimized — mapped as a stationary tile it would waste the array, so
+//!   it becomes the *moving tile* of column fusion.
+//!
+//! [`recommended_mapping`] encodes the rule; tests confirm the
+//! cycle-optimal choice made by [`crate::fused::FusedPerf`] agrees with it
+//! on the paper's canonical shapes.
+
+use std::fmt;
+
+use fusecu_fusion::{FusedDataflow, FusedDim};
+
+use crate::fused::FusedMapping;
+
+/// The §IV-A intermediate-tile classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntermediateShape {
+    /// Both tile dimensions sizeable (square-ish): stationary-tile
+    /// material.
+    TileLike,
+    /// One dimension at (or near) the minimum: moving-tile material.
+    ColumnLike,
+}
+
+impl fmt::Display for IntermediateShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IntermediateShape::TileLike => "tile-like",
+            IntermediateShape::ColumnLike => "column-like",
+        })
+    }
+}
+
+/// Classifies the intermediate tile of a fused dataflow.
+///
+/// A dimension counts as *minimized* when its tile is at most 1/16 of the
+/// other's (the Principle 2 "maximize one, minimize the other" signature);
+/// otherwise the tile is considered square-ish and tile-like.
+pub fn classify_intermediate(fused: &FusedDataflow) -> IntermediateShape {
+    let pair = fused.pair();
+    let t_m = fused.nest().tiling.clamped_tile(&pair, FusedDim::M);
+    let t_l = fused.nest().tiling.clamped_tile(&pair, FusedDim::L);
+    let (small, large) = (t_m.min(t_l), t_m.max(t_l));
+    if small * 16 <= large {
+        IntermediateShape::ColumnLike
+    } else {
+        IntermediateShape::TileLike
+    }
+}
+
+/// The paper's recommended fused mapping for a dataflow's intermediate
+/// shape: tile fusion for tile-like, column fusion for column-like.
+pub fn recommended_mapping(fused: &FusedDataflow) -> FusedMapping {
+    match classify_intermediate(fused) {
+        IntermediateShape::TileLike => FusedMapping::Tile,
+        IntermediateShape::ColumnLike => FusedMapping::Column,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fused::FusedPerf;
+    use crate::spec::ArraySpec;
+    use fusecu_dataflow::CostModel;
+    use fusecu_fusion::{optimize_pair, FusedPair};
+    use fusecu_ir::MatMul;
+
+    const MODEL: CostModel = CostModel {
+        partial_sums: fusecu_dataflow::PartialSumPolicy::PerVisit,
+    };
+
+    fn fused_for(m: u64, k: u64, l: u64, n: u64, bs: u64) -> FusedDataflow {
+        let pair = FusedPair::try_new(MatMul::new(m, k, l), MatMul::new(m, l, n)).unwrap();
+        optimize_pair(&MODEL, pair, bs).unwrap()
+    }
+
+    #[test]
+    fn paper_fig5_tile_example_is_tile_like() {
+        // Fig 5(a)'s example: A(128,1) x B(1,128) = C(128,128), then
+        // C x D(128,1) = E(128,1) — the Single-NRA fused shape with a
+        // square 128x128 intermediate. A tiny buffer forces the square
+        // stationary tile.
+        let fused = fused_for(128, 4096, 128, 4096, 40_000);
+        assert_eq!(classify_intermediate(&fused), IntermediateShape::TileLike);
+        assert_eq!(recommended_mapping(&fused), FusedMapping::Tile);
+    }
+
+    #[test]
+    fn paper_fig5_column_example_is_column_like() {
+        // Fig 5(b)'s example: A(128,128) x B(128,1) = C(128,1) — the
+        // Two-NRA fused shape with a column intermediate.
+        let fused = fused_for(1024, 64, 1024, 64, 512 * 1024);
+        assert_eq!(classify_intermediate(&fused), IntermediateShape::ColumnLike);
+        assert_eq!(recommended_mapping(&fused), FusedMapping::Column);
+    }
+
+    #[test]
+    fn cycle_optimal_choice_agrees_on_canonical_shapes() {
+        let spec = ArraySpec::paper_default();
+        // Batched array-matched tile-fusion shape.
+        let tile = fused_for(128, 4096, 128, 4096, 40_000);
+        let perf = FusedPerf::score(&spec, tile, 8);
+        assert_eq!(perf.mapping(), recommended_mapping(&tile));
+        // Attention column-fusion shape.
+        let col = fused_for(1024, 64, 1024, 64, spec.buffer_elems);
+        let perf = FusedPerf::score(&spec, col, 192);
+        assert_eq!(perf.mapping(), recommended_mapping(&col));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IntermediateShape::TileLike.to_string(), "tile-like");
+        assert_eq!(IntermediateShape::ColumnLike.to_string(), "column-like");
+    }
+}

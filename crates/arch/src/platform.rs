@@ -1,0 +1,132 @@
+//! The five evaluated platforms and their Table III attributes.
+
+use std::fmt;
+
+use crate::flex::TilingFlex;
+use crate::stationary::Stationary;
+
+/// An evaluated spatial-accelerator platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Platform {
+    /// Google TPUv4i \[5\]: rigid weight-stationary systolic arrays.
+    Tpuv4i,
+    /// Gemmini \[16\]: stationary-flexible PEs (WS/OS), rigid array shape.
+    Gemmini,
+    /// Planaria \[17\]: dynamic array fission, weight-stationary.
+    Planaria,
+    /// FuseCU without tensor fusion (the paper's ablation design).
+    UnfCu,
+    /// The paper's contribution: XS PEs + CU reshaping + operator fusion.
+    FuseCu,
+}
+
+impl Platform {
+    /// All platforms, in the paper's comparison order.
+    pub const ALL: [Platform; 5] = [
+        Platform::Tpuv4i,
+        Platform::Gemmini,
+        Platform::Planaria,
+        Platform::UnfCu,
+        Platform::FuseCu,
+    ];
+
+    /// The PE-level stationaries the platform supports (Table III
+    /// "Stationary Flex.").
+    pub fn stationaries(self) -> &'static [Stationary] {
+        match self {
+            Platform::Tpuv4i | Platform::Planaria => &[Stationary::Ws],
+            Platform::Gemmini => &[Stationary::Ws, Stationary::Os],
+            Platform::UnfCu | Platform::FuseCu => {
+                &[Stationary::Ws, Stationary::Os, Stationary::Is]
+            }
+        }
+    }
+
+    /// The tiling-flexibility grade (Table III "Tiling Flex.").
+    pub fn tiling_flex(self) -> TilingFlex {
+        match self {
+            Platform::Tpuv4i | Platform::Gemmini => TilingFlex::Low,
+            Platform::Planaria => TilingFlex::High,
+            Platform::UnfCu | Platform::FuseCu => TilingFlex::Middle,
+        }
+    }
+
+    /// Whether the platform fuses tensor operators on the compute units
+    /// (Table III "Tensor Fusion").
+    pub fn supports_fusion(self) -> bool {
+        matches!(self, Platform::FuseCu)
+    }
+
+    /// Whether the platform's *buffer-level* tile sizes are restricted to
+    /// array-aligned multiples. Rigid systolic designs stage weights in
+    /// array-shaped panels; reshape-capable and fission-capable fabrics
+    /// tile freely.
+    pub fn array_aligned_tiles(self) -> bool {
+        self.tiling_flex() == TilingFlex::Low
+    }
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Tpuv4i => "TPUv4i",
+            Platform::Gemmini => "Gemmini",
+            Platform::Planaria => "Planaria",
+            Platform::UnfCu => "UnfCU",
+            Platform::FuseCu => "FuseCU",
+        }
+    }
+
+    /// One Table III row: `(name, stationary flex, tiling flex, fusion)`.
+    pub fn table_iii_row(self) -> (&'static str, String, &'static str, bool) {
+        let stat = if self.stationaries().len() > 1 {
+            "yes".to_string()
+        } else {
+            "no".to_string()
+        };
+        (self.name(), stat, self.tiling_flex().name(), self.supports_fusion())
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_attributes() {
+        use Platform::*;
+        assert_eq!(Tpuv4i.stationaries(), &[Stationary::Ws]);
+        assert_eq!(Gemmini.stationaries(), &[Stationary::Ws, Stationary::Os]);
+        assert_eq!(Planaria.stationaries(), &[Stationary::Ws]);
+        assert_eq!(UnfCu.stationaries().len(), 3);
+        assert_eq!(FuseCu.stationaries().len(), 3);
+
+        assert_eq!(Tpuv4i.tiling_flex(), TilingFlex::Low);
+        assert_eq!(Gemmini.tiling_flex(), TilingFlex::Low);
+        assert_eq!(Planaria.tiling_flex(), TilingFlex::High);
+        assert_eq!(UnfCu.tiling_flex(), TilingFlex::Middle);
+        assert_eq!(FuseCu.tiling_flex(), TilingFlex::Middle);
+
+        assert!(FuseCu.supports_fusion());
+        assert!(Platform::ALL.iter().filter(|p| p.supports_fusion()).count() == 1);
+    }
+
+    #[test]
+    fn only_rigid_platforms_align_tiles() {
+        assert!(Platform::Tpuv4i.array_aligned_tiles());
+        assert!(Platform::Gemmini.array_aligned_tiles());
+        assert!(!Platform::Planaria.array_aligned_tiles());
+        assert!(!Platform::FuseCu.array_aligned_tiles());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = Platform::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["TPUv4i", "Gemmini", "Planaria", "UnfCU", "FuseCU"]);
+    }
+}

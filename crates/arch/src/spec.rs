@@ -1,0 +1,131 @@
+//! Spatial-architecture parameters (Fig 8 / §V-A).
+
+use std::fmt;
+
+/// Physical parameters shared by all evaluated platforms.
+///
+/// The paper's compute configuration is TPUv4i's: `128 × 128 × 4` PEs and
+/// 1 TB/s of on-chip bandwidth. Elements are one byte (INT8), so buffer
+/// sizes in bytes equal element counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArraySpec {
+    /// PE array edge per compute unit (`N`; 128 for TPUv4i).
+    pub pe_dim: u64,
+    /// Number of compute units (4 for TPUv4i).
+    pub num_cus: u64,
+    /// Effective memory bandwidth in elements per cycle. The paper's port
+    /// is 1 TB/s (≈ 952 B/cycle at TPUv4i's 1.05 GHz); the default applies
+    /// a 45% achieved-vs-peak derating, the well-documented HBM efficiency
+    /// for strided tensor traffic, giving 448 elements/cycle.
+    pub bw_elems_per_cycle: u64,
+    /// Shared on-chip buffer in elements.
+    pub buffer_elems: u64,
+}
+
+impl ArraySpec {
+    /// The paper's TPUv4i-derived configuration with a given buffer size.
+    pub fn tpuv4i_with_buffer(buffer_elems: u64) -> ArraySpec {
+        ArraySpec {
+            pe_dim: 128,
+            num_cus: 4,
+            bw_elems_per_cycle: 448,
+            buffer_elems,
+        }
+    }
+
+    /// The default evaluation point used for Fig 10/11 runs: the TPUv4i
+    /// compute configuration with a 512 KiB buffer — the §III-A worked
+    /// example's size, inside the 32 KiB–32 MiB range the paper sweeps, and
+    /// small relative to the layer tensors so the intra/inter-operator
+    /// dataflow choice matters (at tens of MiB every platform trivially
+    /// reaches the Three-NRA floor and the comparison degenerates).
+    pub fn paper_default() -> ArraySpec {
+        ArraySpec::tpuv4i_with_buffer(512 * 1024)
+    }
+
+    /// Total PEs across all compute units.
+    pub fn total_pes(&self) -> u64 {
+        self.pe_dim * self.pe_dim * self.num_cus
+    }
+
+    /// Peak MACs per cycle (one MAC per PE per cycle).
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        self.total_pes()
+    }
+
+    /// A copy with a different buffer size (the Fig 9 sweep).
+    #[must_use]
+    pub fn with_buffer(&self, buffer_elems: u64) -> ArraySpec {
+        ArraySpec {
+            buffer_elems,
+            ..*self
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero parameter or a PE dimension that cannot be halved
+    /// (the narrow/wide reshapes need `pe_dim % 2 == 0`).
+    pub fn validate(&self) {
+        assert!(self.pe_dim > 0 && self.num_cus > 0, "degenerate fabric");
+        assert!(self.bw_elems_per_cycle > 0, "zero bandwidth");
+        assert!(self.buffer_elems >= 3, "buffer below the minimum tile set");
+        assert!(self.pe_dim.is_multiple_of(2), "reshapes require an even PE dimension");
+    }
+}
+
+impl fmt::Display for ArraySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{n}x{n}x{c} PEs, {bw} elem/cy, buffer {buf} KiB",
+            n = self.pe_dim,
+            c = self.num_cus,
+            bw = self.bw_elems_per_cycle,
+            buf = self.buffer_elems / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpuv4i_configuration() {
+        let s = ArraySpec::paper_default();
+        s.validate();
+        assert_eq!(s.pe_dim, 128);
+        assert_eq!(s.num_cus, 4);
+        assert_eq!(s.total_pes(), 128 * 128 * 4);
+        assert_eq!(s.peak_macs_per_cycle(), 65_536);
+    }
+
+    #[test]
+    fn buffer_sweep_changes_only_the_buffer() {
+        let a = ArraySpec::paper_default();
+        let b = a.with_buffer(32 * 1024);
+        assert_eq!(b.buffer_elems, 32 * 1024);
+        assert_eq!(b.pe_dim, a.pe_dim);
+    }
+
+    #[test]
+    #[should_panic(expected = "even PE dimension")]
+    fn odd_pe_dim_rejected() {
+        ArraySpec {
+            pe_dim: 127,
+            num_cus: 4,
+            bw_elems_per_cycle: 1024,
+            buffer_elems: 1024,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn display_mentions_buffer() {
+        let s = ArraySpec::tpuv4i_with_buffer(512 * 1024);
+        assert!(s.to_string().contains("512 KiB"));
+    }
+}

@@ -1,0 +1,100 @@
+//! PE-level stationary choices (which operand lives in the PE registers).
+
+use std::fmt;
+
+use fusecu_ir::{MmDim, Operand};
+
+/// The operand held in the PE array's registers during computation.
+///
+/// The stationary tensor's two dimensions map across the PE array (the
+/// "stationary tile" of §IV-A); the third dimension streams through
+/// ("moving tile").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stationary {
+    /// Weight-stationary: `B[K,L]` resident (classic systolic arrays).
+    Ws,
+    /// Output-stationary: `C[M,L]` resident, accumulating in place.
+    Os,
+    /// Input-stationary: `A[M,K]` resident.
+    Is,
+}
+
+impl Stationary {
+    /// All three stationaries.
+    pub const ALL: [Stationary; 3] = [Stationary::Ws, Stationary::Os, Stationary::Is];
+
+    /// The operand this stationary keeps in PE registers.
+    pub fn operand(self) -> Operand {
+        match self {
+            Stationary::Ws => Operand::Rhs,
+            Stationary::Os => Operand::Out,
+            Stationary::Is => Operand::Lhs,
+        }
+    }
+
+    /// The stationary for a given resident operand.
+    pub fn for_operand(op: Operand) -> Stationary {
+        match op {
+            Operand::Rhs => Stationary::Ws,
+            Operand::Out => Stationary::Os,
+            Operand::Lhs => Stationary::Is,
+        }
+    }
+
+    /// The two dimensions mapped across the PE array.
+    pub fn array_dims(self) -> [MmDim; 2] {
+        self.operand().dims()
+    }
+
+    /// The streamed (moving) dimension.
+    pub fn moving_dim(self) -> MmDim {
+        self.operand().missing_dim()
+    }
+
+    /// Conventional abbreviation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stationary::Ws => "WS",
+            Stationary::Os => "OS",
+            Stationary::Is => "IS",
+        }
+    }
+}
+
+impl fmt::Display for Stationary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_round_trip() {
+        for s in Stationary::ALL {
+            assert_eq!(Stationary::for_operand(s.operand()), s);
+        }
+    }
+
+    #[test]
+    fn dims_partition() {
+        for s in Stationary::ALL {
+            let [a, b] = s.array_dims();
+            let m = s.moving_dim();
+            let mut all = vec![a, b, m];
+            all.sort();
+            assert_eq!(all, vec![MmDim::M, MmDim::K, MmDim::L]);
+        }
+    }
+
+    #[test]
+    fn classic_assignments() {
+        assert_eq!(Stationary::Ws.array_dims(), [MmDim::K, MmDim::L]);
+        assert_eq!(Stationary::Ws.moving_dim(), MmDim::M);
+        assert_eq!(Stationary::Os.moving_dim(), MmDim::K);
+        assert_eq!(Stationary::Is.moving_dim(), MmDim::L);
+        assert_eq!(Stationary::Os.to_string(), "OS");
+    }
+}

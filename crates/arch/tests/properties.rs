@@ -1,0 +1,92 @@
+//! Property tests for the platform and cycle models.
+
+use proptest::prelude::*;
+
+use fusecu_arch::{optimize_op, ArraySpec, Platform};
+use fusecu_dataflow::CostModel;
+use fusecu_ir::MatMul;
+
+fn model() -> CostModel {
+    CostModel::read_write()
+}
+
+fn arb_mm() -> impl Strategy<Value = MatMul> {
+    (1u64..4096, 1u64..4096, 1u64..4096).prop_map(|(m, k, l)| MatMul::new(m, k, l))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every platform produces a feasible, internally consistent operator
+    /// plan for any shape.
+    #[test]
+    fn op_plans_are_consistent(mm in arb_mm(), count in 1u64..64) {
+        let spec = ArraySpec::paper_default();
+        for p in Platform::ALL {
+            let perf = optimize_op(&spec, p, &model(), mm, count);
+            prop_assert!(perf.dataflow().buffer_elems() <= spec.buffer_elems, "{p}");
+            prop_assert_eq!(perf.cycles(), perf.compute_cycles().max(perf.dram_cycles()));
+            prop_assert_eq!(perf.macs(), mm.macs() * count);
+            prop_assert!(p.stationaries().contains(&perf.stationary()), "{p}");
+            // Compute can never beat the ideal roofline.
+            let ideal = (mm.macs() * count).div_ceil(spec.peak_macs_per_cycle());
+            prop_assert!(perf.compute_cycles() >= ideal, "{p}: beats the roofline");
+        }
+    }
+
+    /// Space containment: TPUv4i ⊂ Gemmini ⊂ UnfCU, and FuseCU == UnfCU on
+    /// unfused single operators.
+    #[test]
+    fn space_containment_on_single_ops(mm in arb_mm()) {
+        let spec = ArraySpec::paper_default();
+        let cost = |p: Platform| {
+            let perf = optimize_op(&spec, p, &model(), mm, 1);
+            (perf.cycles(), perf.total_ma())
+        };
+        let tpu = cost(Platform::Tpuv4i);
+        let gem = cost(Platform::Gemmini);
+        let unf = cost(Platform::UnfCu);
+        let fuse = cost(Platform::FuseCu);
+        // Containment is in the optimizer's lexicographic (cycles, MA)
+        // objective: every rigid candidate is dominated by a free-tiling
+        // candidate with no more cycles and no more traffic.
+        prop_assert!(gem <= tpu);
+        prop_assert!(unf <= gem, "UnfCU {unf:?} must not lose to Gemmini {gem:?}");
+        prop_assert_eq!(fuse, unf, "FuseCU == UnfCU on unfused operators");
+    }
+
+    /// More buffer never hurts any platform on a single operator.
+    #[test]
+    fn buffer_monotonicity_per_platform(mm in arb_mm(), base_kib in 1u64..512, extra_kib in 0u64..4096) {
+        for p in Platform::ALL {
+            let small = ArraySpec::tpuv4i_with_buffer(base_kib * 1024);
+            let large = ArraySpec::tpuv4i_with_buffer((base_kib + extra_kib) * 1024);
+            let a = optimize_op(&small, p, &model(), mm, 1).total_ma();
+            let b = optimize_op(&large, p, &model(), mm, 1).total_ma();
+            prop_assert!(b <= a, "{p}: buffer growth raised MA {a} -> {b}");
+        }
+    }
+
+    /// Higher bandwidth never slows execution. (It can change the chosen
+    /// tiling — the objective is cycle-first — so memory access may move;
+    /// only the cycle count is monotone.)
+    #[test]
+    fn more_bandwidth_never_slows(mm in arb_mm(), bw in 64u64..2048) {
+        let mut slow = ArraySpec::paper_default();
+        slow.bw_elems_per_cycle = bw;
+        let mut fast = slow;
+        fast.bw_elems_per_cycle = 2 * bw;
+        for p in [Platform::Tpuv4i, Platform::FuseCu] {
+            let a = optimize_op(&slow, p, &model(), mm, 1);
+            let b = optimize_op(&fast, p, &model(), mm, 1);
+            prop_assert!(b.cycles() <= a.cycles(), "{}", p);
+            // The cycle-optimal dataflow under faster memory is also
+            // feasible under slower memory, so its slow-memory cycle count
+            // bounds the slow optimum from above.
+            let b_on_slow = b
+                .compute_cycles()
+                .max((b.total_ma()).div_ceil(slow.bw_elems_per_cycle));
+            prop_assert!(a.cycles() <= b_on_slow, "{}", p);
+        }
+    }
+}

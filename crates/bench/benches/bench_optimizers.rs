@@ -1,0 +1,86 @@
+//! Criterion benchmarks for the optimizers: the quantitative backing for
+//! the paper's "one-shot analytical vs time-consuming DSE" claim (§I) and
+//! the Fig 9 speed comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fusecu::dataflow::principles;
+use fusecu::prelude::*;
+use fusecu_fusion::optimize_pair;
+
+fn bert_mm() -> MatMul {
+    MatMul::new(1024, 768, 768)
+}
+
+fn attention_pair() -> FusedPair {
+    FusedPair::try_new(MatMul::new(1024, 64, 1024), MatMul::new(1024, 1024, 64))
+        .expect("attention shapes chain")
+}
+
+fn bench_principles(c: &mut Criterion) {
+    let model = CostModel::paper();
+    let mm = bert_mm();
+    c.bench_function("principles/intra_op_optimize", |b| {
+        b.iter(|| principles::optimize_with(&model, black_box(mm), black_box(512 * 1024)))
+    });
+    let pair = attention_pair();
+    c.bench_function("principles/fused_pair_optimize", |b| {
+        b.iter(|| optimize_pair(&model, black_box(pair), black_box(512 * 1024)))
+    });
+}
+
+fn bench_searchers(c: &mut Criterion) {
+    let model = CostModel::paper();
+    let mm = bert_mm();
+    let oracle = ExhaustiveSearch::new(model);
+    c.bench_function("search/exhaustive_oracle", |b| {
+        b.iter(|| oracle.optimize(black_box(mm), black_box(512 * 1024)))
+    });
+    let ga = GeneticSearch::new(model);
+    c.bench_function("search/genetic_dat_style", |b| {
+        b.iter(|| ga.optimize(black_box(mm), black_box(512 * 1024)))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let blenderbot = zoo::blenderbot();
+    c.bench_function("pipeline/fig10_model_evaluation", |b| {
+        b.iter(|| fusecu::pipeline::compare_platforms(black_box(&blenderbot)))
+    });
+    let graph = blenderbot.build_graph();
+    let model = fusecu::pipeline::evaluation_model();
+    let spec = ArraySpec::paper_default();
+    c.bench_function("pipeline/fusecu_graph_evaluation", |b| {
+        b.iter(|| evaluate_graph(&spec, Platform::FuseCu, &model, black_box(&graph)))
+    });
+}
+
+fn bench_generalizations(c: &mut Criterion) {
+    use fusecu::dataflow::einsum::EinsumSpec;
+    use fusecu::dataflow::hierarchy::optimize_two_level;
+    let model = CostModel::paper();
+    c.bench_function("principles/two_level_optimize", |b| {
+        b.iter(|| {
+            optimize_two_level(
+                &model,
+                black_box(MatMul::new(1024, 768, 768)),
+                black_box(512 * 1024),
+                black_box(128 * 128),
+            )
+        })
+    });
+    let spec = EinsumSpec::batched_matmul(8, 32, 24, 16);
+    c.bench_function("einsum/rank4_exhaustive", |b| {
+        b.iter(|| spec.optimize_exhaustive(&model, black_box(1_000)))
+    });
+    c.bench_function("einsum/rank4_principles", |b| {
+        b.iter(|| spec.principle_candidates(&model, black_box(1_000)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_principles, bench_searchers, bench_pipeline, bench_generalizations
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the cycle-level fabric simulator: throughput of
+//! the systolic dataflows and of the fused mappings.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fusecu::sim::{fusion, CuArray, Matrix};
+use fusecu_arch::Stationary;
+
+fn bench_single_tile(c: &mut Criterion) {
+    let n = 16;
+    let a = Matrix::pseudo_random(n, n, 1);
+    let b = Matrix::pseudo_random(n, n, 2);
+    let mut cu = CuArray::new(n, Stationary::Ws);
+    c.bench_function("sim/ws_16x16_tile", |bch| {
+        bch.iter(|| cu.run_ws(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("sim/os_16x16_tile", |bch| {
+        bch.iter(|| cu.run_os(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("sim/is_16x16_tile", |bch| {
+        bch.iter(|| cu.run_is(black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_fused(c: &mut Criterion) {
+    let n = 16;
+    let a = Matrix::pseudo_random(n, n, 3);
+    let b = Matrix::pseudo_random(n, n, 4);
+    let d = Matrix::pseudo_random(n, n, 5);
+    c.bench_function("sim/tile_fusion_16", |bch| {
+        bch.iter(|| fusion::tile_fusion(n, black_box(&a), black_box(&b), black_box(&d)))
+    });
+    c.bench_function("sim/column_fusion_16", |bch| {
+        bch.iter(|| fusion::column_fusion(n, black_box(&a), black_box(&b), black_box(&d)))
+    });
+}
+
+fn bench_tiled_driver(c: &mut Criterion) {
+    let a = Matrix::pseudo_random(48, 32, 6);
+    let b = Matrix::pseudo_random(32, 40, 7);
+    c.bench_function("sim/tiled_matmul_48x32x40_on_8x8", |bch| {
+        bch.iter(|| {
+            fusecu::sim::driver::execute_on_cu(
+                black_box(&a),
+                black_box(&b),
+                Stationary::Ws,
+                8,
+            )
+        })
+    });
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    use fusecu::sim::{fabric, FabricShape, FuseCuFabric};
+    let n = 8;
+    let a = Matrix::pseudo_random(12, 8, 8);
+    let b = Matrix::pseudo_random(8, 24, 9);
+    c.bench_function("sim/fabric_wide_ws_8x32", |bch| {
+        bch.iter(|| {
+            let mut f = FuseCuFabric::new(n, FabricShape::Wide, Stationary::Ws);
+            f.run_ws(black_box(&a), black_box(&b))
+        })
+    });
+    let fa = Matrix::pseudo_random(14, 6, 10);
+    let fb = Matrix::pseudo_random(6, 14, 11);
+    let fd = Matrix::pseudo_random(14, 9, 12);
+    c.bench_function("sim/fabric_tile_fusion_square_8", |bch| {
+        bch.iter(|| {
+            fabric::fabric_tile_fusion(n, FabricShape::Square, black_box(&fa), black_box(&fb), black_box(&fd))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_single_tile, bench_fused, bench_tiled_driver, bench_fabric
+);
+criterion_main!(benches);

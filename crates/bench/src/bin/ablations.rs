@@ -1,0 +1,114 @@
+//! Ablation studies for the calibration decisions recorded in DESIGN.md
+//! §5.1: buffer-size sensitivity, effective-bandwidth sensitivity, and the
+//! partial-sum accounting policy. These quantify how robust the Fig 10
+//! headline (FuseCU's saving and speedup over TPUv4i) is to each knob.
+//!
+//! Run with `cargo run --release -p fusecu-bench --bin ablations`.
+
+use fusecu::pipeline::{compare_platforms_at, suite_means, PlatformRow};
+use fusecu::prelude::*;
+use fusecu_arch::evaluate_graph;
+use fusecu_bench::{header, pct};
+
+fn headline(spec: &ArraySpec) -> (f64, f64) {
+    let rows: Vec<PlatformRow> = zoo::all()
+        .iter()
+        .map(|cfg| compare_platforms_at(cfg, spec))
+        .collect();
+    let means = suite_means(&rows);
+    let ma = |p: Platform| means.iter().find(|(q, ..)| *q == p).unwrap().1;
+    let spd = |p: Platform| means.iter().find(|(q, ..)| *q == p).unwrap().3;
+    (
+        1.0 - ma(Platform::FuseCu) / ma(Platform::Tpuv4i),
+        spd(Platform::FuseCu) / spd(Platform::Tpuv4i),
+    )
+}
+
+fn buffer_sweep() {
+    header("Ablation 1: buffer size vs the Fig 10 headline (BW = 448 elem/cy)");
+    println!(
+        "{:>12} {:>22} {:>22}",
+        "buffer", "FuseCU MA saving", "FuseCU speedup vs TPU"
+    );
+    for kib in [64u64, 128, 256, 512, 1024, 4096, 16_384] {
+        let spec = ArraySpec::tpuv4i_with_buffer(kib * 1024);
+        let (saving, speedup) = headline(&spec);
+        println!("{:>9} KiB {:>22} {:>21.2}x", kib, pct(saving), speedup);
+    }
+    println!("(paper point: 63.6% saving, 1.33x; reproduction default 512 KiB)");
+}
+
+fn bandwidth_sweep() {
+    header("Ablation 2: effective DRAM bandwidth vs the headline (buffer = 512 KiB)");
+    println!(
+        "{:>14} {:>22} {:>22}",
+        "elems/cycle", "FuseCU MA saving", "FuseCU speedup vs TPU"
+    );
+    for bw in [256u64, 384, 448, 512, 768, 1024] {
+        let mut spec = ArraySpec::paper_default();
+        spec.bw_elems_per_cycle = bw;
+        let (saving, speedup) = headline(&spec);
+        println!("{:>14} {:>22} {:>21.2}x", bw, pct(saving), speedup);
+    }
+    println!("(the speedup spread is the primary effect; MA moves only where the");
+    println!(" cycle-first objective changes a tile choice)");
+}
+
+fn policy_ablation() {
+    header("Ablation 3: partial-sum accounting policy (per-model normalized MA)");
+    let spec = ArraySpec::paper_default();
+    println!(
+        "{:<12} {:>24} {:>24}",
+        "model", "per-visit (paper eqs)", "read-write (physical)"
+    );
+    for cfg in zoo::all() {
+        let g = cfg.build_graph();
+        let nm = |model: &CostModel| {
+            let tpu = evaluate_graph(&spec, Platform::Tpuv4i, model, &g).total_ma() as f64;
+            let fuse = evaluate_graph(&spec, Platform::FuseCu, model, &g).total_ma() as f64;
+            fuse / tpu
+        };
+        println!(
+            "{:<12} {:>24.3} {:>24.3}",
+            cfg.name,
+            nm(&CostModel::paper()),
+            nm(&CostModel::read_write())
+        );
+    }
+    println!("(the evaluation default charges spilled partials read+write)");
+}
+
+fn fused_mapping_ablation() {
+    header("Ablation 4: forced fused mapping (attention pair, 192 heads)");
+    let spec = ArraySpec::paper_default();
+    let pair = FusedPair::try_new(MatMul::new(1024, 64, 1024), MatMul::new(1024, 1024, 64))
+        .expect("attention shapes");
+    let fused = fusecu::fusion::optimize_pair(&CostModel::read_write(), pair, spec.buffer_elems)
+        .expect("fits");
+    println!(
+        "{:>22} {:>14} {:>14}",
+        "mapping x CU group", "cycles/head", "note"
+    );
+    for cus in [1u64, 2, 4] {
+        let c = fusecu::arch::fused::tile_fusion_cycles(&spec, &fused, cus);
+        println!("{:>17} x{cus}CU {:>14} {:>14}", "tile", c, "");
+    }
+    for half in [1u64, 2] {
+        let c = fusecu::arch::fused::column_fusion_cycles(&spec, &fused, half);
+        println!("{:>15} x{half}+{half}CU {:>14} {:>14}", "column", c, "");
+    }
+    let best = fusecu::arch::fused::FusedPerf::score(&spec, fused, 192);
+    println!(
+        "chosen: {} on {} pipeline(s), {} compute cycles for all heads",
+        best.mapping(),
+        best.pipelines(),
+        best.compute_cycles()
+    );
+}
+
+fn main() {
+    buffer_sweep();
+    bandwidth_sweep();
+    policy_ablation();
+    fused_mapping_ablation();
+}

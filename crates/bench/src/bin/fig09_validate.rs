@@ -1,0 +1,111 @@
+//! Fig 9: validating the optimality of the four principles.
+//!
+//! Sweeps buffer sizes from 32 KiB to 32 MiB on representative transformer
+//! matmuls and compares the principle-optimized memory access ("the line")
+//! against the searching-based baseline ("the points"): an exhaustive
+//! oracle and a DAT-style genetic searcher. Also reports the search effort
+//! each approach spends, substantiating the one-shot claim of §I.
+//!
+//! Run with `cargo run --release -p fusecu-bench --bin fig09_validate`.
+
+use std::time::Instant;
+
+use fusecu::pipeline::{fig9_buffer_sizes, validate_buffer_sweep};
+use fusecu::prelude::*;
+use fusecu_bench::{header, write_csv};
+
+fn sweep(name: &str, mm: MatMul) {
+    header(&format!(
+        "Fig 9 [{name}]: normalized memory access vs buffer size ({mm})"
+    ));
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>10} {:>12} {:>8}",
+        "buffer", "principles", "exhaustive", "genetic(DAT)", "optimal?", "search evals", "GA gap"
+    );
+    let ideal = mm.ideal_ma() as f64;
+    let points = validate_buffer_sweep(mm, &fig9_buffer_sizes());
+    for p in &points {
+        println!(
+            "{:>9} KiB {:>12.4} {:>12.4} {:>12.4} {:>10} {:>12} {:>7.2}%",
+            p.buffer / 1024,
+            p.principle_ma as f64 / ideal,
+            p.exhaustive.0 as f64 / ideal,
+            p.genetic.0 as f64 / ideal,
+            if p.principles_optimal() { "yes" } else { "NO" },
+            p.exhaustive.1 + p.genetic.1,
+            100.0 * (p.genetic.0 as f64 / p.exhaustive.0 as f64 - 1.0),
+        );
+    }
+    let misses = points.iter().filter(|p| !p.principles_optimal()).count();
+    println!("principle-vs-search mismatches: {misses} (paper: none; DAT occasionally worse)");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.buffer.to_string(),
+                p.principle_ma.to_string(),
+                p.exhaustive.0.to_string(),
+                p.genetic.0.to_string(),
+            ]
+        })
+        .collect();
+    let slug: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    if let Ok(path) = write_csv(
+        &format!("fig09_{slug}"),
+        &["buffer_elems", "principle_ma", "exhaustive_ma", "genetic_ma"],
+        &rows,
+    ) {
+        println!("data written to {}", path.display());
+    }
+}
+
+fn timing(mm: MatMul) {
+    header("Optimization time: one-shot principles vs searching-based DSE");
+    let model = CostModel::paper();
+    let bs = 512 * 1024;
+
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    const REPS: u32 = 1_000;
+    for _ in 0..REPS {
+        acc = acc.wrapping_add(
+            fusecu::dataflow::principles::optimize_with(&model, mm, bs).total_ma(),
+        );
+    }
+    let principle_time = t0.elapsed() / REPS;
+
+    let t0 = Instant::now();
+    let ex = ExhaustiveSearch::new(model).optimize(mm, bs);
+    let exhaustive_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    let ga = GeneticSearch::new(model).optimize(mm, bs).expect("feasible");
+    let genetic_time = t0.elapsed();
+
+    println!("principles : {principle_time:>12?} per optimization (result {acc:x<0.0?})");
+    println!(
+        "exhaustive : {exhaustive_time:>12?} ({} evaluations)",
+        ex.evaluations()
+    );
+    println!(
+        "genetic    : {genetic_time:>12?} ({} evaluations)",
+        ga.evaluations()
+    );
+    println!(
+        "speedup    : {:.0}x vs exhaustive, {:.0}x vs genetic",
+        exhaustive_time.as_secs_f64() / principle_time.as_secs_f64(),
+        genetic_time.as_secs_f64() / principle_time.as_secs_f64()
+    );
+}
+
+fn main() {
+    // Representative matmuls drawn from the evaluated models: a BERT
+    // projection, a per-head attention score matmul, and an XLM FFN slab.
+    sweep("BERT projection", MatMul::new(1024, 768, 768));
+    sweep("attention QK^T", MatMul::new(1024, 64, 1024));
+    sweep("XLM FFN", MatMul::new(16384, 2048, 8192));
+    timing(MatMul::new(1024, 768, 768));
+}

@@ -1,0 +1,47 @@
+//! Fig 12: FuseCU area breakdown and overheads at 28 nm.
+//!
+//! Run with `cargo run --release -p fusecu-bench --bin fig12_area`.
+
+use fusecu_bench::{header, write_csv};
+use fusecu_rtl::{designs, fig12_breakdown};
+
+fn main() {
+    header("Fig 12: FuseCU area breakdown (128x128x4, 28 nm)");
+    let b = fig12_breakdown(128, 4);
+    println!("{b}");
+
+    header("Flattened cell census (baseline vs FuseCU)");
+    let base = designs::tpu_like(128, 4);
+    let fuse = designs::fusecu(128, 4);
+    let base_census = base.cell_census();
+    let fuse_census = fuse.cell_census();
+    println!("{:<16} {:>16} {:>16}", "cell", "TPUv4i-like", "FuseCU");
+    for (cell, count) in &fuse_census {
+        println!(
+            "{:<16} {:>16} {:>16}",
+            cell,
+            base_census.get(cell).copied().unwrap_or(0),
+            count
+        );
+    }
+    println!();
+    println!(
+        "arithmetic unchanged: multipliers {} == {}, adders {} == {}",
+        base_census["mult8"], fuse_census["mult8"], base_census["add32"], fuse_census["add32"]
+    );
+    println!(
+        "total area: {:.2} mm2 -> {:.2} mm2 (+{:.1}%)",
+        base.area_um2() / 1e6,
+        fuse.area_um2() / 1e6,
+        100.0 * b.overhead_ratio()
+    );
+    let rows = vec![
+        vec!["base_logic".to_string(), format!("{:.0}", b.base_um2)],
+        vec!["xs_pe_logic".to_string(), format!("{:.0}", b.xs_pe_logic_um2)],
+        vec!["resize_interconnect".to_string(), format!("{:.0}", b.interconnect_um2)],
+        vec!["fusion_control".to_string(), format!("{:.0}", b.control_um2)],
+    ];
+    if let Ok(path) = write_csv("fig12_area", &["component", "area_um2"], &rows) {
+        println!("data written to {}", path.display());
+    }
+}

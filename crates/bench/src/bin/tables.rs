@@ -1,0 +1,69 @@
+//! Regenerates Tables I–III of the paper.
+//!
+//! Run with `cargo run -p fusecu-bench --bin tables`.
+
+use fusecu::prelude::*;
+use fusecu_bench::header;
+
+fn table_i() {
+    header("Table I: summary of the SOTA dataflow optimizers");
+    println!(
+        "{:<28} {:<18} {:<18} {:<14}",
+        "feature", "DAT-class (search)", "this work", "fusion medium"
+    );
+    println!(
+        "{:<28} {:<18} {:<18} {:<14}",
+        "full tiling+scheduling space", "yes", "yes", "-"
+    );
+    println!(
+        "{:<28} {:<18} {:<18} {:<14}",
+        "tiling+scheduling scheme", "searching-based", "principle-based", "-"
+    );
+    println!(
+        "{:<28} {:<18} {:<18} {:<14}",
+        "mapping scheme", "fixed patterns", "principle-based", "-"
+    );
+    println!(
+        "{:<28} {:<18} {:<18} {:<14}",
+        "fusion medium", "memory", "compute unit", "-"
+    );
+}
+
+fn table_ii() {
+    header("Table II: transformer model parameters (batch 16)");
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>12}",
+        "model", "heads", "seq length", "hidden", "ffn hidden"
+    );
+    for cfg in zoo::all() {
+        println!(
+            "{:<12} {:>8} {:>12} {:>12} {:>12}",
+            cfg.name, cfg.heads, cfg.seq_len, cfg.hidden, cfg.ffn_hidden
+        );
+    }
+    println!("(LLaMA2 additionally swept over sequence lengths 256 - 16K in Fig 11)");
+}
+
+fn table_iii() {
+    header("Table III: spatial architecture attributes");
+    println!(
+        "{:<10} {:>18} {:>14} {:>14}",
+        "platform", "stationary flex.", "tiling flex.", "tensor fusion"
+    );
+    for p in Platform::ALL {
+        let (name, stat, tiling, fusion) = p.table_iii_row();
+        println!(
+            "{:<10} {:>18} {:>14} {:>14}",
+            name,
+            stat,
+            tiling,
+            if fusion { "yes" } else { "no" }
+        );
+    }
+}
+
+fn main() {
+    table_i();
+    table_ii();
+    table_iii();
+}

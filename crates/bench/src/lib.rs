@@ -1,0 +1,65 @@
+//! Shared helpers for the figure/table regeneration binaries: console
+//! formatting and CSV emission (one data file per figure, ready for any
+//! plotting tool).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Writes a CSV data file under `target/figures/`, creating the directory
+/// as needed, and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or writing.
+pub fn write_csv(
+    name: &str,
+    columns: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("target/figures");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{}", columns.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let path = write_csv(
+            "unit_test_fixture",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .expect("writable target dir");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.636), "63.6%");
+    }
+}

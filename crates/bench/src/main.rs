@@ -1,0 +1,28 @@
+//! Runs every table/figure regeneration in sequence.
+//!
+//! `cargo run --release -p fusecu-bench` — or run the individual binaries
+//! `tables`, `fig09_validate`, `fig10_comparison`, `fig11_seqlen`,
+//! `fig12_area`.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "tables",
+        "fig09_validate",
+        "fig10_comparison",
+        "fig11_seqlen",
+        "fig12_area",
+        "ablations",
+        "extensions",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin directory");
+    for bin in bins {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+}

@@ -1,0 +1,106 @@
+//! `fusecu-opt` — the one-shot dataflow optimizer as a command-line tool.
+//!
+//! ```text
+//! fusecu-opt M K L BUFFER_ELEMS [N] [regs=R]
+//! ```
+//!
+//! Prints the regime, the principle-optimal dataflow (with its Fig 2-style
+//! loop nest), and — when a fourth dimension `N` is given — the Principle 4
+//! fusion decision for the pair `E[M,N] = (A[M,K] × B[K,L]) × D[L,N]`.
+//! With `regs=R` (e.g. `regs=16384` for a 128×128 PE register file) the
+//! two-level plan of §IV-B is printed as well.
+
+use std::process::ExitCode;
+
+use fusecu::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: fusecu-opt M K L BUFFER_ELEMS [N] [regs=R]");
+    eprintln!("  e.g. fusecu-opt 1024 768 768 524288");
+    eprintln!("       fusecu-opt 1024 64 1024 524288 64   (fused pair)");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let regs: Option<u64> = raw
+        .iter()
+        .find_map(|a| a.strip_prefix("regs=").and_then(|v| v.parse().ok()));
+    let args: Vec<u64> = raw
+        .iter()
+        .filter(|a| !a.starts_with("regs="))
+        .map(|a| a.parse::<u64>())
+        .collect::<Result<_, _>>()
+        .unwrap_or_default();
+    if args.len() < 4 || args.len() > 5 || args[..4].contains(&0) {
+        return usage();
+    }
+    let (m, k, l, bs) = (args[0], args[1], args[2], args[3]);
+    let mm = MatMul::new(m, k, l);
+    println!("operator : {mm}");
+    println!(
+        "buffer   : {bs} elements -> {} regime (Dmin^2/4 = {}, Dmin^2/2 = {}, Tensor_min = {})",
+        BufferRegime::classify(mm, bs),
+        mm.min_dim() * mm.min_dim() / 4,
+        mm.min_dim() * mm.min_dim() / 2,
+        mm.min_tensor_elems()
+    );
+    let Some(best) = fusecu::dataflow::principles::try_optimize_with(&CostModel::paper(), mm, bs)
+    else {
+        eprintln!("buffer of {bs} elements cannot hold even a unit tiling (need >= 3)");
+        return ExitCode::FAILURE;
+    };
+    println!("dataflow : {best}");
+    println!(
+        "lower bound check: MA = {} (ideal {}, x{:.4})",
+        best.total_ma(),
+        mm.ideal_ma(),
+        best.total_ma() as f64 / mm.ideal_ma() as f64
+    );
+    println!();
+    print!("{}", best.render());
+
+    if let Some(rs) = regs {
+        match fusecu::dataflow::optimize_two_level(&CostModel::paper(), mm, bs, rs) {
+            Some(two) => {
+                println!();
+                println!("two-level (registers = {rs} elements): {two}");
+                println!(
+                    "  DRAM<->buffer {} elems, buffer<->PEs {} elems",
+                    two.dram_ma().total(),
+                    two.buffer_ma().total()
+                );
+            }
+            None => println!("\nregisters of {rs} elements cannot hold a unit tiling"),
+        }
+    }
+
+    if let Some(&n) = args.get(4) {
+        if n == 0 {
+            return usage();
+        }
+        let pair = FusedPair::try_new(mm, MatMul::new(m, l, n)).expect("shapes chain");
+        let d = fusecu::decide(&CostModel::paper(), pair, bs);
+        println!();
+        println!("fusion   : {pair}");
+        println!(
+            "classes  : {:?} / {:?} (same NRA: {})",
+            d.producer_class(),
+            d.consumer_class(),
+            d.same_nra()
+        );
+        match d.fused() {
+            Some(f) if d.profitable() => {
+                println!("decision : FUSE — saves {} elements ({} vs {} unfused)",
+                    d.saved_ma(), f.total_ma(), d.unfused_ma());
+                println!("fused    : {f}");
+            }
+            Some(f) => {
+                println!("decision : do not fuse — fused {} >= unfused {}",
+                    f.total_ma(), d.unfused_ma());
+            }
+            None => println!("decision : no fused dataflow fits the buffer"),
+        }
+    }
+    ExitCode::SUCCESS
+}

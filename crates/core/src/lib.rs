@@ -1,0 +1,51 @@
+//! # fusecu — principle-based dataflow optimization and the FuseCU
+//! operator-fused tensor accelerator
+//!
+//! A from-scratch reproduction of *"Principle-based Dataflow Optimization
+//! for Communication Lower Bound in Operator-Fused Tensor Accelerator"*
+//! (DAC 2025). This facade crate re-exports the full stack and provides the
+//! end-to-end [`pipeline`] the examples and benchmark harness drive:
+//!
+//! * [`fusecu_ir`] — matmul/chain/graph IR;
+//! * [`fusecu_dataflow`] — the loop-nest memory-access model and the
+//!   closed-form Principles 1–3 optimizer;
+//! * [`fusecu_fusion`] — fused dataflows and Principle 4;
+//! * [`fusecu_search`] — the DAT-class exhaustive/genetic baseline;
+//! * [`fusecu_models`] — the Table II transformer zoo;
+//! * [`fusecu_arch`] — TPUv4i/Gemmini/Planaria/UnfCU/FuseCU platform and
+//!   cycle models;
+//! * [`fusecu_sim`] — the cycle-level XS-PE fabric simulator;
+//! * [`fusecu_rtl`] — structural netlists and the 28 nm area model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fusecu::prelude::*;
+//!
+//! // One-shot optimal dataflow for a BERT matmul in a 512 KiB buffer.
+//! let mm = MatMul::new(1024, 768, 768);
+//! let best = fusecu::optimize(mm, 512 * 1024);
+//! assert_eq!(best.class(), Some(NraClass::Two));
+//!
+//! // Full platform comparison on a transformer layer.
+//! let row = fusecu::pipeline::compare_platforms(&zoo::blenderbot());
+//! assert!(row.normalized_ma(Platform::FuseCu) < 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod prelude;
+
+pub use fusecu_arch as arch;
+pub use fusecu_dataflow as dataflow;
+pub use fusecu_fusion as fusion;
+pub use fusecu_ir as ir;
+pub use fusecu_models as models;
+pub use fusecu_rtl as rtl;
+pub use fusecu_search as search;
+pub use fusecu_sim as sim;
+
+pub use fusecu_dataflow::principles::optimize;
+pub use fusecu_fusion::decide;

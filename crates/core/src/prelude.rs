@@ -1,0 +1,19 @@
+//! Convenient glob import for examples and downstream users.
+//!
+//! ```
+//! use fusecu::prelude::*;
+//!
+//! let df = fusecu::optimize(MatMul::new(256, 256, 256), 8_192);
+//! assert!(df.total_ma() >= MatMul::new(256, 256, 256).ideal_ma());
+//! ```
+
+pub use fusecu_arch::{evaluate_graph, ArraySpec, EnergyModel, Platform, Stationary, TilingFlex};
+pub use fusecu_dataflow::{
+    BufferRegime, CostModel, Dataflow, LoopNest, MemoryAccess, NraClass, PartialSumPolicy, Tiling,
+};
+pub use fusecu_fusion::{FusedDataflow, FusedPair, FusionDecision};
+pub use fusecu_ir::{Conv2d, MatMul, MmChain, MmDim, OpGraph, Operand};
+pub use fusecu_models::{zoo, TransformerConfig};
+pub use fusecu_search::{ExhaustiveSearch, FusedExhaustive, FusedGenetic, GeneticSearch};
+
+pub use crate::pipeline::{compare_platforms, compare_platforms_decode, sequence_sweep, validate_buffer_sweep};

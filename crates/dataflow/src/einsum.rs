@@ -1,0 +1,559 @@
+//! General tensor operators: the principles beyond matmul.
+//!
+//! §III-B closes with: "Principle 1–4 can be extended to other tensor
+//! operators, as all tensor operators can be represented as for-loops,
+//! varying only on the number of loop levels while sharing consistent
+//! derivation." This module makes that concrete: an [`EinsumSpec`] is an
+//! arbitrary loop nest over named dimensions with tensors projecting onto
+//! dimension subsets, scored by the *same* trailing-window reuse analysis
+//! ([`crate::reuse`]) as the matmul model — which falls out as the 3-dim
+//! special case, byte-for-byte (tested).
+//!
+//! Covered out of the box: batched matmul (weights reused across the batch
+//! loop), attention-score einsums, MTTKRP, and any other multilinear
+//! contraction. Optimization is offered at two levels:
+//!
+//! * [`EinsumSpec::optimize_exhaustive`] — lossless enumeration over
+//!   balanced tile representatives × loop orders (practical to rank ~4–5);
+//! * [`EinsumSpec::principle_candidates`] — the generalized Principle 1
+//!   family: one tensor stationary (its dimensions' tiles maximized
+//!   greedily, the rest at 1), evaluated for every tensor choice.
+
+use std::fmt;
+
+use crate::loopnest::PartialSumPolicy;
+use crate::reuse::reload_multiplier;
+use crate::tiling::balanced_tiles;
+use crate::CostModel;
+
+/// One tensor of an einsum: a name plus the subset of loop dimensions its
+/// layout projects onto.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EinsumTensor {
+    name: String,
+    dims: Vec<usize>,
+    is_output: bool,
+}
+
+impl EinsumTensor {
+    /// The tensor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Indices (into the spec's dimension list) this tensor spans.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Whether this is the (single) output tensor.
+    pub fn is_output(&self) -> bool {
+        self.is_output
+    }
+}
+
+/// A general multilinear tensor operator as a loop nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EinsumSpec {
+    dim_names: Vec<String>,
+    dim_sizes: Vec<u64>,
+    tensors: Vec<EinsumTensor>,
+}
+
+impl EinsumSpec {
+    /// Starts a spec from named dimension sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or zero-sized dimension list.
+    pub fn new(dims: &[(&str, u64)]) -> EinsumSpec {
+        assert!(!dims.is_empty(), "an einsum needs at least one dimension");
+        assert!(
+            dims.iter().all(|(_, s)| *s > 0),
+            "dimension sizes must be non-zero"
+        );
+        EinsumSpec {
+            dim_names: dims.iter().map(|(n, _)| n.to_string()).collect(),
+            dim_sizes: dims.iter().map(|(_, s)| *s).collect(),
+            tensors: Vec::new(),
+        }
+    }
+
+    /// Adds an input tensor over the named dimensions; returns `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown dimension name.
+    pub fn input(self, name: &str, dims: &[&str]) -> EinsumSpec {
+        self.tensor(name, dims, false)
+    }
+
+    /// Adds the output tensor; returns `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown dimension name or a second output.
+    pub fn output(self, name: &str, dims: &[&str]) -> EinsumSpec {
+        assert!(
+            !self.tensors.iter().any(EinsumTensor::is_output),
+            "an einsum has exactly one output"
+        );
+        self.tensor(name, dims, true)
+    }
+
+    fn tensor(mut self, name: &str, dims: &[&str], is_output: bool) -> EinsumSpec {
+        let idx: Vec<usize> = dims
+            .iter()
+            .map(|d| {
+                self.dim_names
+                    .iter()
+                    .position(|n| n == d)
+                    .unwrap_or_else(|| panic!("unknown dimension '{d}'"))
+            })
+            .collect();
+        self.tensors.push(EinsumTensor {
+            name: name.to_string(),
+            dims: idx,
+            is_output,
+        });
+        self
+    }
+
+    /// The canonical matmul `C[M,L] = A[M,K] × B[K,L]` as an einsum.
+    pub fn matmul(m: u64, k: u64, l: u64) -> EinsumSpec {
+        EinsumSpec::new(&[("m", m), ("k", k), ("l", l)])
+            .input("A", &["m", "k"])
+            .input("B", &["k", "l"])
+            .output("C", &["m", "l"])
+    }
+
+    /// Batched matmul `C[B,M,L] = A[B,M,K] × W[K,L]` with the weight shared
+    /// across the batch — the reuse pattern behind weight-stationary
+    /// batching.
+    pub fn batched_matmul(b: u64, m: u64, k: u64, l: u64) -> EinsumSpec {
+        EinsumSpec::new(&[("b", b), ("m", m), ("k", k), ("l", l)])
+            .input("A", &["b", "m", "k"])
+            .input("W", &["k", "l"])
+            .output("C", &["b", "m", "l"])
+    }
+
+    /// MTTKRP `M[i,r] = Σ_{j,k} T[i,j,k] · B[j,r] · C[k,r]`, the sparse/
+    /// dense tensor-decomposition kernel.
+    pub fn mttkrp(i: u64, j: u64, k: u64, r: u64) -> EinsumSpec {
+        EinsumSpec::new(&[("i", i), ("j", j), ("k", k), ("r", r)])
+            .input("T", &["i", "j", "k"])
+            .input("B", &["j", "r"])
+            .input("C", &["k", "r"])
+            .output("M", &["i", "r"])
+    }
+
+    /// Number of loop dimensions.
+    pub fn rank(&self) -> usize {
+        self.dim_sizes.len()
+    }
+
+    /// Dimension size by index.
+    pub fn dim_size(&self, idx: usize) -> u64 {
+        self.dim_sizes[idx]
+    }
+
+    /// The tensors.
+    pub fn tensors(&self) -> &[EinsumTensor] {
+        &self.tensors
+    }
+
+    /// Footprint of one tensor in elements.
+    pub fn tensor_elems(&self, t: &EinsumTensor) -> u64 {
+        t.dims.iter().map(|d| self.dim_sizes[*d]).product()
+    }
+
+    /// Sum of all tensor footprints: the infinite-buffer lower bound.
+    pub fn ideal_ma(&self) -> u64 {
+        self.tensors.iter().map(|t| self.tensor_elems(t)).sum()
+    }
+
+    /// Validates that the spec has at least one input and exactly one
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics otherwise.
+    pub fn validate(&self) {
+        assert!(
+            self.tensors.iter().filter(|t| t.is_output).count() == 1,
+            "an einsum needs exactly one output tensor"
+        );
+        assert!(
+            self.tensors.iter().any(|t| !t.is_output),
+            "an einsum needs at least one input tensor"
+        );
+    }
+
+    /// Memory access of one tensor under a nest.
+    pub fn tensor_ma(&self, model: &CostModel, nest: &EinsumNest, t: &EinsumTensor) -> u64 {
+        let mult = nest.reload_multiplier(self, t);
+        let footprint = self.tensor_elems(t);
+        match (t.is_output, model.partial_sums) {
+            (true, PartialSumPolicy::ReadWrite) => footprint * (2 * mult - 1),
+            _ => footprint * mult,
+        }
+    }
+
+    /// Total memory access under a nest.
+    pub fn total_ma(&self, model: &CostModel, nest: &EinsumNest) -> u64 {
+        self.tensors
+            .iter()
+            .map(|t| self.tensor_ma(model, nest, t))
+            .sum()
+    }
+
+    /// Buffer footprint of a nest: one live tile per tensor.
+    pub fn buffer_elems(&self, nest: &EinsumNest) -> u64 {
+        self.tensors
+            .iter()
+            .map(|t| {
+                t.dims
+                    .iter()
+                    .map(|d| nest.tiles[*d].min(self.dim_sizes[*d]))
+                    .product::<u64>()
+            })
+            .sum()
+    }
+
+    /// Lossless exhaustive optimization over balanced tile representatives
+    /// and all loop orders. Exponential in rank; intended for rank ≤ ~5.
+    ///
+    /// Returns `None` when no tiling fits.
+    pub fn optimize_exhaustive(&self, model: &CostModel, bs: u64) -> Option<(EinsumNest, u64)> {
+        self.validate();
+        let reps: Vec<Vec<u64>> = self.dim_sizes.iter().map(|d| balanced_tiles(*d)).collect();
+        let orders = permutations(self.rank());
+        let mut best: Option<(EinsumNest, u64)> = None;
+        let mut tiles = vec![1u64; self.rank()];
+        self.scan(&reps, 0, &mut tiles, bs, model, &orders, &mut best);
+        best
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scan(
+        &self,
+        reps: &[Vec<u64>],
+        dim: usize,
+        tiles: &mut Vec<u64>,
+        bs: u64,
+        model: &CostModel,
+        orders: &[Vec<usize>],
+        best: &mut Option<(EinsumNest, u64)>,
+    ) {
+        if dim == self.rank() {
+            let probe = EinsumNest {
+                order: (0..self.rank()).collect(),
+                tiles: tiles.clone(),
+            };
+            if self.buffer_elems(&probe) > bs {
+                return;
+            }
+            for order in orders {
+                let nest = EinsumNest {
+                    order: order.clone(),
+                    tiles: tiles.clone(),
+                };
+                let ma = self.total_ma(model, &nest);
+                if best.as_ref().is_none_or(|(_, b)| ma < *b) {
+                    *best = Some((nest, ma));
+                }
+            }
+            return;
+        }
+        for &t in &reps[dim] {
+            tiles[dim] = t;
+            // Prune: footprint is monotone in every tile.
+            let probe = EinsumNest {
+                order: (0..self.rank()).collect(),
+                tiles: tiles.clone(),
+            };
+            if self.buffer_elems(&probe) > bs && t > reps[dim][0] {
+                break;
+            }
+            self.scan(reps, dim + 1, tiles, bs, model, orders, best);
+        }
+        tiles[dim] = 1;
+    }
+
+    /// The generalized Principle 1 family: for each tensor `S`, hold `S`
+    /// stationary (its dimensions' tiles grown greedily under the buffer
+    /// bound, largest dimension first; every other dimension at 1) with
+    /// `S`'s absent dimensions innermost. One candidate per tensor —
+    /// one-shot, no search.
+    pub fn principle_candidates(&self, model: &CostModel, bs: u64) -> Vec<(EinsumNest, u64)> {
+        self.validate();
+        let mut out = Vec::new();
+        for s in &self.tensors {
+            let mut tiles = vec![1u64; self.rank()];
+            // Greedy equalized growth over S's dims: repeatedly double the
+            // currently-smallest stationary tile while it fits.
+            let mut grew = true;
+            while grew {
+                grew = false;
+                let mut order: Vec<usize> = s.dims.to_vec();
+                order.sort_by_key(|d| tiles[*d]);
+                for &d in &order {
+                    let next = (tiles[d] * 2).min(self.dim_sizes[d]);
+                    if next == tiles[d] {
+                        continue;
+                    }
+                    let old = tiles[d];
+                    tiles[d] = next;
+                    let probe = EinsumNest {
+                        order: (0..self.rank()).collect(),
+                        tiles: tiles.clone(),
+                    };
+                    if self.buffer_elems(&probe) <= bs {
+                        grew = true;
+                        break;
+                    }
+                    tiles[d] = old;
+                }
+            }
+            // Loop order: S's dims outermost, absent dims innermost.
+            let mut order: Vec<usize> = s.dims.to_vec();
+            for d in 0..self.rank() {
+                if !s.dims.contains(&d) {
+                    order.push(d);
+                }
+            }
+            let nest = EinsumNest { order, tiles };
+            if self.buffer_elems(&nest) <= bs {
+                let ma = self.total_ma(model, &nest);
+                out.push((nest, ma));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for EinsumSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let out = self.tensors.iter().find(|t| t.is_output);
+        let fmt_t = |t: &EinsumTensor| {
+            format!(
+                "{}[{}]",
+                t.name,
+                t.dims
+                    .iter()
+                    .map(|d| self.dim_names[*d].as_str())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        };
+        let inputs: Vec<String> = self
+            .tensors
+            .iter()
+            .filter(|t| !t.is_output)
+            .map(fmt_t)
+            .collect();
+        match out {
+            Some(o) => write!(f, "{} = {}", fmt_t(o), inputs.join(" x ")),
+            None => write!(f, "(no output) {}", inputs.join(" x ")),
+        }
+    }
+}
+
+/// A tiled, ordered nest over an einsum's dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EinsumNest {
+    /// Loop order, outermost first (indices into the spec's dims).
+    pub order: Vec<usize>,
+    /// Tile size per dimension (by dimension index, not order position).
+    pub tiles: Vec<u64>,
+}
+
+impl EinsumNest {
+    /// Reload multiplier of a tensor: the same trailing-window analysis as
+    /// the matmul model, over arbitrarily many loops.
+    pub fn reload_multiplier(&self, spec: &EinsumSpec, t: &EinsumTensor) -> u64 {
+        let seq: Vec<(bool, u64)> = self
+            .order
+            .iter()
+            .map(|d| {
+                let size = spec.dim_sizes[*d];
+                let tile = self.tiles[*d].min(size);
+                (t.dims.contains(d), size.div_ceil(tile))
+            })
+            .collect();
+        reload_multiplier(seq)
+    }
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 1 {
+        return vec![vec![0]];
+    }
+    let mut out = Vec::new();
+    for p in permutations(n - 1) {
+        for pos in 0..=p.len() {
+            let mut q: Vec<usize> = p.iter().map(|v| v + 1).collect();
+            q.insert(pos, 0);
+            out.push(q);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopnest::LoopNest;
+    use crate::principles::try_optimize_with;
+    use crate::Tiling;
+    use fusecu_ir::{MatMul, MmDim};
+
+    const MODEL: CostModel = CostModel {
+        partial_sums: PartialSumPolicy::PerVisit,
+    };
+
+    #[test]
+    fn matmul_einsum_matches_the_matmul_model_pointwise() {
+        let mm = MatMul::new(12, 10, 8);
+        let spec = EinsumSpec::matmul(12, 10, 8);
+        for order in LoopNest::orders() {
+            for tiling in [Tiling::new(3, 2, 4), Tiling::new(12, 1, 8), Tiling::new(5, 7, 2)] {
+                let nest3 = LoopNest::new(order, tiling);
+                let expected = MODEL.evaluate(mm, &nest3);
+                let idx = |d: MmDim| match d {
+                    MmDim::M => 0usize,
+                    MmDim::K => 1,
+                    MmDim::L => 2,
+                };
+                let nest = EinsumNest {
+                    order: order.iter().map(|d| idx(*d)).collect(),
+                    tiles: vec![
+                        tiling.tile(MmDim::M),
+                        tiling.tile(MmDim::K),
+                        tiling.tile(MmDim::L),
+                    ],
+                };
+                let per: Vec<u64> = spec
+                    .tensors()
+                    .iter()
+                    .map(|t| spec.tensor_ma(&MODEL, &nest, t))
+                    .collect();
+                assert_eq!(per[0], expected.of(fusecu_ir::Operand::Lhs));
+                assert_eq!(per[1], expected.of(fusecu_ir::Operand::Rhs));
+                assert_eq!(per[2], expected.of(fusecu_ir::Operand::Out));
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_einsum_exhaustive_matches_principles() {
+        // The einsum oracle reproduces the matmul optimum exactly.
+        for (m, k, l) in [(16u64, 12u64, 20u64), (9, 30, 7)] {
+            for bs in [8u64, 64, 300] {
+                let spec = EinsumSpec::matmul(m, k, l);
+                let (_, einsum_ma) = spec.optimize_exhaustive(&MODEL, bs).unwrap();
+                let mm_ma = try_optimize_with(&MODEL, MatMul::new(m, k, l), bs)
+                    .unwrap()
+                    .total_ma();
+                assert_eq!(einsum_ma, mm_ma, "m={m} k={k} l={l} bs={bs}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matmul_shares_weights_across_the_batch() {
+        // With W stationary, the batch loop must not re-stream W.
+        let spec = EinsumSpec::batched_matmul(8, 16, 12, 10);
+        // Order: k, l outer (W dims), then b, m innermost; W untouched by
+        // inner loops -> multiplier 1.
+        let nest = EinsumNest {
+            order: vec![2, 3, 0, 1],
+            tiles: vec![1, 1, 4, 5],
+        };
+        let w = &spec.tensors()[1];
+        assert_eq!(w.name(), "W");
+        assert_eq!(nest.reload_multiplier(&spec, w), 1);
+        // The A tensor, missing l, pays the l loop.
+        let a = &spec.tensors()[0];
+        assert_eq!(nest.reload_multiplier(&spec, a), 10 / 5);
+    }
+
+    #[test]
+    fn batched_matmul_optimum_beats_per_batch_matmuls() {
+        // Jointly scheduling the batch reuses W once; b independent matmuls
+        // stream W b times. The 4-dim oracle must find the joint reuse.
+        let (b, m, k, l) = (6u64, 12u64, 10u64, 8u64);
+        let bs = 200u64;
+        let spec = EinsumSpec::batched_matmul(b, m, k, l);
+        let (_, joint) = spec.optimize_exhaustive(&MODEL, bs).unwrap();
+        let per_batch = try_optimize_with(&MODEL, MatMul::new(m, k, l), bs)
+            .unwrap()
+            .total_ma()
+            * b;
+        assert!(
+            joint < per_batch,
+            "joint {joint} should beat {b} independent matmuls {per_batch}"
+        );
+    }
+
+    #[test]
+    fn principle_candidates_track_the_oracle() {
+        // Generalized Principle 1 is one-shot and lands near the rank-4
+        // oracle (it cannot explore untiled hybrids, so allow slack).
+        let spec = EinsumSpec::batched_matmul(4, 20, 16, 12);
+        for bs in [50u64, 400, 2_000] {
+            let (_, oracle) = spec.optimize_exhaustive(&MODEL, bs).unwrap();
+            let best_candidate = spec
+                .principle_candidates(&MODEL, bs)
+                .into_iter()
+                .map(|(_, ma)| ma)
+                .min()
+                .expect("at least one candidate fits");
+            assert!(best_candidate >= oracle);
+            assert!(
+                best_candidate as f64 <= 2.0 * oracle as f64,
+                "bs={bs}: candidate {best_candidate} vs oracle {oracle}"
+            );
+        }
+    }
+
+    #[test]
+    fn mttkrp_spec_is_well_formed() {
+        let spec = EinsumSpec::mttkrp(30, 20, 10, 8);
+        spec.validate();
+        assert_eq!(spec.rank(), 4);
+        assert_eq!(spec.ideal_ma(), 30 * 20 * 10 + 20 * 8 + 10 * 8 + 30 * 8);
+        let (nest, ma) = spec.optimize_exhaustive(&MODEL, 500).unwrap();
+        assert!(ma >= spec.ideal_ma());
+        assert!(spec.buffer_elems(&nest) <= 500);
+        assert_eq!(spec.to_string(), "M[i,r] = T[i,j,k] x B[j,r] x C[k,r]");
+    }
+
+    #[test]
+    fn permutations_count() {
+        assert_eq!(permutations(1).len(), 1);
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(4).len(), 24);
+        // Every permutation is a valid ordering.
+        for p in permutations(4) {
+            let mut q = p.clone();
+            q.sort_unstable();
+            assert_eq!(q, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one output")]
+    fn two_outputs_rejected() {
+        EinsumSpec::new(&[("i", 4)])
+            .output("x", &["i"])
+            .output("y", &["i"])
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dimension")]
+    fn unknown_dim_rejected() {
+        let _ = EinsumSpec::new(&[("i", 4)]).input("x", &["z"]);
+    }
+}

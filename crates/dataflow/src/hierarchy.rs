@@ -1,0 +1,416 @@
+//! Two-level dataflows: memory ↔ buffer ↔ PE registers.
+//!
+//! §II-A splits dataflow into tiling/scheduling (memory↔buffer) and mapping
+//! (buffer↔PE). §IV-B then re-applies the *same* principles at the register
+//! level: "BS corresponds to the register size now, which is the number of
+//! PEs (N × N)", from which the paper derives that un-tiling is optimal at
+//! the PE level exactly when `D_min < 2N` — the bound that sizes FuseCU's
+//! reconfigurable fabric.
+//!
+//! A [`TwoLevelNest`] nests an inner (register-level) tiled loop nest
+//! inside each iteration of the outer (buffer-level) nest. Both traffic
+//! levels fall out of the same trailing-window reuse analysis:
+//!
+//! * DRAM↔buffer traffic: the outer nest alone (tiles live in the buffer);
+//! * buffer↔PE traffic: the concatenated outer+inner loop sequence (a
+//!   register tile survives exactly the trailing loops whose dimensions
+//!   its tensor does not contain — including outer loops, which is what
+//!   lets an output accumulate in PE registers across buffer-tile swaps).
+//!
+//! Tiles partition dimensions hierarchically. Both measures are exact when
+//! inner tiles divide the outer tiles evenly; with ragged edges the
+//! register-level figure is a tight upper bound (the last outer tile along
+//! a dimension runs fewer inner iterations than the uniform multiplier
+//! assumes), which the tests pin down against a literal simulation.
+
+use std::fmt;
+
+use fusecu_ir::{MatMul, MmDim, Operand};
+
+use crate::loopnest::{CostModel, LoopNest, MemoryAccess, PartialSumPolicy};
+use crate::principles::{try_optimize_with, MIN_BUFFER_ELEMS};
+use crate::reuse::reload_multiplier;
+use crate::tiling::Tiling;
+
+/// A buffer-level nest with a register-level nest inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoLevelNest {
+    /// The memory↔buffer nest (tiling + scheduling).
+    pub outer: LoopNest,
+    /// The buffer↔PE nest (mapping); its tiles subdivide the outer tiles.
+    pub inner: LoopNest,
+}
+
+impl TwoLevelNest {
+    /// Creates a two-level nest, clamping the inner tiling to the outer
+    /// tile extents so the levels always nest.
+    pub fn new(outer: LoopNest, inner: LoopNest, mm: MatMul) -> TwoLevelNest {
+        let clamp = |d: MmDim| {
+            inner
+                .tiling
+                .tile(d)
+                .min(outer.tiling.tile(d))
+                .min(mm.dim(d))
+        };
+        let inner = LoopNest::new(
+            inner.order,
+            Tiling::new(1, 1, 1)
+                .with(MmDim::M, clamp(MmDim::M))
+                .with(MmDim::K, clamp(MmDim::K))
+                .with(MmDim::L, clamp(MmDim::L)),
+        );
+        TwoLevelNest { outer, inner }
+    }
+
+    /// The matmul seen by the inner nest: one (full-size) outer tile.
+    pub fn outer_tile_mm(&self, mm: MatMul) -> MatMul {
+        MatMul::new(
+            self.outer.tiling.tile(MmDim::M).min(mm.m()),
+            self.outer.tiling.tile(MmDim::K).min(mm.k()),
+            self.outer.tiling.tile(MmDim::L).min(mm.l()),
+        )
+    }
+
+    /// Iteration counts of the inner loops within one outer tile.
+    fn inner_iterations(&self, mm: MatMul, dim: MmDim) -> u64 {
+        let tile_extent = self.outer.tiling.tile(dim).min(mm.dim(dim));
+        tile_extent.div_ceil(self.inner.tiling.tile(dim).min(tile_extent))
+    }
+
+    /// Reload multiplier of one operand at the register level: the
+    /// concatenated outer+inner loop sequence.
+    pub fn register_multiplier(&self, mm: MatMul, op: Operand) -> u64 {
+        let outer = self
+            .outer
+            .order
+            .map(|d| (op.contains(d), self.outer.tiling.iterations(mm, d)));
+        let inner = self
+            .inner
+            .order
+            .map(|d| (op.contains(d), self.inner_iterations(mm, d)));
+        reload_multiplier(outer.into_iter().chain(inner))
+    }
+
+    /// DRAM↔buffer traffic (the outer nest alone).
+    pub fn dram_ma(&self, model: &CostModel, mm: MatMul) -> MemoryAccess {
+        model.evaluate(mm, &self.outer)
+    }
+
+    /// Buffer↔PE traffic.
+    pub fn buffer_ma(&self, model: &CostModel, mm: MatMul) -> MemoryAccess {
+        let per = Operand::ALL.map(|op| {
+            let mult = self.register_multiplier(mm, op);
+            let footprint = mm.tensor_elems(op);
+            match (op, model.partial_sums) {
+                (Operand::Out, PartialSumPolicy::ReadWrite) => footprint * (2 * mult - 1),
+                _ => footprint * mult,
+            }
+        });
+        MemoryAccess::new(per[0], per[1], per[2])
+    }
+
+    /// Buffer footprint (outer tiles) in elements.
+    pub fn buffer_footprint(&self, mm: MatMul) -> u64 {
+        self.outer.tiling.buffer_elems(mm)
+    }
+
+    /// Register footprint (inner tiles) in elements.
+    pub fn register_footprint(&self, mm: MatMul) -> u64 {
+        let tile_mm = self.outer_tile_mm(mm);
+        self.inner.tiling.buffer_elems(tile_mm)
+    }
+}
+
+impl fmt::Display for TwoLevelNest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "outer[{}] inner[{}]", self.outer, self.inner)
+    }
+}
+
+/// A fully-scored two-level dataflow.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoLevelDataflow {
+    mm: MatMul,
+    nest: TwoLevelNest,
+    dram: MemoryAccess,
+    buffer: MemoryAccess,
+}
+
+impl TwoLevelDataflow {
+    /// The nest.
+    pub fn nest(&self) -> &TwoLevelNest {
+        &self.nest
+    }
+
+    /// The matmul.
+    pub fn mm(&self) -> MatMul {
+        self.mm
+    }
+
+    /// DRAM↔buffer traffic.
+    pub fn dram_ma(&self) -> MemoryAccess {
+        self.dram
+    }
+
+    /// Buffer↔PE traffic.
+    pub fn buffer_ma(&self) -> MemoryAccess {
+        self.buffer
+    }
+}
+
+impl fmt::Display for TwoLevelDataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | dram {} | buffer {}",
+            self.nest,
+            self.dram.total(),
+            self.buffer.total()
+        )
+    }
+}
+
+/// Principle-based two-level optimization: Principles 1–3 select the outer
+/// nest under the buffer capacity, then select the inner nest — for the
+/// outer-tile matmul — under the register capacity. This is exactly the
+/// paper's §IV-B re-application of the principles with "BS = N²".
+///
+/// Returns `None` when either capacity is below the 3-element minimum.
+pub fn optimize_two_level(
+    model: &CostModel,
+    mm: MatMul,
+    buffer_elems: u64,
+    register_elems: u64,
+) -> Option<TwoLevelDataflow> {
+    if buffer_elems < MIN_BUFFER_ELEMS || register_elems < MIN_BUFFER_ELEMS {
+        return None;
+    }
+    let outer = try_optimize_with(model, mm, buffer_elems)?;
+    let tile_mm = MatMul::new(
+        outer.tiling().tile(MmDim::M).min(mm.m()),
+        outer.tiling().tile(MmDim::K).min(mm.k()),
+        outer.tiling().tile(MmDim::L).min(mm.l()),
+    );
+    let inner = try_optimize_with(model, tile_mm, register_elems)?;
+    let nest = TwoLevelNest::new(*outer.nest(), *inner.nest(), mm);
+    Some(TwoLevelDataflow {
+        mm,
+        nest,
+        dram: nest.dram_ma(model, mm),
+        buffer: nest.buffer_ma(model, mm),
+    })
+}
+
+/// The §IV-B theorem: with PE-register capacity `N²`, a register-level
+/// un-tiling strategy (Two-/Three-NRA) is optimal only when the operator's
+/// smallest dimension is below `2N`. Returns the bound `2N` for a fabric
+/// edge.
+pub fn untiling_bound(pe_dim: u64) -> u64 {
+    2 * pe_dim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loopnest::NraClass;
+    use MmDim::{K, L, M};
+
+    const MODEL: CostModel = CostModel {
+        partial_sums: PartialSumPolicy::PerVisit,
+    };
+
+    /// Brute-force register-level traffic: iterate the six hierarchical
+    /// tile loops, charging a register-tile load on index change.
+    fn simulate_register_ma(mm: MatMul, nest: &TwoLevelNest, op: Operand) -> u64 {
+        let outer_counts: Vec<u64> = nest
+            .outer
+            .order
+            .iter()
+            .map(|d| nest.outer.tiling.iterations(mm, *d))
+            .collect();
+        let inner_counts: Vec<u64> = nest
+            .inner
+            .order
+            .iter()
+            .map(|d| nest.inner_iterations(mm, *d))
+            .collect();
+        let mut resident = None;
+        let mut traffic = 0u64;
+        let mut outer_idx = [0u64; 3];
+        let mut inner_idx = [0u64; 3];
+        // Odometer over the six loops, outer-major.
+        let total: u64 = outer_counts.iter().chain(&inner_counts).product();
+        for step in 0..total {
+            let mut rem = step;
+            for (slot, counts, idx) in [
+                (1u64, &inner_counts, &mut inner_idx),
+                (0, &outer_counts, &mut outer_idx),
+            ] {
+                let _ = slot;
+                for i in (0..3).rev() {
+                    idx[i] = rem % counts[i];
+                    rem /= counts[i];
+                }
+            }
+            // Global register-tile index per dimension: outer tile index
+            // refined by inner tile index.
+            let global = |dim: MmDim| {
+                let op_ = nest.outer.order.iter().position(|d| *d == dim).unwrap();
+                let ip = nest.inner.order.iter().position(|d| *d == dim).unwrap();
+                (outer_idx[op_], inner_idx[ip])
+            };
+            // Ragged edge: the last outer tile along a dimension may have
+            // fewer inner iterations; skip iterations that fall past it.
+            let exists = |dim: MmDim| {
+                let (oi, ii) = global(dim);
+                let ot = nest.outer.tiling.tile(dim).min(mm.dim(dim));
+                let outer_extent = ot.min(mm.dim(dim) - oi * ot);
+                let it = nest.inner.tiling.tile(dim).min(mm.dim(dim));
+                ii * it < outer_extent
+            };
+            if !MmDim::ALL.iter().all(|d| exists(*d)) {
+                continue;
+            }
+            let [da, db] = op.dims();
+            let key = (global(da), global(db));
+            if resident != Some(key) {
+                let span = |dim: MmDim, (oi, ii): (u64, u64)| {
+                    let ot = nest.outer.tiling.tile(dim).min(mm.dim(dim));
+                    let outer_extent = ot.min(mm.dim(dim) - oi * ot);
+                    let it = nest.inner.tiling.tile(dim).min(mm.dim(dim));
+                    it.min(outer_extent - ii * it)
+                };
+                traffic += span(da, key.0) * span(db, key.1);
+                resident = Some(key);
+            }
+        }
+        traffic
+    }
+
+    #[test]
+    fn register_traffic_matches_hierarchical_simulation() {
+        // Even-division tilings: the analytical multiplier is exact.
+        let mm = MatMul::new(8, 8, 12);
+        let cases = [
+            (
+                LoopNest::new([M, L, K], Tiling::new(4, 4, 6)),
+                LoopNest::new([M, L, K], Tiling::new(2, 1, 3)),
+            ),
+            (
+                LoopNest::new([K, M, L], Tiling::new(4, 8, 4)),
+                LoopNest::new([L, K, M], Tiling::new(4, 2, 2)),
+            ),
+            (
+                LoopNest::new([L, K, M], Tiling::new(8, 2, 12)),
+                LoopNest::new([M, K, L], Tiling::new(2, 2, 4)),
+            ),
+        ];
+        for (outer, inner) in cases {
+            let nest = TwoLevelNest::new(outer, inner, mm);
+            for op in Operand::ALL {
+                let analytic = mm.tensor_elems(op) * nest.register_multiplier(mm, op);
+                assert_eq!(
+                    analytic,
+                    simulate_register_ma(mm, &nest, op),
+                    "nest={nest} op={op}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_register_traffic_is_upper_bounded() {
+        // With ragged inner tiles the analytical figure upper-bounds the
+        // simulated truth and stays within the last-tile slack.
+        let mm = MatMul::new(10, 8, 12);
+        let nest = TwoLevelNest::new(
+            LoopNest::new([M, L, K], Tiling::new(5, 4, 6)),
+            LoopNest::new([M, L, K], Tiling::new(2, 1, 3)),
+            mm,
+        );
+        for op in Operand::ALL {
+            let analytic = mm.tensor_elems(op) * nest.register_multiplier(mm, op);
+            let simulated = simulate_register_ma(mm, &nest, op);
+            assert!(analytic >= simulated, "{op}");
+            assert!(analytic <= simulated * 2, "{op}: bound too loose");
+        }
+    }
+
+    #[test]
+    fn buffer_traffic_at_least_dram_traffic() {
+        // Each operand crosses the buffer at least as often as it crosses
+        // DRAM (the inner loops only add reloads).
+        let mm = MatMul::new(96, 64, 80);
+        for bs in [200u64, 2_000, 10_000] {
+            for rs in [16u64, 64, 256] {
+                let df = optimize_two_level(&MODEL, mm, bs, rs).unwrap();
+                for op in Operand::ALL {
+                    assert!(
+                        df.buffer_ma().of(op) >= df.dram_ma().of(op),
+                        "bs={bs} rs={rs} {op}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn register_level_respects_capacity() {
+        let mm = MatMul::new(512, 512, 512);
+        let df = optimize_two_level(&MODEL, mm, 100_000, 16 * 16).unwrap();
+        assert!(df.nest().register_footprint(mm) <= 16 * 16);
+        assert!(df.nest().buffer_footprint(mm) <= 100_000);
+    }
+
+    #[test]
+    fn untiling_bound_theorem() {
+        // §IV-B: with register capacity N², an un-tiling strategy (the
+        // Two-/Three-NRA register dataflows) is optimal only when the
+        // operator tile's smallest dimension is below 2N. Apply the
+        // principles at the register level to cubic-ish tiles of varying
+        // smallest dimension and observe where untiling stops winning.
+        let n = 16u64; // fabric edge; registers = N².
+        let rs = n * n;
+        let bound = untiling_bound(n);
+        assert_eq!(bound, 32);
+        for dmin in [2u64, 4, 8, 16, 24, 31, 32, 40, 64, 128] {
+            // Tile with controlled smallest dimension; other dims large so
+            // Dmin is the binding one.
+            let tile_mm = MatMul::new(256, dmin, 256);
+            let inner = try_optimize_with(&MODEL, tile_mm, rs).expect("rs >= 3");
+            let untiled_k = inner.tiling().is_untiled(tile_mm, K);
+            let class = inner.class();
+            if dmin >= bound {
+                assert!(
+                    !untiled_k || class == Some(NraClass::Single),
+                    "dmin={dmin} >= 2N: untiling K should not be register-optimal ({inner})"
+                );
+                // The regime table agrees: register capacity N² is in the
+                // tiny/small band when Dmin >= 2N.
+                assert!(rs <= dmin * dmin / 2, "dmin={dmin}");
+            }
+            if dmin < n {
+                assert!(
+                    untiled_k,
+                    "dmin={dmin} << 2N: the principles should untile K ({inner})"
+                );
+                assert!(matches!(class, Some(NraClass::Two) | Some(NraClass::Three)));
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_capacities_return_none() {
+        let mm = MatMul::new(8, 8, 8);
+        assert!(optimize_two_level(&MODEL, mm, 2, 100).is_none());
+        assert!(optimize_two_level(&MODEL, mm, 100, 2).is_none());
+    }
+
+    #[test]
+    fn display_reports_both_levels() {
+        let mm = MatMul::new(64, 64, 64);
+        let df = optimize_two_level(&MODEL, mm, 1_000, 64).unwrap();
+        let s = df.to_string();
+        assert!(s.contains("outer[") && s.contains("buffer"), "{s}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # fusecu-dataflow — intra-operator dataflow: cost model and principles
+//!
+//! This crate reproduces §III-A of the paper. It contains two layers:
+//!
+//! 1. **A generic loop-nest memory-access (MA) model** ([`loopnest`]) in the
+//!    MAESTRO/Timeloop tradition: given a tiled, ordered 3-loop nest for a
+//!    matmul and a buffer size, it computes the exact per-tensor DRAM traffic
+//!    using trailing-loop temporal-reuse analysis. *Every* dataflow — the
+//!    principle-derived ones and every point a searcher visits — is scored by
+//!    this one model, so the comparison in Fig 9 is apples to apples.
+//!
+//! 2. **The principle-based optimizer** ([`principles`]): closed-form optima
+//!    for the three non-redundant-access classes
+//!    ([`NraClass::Single`], [`NraClass::Two`], [`NraClass::Three`]) and the
+//!    buffer-size [`regime`] table that selects among them in O(1), with no
+//!    search.
+//!
+//! ```
+//! use fusecu_ir::MatMul;
+//! use fusecu_dataflow::principles::optimize;
+//!
+//! // §III-A worked example: BERT matmul, 512 KiB buffer -> Two-NRA with the
+//! // K dimension untiled and B accessed exactly twice (MA(B) = 2KL).
+//! let mm = MatMul::new(1024, 768, 768);
+//! let best = optimize(mm, 512 * 1024);
+//! assert_eq!(best.class(), Some(fusecu_dataflow::NraClass::Two));
+//! assert_eq!(best.ma().of(fusecu_ir::Operand::Rhs), 2 * 768 * 768);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod einsum;
+pub mod hierarchy;
+pub mod loopnest;
+pub mod principles;
+pub mod regime;
+pub mod reuse;
+pub mod tiling;
+
+pub use einsum::{EinsumNest, EinsumSpec, EinsumTensor};
+pub use hierarchy::{optimize_two_level, TwoLevelDataflow, TwoLevelNest};
+pub use loopnest::{CostModel, Dataflow, LoopNest, MemoryAccess, NraClass, PartialSumPolicy};
+pub use regime::BufferRegime;
+pub use tiling::Tiling;

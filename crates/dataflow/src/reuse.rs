@@ -1,0 +1,89 @@
+//! Dimension-agnostic temporal-reuse analysis.
+//!
+//! The reload multiplier of a tensor under a loop sequence is the product of
+//! the iteration counts of every loop that (a) iterates a dimension the
+//! tensor does not contain, and (b) sits *outside* the tensor's trailing
+//! reuse window — the maximal innermost run of loops that never change the
+//! tensor's tile index. Single-iteration loops are transparent: they neither
+//! break the window nor multiply traffic.
+//!
+//! `fusecu-dataflow`'s [`crate::LoopNest`] and `fusecu-fusion`'s fused nests
+//! both reduce their memory-access computation to this one function, keeping
+//! intra- and inter-operator accounting consistent.
+
+/// Computes the reload multiplier for a tensor.
+///
+/// `loops` lists the loop nest from **outermost to innermost**; each entry
+/// is `(tensor_contains_dim, iteration_count)`.
+///
+/// ```
+/// use fusecu_dataflow::reuse::reload_multiplier;
+///
+/// // for m (4) / for l (3) / for k (2), tensor A = (m, k):
+/// // the l loop is outside A's window (k, which A contains, is inner).
+/// assert_eq!(reload_multiplier([(true, 4), (false, 3), (true, 2)]), 3);
+/// // Output C = (m, l) with k innermost: k grants reuse.
+/// assert_eq!(reload_multiplier([(true, 4), (true, 3), (false, 2)]), 1);
+/// ```
+pub fn reload_multiplier<I>(loops: I) -> u64
+where
+    I: IntoIterator<Item = (bool, u64)>,
+    I::IntoIter: DoubleEndedIterator,
+{
+    let mut mult = 1u64;
+    let mut reuse_window = true;
+    for (contains, iters) in loops.into_iter().rev() {
+        if iters == 1 {
+            continue;
+        }
+        if contains {
+            reuse_window = false;
+        } else if !reuse_window {
+            mult = mult.saturating_mul(iters);
+        }
+    }
+    mult
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_nest_is_one() {
+        assert_eq!(reload_multiplier([]), 1);
+    }
+
+    #[test]
+    fn all_contained_is_one() {
+        assert_eq!(reload_multiplier([(true, 5), (true, 7)]), 1);
+    }
+
+    #[test]
+    fn trailing_absent_loops_reuse() {
+        assert_eq!(reload_multiplier([(true, 5), (false, 7), (false, 3)]), 1);
+    }
+
+    #[test]
+    fn outer_absent_loops_multiply() {
+        assert_eq!(reload_multiplier([(false, 7), (true, 5), (false, 3)]), 7);
+        assert_eq!(
+            reload_multiplier([(false, 2), (false, 3), (true, 5), (true, 4)]),
+            6
+        );
+    }
+
+    #[test]
+    fn single_iteration_loops_are_transparent() {
+        // An absent one-iteration loop inside the window must not close it,
+        // and a contained one-iteration loop must not end reuse.
+        assert_eq!(reload_multiplier([(false, 7), (true, 1), (false, 3)]), 1);
+        assert_eq!(reload_multiplier([(false, 7), (false, 1), (true, 5)]), 7);
+    }
+
+    #[test]
+    fn sandwiched_absent_loop_counts() {
+        // (a in X, v not, b in X): reload per v iteration.
+        assert_eq!(reload_multiplier([(true, 4), (false, 6), (true, 2)]), 6);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the loop-nest cost model and the principle
+//! optimizer: the invariants every higher layer builds on.
+
+use proptest::prelude::*;
+
+use fusecu_dataflow::principles::{try_optimize_with, MIN_BUFFER_ELEMS};
+use fusecu_dataflow::{CostModel, LoopNest, NraClass, Tiling};
+use fusecu_ir::{MatMul, MmDim, Operand};
+
+fn arb_mm() -> impl Strategy<Value = MatMul> {
+    (1u64..256, 1u64..256, 1u64..256).prop_map(|(m, k, l)| MatMul::new(m, k, l))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every tensor streams at least its footprint and at most footprint x
+    /// (product of all loop iteration counts).
+    #[test]
+    fn tensor_traffic_is_bounded(
+        mm in arb_mm(),
+        tm in 1u64..300, tk in 1u64..300, tl in 1u64..300,
+        o in 0usize..6,
+    ) {
+        let nest = LoopNest::new(LoopNest::orders()[o], Tiling::new(tm, tk, tl));
+        let model = CostModel::paper();
+        let total_iters: u64 = MmDim::ALL
+            .iter()
+            .map(|d| nest.tiling.iterations(mm, *d))
+            .product();
+        for op in Operand::ALL {
+            let ma = model.tensor_ma(mm, &nest, op);
+            let footprint = mm.tensor_elems(op);
+            prop_assert!(ma >= footprint, "{op} below footprint");
+            prop_assert!(ma <= footprint * total_iters, "{op} above full re-stream");
+        }
+    }
+
+    /// The read-write policy never charges less than per-visit, and only
+    /// differs on the output.
+    #[test]
+    fn read_write_dominates_per_visit(mm in arb_mm(), tm in 1u64..300, tk in 1u64..300, tl in 1u64..300, o in 0usize..6) {
+        let nest = LoopNest::new(LoopNest::orders()[o], Tiling::new(tm, tk, tl));
+        let pv = CostModel::paper().evaluate(mm, &nest);
+        let rw = CostModel::read_write().evaluate(mm, &nest);
+        prop_assert_eq!(pv.of(Operand::Lhs), rw.of(Operand::Lhs));
+        prop_assert_eq!(pv.of(Operand::Rhs), rw.of(Operand::Rhs));
+        prop_assert!(rw.of(Operand::Out) >= pv.of(Operand::Out));
+    }
+
+    /// Balancing a tiling never changes iteration counts (hence traffic)
+    /// and never grows the buffer footprint.
+    #[test]
+    fn balancing_is_traffic_neutral(mm in arb_mm(), tm in 1u64..300, tk in 1u64..300, tl in 1u64..300) {
+        let t = Tiling::new(tm, tk, tl);
+        let b = t.balanced(mm);
+        for d in MmDim::ALL {
+            prop_assert_eq!(t.iterations(mm, d), b.iterations(mm, d));
+        }
+        prop_assert!(b.buffer_elems(mm) <= t.buffer_elems(mm));
+    }
+
+    /// The optimizer's result always fits, always classifies, and is never
+    /// below the communication lower bound.
+    #[test]
+    fn optimizer_invariants(mm in arb_mm(), bs in MIN_BUFFER_ELEMS..100_000) {
+        let model = CostModel::paper();
+        let best = try_optimize_with(&model, mm, bs).expect("bs >= minimum");
+        prop_assert!(best.buffer_elems() <= bs);
+        prop_assert!(best.total_ma() >= mm.ideal_ma());
+        prop_assert!(best.class().is_some());
+        // A Three-NRA result is exactly the lower bound.
+        if best.class() == Some(NraClass::Three) {
+            prop_assert_eq!(best.total_ma(), mm.ideal_ma());
+        }
+    }
+
+    /// The optimum is dominated by no single random nest that fits.
+    #[test]
+    fn no_feasible_nest_beats_the_optimum(
+        mm in arb_mm(),
+        bs in MIN_BUFFER_ELEMS..50_000,
+        tm in 1u64..300, tk in 1u64..300, tl in 1u64..300,
+        o in 0usize..6,
+    ) {
+        let model = CostModel::paper();
+        let best = try_optimize_with(&model, mm, bs).expect("bs >= minimum");
+        let nest = LoopNest::new(LoopNest::orders()[o], Tiling::new(tm, tk, tl));
+        if nest.tiling.fits(mm, bs) {
+            prop_assert!(
+                model.evaluate(mm, &nest).total() >= best.total_ma(),
+                "random nest {} beats claimed optimum {}", nest, best
+            );
+        }
+    }
+
+    /// Buffer monotonicity: more buffer never increases optimal MA.
+    #[test]
+    fn optimum_is_monotone_in_buffer(mm in arb_mm(), bs in MIN_BUFFER_ELEMS..50_000, extra in 0u64..50_000) {
+        let model = CostModel::paper();
+        let small = try_optimize_with(&model, mm, bs).unwrap().total_ma();
+        let large = try_optimize_with(&model, mm, bs + extra).unwrap().total_ma();
+        prop_assert!(large <= small);
+    }
+
+    /// Transposition symmetry of the optimum.
+    #[test]
+    fn optimum_is_transpose_symmetric(mm in arb_mm(), bs in MIN_BUFFER_ELEMS..50_000) {
+        let model = CostModel::paper();
+        let a = try_optimize_with(&model, mm, bs).unwrap().total_ma();
+        let b = try_optimize_with(&model, mm.transposed(), bs).unwrap().total_ma();
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The rank-N einsum model reproduces the matmul model exactly on its
+    /// 3-dimensional special case, for random nests.
+    #[test]
+    fn einsum_matmul_equivalence(
+        m in 1u64..64, k in 1u64..64, l in 1u64..64,
+        tm in 1u64..80, tk in 1u64..80, tl in 1u64..80,
+        o in 0usize..6,
+    ) {
+        use fusecu_dataflow::einsum::{EinsumNest, EinsumSpec};
+        let mm = MatMul::new(m, k, l);
+        let spec = EinsumSpec::matmul(m, k, l);
+        let order3 = LoopNest::orders()[o];
+        let tiling = Tiling::new(tm, tk, tl);
+        let nest3 = LoopNest::new(order3, tiling);
+        let idx = |d: MmDim| match d {
+            MmDim::M => 0usize,
+            MmDim::K => 1,
+            MmDim::L => 2,
+        };
+        let nest = EinsumNest {
+            order: order3.iter().map(|d| idx(*d)).collect(),
+            tiles: vec![tm, tk, tl],
+        };
+        let model = CostModel::paper();
+        let expected = model.evaluate(mm, &nest3);
+        let per: Vec<u64> = spec
+            .tensors()
+            .iter()
+            .map(|t| spec.tensor_ma(&model, &nest, t))
+            .collect();
+        prop_assert_eq!(per[0], expected.of(Operand::Lhs));
+        prop_assert_eq!(per[1], expected.of(Operand::Rhs));
+        prop_assert_eq!(per[2], expected.of(Operand::Out));
+        // Footprints agree too.
+        prop_assert_eq!(spec.buffer_elems(&nest), tiling.buffer_elems(mm));
+    }
+}
+
+#[test]
+fn render_names_every_loop_and_tensor() {
+    let mm = MatMul::new(1024, 768, 768);
+    let df = fusecu_dataflow::principles::optimize(mm, 512 * 1024);
+    let text = df.render();
+    for needle in ["for m1", "for k1", "for l1", "# A:", "# B:", "# C:", "untiled"] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}

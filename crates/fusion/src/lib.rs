@@ -1,0 +1,45 @@
+//! # fusecu-fusion — inter-operator dataflow and Principle 4
+//!
+//! Reproduces §III-B of the paper: operator fusion at the dataflow level.
+//!
+//! * [`pair`] — a validated producer/consumer matmul pair
+//!   `E[M,N] = (A[M,K] × B[K,L]) × D[L,N]` with its four *external* tensors
+//!   (the intermediate `C[M,L]` never touches memory when fused);
+//! * [`nest`] — the fused loop-nest cost model: shared outer loops over the
+//!   intermediate's dimensions, a producer phase (the `K` reduction) and a
+//!   consumer phase (the `N` sweep) per shared iteration. All five Fig 4
+//!   fusion patterns are points of this space;
+//! * [`optimizer`] — the closed-form fused optimum and the
+//!   [`optimizer::FusionDecision`] implementing **Principle 4**: only fuse
+//!   operators whose optimal intra-dataflows share the same NRA class;
+//! * [`planner`] — dynamic programming over matmul chains and whole operator
+//!   graphs, fusing exactly the profitable pairs.
+//!
+//! ```
+//! use fusecu_ir::{MatMul, MmChain};
+//! use fusecu_dataflow::CostModel;
+//! use fusecu_fusion::planner::plan_chain;
+//!
+//! // One attention head (seq 1024, head dim 64): (Q·Kᵀ)·V fuses, removing
+//! // the 1M-element score matrix from memory.
+//! let chain = MmChain::try_new(vec![
+//!     MatMul::new(1024, 64, 1024),
+//!     MatMul::new(1024, 1024, 64),
+//! ])?;
+//! let plan = plan_chain(&CostModel::paper(), &chain, 64 * 1024);
+//! assert!(plan.fused_pair_count() >= 1);
+//! # Ok::<(), fusecu_ir::ChainError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod nest;
+pub mod optimizer;
+pub mod pair;
+pub mod planner;
+
+pub use nest::{FusedDataflow, FusedMa, FusedNest, FusedTiling};
+pub use optimizer::{decide, optimize_pair, FusionDecision};
+pub use pair::{ExtTensor, FusedDim, FusedPair, PairError};
+pub use planner::{plan_chain, plan_graph, ChainPlan, ChainStep, GraphPlan};

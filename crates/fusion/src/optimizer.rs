@@ -1,0 +1,339 @@
+//! Closed-form fused-dataflow optimization and the Principle 4 decision.
+//!
+//! Like the intra-operator principles, the fused optimum needs no search:
+//! the candidate set is a constant-size family of tiling *policies* (square
+//! shared tiles, column-streamed intermediate in either orientation, one or
+//! both shared dimensions untiled), each crossed with the two binary phase
+//! tilings (`T_K ∈ {1, K}`, `T_N ∈ {1, N}` — intermediate values only waste
+//! buffer, since producer/consumer traffic depends solely on whether the
+//! phase loop is untiled). The only remaining free scalar per policy is the
+//! shared tile edge, maximized by bisection on the monotone buffer
+//! footprint.
+//!
+//! [`decide`] compares the fused optimum with the sum of the per-operator
+//! optima and reports **Principle 4**'s prediction: fusion is profitable
+//! exactly when both operators' optimal intra-dataflows share an NRA class.
+
+use fusecu_dataflow::principles::try_optimize_with;
+use fusecu_dataflow::{CostModel, NraClass};
+
+use crate::nest::{FusedDataflow, FusedNest, FusedTiling};
+use crate::pair::{FusedDim, FusedPair};
+
+/// Largest `s ∈ [1, hi]` with `feasible(s)`, assuming monotone feasibility.
+/// Returns `None` when even `s = 1` fails.
+fn max_feasible(hi: u64, feasible: impl Fn(u64) -> bool) -> Option<u64> {
+    let hi = hi.max(1);
+    if !feasible(1) {
+        return None;
+    }
+    if feasible(hi) {
+        return Some(hi);
+    }
+    let (mut lo, mut hi) = (1u64, hi);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Balances one shared tile: smallest even tile with the same iteration
+/// count.
+fn balance(dim_size: u64, tile: u64) -> u64 {
+    let t = tile.min(dim_size);
+    dim_size.div_ceil(dim_size.div_ceil(t))
+}
+
+/// Every closed-form fused candidate that fits the buffer.
+///
+/// Structure is enumerated exactly (two shared-loop orders, the two useful
+/// phase tilings each for `K` and `N`); the intermediate-tile split is
+/// swept losslessly: `T_M` runs over its balanced representatives and the
+/// maximal feasible `T_L` is derived by bisection on the monotone buffer
+/// footprint. Any optimal `(T_M, T_L)` is dominated by the candidate at
+/// `T_M`'s representative (same `M` iteration count, no larger footprint)
+/// with the derived `T_L` (memory access is non-increasing in `T_L`), so
+/// the family contains the fused optimum — which `fusecu-search`'s fused
+/// oracle confirms by enumeration.
+pub fn candidates(model: &CostModel, pair: FusedPair, bs: u64) -> Vec<FusedDataflow> {
+    let k = pair.dim(FusedDim::K);
+    let n = pair.dim(FusedDim::N);
+    let l = pair.dim(FusedDim::L);
+    let mut out = Vec::new();
+    for outer_is_m in [true, false] {
+        for t_k in [1, k] {
+            for t_n in [1, n] {
+                for t_m in fusecu_dataflow::tiling::balanced_tiles(pair.dim(FusedDim::M)) {
+                    let build = |t_l: u64| {
+                        FusedNest::new(outer_is_m, FusedTiling::new(t_m, t_k, t_l, t_n))
+                    };
+                    // Footprint is nondecreasing in T_M; once even T_L = 1
+                    // fails, larger T_M cannot recover.
+                    if !build(1).fits(&pair, bs) {
+                        break;
+                    }
+                    let t_l = max_feasible(l, |t_l| build(t_l).fits(&pair, bs))
+                        .expect("T_L = 1 verified feasible above");
+                    let nest = build(balance(l, t_l));
+                    debug_assert!(nest.fits(&pair, bs));
+                    out.push(FusedDataflow::score(model, pair, nest));
+                    // The footprint can dip at the untiled boundary (a
+                    // persistent tensor stops being double-counted), making
+                    // the feasible T_L set non-contiguous; probe T_L = L
+                    // explicitly so bisection cannot miss it.
+                    if t_l < l {
+                        let full = build(l);
+                        if full.fits(&pair, bs) {
+                            out.push(FusedDataflow::score(model, pair, full));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The closed-form fused optimum for a pair, or `None` when no fused
+/// dataflow fits the buffer.
+pub fn optimize_pair(model: &CostModel, pair: FusedPair, bs: u64) -> Option<FusedDataflow> {
+    candidates(model, pair, bs).into_iter().min_by(|x, y| {
+        x.total_ma()
+            .cmp(&y.total_ma())
+            .then_with(|| x.footprint().cmp(&y.footprint()))
+    })
+}
+
+/// The outcome of applying Principle 4 to one producer/consumer pair.
+#[derive(Debug, Clone, Copy)]
+pub struct FusionDecision {
+    pair: FusedPair,
+    buffer: u64,
+    fused: Option<FusedDataflow>,
+    unfused_ma: u64,
+    producer_class: Option<NraClass>,
+    consumer_class: Option<NraClass>,
+}
+
+impl FusionDecision {
+    /// The pair under decision.
+    pub fn pair(&self) -> FusedPair {
+        self.pair
+    }
+
+    /// The buffer size the decision was made for.
+    pub fn buffer(&self) -> u64 {
+        self.buffer
+    }
+
+    /// The best fused dataflow, when one fits the buffer.
+    pub fn fused(&self) -> Option<&FusedDataflow> {
+        self.fused.as_ref()
+    }
+
+    /// Total MA of executing the two operators unfused, each with its
+    /// principle-optimal intra-dataflow (intermediate written and re-read).
+    pub fn unfused_ma(&self) -> u64 {
+        self.unfused_ma
+    }
+
+    /// NRA class of the producer's optimal intra-dataflow.
+    pub fn producer_class(&self) -> Option<NraClass> {
+        self.producer_class
+    }
+
+    /// NRA class of the consumer's optimal intra-dataflow.
+    pub fn consumer_class(&self) -> Option<NraClass> {
+        self.consumer_class
+    }
+
+    /// Whether the two operators' optimal intra-dataflows share an NRA
+    /// class — Principle 4's precondition for profitable fusion.
+    pub fn same_nra(&self) -> bool {
+        self.producer_class.is_some() && self.producer_class == self.consumer_class
+    }
+
+    /// Whether fusing strictly reduces memory access.
+    pub fn profitable(&self) -> bool {
+        self.fused
+            .is_some_and(|f| f.total_ma() < self.unfused_ma)
+    }
+
+    /// Memory access saved by fusing (zero when unprofitable).
+    pub fn saved_ma(&self) -> u64 {
+        self.fused
+            .map_or(0, |f| self.unfused_ma.saturating_sub(f.total_ma()))
+    }
+
+    /// The memory access of the better execution (fused if profitable).
+    pub fn best_ma(&self) -> u64 {
+        match self.fused {
+            Some(f) => f.total_ma().min(self.unfused_ma),
+            None => self.unfused_ma,
+        }
+    }
+}
+
+/// Applies Principle 4 to a pair: computes per-operator optima, the fused
+/// optimum, and the profitability verdict.
+///
+/// # Panics
+///
+/// Panics when `bs` is too small to hold even a unit tile per operand
+/// (`bs < 3`), since then neither fused nor unfused execution is definable.
+pub fn decide(model: &CostModel, pair: FusedPair, bs: u64) -> FusionDecision {
+    let p_opt = try_optimize_with(model, pair.producer(), bs)
+        .unwrap_or_else(|| panic!("buffer of {bs} elements cannot hold any tile"));
+    let c_opt = try_optimize_with(model, pair.consumer(), bs)
+        .unwrap_or_else(|| panic!("buffer of {bs} elements cannot hold any tile"));
+    FusionDecision {
+        pair,
+        buffer: bs,
+        fused: optimize_pair(model, pair, bs),
+        unfused_ma: p_opt.total_ma() + c_opt.total_ma(),
+        producer_class: p_opt.class(),
+        consumer_class: c_opt.class(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusecu_ir::MatMul;
+
+    fn pair(m: u64, k: u64, l: u64, n: u64) -> FusedPair {
+        FusedPair::try_new(MatMul::new(m, k, l), MatMul::new(m, l, n)).unwrap()
+    }
+
+    const MODEL: CostModel = CostModel {
+        partial_sums: fusecu_dataflow::PartialSumPolicy::PerVisit,
+    };
+
+    #[test]
+    fn max_feasible_bisects() {
+        assert_eq!(max_feasible(100, |s| s * s <= 170), Some(13));
+        assert_eq!(max_feasible(10, |s| s <= 10), Some(10));
+        assert_eq!(max_feasible(10, |_| false), None);
+        assert_eq!(max_feasible(1, |s| s == 1), Some(1));
+    }
+
+    #[test]
+    fn attention_pair_fuses_profitably() {
+        // (Q·Kᵀ)·V with a huge 1M-element intermediate: fusion must win
+        // across a wide range of buffer sizes (the FlashAttention effect).
+        let p = pair(1024, 64, 1024, 64);
+        for bs in [16 * 1024, 64 * 1024, 512 * 1024] {
+            let d = decide(&MODEL, p, bs);
+            assert!(d.profitable(), "bs={bs}");
+            assert!(d.saved_ma() > 0);
+            assert_eq!(d.best_ma(), d.fused().unwrap().total_ma());
+        }
+    }
+
+    #[test]
+    fn fused_ma_never_below_external_lower_bound() {
+        let shapes = [
+            pair(64, 64, 64, 64),
+            pair(1024, 64, 1024, 64),
+            pair(100, 30, 50, 70),
+        ];
+        for p in shapes {
+            for bs in [64, 1024, 65_536, 4_000_000] {
+                if let Some(f) = optimize_pair(&MODEL, p, bs) {
+                    assert!(f.total_ma() >= p.external_ideal_ma(), "{p} bs={bs}");
+                    assert!(f.footprint() <= bs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huge_buffer_reaches_external_lower_bound() {
+        let p = pair(128, 32, 96, 64);
+        let bs = 10_000_000;
+        let f = optimize_pair(&MODEL, p, bs).unwrap();
+        assert_eq!(f.total_ma(), p.external_ideal_ma());
+    }
+
+    #[test]
+    fn minimum_fused_buffer_is_three_elements() {
+        // The smallest fused nest is the scalar OS-IS pipeline: a 1x1 C
+        // tile plus one phase's two unit tiles = 3 elements. Below that no
+        // fused dataflow exists; at exactly 3 it exists and still saves the
+        // 2|C| intermediate traffic (both halves are Single-NRA).
+        let p = pair(64, 64, 64, 64);
+        assert!(optimize_pair(&MODEL, p, 2).is_none());
+        let d = decide(&MODEL, p, 3);
+        assert!(d.fused().is_some());
+        assert!(d.profitable());
+        assert_eq!(d.saved_ma(), 2 * p.intermediate_elems());
+    }
+
+    #[test]
+    fn same_nra_pairs_are_profitable() {
+        // Principle 4, positive direction: symmetric pairs whose halves
+        // land in the same regime fuse profitably.
+        let cases = [
+            (pair(512, 512, 512, 512), 16 * 1024),  // both Single-NRA
+            (pair(1024, 768, 768, 768), 512 * 1024), // both Two-NRA
+            (pair(256, 64, 64, 64), 1 << 22),        // both Three-NRA
+        ];
+        for (p, bs) in cases {
+            let d = decide(&MODEL, p, bs);
+            assert!(d.same_nra(), "{p} bs={bs}: classes {:?}/{:?}", d.producer_class(), d.consumer_class());
+            assert!(d.profitable(), "{p} bs={bs} must fuse profitably");
+        }
+    }
+
+    #[test]
+    fn cross_nra_pair_is_not_profitable() {
+        // Principle 4, negative direction: a producer deep in Single-NRA
+        // territory feeding a consumer in Two-NRA territory. The fused
+        // compromise loses more on external tensors than C saves when the
+        // intermediate is small relative to the redundant traffic.
+        // Producer: (4096, 4096, 64) -> Dmin = 64 is L; consumer
+        // (4096, 64, 4096). With bs = 2048 the producer's Dmin² bounds
+        // differ strongly from the consumer's.
+        let p = pair(4096, 4096, 64, 4096);
+        let bs = 6 * 1024;
+        let d = decide(&MODEL, p, bs);
+        if !d.same_nra() {
+            assert!(
+                !d.profitable(),
+                "cross-NRA fusion should not be profitable: fused {:?} vs unfused {}",
+                d.fused().map(|f| f.total_ma()),
+                d.unfused_ma()
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_set_is_sweep_sized() {
+        let p = pair(128, 128, 128, 128);
+        let c = candidates(&MODEL, p, 1 << 20);
+        // 2 orders x 2 K-tilings x 2 N-tilings x O(sqrt(M)) sweep points.
+        assert!(c.len() <= 2 * 2 * 2 * 2 * (128f64.sqrt() as usize + 2));
+        assert!(!c.is_empty());
+        for f in &c {
+            assert!(f.footprint() <= 1 << 20);
+        }
+    }
+
+    #[test]
+    fn fused_optimum_monotone_in_buffer() {
+        let p = pair(640, 80, 320, 160);
+        let mut last = u64::MAX;
+        for bs in [256, 2_048, 16_384, 131_072, 1 << 20, 1 << 24] {
+            if let Some(f) = optimize_pair(&MODEL, p, bs) {
+                assert!(f.total_ma() <= last, "bs={bs}");
+                last = f.total_ma();
+            }
+        }
+        assert_eq!(last, p.external_ideal_ma());
+    }
+}

@@ -1,0 +1,272 @@
+//! The fused matmul pair and its dimension / external-tensor roles.
+
+use std::fmt;
+
+use fusecu_ir::{MatMul, Operand};
+
+/// A dimension of the fused pair `E[M,N] = (A[M,K] × B[K,L]) × D[L,N]`.
+///
+/// `M`, `K`, `L` are the producer's dimensions; `L` doubles as the
+/// consumer's reduction dimension and `N` is the consumer's output columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FusedDim {
+    /// Shared row dimension of `A`, `C`, and `E`.
+    M,
+    /// Producer reduction dimension.
+    K,
+    /// Intermediate column dimension = consumer reduction dimension.
+    L,
+    /// Consumer output column dimension.
+    N,
+}
+
+impl FusedDim {
+    /// All four dimensions in canonical order.
+    pub const ALL: [FusedDim; 4] = [FusedDim::M, FusedDim::K, FusedDim::L, FusedDim::N];
+
+    /// Short lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FusedDim::M => "m",
+            FusedDim::K => "k",
+            FusedDim::L => "l",
+            FusedDim::N => "n",
+        }
+    }
+}
+
+impl fmt::Display for FusedDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One of the four external tensors of a fused pair. The intermediate `C`
+/// is deliberately absent: under a valid fused dataflow it never reaches
+/// memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExtTensor {
+    /// Producer left input `A[M,K]`.
+    A,
+    /// Producer right input `B[K,L]`.
+    B,
+    /// Consumer right input `D[L,N]`.
+    D,
+    /// Final output `E[M,N]`.
+    E,
+}
+
+impl ExtTensor {
+    /// All four external tensors.
+    pub const ALL: [ExtTensor; 4] = [ExtTensor::A, ExtTensor::B, ExtTensor::D, ExtTensor::E];
+
+    /// The dimensions spanned by this tensor.
+    pub fn dims(self) -> [FusedDim; 2] {
+        match self {
+            ExtTensor::A => [FusedDim::M, FusedDim::K],
+            ExtTensor::B => [FusedDim::K, FusedDim::L],
+            ExtTensor::D => [FusedDim::L, FusedDim::N],
+            ExtTensor::E => [FusedDim::M, FusedDim::N],
+        }
+    }
+
+    /// Whether the tensor belongs to the producer matmul.
+    pub fn is_producer(self) -> bool {
+        matches!(self, ExtTensor::A | ExtTensor::B)
+    }
+
+    /// Whether this tensor's footprint contains `dim`.
+    pub fn contains(self, dim: FusedDim) -> bool {
+        self.dims().contains(&dim)
+    }
+
+    /// Conventional letter name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtTensor::A => "A",
+            ExtTensor::B => "B",
+            ExtTensor::D => "D",
+            ExtTensor::E => "E",
+        }
+    }
+}
+
+impl fmt::Display for ExtTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error building a fused pair from incompatible matmuls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairError {
+    expected: (u64, u64),
+    found: (u64, u64),
+}
+
+impl fmt::Display for PairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "consumer cannot read producer output: expected (m,k) = {:?}, found {:?}",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for PairError {}
+
+/// A validated producer/consumer matmul pair sharing the intermediate
+/// `C[M,L]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FusedPair {
+    producer: MatMul,
+    consumer: MatMul,
+}
+
+impl FusedPair {
+    /// Builds a pair, checking `consumer.m == producer.m` and
+    /// `consumer.k == producer.l`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PairError`] on a shape mismatch.
+    pub fn try_new(producer: MatMul, consumer: MatMul) -> Result<FusedPair, PairError> {
+        let expected = (producer.m(), producer.l());
+        let found = (consumer.m(), consumer.k());
+        if expected != found {
+            return Err(PairError { expected, found });
+        }
+        Ok(FusedPair { producer, consumer })
+    }
+
+    /// The producer matmul `C = A × B`.
+    pub fn producer(&self) -> MatMul {
+        self.producer
+    }
+
+    /// The consumer matmul `E = C × D`.
+    pub fn consumer(&self) -> MatMul {
+        self.consumer
+    }
+
+    /// Size of one fused dimension.
+    pub fn dim(&self, dim: FusedDim) -> u64 {
+        match dim {
+            FusedDim::M => self.producer.m(),
+            FusedDim::K => self.producer.k(),
+            FusedDim::L => self.producer.l(),
+            FusedDim::N => self.consumer.l(),
+        }
+    }
+
+    /// Footprint of one external tensor in elements.
+    pub fn tensor_elems(&self, t: ExtTensor) -> u64 {
+        let [a, b] = t.dims();
+        self.dim(a) * self.dim(b)
+    }
+
+    /// Footprint of the intermediate `C[M,L]`.
+    pub fn intermediate_elems(&self) -> u64 {
+        self.dim(FusedDim::M) * self.dim(FusedDim::L)
+    }
+
+    /// Sum of the external footprints: the fused communication lower bound.
+    pub fn external_ideal_ma(&self) -> u64 {
+        ExtTensor::ALL.iter().map(|t| self.tensor_elems(*t)).sum()
+    }
+
+    /// Sum of per-operator ideal MAs (each counts the intermediate once):
+    /// the *unfused* lower bound, `external_ideal_ma() + 2·|C|`.
+    pub fn unfused_ideal_ma(&self) -> u64 {
+        self.producer.ideal_ma() + self.consumer.ideal_ma()
+    }
+
+    /// Total MACs across both matmuls.
+    pub fn macs(&self) -> u64 {
+        self.producer.macs() + self.consumer.macs()
+    }
+
+    /// Operand role of an external tensor within its own matmul.
+    pub fn operand_role(&self, t: ExtTensor) -> (MatMul, Operand) {
+        match t {
+            ExtTensor::A => (self.producer, Operand::Lhs),
+            ExtTensor::B => (self.producer, Operand::Rhs),
+            ExtTensor::D => (self.consumer, Operand::Rhs),
+            ExtTensor::E => (self.consumer, Operand::Out),
+        }
+    }
+}
+
+impl fmt::Display for FusedPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "E[{m},{n}] = (A[{m},{k}] x B[{k},{l}]) x D[{l},{n}]",
+            m = self.dim(FusedDim::M),
+            k = self.dim(FusedDim::K),
+            l = self.dim(FusedDim::L),
+            n = self.dim(FusedDim::N),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attention_pair() -> FusedPair {
+        FusedPair::try_new(MatMul::new(1024, 64, 1024), MatMul::new(1024, 1024, 64)).unwrap()
+    }
+
+    #[test]
+    fn dims_and_tensors() {
+        let p = attention_pair();
+        assert_eq!(p.dim(FusedDim::M), 1024);
+        assert_eq!(p.dim(FusedDim::K), 64);
+        assert_eq!(p.dim(FusedDim::L), 1024);
+        assert_eq!(p.dim(FusedDim::N), 64);
+        assert_eq!(p.tensor_elems(ExtTensor::A), 1024 * 64);
+        assert_eq!(p.tensor_elems(ExtTensor::B), 64 * 1024);
+        assert_eq!(p.tensor_elems(ExtTensor::D), 1024 * 64);
+        assert_eq!(p.tensor_elems(ExtTensor::E), 1024 * 64);
+        assert_eq!(p.intermediate_elems(), 1024 * 1024);
+    }
+
+    #[test]
+    fn bounds_differ_by_twice_the_intermediate() {
+        let p = attention_pair();
+        assert_eq!(
+            p.unfused_ideal_ma(),
+            p.external_ideal_ma() + 2 * p.intermediate_elems()
+        );
+    }
+
+    #[test]
+    fn mismatch_rejected() {
+        let err =
+            FusedPair::try_new(MatMul::new(4, 8, 16), MatMul::new(4, 12, 2)).unwrap_err();
+        assert!(err.to_string().contains("(4, 16)"));
+    }
+
+    #[test]
+    fn tensor_roles_cover_dimensions() {
+        let p = attention_pair();
+        for t in ExtTensor::ALL {
+            let (mm, op) = p.operand_role(t);
+            assert_eq!(p.tensor_elems(t), mm.tensor_elems(op), "{t}");
+        }
+        assert!(ExtTensor::A.is_producer() && ExtTensor::B.is_producer());
+        assert!(!ExtTensor::D.is_producer() && !ExtTensor::E.is_producer());
+        assert!(ExtTensor::B.contains(FusedDim::L));
+        assert!(!ExtTensor::E.contains(FusedDim::K));
+    }
+
+    #[test]
+    fn display_renders_shapes() {
+        assert_eq!(
+            attention_pair().to_string(),
+            "E[1024,64] = (A[1024,64] x B[64,1024]) x D[1024,64]"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the fused-nest model, the Principle 4 decision, and
+//! the chain planner.
+
+use proptest::prelude::*;
+
+use fusecu_dataflow::CostModel;
+use fusecu_fusion::planner::{plan_chain, ChainStep};
+use fusecu_fusion::{decide, optimize_pair, ExtTensor, FusedNest, FusedPair, FusedTiling};
+use fusecu_ir::{MatMul, MmChain};
+
+fn model() -> CostModel {
+    CostModel::paper()
+}
+
+fn arb_pair() -> impl Strategy<Value = FusedPair> {
+    (1u64..128, 1u64..128, 1u64..128, 1u64..128).prop_map(|(m, k, l, n)| {
+        FusedPair::try_new(MatMul::new(m, k, l), MatMul::new(m, l, n))
+            .expect("shapes chain by construction")
+    })
+}
+
+fn arb_nest() -> impl Strategy<Value = FusedNest> {
+    (
+        any::<bool>(),
+        1u64..160,
+        1u64..160,
+        1u64..160,
+        1u64..160,
+    )
+        .prop_map(|(o, tm, tk, tl, tn)| FusedNest::new(o, FusedTiling::new(tm, tk, tl, tn)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fused external traffic is bounded below by the external footprints
+    /// (the fused communication lower bound) for every nest.
+    #[test]
+    fn fused_traffic_at_least_external_footprints(pair in arb_pair(), nest in arb_nest()) {
+        let ma = nest.evaluate(&model(), &pair);
+        for t in ExtTensor::ALL {
+            prop_assert!(ma.of(t) >= pair.tensor_elems(t), "{t}");
+        }
+        prop_assert!(ma.total() >= pair.external_ideal_ma());
+    }
+
+    /// The footprint is monotone in every tile size *while the loop
+    /// structure is unchanged*. Crossing an untiled threshold can release
+    /// a persistent tensor from double-counting and legitimately shrink
+    /// the footprint (a shape the optimizer's sweep enumerates explicitly,
+    /// so bisection never needs to cross it).
+    #[test]
+    fn footprint_monotone_within_a_loop_structure(
+        pair in arb_pair(),
+        nest in arb_nest(),
+        dim_idx in 0usize..4,
+        grow in 1u64..64,
+    ) {
+        use fusecu_fusion::FusedDim::{K, L, M, N};
+        let dim = [M, K, L, N][dim_idx];
+        let bigger = FusedNest::new(
+            nest.outer_is_m,
+            nest.tiling.with(dim, nest.tiling.tile(dim) + grow),
+        );
+        // Only compare when every dimension keeps its tiled/untiled status.
+        let structure_unchanged = [M, K, L, N].iter().all(|d| {
+            (nest.tiling.iterations(&pair, *d) == 1)
+                == (bigger.tiling.iterations(&pair, *d) == 1)
+        });
+        prop_assume!(structure_unchanged);
+        prop_assert!(
+            bigger.footprint(&pair) >= nest.footprint(&pair),
+            "footprint shrank when T_{dim} grew"
+        );
+    }
+
+    /// Growing a tile never increases any external tensor's traffic.
+    #[test]
+    fn traffic_nonincreasing_in_tiles(
+        pair in arb_pair(),
+        nest in arb_nest(),
+        dim_idx in 0usize..4,
+        grow in 1u64..64,
+    ) {
+        use fusecu_fusion::FusedDim::{K, L, M, N};
+        let dim = [M, K, L, N][dim_idx];
+        let bigger = FusedNest::new(
+            nest.outer_is_m,
+            nest.tiling.with(dim, nest.tiling.tile(dim) + grow),
+        );
+        let before = nest.evaluate(&model(), &pair);
+        let after = bigger.evaluate(&model(), &pair);
+        for t in ExtTensor::ALL {
+            prop_assert!(after.of(t) <= before.of(t), "{t} grew with larger T_{dim}");
+        }
+    }
+
+    /// Each operator of a fused nest has between 1 and 3 non-redundant
+    /// tensors (the intermediate always counts).
+    #[test]
+    fn per_op_nra_counts_are_valid(pair in arb_pair(), nest in arb_nest()) {
+        let (p, c) = nest.op_nra_counts(&pair);
+        prop_assert!((1..=3).contains(&p));
+        prop_assert!((1..=3).contains(&c));
+    }
+
+    /// The decision's best execution never exceeds the unfused optimum, and
+    /// profitability implies a strictly better fused dataflow.
+    #[test]
+    fn decision_is_consistent(pair in arb_pair(), bs in 3u64..50_000) {
+        let d = decide(&model(), pair, bs);
+        prop_assert!(d.best_ma() <= d.unfused_ma());
+        if d.profitable() {
+            let f = d.fused().expect("profitable implies fused exists");
+            prop_assert!(f.total_ma() < d.unfused_ma());
+            prop_assert_eq!(d.saved_ma(), d.unfused_ma() - f.total_ma());
+            prop_assert!(f.footprint() <= bs);
+        }
+    }
+
+    /// The fused optimum is monotone in buffer size.
+    #[test]
+    fn fused_optimum_monotone_in_buffer(pair in arb_pair(), bs in 3u64..30_000, extra in 0u64..30_000) {
+        let small = optimize_pair(&model(), pair, bs).map(|f| f.total_ma());
+        let large = optimize_pair(&model(), pair, bs + extra).map(|f| f.total_ma());
+        if let (Some(s), Some(l)) = (small, large) {
+            prop_assert!(l <= s);
+        }
+    }
+
+    /// Chain plans cover every matmul exactly once and their reported total
+    /// equals the sum of their steps.
+    #[test]
+    fn chain_plans_partition_the_chain(
+        m in 1u64..64,
+        dims in proptest::collection::vec(1u64..64, 2..6),
+        bs in 16u64..20_000,
+    ) {
+        // Build a chain m x dims[0] x dims[1] x ... (each consecutive pair
+        // chains by construction).
+        let mms: Vec<MatMul> = dims
+            .windows(2)
+            .map(|w| MatMul::new(m, w[0], w[1]))
+            .collect();
+        prop_assume!(!mms.is_empty());
+        let chain = MmChain::try_new(mms).expect("constructed to chain");
+        let plan = plan_chain(&model(), &chain, bs);
+        let covered: usize = plan.steps().iter().map(ChainStep::width).sum();
+        prop_assert_eq!(covered, chain.len());
+        let step_total: u64 = plan.steps().iter().map(ChainStep::ma).sum();
+        prop_assert_eq!(step_total, plan.total_ma());
+        // Fusing never loses to all-solo.
+        let solo: u64 = (0..chain.len())
+            .map(|i| {
+                fusecu_dataflow::principles::try_optimize_with(&model(), chain.mm(i), bs)
+                    .unwrap()
+                    .total_ma()
+            })
+            .sum();
+        prop_assert!(plan.total_ma() <= solo);
+    }
+}

@@ -1,0 +1,265 @@
+//! Producer→consumer matmul chains, the unit of operator fusion.
+//!
+//! A chain `E = ((A × B) × D) × …` links matmuls through intermediate
+//! tensors: the output `C[M,L]` of one matmul is the left operand of the
+//! next, so consecutive matmuls must satisfy `mmᵢ₊₁.m == mmᵢ.m` and
+//! `mmᵢ₊₁.k == mmᵢ.l`. Attention is exactly such a chain
+//! (`(Q·Kᵀ)·V` with a transparent softmax between the two matmuls), which is
+//! why the paper evaluates on attention-based models.
+
+use std::fmt;
+
+use crate::matmul::MatMul;
+
+/// Error produced when two matmuls cannot be chained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainError {
+    /// Index of the consumer matmul whose shape does not match.
+    index: usize,
+    expected: (u64, u64),
+    found: (u64, u64),
+}
+
+impl ChainError {
+    /// Index (within the chain being built) of the mismatching consumer.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matmul #{} cannot consume its predecessor's output: expected (m,k) = {:?}, found {:?}",
+            self.index, self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A chain of matmuls in which each operator's output feeds the next
+/// operator's left input.
+///
+/// ```
+/// use fusecu_ir::{MatMul, MmChain};
+///
+/// // (Q·Kᵀ)·V for one attention head: seq = 1024, head dim = 64.
+/// let chain = MmChain::try_new(vec![
+///     MatMul::new(1024, 64, 1024),
+///     MatMul::new(1024, 1024, 64),
+/// ])?;
+/// assert_eq!(chain.len(), 2);
+/// assert_eq!(chain.intermediate_elems(0), 1024 * 1024);
+/// # Ok::<(), fusecu_ir::ChainError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MmChain {
+    mms: Vec<MatMul>,
+}
+
+impl MmChain {
+    /// Builds a chain, validating every producer/consumer shape pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError`] if some matmul's `(m, k)` does not equal its
+    /// predecessor's `(m, l)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mms` is empty; a chain has at least one operator.
+    pub fn try_new(mms: Vec<MatMul>) -> Result<MmChain, ChainError> {
+        assert!(!mms.is_empty(), "a chain needs at least one matmul");
+        for i in 1..mms.len() {
+            let expected = (mms[i - 1].m(), mms[i - 1].l());
+            let found = (mms[i].m(), mms[i].k());
+            if expected != found {
+                return Err(ChainError {
+                    index: i,
+                    expected,
+                    found,
+                });
+            }
+        }
+        Ok(MmChain { mms })
+    }
+
+    /// A chain holding a single matmul (always valid).
+    pub fn single(mm: MatMul) -> MmChain {
+        MmChain { mms: vec![mm] }
+    }
+
+    /// Number of matmuls in the chain.
+    #[allow(clippy::len_without_is_empty)] // chains are never empty
+    pub fn len(&self) -> usize {
+        self.mms.len()
+    }
+
+    /// The matmuls, producer first.
+    pub fn mms(&self) -> &[MatMul] {
+        &self.mms
+    }
+
+    /// The `i`-th matmul.
+    pub fn mm(&self, i: usize) -> MatMul {
+        self.mms[i]
+    }
+
+    /// Footprint in elements of the intermediate tensor between matmul `i`
+    /// and matmul `i + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i + 1 >= len()`: the last matmul's output is external, not
+    /// an intermediate.
+    pub fn intermediate_elems(&self, i: usize) -> u64 {
+        assert!(i + 1 < self.mms.len(), "no intermediate after the last matmul");
+        self.mms[i].m() * self.mms[i].l()
+    }
+
+    /// Total MAC count over the chain.
+    pub fn macs(&self) -> u64 {
+        self.mms.iter().map(MatMul::macs).sum()
+    }
+
+    /// Sum of per-operator ideal (infinite-buffer, unfused) memory accesses.
+    ///
+    /// Under unfused execution each intermediate is written once and read
+    /// once, so its footprint is counted twice across the two operators.
+    pub fn unfused_ideal_ma(&self) -> u64 {
+        self.mms.iter().map(MatMul::ideal_ma).sum()
+    }
+
+    /// The fused communication lower bound: only external tensors touch
+    /// memory. The producer's `A`/`B`, every later matmul's `B`, and the
+    /// final output are each counted once; intermediates cost nothing.
+    pub fn fused_ideal_ma(&self) -> u64 {
+        let first = &self.mms[0];
+        let last = &self.mms[self.mms.len() - 1];
+        let inputs: u64 = first.tensor_elems(crate::Operand::Lhs)
+            + self
+                .mms
+                .iter()
+                .map(|mm| mm.tensor_elems(crate::Operand::Rhs))
+                .sum::<u64>();
+        inputs + last.tensor_elems(crate::Operand::Out)
+    }
+
+    /// Splits the chain into consecutive pairs `(i, i+1)`; Principle 4 is
+    /// applied to each pair to decide fusion of longer chains.
+    pub fn pairs(&self) -> impl Iterator<Item = (MatMul, MatMul)> + '_ {
+        self.mms.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// The sub-chain covering matmuls `start..end` (end exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn slice(&self, start: usize, end: usize) -> MmChain {
+        assert!(start < end && end <= self.mms.len(), "invalid chain slice");
+        MmChain {
+            mms: self.mms[start..end].to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for MmChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, mm) in self.mms.iter().enumerate() {
+            if i > 0 {
+                f.write_str("  ->  ")?;
+            }
+            write!(f, "[{}x{}x{}]", mm.m(), mm.k(), mm.l())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Operand;
+
+    fn attention_chain() -> MmChain {
+        MmChain::try_new(vec![
+            MatMul::new(1024, 64, 1024),
+            MatMul::new(1024, 1024, 64),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_chain_accepts() {
+        let c = attention_chain();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.intermediate_elems(0), 1024 * 1024);
+        assert_eq!(c.macs(), 2 * 1024 * 64 * 1024);
+    }
+
+    #[test]
+    fn mismatched_chain_rejects() {
+        let err = MmChain::try_new(vec![MatMul::new(4, 8, 16), MatMul::new(4, 15, 2)])
+            .unwrap_err();
+        assert_eq!(err.index(), 1);
+        let msg = err.to_string();
+        assert!(msg.contains("(4, 16)") && msg.contains("(4, 15)"), "{msg}");
+    }
+
+    #[test]
+    fn fused_lower_bound_excludes_intermediates() {
+        let c = attention_chain();
+        // External tensors: Q(1024x64), K(64x1024), V(1024x64), O(1024x64).
+        assert_eq!(c.fused_ideal_ma(), 4 * 1024 * 64);
+        // Unfused counts the 1024x1024 intermediate twice.
+        assert_eq!(c.unfused_ideal_ma(), c.fused_ideal_ma() + 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn three_op_chain() {
+        let c = MmChain::try_new(vec![
+            MatMul::new(8, 4, 16),
+            MatMul::new(8, 16, 32),
+            MatMul::new(8, 32, 4),
+        ])
+        .unwrap();
+        assert_eq!(c.pairs().count(), 2);
+        assert_eq!(c.intermediate_elems(0), 8 * 16);
+        assert_eq!(c.intermediate_elems(1), 8 * 32);
+        let inputs = 8 * 4 + 4 * 16 + 16 * 32 + 32 * 4;
+        assert_eq!(c.fused_ideal_ma(), inputs + 8 * 4);
+        let s = c.slice(1, 3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.mm(0), MatMul::new(8, 16, 32));
+    }
+
+    #[test]
+    fn single_chain_has_no_pairs() {
+        let c = MmChain::single(MatMul::new(2, 3, 4));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.pairs().count(), 0);
+        assert_eq!(c.unfused_ideal_ma(), c.fused_ideal_ma());
+        assert_eq!(
+            c.fused_ideal_ma(),
+            c.mm(0).tensor_elems(Operand::Lhs)
+                + c.mm(0).tensor_elems(Operand::Rhs)
+                + c.mm(0).tensor_elems(Operand::Out)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no intermediate")]
+    fn intermediate_after_last_panics() {
+        attention_chain().intermediate_elems(1);
+    }
+
+    #[test]
+    fn display_shows_shapes() {
+        assert_eq!(
+            attention_chain().to_string(),
+            "[1024x64x1024]  ->  [1024x1024x64]"
+        );
+    }
+}

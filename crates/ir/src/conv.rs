@@ -1,0 +1,183 @@
+//! Convolution as a tensor operator.
+//!
+//! The paper notes (§III-B end) that "Principle 1–4 can be extended to
+//! other tensor operators, as all tensor operators can be represented as
+//! for-loops". This module provides the standard bridge for convolutions:
+//! a [`Conv2d`] lowers to the im2col matmul whose dimensions are
+//!
+//! * `M = N · H_out · W_out` (output pixels),
+//! * `K = C_in · R · S` (receptive field),
+//! * `L = C_out` (filters),
+//!
+//! after which every principle, searcher, and platform model in this
+//! workspace applies unchanged. (The im2col expansion itself re-reads input
+//! halo pixels; the returned matmul models the post-lowering operator, the
+//! same granularity DAT/MAESTRO-style models use.)
+
+use std::fmt;
+
+use crate::matmul::{MatMul, ShapeError};
+
+/// A 2-D convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2d {
+    /// Batch size.
+    pub batch: u64,
+    /// Input channels.
+    pub in_channels: u64,
+    /// Input height.
+    pub height: u64,
+    /// Input width.
+    pub width: u64,
+    /// Output channels (filter count).
+    pub out_channels: u64,
+    /// Kernel height.
+    pub kernel_h: u64,
+    /// Kernel width.
+    pub kernel_w: u64,
+    /// Stride (same for both axes).
+    pub stride: u64,
+    /// Symmetric zero padding (same for both axes).
+    pub padding: u64,
+}
+
+impl Conv2d {
+    /// A square-kernel convolution with stride 1 and "same"-style padding
+    /// `kernel / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero.
+    pub fn same(batch: u64, in_channels: u64, hw: u64, out_channels: u64, kernel: u64) -> Conv2d {
+        let conv = Conv2d {
+            batch,
+            in_channels,
+            height: hw,
+            width: hw,
+            out_channels,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride: 1,
+            padding: kernel / 2,
+        };
+        assert!(conv.output_h() > 0 && conv.output_w() > 0, "degenerate convolution");
+        conv
+    }
+
+    /// Output height.
+    pub fn output_h(&self) -> u64 {
+        (self.height + 2 * self.padding).saturating_sub(self.kernel_h) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn output_w(&self) -> u64 {
+        (self.width + 2 * self.padding).saturating_sub(self.kernel_w) / self.stride + 1
+    }
+
+    /// Multiply-accumulate count.
+    pub fn macs(&self) -> u64 {
+        self.batch
+            * self.out_channels
+            * self.output_h()
+            * self.output_w()
+            * self.in_channels
+            * self.kernel_h
+            * self.kernel_w
+    }
+
+    /// Lowers to the im2col matmul `[M, K] × [K, L]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when the output extent collapses to zero.
+    pub fn to_matmul(&self) -> Result<MatMul, ShapeError> {
+        MatMul::try_new(
+            self.batch * self.output_h() * self.output_w(),
+            self.in_channels * self.kernel_h * self.kernel_w,
+            self.out_channels,
+        )
+    }
+}
+
+impl fmt::Display for Conv2d {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conv {}x{}x{}x{} -> {} ch, {}x{} kernel, stride {}, pad {}",
+            self.batch,
+            self.in_channels,
+            self.height,
+            self.width,
+            self.out_channels,
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.padding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_convolution_keeps_extent() {
+        let c = Conv2d::same(1, 64, 56, 128, 3);
+        assert_eq!(c.output_h(), 56);
+        assert_eq!(c.output_w(), 56);
+    }
+
+    #[test]
+    fn im2col_dimensions() {
+        // ResNet-style 3x3: N=8, 64ch 56x56 -> 64ch.
+        let c = Conv2d::same(8, 64, 56, 64, 3);
+        let mm = c.to_matmul().unwrap();
+        assert_eq!(mm.m(), 8 * 56 * 56);
+        assert_eq!(mm.k(), 64 * 9);
+        assert_eq!(mm.l(), 64);
+        assert_eq!(mm.macs(), c.macs());
+    }
+
+    #[test]
+    fn strided_convolution_shrinks_output() {
+        let c = Conv2d {
+            batch: 1,
+            in_channels: 3,
+            height: 224,
+            width: 224,
+            out_channels: 64,
+            kernel_h: 7,
+            kernel_w: 7,
+            stride: 2,
+            padding: 3,
+        };
+        assert_eq!(c.output_h(), 112);
+        let mm = c.to_matmul().unwrap();
+        assert_eq!(mm.m(), 112 * 112);
+        assert_eq!(mm.k(), 3 * 49);
+    }
+
+    #[test]
+    fn pointwise_convolution_is_a_plain_matmul() {
+        let c = Conv2d::same(4, 256, 14, 512, 1);
+        let mm = c.to_matmul().unwrap();
+        assert_eq!(mm.k(), 256);
+        assert_eq!(mm.l(), 512);
+    }
+
+    #[test]
+    fn principles_apply_to_lowered_convolutions() {
+        // The point of the extension: the regime table and optimality carry
+        // over to conv operators once lowered.
+        let mm = Conv2d::same(8, 64, 56, 64, 3).to_matmul().unwrap();
+        assert!(mm.min_dim() > 0);
+        assert!(mm.ideal_ma() < mm.macs());
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = Conv2d::same(1, 3, 32, 16, 3).to_string();
+        assert!(s.contains("3x3 kernel"), "{s}");
+    }
+}

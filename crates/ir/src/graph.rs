@@ -1,0 +1,451 @@
+//! Operator graphs: matmuls plus transparent (softmax / elementwise) nodes.
+//!
+//! The workload models in `fusecu-models` are expressed as [`OpGraph`]s. For
+//! dataflow purposes only matmuls matter; softmax, bias, activation and
+//! residual nodes are *transparent* — FuseCU computes them on the fly in the
+//! PE array's post-processing path (the paper's PE keeps the softmax unit of
+//! the baseline design), so they neither block fusion nor add DRAM traffic
+//! of their own beyond the tensors already flowing between matmuls.
+//!
+//! [`OpGraph::mm_chains`] extracts the maximal producer→consumer matmul
+//! chains on which Principle 4 decides fusion.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::chain::MmChain;
+use crate::matmul::MatMul;
+
+/// Index of a node within an [`OpGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Index of an edge within an [`OpGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub usize);
+
+/// The operator performed by a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A matrix multiplication.
+    MatMul(MatMul),
+    /// Row-wise softmax over an `[rows, cols]` tensor. Transparent for
+    /// dataflow; executed by the softmax unit.
+    Softmax {
+        /// Number of rows the softmax normalizes independently.
+        rows: u64,
+        /// Row length.
+        cols: u64,
+    },
+    /// Any elementwise map (bias add, GELU, residual add, layernorm scale…)
+    /// over `elems` elements. Transparent for dataflow.
+    Elementwise {
+        /// Element count of the mapped tensor.
+        elems: u64,
+    },
+}
+
+impl OpKind {
+    /// Whether the node is transparent for fusion purposes.
+    pub fn is_transparent(&self) -> bool {
+        !matches!(self, OpKind::MatMul(_))
+    }
+
+    /// The matmul, if this node is one.
+    pub fn as_matmul(&self) -> Option<MatMul> {
+        match self {
+            OpKind::MatMul(mm) => Some(*mm),
+            _ => None,
+        }
+    }
+
+    /// Elements produced by the node.
+    pub fn output_elems(&self) -> u64 {
+        match self {
+            OpKind::MatMul(mm) => mm.tensor_elems(crate::Operand::Out),
+            OpKind::Softmax { rows, cols } => rows * cols,
+            OpKind::Elementwise { elems } => *elems,
+        }
+    }
+}
+
+/// A node of an [`OpGraph`]: an operator plus an instance count.
+///
+/// `count` is the number of independent instances of the operator in one
+/// forward pass — e.g. `batch × heads` for the per-head attention matmuls.
+/// Every instance runs the same dataflow, so costs scale linearly with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpNode {
+    /// Human-readable name (`"q_proj"`, `"qk^T"`, …).
+    pub name: String,
+    /// The operator.
+    pub kind: OpKind,
+    /// Number of independent instances per forward pass.
+    pub count: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Edge {
+    from: NodeId,
+    to: NodeId,
+}
+
+/// A directed operator graph.
+///
+/// Edges mean "the producer's output tensor is (one of) the consumer's
+/// input(s)". For matmul consumers the convention is that chained
+/// intermediates arrive as the **left** operand (`A`); weight-style inputs
+/// (`B`) come from memory and are not modeled as graph edges.
+#[derive(Debug, Clone, Default)]
+pub struct OpGraph {
+    nodes: Vec<OpNode>,
+    edges: Vec<Edge>,
+}
+
+impl OpGraph {
+    /// Creates an empty graph.
+    pub fn new() -> OpGraph {
+        OpGraph::default()
+    }
+
+    /// Adds a matmul node with an instance count; returns its id.
+    pub fn add_matmul(&mut self, name: impl Into<String>, mm: MatMul, count: u64) -> NodeId {
+        self.add_node(name, OpKind::MatMul(mm), count)
+    }
+
+    /// Adds a softmax node.
+    pub fn add_softmax(&mut self, name: impl Into<String>, rows: u64, cols: u64, count: u64) -> NodeId {
+        self.add_node(name, OpKind::Softmax { rows, cols }, count)
+    }
+
+    /// Adds an elementwise node.
+    pub fn add_elementwise(&mut self, name: impl Into<String>, elems: u64, count: u64) -> NodeId {
+        self.add_node(name, OpKind::Elementwise { elems }, count)
+    }
+
+    fn add_node(&mut self, name: impl Into<String>, kind: OpKind, count: u64) -> NodeId {
+        assert!(count > 0, "node instance count must be non-zero");
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(OpNode {
+            name: name.into(),
+            kind,
+            count,
+        });
+        id
+    }
+
+    /// Connects `from`'s output to `to`'s input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range or the edge would duplicate an
+    /// existing one.
+    pub fn connect(&mut self, from: NodeId, to: NodeId) -> EdgeId {
+        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "node id out of range");
+        assert!(
+            !self.edges.iter().any(|e| e.from == from && e.to == to),
+            "duplicate edge {from:?} -> {to:?}"
+        );
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { from, to });
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> &OpNode {
+        &self.nodes[id.0]
+    }
+
+    /// Iterates over `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &OpNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// All matmul nodes with their ids.
+    pub fn matmuls(&self) -> impl Iterator<Item = (NodeId, MatMul, u64)> + '_ {
+        self.iter()
+            .filter_map(|(id, n)| n.kind.as_matmul().map(|mm| (id, mm, n.count)))
+    }
+
+    /// Total MACs per forward pass (all instances).
+    pub fn total_macs(&self) -> u64 {
+        self.matmuls().map(|(_, mm, c)| mm.macs() * c).sum()
+    }
+
+    /// Out-degree of a node.
+    pub fn fan_out(&self, id: NodeId) -> usize {
+        self.edges.iter().filter(|e| e.from == id).count()
+    }
+
+    /// Successors of a node.
+    pub fn successors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |e| e.from == id)
+            .map(|e| e.to)
+    }
+
+    /// Predecessors of a node.
+    pub fn predecessors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |e| e.to == id)
+            .map(|e| e.from)
+    }
+
+    /// Follows transparent nodes downstream from `id` until reaching a
+    /// matmul; returns it if the path is a chain of fan-out-1 transparent
+    /// nodes each with exactly that single consumer.
+    fn next_matmul(&self, id: NodeId) -> Option<NodeId> {
+        if self.fan_out(id) != 1 {
+            return None;
+        }
+        let mut cur = self.successors(id).next()?;
+        loop {
+            let node = self.node(cur);
+            match node.kind {
+                OpKind::MatMul(_) => return Some(cur),
+                _ => {
+                    // Transparent: must itself forward to exactly one node.
+                    if self.fan_out(cur) != 1 {
+                        return None;
+                    }
+                    cur = self.successors(cur).next()?;
+                }
+            }
+        }
+    }
+
+    /// Renders the graph in Graphviz DOT syntax, marking matmuls as boxes
+    /// (with shapes and counts) and transparent nodes as ellipses.
+    ///
+    /// ```
+    /// use fusecu_ir::{MatMul, OpGraph};
+    /// let mut g = OpGraph::new();
+    /// let a = g.add_matmul("proj", MatMul::new(4, 4, 4), 2);
+    /// let b = g.add_elementwise("gelu", 16, 2);
+    /// g.connect(a, b);
+    /// assert!(g.to_dot().contains("digraph"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph opgraph {\n  rankdir=TB;\n");
+        for (id, n) in self.iter() {
+            let (shape, label) = match n.kind {
+                OpKind::MatMul(mm) => (
+                    "box",
+                    format!("{} x{}\\n{}x{}x{}", n.name, n.count, mm.m(), mm.k(), mm.l()),
+                ),
+                OpKind::Softmax { rows, cols } => {
+                    ("ellipse", format!("{} x{}\\n[{rows},{cols}]", n.name, n.count))
+                }
+                OpKind::Elementwise { elems } => {
+                    ("ellipse", format!("{} x{}\\n[{elems}]", n.name, n.count))
+                }
+            };
+            let _ = writeln!(out, "  n{} [shape={shape}, label=\"{label}\"];", id.0);
+        }
+        for e in &self.edges {
+            let _ = writeln!(out, "  n{} -> n{};", e.from.0, e.to.0);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Extracts the maximal fusable matmul chains of the graph.
+    ///
+    /// A chain extends from matmul `p` to matmul `q` when:
+    /// * `p` reaches `q` through zero or more fan-out-1 transparent nodes,
+    /// * `p`'s output shape matches `q`'s left-operand shape
+    ///   (`q.m == p.m && q.k == p.l`),
+    /// * both have equal instance counts (instances pair up one-to-one).
+    ///
+    /// Every matmul appears in exactly one returned chain (possibly of
+    /// length 1). Chains are maximal: they cannot be extended in either
+    /// direction. Returned order follows node insertion order of the chain
+    /// heads.
+    pub fn mm_chains(&self) -> Vec<(Vec<NodeId>, MmChain, u64)> {
+        // successor (next chained matmul) for each matmul node
+        let mut next: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut has_pred: HashMap<NodeId, bool> = HashMap::new();
+        let mms: Vec<(NodeId, MatMul, u64)> = self.matmuls().collect();
+        for (id, mm, count) in &mms {
+            if let Some(succ) = self.next_matmul(*id) {
+                let snode = self.node(succ);
+                if let Some(smm) = snode.kind.as_matmul() {
+                    let shape_ok = smm.m() == mm.m() && smm.k() == mm.l();
+                    let count_ok = snode.count == *count;
+                    // The consumer must not already be claimed by another
+                    // producer (a matmul has one left operand).
+                    if shape_ok && count_ok && !has_pred.get(&succ).copied().unwrap_or(false) {
+                        next.insert(*id, succ);
+                        has_pred.insert(succ, true);
+                    }
+                }
+            }
+        }
+        let mut chains = Vec::new();
+        for (id, _, count) in &mms {
+            if has_pred.get(id).copied().unwrap_or(false) {
+                continue; // not a chain head
+            }
+            let mut ids = vec![*id];
+            let mut shapes = vec![self.node(*id).kind.as_matmul().expect("matmul node")];
+            let mut cur = *id;
+            while let Some(&succ) = next.get(&cur) {
+                ids.push(succ);
+                shapes.push(self.node(succ).kind.as_matmul().expect("matmul node"));
+                cur = succ;
+            }
+            let chain = MmChain::try_new(shapes).expect("shape-checked while chaining");
+            chains.push((ids, chain, *count));
+        }
+        chains
+    }
+}
+
+impl fmt::Display for OpGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "OpGraph ({} nodes, {} edges)", self.nodes.len(), self.edges.len())?;
+        for (id, n) in self.iter() {
+            write!(f, "  [{}] {} x{}: ", id.0, n.name, n.count)?;
+            match n.kind {
+                OpKind::MatMul(mm) => write!(f, "{mm}")?,
+                OpKind::Softmax { rows, cols } => write!(f, "softmax[{rows},{cols}]")?,
+                OpKind::Elementwise { elems } => write!(f, "elementwise[{elems}]")?,
+            }
+            let succs: Vec<String> = self.successors(id).map(|s| s.0.to_string()).collect();
+            if !succs.is_empty() {
+                write!(f, "  -> {}", succs.join(", "))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One attention head group: qk^T -> softmax -> pv.
+    fn attention_graph() -> (OpGraph, NodeId, NodeId) {
+        let mut g = OpGraph::new();
+        let qk = g.add_matmul("qk^T", MatMul::new(1024, 64, 1024), 192);
+        let sm = g.add_softmax("softmax", 1024, 1024, 192);
+        let pv = g.add_matmul("pv", MatMul::new(1024, 1024, 64), 192);
+        g.connect(qk, sm);
+        g.connect(sm, pv);
+        (g, qk, pv)
+    }
+
+    #[test]
+    fn chain_through_softmax() {
+        let (g, qk, pv) = attention_graph();
+        let chains = g.mm_chains();
+        assert_eq!(chains.len(), 1);
+        let (ids, chain, count) = &chains[0];
+        assert_eq!(ids, &vec![qk, pv]);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(*count, 192);
+    }
+
+    #[test]
+    fn mismatched_shapes_break_chain() {
+        let mut g = OpGraph::new();
+        let a = g.add_matmul("a", MatMul::new(8, 4, 16), 1);
+        let b = g.add_matmul("b", MatMul::new(8, 15, 4), 1); // k != 16
+        g.connect(a, b);
+        let chains = g.mm_chains();
+        assert_eq!(chains.len(), 2);
+        assert!(chains.iter().all(|(ids, ..)| ids.len() == 1));
+    }
+
+    #[test]
+    fn mismatched_counts_break_chain() {
+        let mut g = OpGraph::new();
+        let a = g.add_matmul("a", MatMul::new(8, 4, 16), 2);
+        let b = g.add_matmul("b", MatMul::new(8, 16, 4), 1);
+        g.connect(a, b);
+        assert_eq!(g.mm_chains().len(), 2);
+    }
+
+    #[test]
+    fn fan_out_blocks_fusion() {
+        let mut g = OpGraph::new();
+        let a = g.add_matmul("a", MatMul::new(8, 4, 16), 1);
+        let b = g.add_matmul("b", MatMul::new(8, 16, 4), 1);
+        let c = g.add_elementwise("residual", 8 * 16, 1);
+        g.connect(a, b);
+        g.connect(a, c); // a's output also consumed elsewhere
+        assert_eq!(g.mm_chains().len(), 2, "fan-out > 1 must not fuse");
+    }
+
+    #[test]
+    fn three_matmul_chain_and_totals() {
+        let mut g = OpGraph::new();
+        let a = g.add_matmul("a", MatMul::new(8, 4, 16), 3);
+        let b = g.add_matmul("b", MatMul::new(8, 16, 32), 3);
+        let c = g.add_matmul("c", MatMul::new(8, 32, 4), 3);
+        g.connect(a, b);
+        g.connect(b, c);
+        let chains = g.mm_chains();
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].1.len(), 3);
+        assert_eq!(
+            g.total_macs(),
+            3 * (8 * 4 * 16 + 8 * 16 * 32 + 8 * 32 * 4)
+        );
+    }
+
+    #[test]
+    fn consumer_claimed_once() {
+        // Two producers feeding one consumer: only one may chain into it.
+        let mut g = OpGraph::new();
+        let p1 = g.add_matmul("p1", MatMul::new(8, 4, 16), 1);
+        let p2 = g.add_matmul("p2", MatMul::new(8, 4, 16), 1);
+        let q = g.add_matmul("q", MatMul::new(8, 16, 4), 1);
+        g.connect(p1, q);
+        g.connect(p2, q);
+        let chains = g.mm_chains();
+        let chained: usize = chains.iter().map(|(ids, ..)| ids.len()).sum();
+        assert_eq!(chained, 3, "every matmul appears exactly once");
+        assert_eq!(chains.len(), 2);
+    }
+
+    #[test]
+    fn dot_export_lists_nodes_and_edges() {
+        let (g, qk, pv) = attention_graph();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains(&format!("n{} ", qk.0)));
+        assert!(dot.contains(&format!("-> n{};", pv.0)));
+        assert!(dot.contains("1024x64x1024"));
+        assert!(dot.contains("shape=ellipse")); // softmax
+    }
+
+    #[test]
+    fn display_lists_nodes() {
+        let (g, ..) = attention_graph();
+        let s = g.to_string();
+        assert!(s.contains("qk^T") && s.contains("softmax[1024,1024]"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_panics() {
+        let mut g = OpGraph::new();
+        let a = g.add_elementwise("a", 4, 1);
+        let b = g.add_elementwise("b", 4, 1);
+        g.connect(a, b);
+        g.connect(a, b);
+    }
+}

@@ -1,0 +1,42 @@
+//! # fusecu-ir — tensor and operator intermediate representation
+//!
+//! This crate defines the small IR that every other crate in the FuseCU
+//! reproduction consumes:
+//!
+//! * [`MatMul`] — a matrix-multiplication operator `C[M,L] = A[M,K] × B[K,L]`,
+//!   the tensor operator the paper's principles are derived on;
+//! * [`MmDim`] / [`Operand`] — the dimension and tensor roles of a matmul;
+//! * [`MmChain`] — a producer→consumer chain of matmuls sharing intermediate
+//!   tensors, the unit on which operator fusion is decided (Principle 4);
+//! * [`graph::OpGraph`] — an operator graph with matmul and "transparent"
+//!   (softmax / elementwise) nodes, from which fusable chains are extracted.
+//!
+//! All sizes are in *elements*. The evaluated accelerators are INT8 engines
+//! (TPUv4i-class), so one element is one byte and buffer capacities quoted in
+//! bytes can be compared to element counts directly; a different element
+//! width only rescales buffer sizes and never reorders dataflow choices.
+//!
+//! ```
+//! use fusecu_ir::{MatMul, MmDim, Operand};
+//!
+//! // The BERT projection matmul from the paper's §III-A example.
+//! let mm = MatMul::new(1024, 768, 768);
+//! assert_eq!(mm.min_dim(), 768);
+//! assert_eq!(mm.tensor_elems(Operand::Rhs), 768 * 768);
+//! assert_eq!(mm.smallest_tensor(), Operand::Rhs);
+//! assert_eq!(mm.macs(), 1024 * 768 * 768);
+//! assert_eq!(mm.dim(MmDim::M), 1024);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod conv;
+pub mod graph;
+pub mod matmul;
+
+pub use chain::{ChainError, MmChain};
+pub use conv::Conv2d;
+pub use graph::{EdgeId, NodeId, OpGraph, OpKind, OpNode};
+pub use matmul::{MatMul, MmDim, Operand, ShapeError};

@@ -1,0 +1,383 @@
+//! The matrix-multiplication operator and its dimension / operand roles.
+//!
+//! The paper derives all four principles on the canonical matmul
+//! `C[M,L] = A[M,K] × B[K,L]` and notes (§III-B end) that the derivation
+//! carries to any tensor operator expressible as a loop nest. Everything in
+//! this reproduction is therefore phrased in terms of the three matmul
+//! dimensions [`MmDim`] and three operand tensors [`Operand`].
+
+use std::fmt;
+
+/// One of the three loop dimensions of a matmul `C[M,L] = A[M,K] × B[K,L]`.
+///
+/// * `M` — rows of the left operand and of the output;
+/// * `K` — the contraction (reduction) dimension;
+/// * `L` — columns of the right operand and of the output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MmDim {
+    /// Rows of `A` and `C`.
+    M,
+    /// The reduction dimension shared by `A` and `B`.
+    K,
+    /// Columns of `B` and `C`.
+    L,
+}
+
+impl MmDim {
+    /// All three dimensions, in canonical `M, K, L` order.
+    pub const ALL: [MmDim; 3] = [MmDim::M, MmDim::K, MmDim::L];
+
+    /// The two operand tensors whose footprint contains this dimension.
+    ///
+    /// ```
+    /// use fusecu_ir::{MmDim, Operand};
+    /// assert_eq!(MmDim::K.tensors(), [Operand::Lhs, Operand::Rhs]);
+    /// ```
+    pub fn tensors(self) -> [Operand; 2] {
+        match self {
+            MmDim::M => [Operand::Lhs, Operand::Out],
+            MmDim::K => [Operand::Lhs, Operand::Rhs],
+            MmDim::L => [Operand::Rhs, Operand::Out],
+        }
+    }
+
+    /// The unique operand tensor that does **not** contain this dimension.
+    ///
+    /// In the Two-NRA analysis this is the *redundant-access* tensor when
+    /// `self` is the dimension kept untiled's complement; see
+    /// `fusecu-dataflow`.
+    pub fn absent_tensor(self) -> Operand {
+        match self {
+            MmDim::M => Operand::Rhs,
+            MmDim::K => Operand::Out,
+            MmDim::L => Operand::Lhs,
+        }
+    }
+
+    /// The remaining dimension given two distinct dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`, since then the "third" dimension is ambiguous.
+    pub fn other(a: MmDim, b: MmDim) -> MmDim {
+        assert_ne!(a, b, "MmDim::other requires two distinct dimensions");
+        *MmDim::ALL
+            .iter()
+            .find(|d| **d != a && **d != b)
+            .expect("three dims, two excluded, one remains")
+    }
+
+    /// Short lowercase name used in rendered dataflow descriptors.
+    pub fn name(self) -> &'static str {
+        match self {
+            MmDim::M => "m",
+            MmDim::K => "k",
+            MmDim::L => "l",
+        }
+    }
+}
+
+impl fmt::Display for MmDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One of the three operand tensors of a matmul.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operand {
+    /// The left input `A[M,K]`.
+    Lhs,
+    /// The right input `B[K,L]`.
+    Rhs,
+    /// The output `C[M,L]`.
+    Out,
+}
+
+impl Operand {
+    /// All three operands, in `A, B, C` order.
+    pub const ALL: [Operand; 3] = [Operand::Lhs, Operand::Rhs, Operand::Out];
+
+    /// The two dimensions spanned by this operand's footprint.
+    pub fn dims(self) -> [MmDim; 2] {
+        match self {
+            Operand::Lhs => [MmDim::M, MmDim::K],
+            Operand::Rhs => [MmDim::K, MmDim::L],
+            Operand::Out => [MmDim::M, MmDim::L],
+        }
+    }
+
+    /// The unique dimension **not** in this operand's footprint.
+    ///
+    /// When this operand is held stationary, iteration over the missing
+    /// dimension is what forces the other two tensors to be re-streamed.
+    pub fn missing_dim(self) -> MmDim {
+        match self {
+            Operand::Lhs => MmDim::L,
+            Operand::Rhs => MmDim::M,
+            Operand::Out => MmDim::K,
+        }
+    }
+
+    /// Whether this operand's footprint contains `dim`.
+    pub fn contains(self, dim: MmDim) -> bool {
+        self.dims().contains(&dim)
+    }
+
+    /// Conventional single-letter name (`A`, `B`, `C`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Operand::Lhs => "A",
+            Operand::Rhs => "B",
+            Operand::Out => "C",
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when constructing a matmul with a zero-sized dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeError {
+    dim: MmDim,
+}
+
+impl ShapeError {
+    /// The offending dimension.
+    pub fn dim(&self) -> MmDim {
+        self.dim
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matmul dimension {} must be non-zero", self.dim)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A matrix multiplication `C[M,L] = A[M,K] × B[K,L]`.
+///
+/// Dimension sizes are in elements and are strictly positive. Batched
+/// occurrences (per attention head, per layer, per batch element) are
+/// represented by repeating the operator at the workload level
+/// (`fusecu-models`), not inside this type, because dataflow decisions are
+/// made per matmul instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatMul {
+    m: u64,
+    k: u64,
+    l: u64,
+}
+
+impl MatMul {
+    /// Creates a matmul with the given `M, K, L` dimension sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero; use [`MatMul::try_new`] for a
+    /// fallible constructor.
+    pub fn new(m: u64, k: u64, l: u64) -> MatMul {
+        MatMul::try_new(m, k, l).expect("matmul dimensions must be non-zero")
+    }
+
+    /// Fallible constructor; returns [`ShapeError`] on a zero dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first dimension (in `M, K, L` order) that
+    /// is zero.
+    pub fn try_new(m: u64, k: u64, l: u64) -> Result<MatMul, ShapeError> {
+        for (dim, size) in [(MmDim::M, m), (MmDim::K, k), (MmDim::L, l)] {
+            if size == 0 {
+                return Err(ShapeError { dim });
+            }
+        }
+        Ok(MatMul { m, k, l })
+    }
+
+    /// Size of one dimension.
+    pub fn dim(&self, dim: MmDim) -> u64 {
+        match dim {
+            MmDim::M => self.m,
+            MmDim::K => self.k,
+            MmDim::L => self.l,
+        }
+    }
+
+    /// The `M` dimension size.
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// The `K` (reduction) dimension size.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The `L` dimension size.
+    pub fn l(&self) -> u64 {
+        self.l
+    }
+
+    /// Footprint of one operand tensor in elements.
+    pub fn tensor_elems(&self, op: Operand) -> u64 {
+        let [a, b] = op.dims();
+        self.dim(a) * self.dim(b)
+    }
+
+    /// Total multiply-accumulate count `M·K·L`.
+    pub fn macs(&self) -> u64 {
+        self.m * self.k * self.l
+    }
+
+    /// The smallest of the three dimension sizes (`D_min` in the paper).
+    pub fn min_dim(&self) -> u64 {
+        self.m.min(self.k).min(self.l)
+    }
+
+    /// A dimension of minimal size (ties broken in `M, K, L` order).
+    pub fn min_dim_role(&self) -> MmDim {
+        *MmDim::ALL
+            .iter()
+            .min_by_key(|d| self.dim(**d))
+            .expect("ALL is non-empty")
+    }
+
+    /// The operand with the smallest footprint (`Tensor_min`'s owner), ties
+    /// broken in `A, B, C` order.
+    pub fn smallest_tensor(&self) -> Operand {
+        *Operand::ALL
+            .iter()
+            .min_by_key(|t| self.tensor_elems(**t))
+            .expect("ALL is non-empty")
+    }
+
+    /// Footprint of the smallest tensor in elements (`Tensor_min`).
+    pub fn min_tensor_elems(&self) -> u64 {
+        self.tensor_elems(self.smallest_tensor())
+    }
+
+    /// Sum of all three tensor footprints: the ideal (infinite-buffer)
+    /// memory access, i.e. the communication lower bound for an unfused
+    /// matmul.
+    pub fn ideal_ma(&self) -> u64 {
+        Operand::ALL.iter().map(|t| self.tensor_elems(*t)).sum()
+    }
+
+    /// The matmul with `A` and `B` swapped (`Cᵀ = Bᵀ × Aᵀ`). Dataflow
+    /// analyses are symmetric under this transposition, which tests exploit.
+    pub fn transposed(&self) -> MatMul {
+        MatMul {
+            m: self.l,
+            k: self.k,
+            l: self.m,
+        }
+    }
+}
+
+impl fmt::Display for MatMul {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "C[{m},{l}] = A[{m},{k}] x B[{k},{l}]",
+            m = self.m,
+            k = self.k,
+            l = self.l
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_and_tensors_are_consistent() {
+        for dim in MmDim::ALL {
+            // A dim's two containing tensors plus its absent tensor cover all.
+            let mut ts = dim.tensors().to_vec();
+            ts.push(dim.absent_tensor());
+            ts.sort();
+            assert_eq!(ts, Operand::ALL.to_vec());
+            for t in dim.tensors() {
+                assert!(t.contains(dim));
+            }
+            assert!(!dim.absent_tensor().contains(dim));
+        }
+        for op in Operand::ALL {
+            assert!(!op.contains(op.missing_dim()));
+        }
+    }
+
+    #[test]
+    fn other_dim_is_the_third() {
+        assert_eq!(MmDim::other(MmDim::M, MmDim::K), MmDim::L);
+        assert_eq!(MmDim::other(MmDim::K, MmDim::M), MmDim::L);
+        assert_eq!(MmDim::other(MmDim::M, MmDim::L), MmDim::K);
+        assert_eq!(MmDim::other(MmDim::K, MmDim::L), MmDim::M);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn other_dim_rejects_equal_inputs() {
+        let _ = MmDim::other(MmDim::M, MmDim::M);
+    }
+
+    #[test]
+    fn footprints_match_definition() {
+        let mm = MatMul::new(4, 5, 6);
+        assert_eq!(mm.tensor_elems(Operand::Lhs), 20);
+        assert_eq!(mm.tensor_elems(Operand::Rhs), 30);
+        assert_eq!(mm.tensor_elems(Operand::Out), 24);
+        assert_eq!(mm.macs(), 120);
+        assert_eq!(mm.ideal_ma(), 74);
+        assert_eq!(mm.min_dim(), 4);
+        assert_eq!(mm.min_dim_role(), MmDim::M);
+        assert_eq!(mm.smallest_tensor(), Operand::Lhs);
+        assert_eq!(mm.min_tensor_elems(), 20);
+    }
+
+    #[test]
+    fn bert_example_from_paper() {
+        // §III-A example: A(1024,768) x B(768,768); Dmin²/2 = 294 912 and
+        // Tensor_min = 589 824 bound the Two-NRA regime for BS = 512 KiB.
+        let mm = MatMul::new(1024, 768, 768);
+        assert_eq!(mm.min_dim() * mm.min_dim() / 2, 294_912);
+        assert_eq!(mm.min_tensor_elems(), 589_824);
+        assert_eq!(mm.smallest_tensor(), Operand::Rhs);
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert_eq!(MatMul::try_new(1, 0, 3).unwrap_err().dim(), MmDim::K);
+        assert_eq!(
+            MatMul::try_new(0, 0, 3).unwrap_err().to_string(),
+            "matmul dimension m must be non-zero"
+        );
+        assert!(MatMul::try_new(1, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn transposed_swaps_m_and_l() {
+        let mm = MatMul::new(4, 5, 6);
+        let t = mm.transposed();
+        assert_eq!((t.m(), t.k(), t.l()), (6, 5, 4));
+        assert_eq!(t.transposed(), mm);
+        assert_eq!(t.macs(), mm.macs());
+        assert_eq!(t.ideal_ma(), mm.ideal_ma());
+    }
+
+    #[test]
+    fn display_formats() {
+        let mm = MatMul::new(2, 3, 4);
+        assert_eq!(mm.to_string(), "C[2,4] = A[2,3] x B[3,4]");
+        assert_eq!(MmDim::K.to_string(), "k");
+        assert_eq!(Operand::Out.to_string(), "C");
+    }
+}

@@ -1,0 +1,302 @@
+//! Building operator graphs from transformer hyper-parameters.
+
+use fusecu_ir::{MatMul, OpGraph};
+
+use crate::config::TransformerConfig;
+
+impl TransformerConfig {
+    /// Builds the operator graph of one representative transformer layer.
+    ///
+    /// Structure (counts in parentheses, `B` = batch, `h` = heads):
+    ///
+    /// ```text
+    /// q_proj, k_proj, v_proj     [B·S, H] x [H, H]          (x1 each)
+    /// qk^T                       [S, d_h] x [d_h, S]        (xB·h)
+    ///   └─ softmax               [S, S]                     (xB·h)
+    ///        └─ pv               [S, S] x [S, d_h]          (xB·h)
+    /// out_proj                   [B·S, H] x [H, H]          (x1)
+    /// ffn_up                     [B·S, H] x [F, …]          (x1)
+    ///   └─ activation            [B·S, F]                   (x1)
+    ///        └─ ffn_down         [B·S, F] x [F, H]          (x1)
+    /// ```
+    ///
+    /// `qk^T → softmax → pv` and `ffn_up → activation → ffn_down` are the
+    /// two fusable chains; projections are separated from them by head
+    /// split/merge reshapes, which spatial accelerators realize as layout
+    /// changes through memory.
+    pub fn build_graph(&self) -> OpGraph {
+        let mut g = OpGraph::new();
+        let s = self.seq_len;
+        let h = self.hidden;
+        let f = self.ffn_hidden;
+        let dh = self.head_dim();
+        let tokens = self.tokens();
+        let per_head = self.batch * self.heads;
+
+        for name in ["q_proj", "k_proj", "v_proj"] {
+            g.add_matmul(name, MatMul::new(tokens, h, h), 1);
+        }
+
+        let qk = g.add_matmul("qk^T", MatMul::new(s, dh, s), per_head);
+        let sm = g.add_softmax("softmax", s, s, per_head);
+        let pv = g.add_matmul("pv", MatMul::new(s, s, dh), per_head);
+        g.connect(qk, sm);
+        g.connect(sm, pv);
+
+        g.add_matmul("out_proj", MatMul::new(tokens, h, h), 1);
+
+        let up = g.add_matmul("ffn_up", MatMul::new(tokens, h, f), 1);
+        let act = g.add_elementwise("activation", tokens * f, 1);
+        let down = g.add_matmul("ffn_down", MatMul::new(tokens, f, h), 1);
+        g.connect(up, act);
+        g.connect(act, down);
+
+        g
+    }
+
+    /// Builds the operator graph of one layer in the *decode* (incremental
+    /// autoregressive generation) phase: each step processes one query
+    /// token per sequence against a KV cache of `context_len` tokens.
+    ///
+    /// Every matmul collapses to a skinny shape (`M = batch` for
+    /// projections, `M = 1` per head for attention), the regime where
+    /// flexible stationaries and the wide/narrow fabric reshapes matter
+    /// most — a natural extension of the paper's prefill-only evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `context_len` is zero.
+    pub fn build_decode_graph(&self, context_len: u64) -> OpGraph {
+        assert!(context_len > 0, "decode needs a non-empty context");
+        let mut g = OpGraph::new();
+        let h = self.hidden;
+        let f = self.ffn_hidden;
+        let dh = self.head_dim();
+        let per_head = self.batch * self.heads;
+
+        for name in ["q_proj", "k_proj", "v_proj"] {
+            g.add_matmul(name, MatMul::new(self.batch, h, h), 1);
+        }
+        let qk = g.add_matmul("qk^T", MatMul::new(1, dh, context_len), per_head);
+        let sm = g.add_softmax("softmax", 1, context_len, per_head);
+        let pv = g.add_matmul("pv", MatMul::new(1, context_len, dh), per_head);
+        g.connect(qk, sm);
+        g.connect(sm, pv);
+        g.add_matmul("out_proj", MatMul::new(self.batch, h, h), 1);
+        let up = g.add_matmul("ffn_up", MatMul::new(self.batch, h, f), 1);
+        let act = g.add_elementwise("activation", self.batch * f, 1);
+        let down = g.add_matmul("ffn_down", MatMul::new(self.batch, f, h), 1);
+        g.connect(up, act);
+        g.connect(act, down);
+        g
+    }
+
+    /// Builds one *decoder* layer of an encoder–decoder model (Blenderbot
+    /// and XLM are seq2seq architectures): self-attention over the target
+    /// sequence, **cross-attention** whose keys/values come from an
+    /// encoder sequence of `src_len` tokens, and the FFN.
+    ///
+    /// Cross-attention contributes a fusable chain with *asymmetric*
+    /// dimensions (`S × d_h × src_len` then `S × src_len × d_h`), the shape
+    /// family the square-tile-only fabrics handle worst.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src_len` is zero.
+    pub fn build_cross_attention_graph(&self, src_len: u64) -> OpGraph {
+        assert!(src_len > 0, "encoder sequence must be non-empty");
+        let mut g = OpGraph::new();
+        let s = self.seq_len;
+        let h = self.hidden;
+        let f = self.ffn_hidden;
+        let dh = self.head_dim();
+        let tokens = self.tokens();
+        let per_head = self.batch * self.heads;
+
+        // Self-attention block.
+        for name in ["q_proj", "k_proj", "v_proj"] {
+            g.add_matmul(name, MatMul::new(tokens, h, h), 1);
+        }
+        let qk = g.add_matmul("self_qk^T", MatMul::new(s, dh, s), per_head);
+        let sm = g.add_softmax("self_softmax", s, s, per_head);
+        let pv = g.add_matmul("self_pv", MatMul::new(s, s, dh), per_head);
+        g.connect(qk, sm);
+        g.connect(sm, pv);
+        g.add_matmul("self_out_proj", MatMul::new(tokens, h, h), 1);
+
+        // Cross-attention block: queries from the decoder, keys/values from
+        // the encoder memory (projected once per pass).
+        g.add_matmul("cross_q_proj", MatMul::new(tokens, h, h), 1);
+        g.add_matmul("cross_k_proj", MatMul::new(self.batch * src_len, h, h), 1);
+        g.add_matmul("cross_v_proj", MatMul::new(self.batch * src_len, h, h), 1);
+        let xqk = g.add_matmul("cross_qk^T", MatMul::new(s, dh, src_len), per_head);
+        let xsm = g.add_softmax("cross_softmax", s, src_len, per_head);
+        let xpv = g.add_matmul("cross_pv", MatMul::new(s, src_len, dh), per_head);
+        g.connect(xqk, xsm);
+        g.connect(xsm, xpv);
+        g.add_matmul("cross_out_proj", MatMul::new(tokens, h, h), 1);
+
+        // FFN.
+        let up = g.add_matmul("ffn_up", MatMul::new(tokens, h, f), 1);
+        let act = g.add_elementwise("activation", tokens * f, 1);
+        let down = g.add_matmul("ffn_down", MatMul::new(tokens, f, h), 1);
+        g.connect(up, act);
+        g.connect(act, down);
+        g
+    }
+
+    /// Total MACs of one layer across all instances.
+    pub fn layer_macs(&self) -> u64 {
+        self.build_graph().total_macs()
+    }
+
+    /// Total elements of all external tensors touched at least once per
+    /// layer — the infinite-buffer traffic floor used to normalize memory
+    /// access across models.
+    pub fn layer_ideal_ma(&self) -> u64 {
+        let g = self.build_graph();
+        g.mm_chains()
+            .iter()
+            .map(|(_, chain, count)| chain.fused_ideal_ma() * count)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn bert_layer_structure() {
+        let g = zoo::bert().build_graph();
+        // 6 projection/FFN matmuls + 2 attention matmuls + softmax + act.
+        assert_eq!(g.node_count(), 10);
+        let chains = g.mm_chains();
+        // qk->pv fused chain, ffn chain, and 4 solo projections.
+        assert_eq!(chains.len(), 6);
+        let fused: Vec<usize> = chains
+            .iter()
+            .map(|(ids, ..)| ids.len())
+            .filter(|l| *l > 1)
+            .collect();
+        assert_eq!(fused, vec![2, 2]);
+    }
+
+    #[test]
+    fn attention_chain_has_per_head_count() {
+        let c = zoo::deberta_v2();
+        let g = c.build_graph();
+        let (_, chain, count) = g
+            .mm_chains()
+            .into_iter()
+            .find(|(_, ch, _)| ch.len() == 2 && ch.mm(0).k() == c.head_dim())
+            .expect("attention chain present");
+        assert_eq!(count, 16 * 24);
+        assert_eq!(chain.mm(0).m(), 1024);
+        assert_eq!(chain.mm(0).l(), 1024);
+        assert_eq!(chain.mm(1).l(), c.head_dim());
+    }
+
+    #[test]
+    fn macs_match_hand_count() {
+        let c = zoo::blenderbot(); // heads 16, seq 256, hidden 1024, B 16
+        let s = 256u64;
+        let h = 1024u64;
+        let f = 4 * h;
+        let dh = 64u64;
+        let tokens = 16 * s;
+        let per_head = 16 * 16;
+        let expected = 4 * tokens * h * h            // q,k,v,out projections
+            + per_head * (s * dh * s + s * s * dh)   // qk^T + pv
+            + tokens * h * f + tokens * f * h;       // ffn
+        assert_eq!(c.layer_macs(), expected);
+    }
+
+    #[test]
+    fn llama2_uses_published_ffn_width() {
+        let g = zoo::llama2().build_graph();
+        let ffn = g
+            .matmuls()
+            .find(|(_, mm, _)| mm.l() == 11_008)
+            .expect("ffn_up present");
+        assert_eq!(ffn.1.k(), 4096);
+    }
+
+    #[test]
+    fn seq_sweep_scales_attention_quadratically() {
+        let short = zoo::llama2_with_seq(256);
+        let long = zoo::llama2_with_seq(512);
+        let attn = |c: &TransformerConfig| {
+            let g = c.build_graph();
+            g.mm_chains()
+                .into_iter()
+                .find(|(_, ch, _)| ch.len() == 2 && ch.mm(0).k() == c.head_dim())
+                .map(|(_, ch, count)| ch.macs() * count)
+                .unwrap()
+        };
+        // Attention MACs grow ~4x when seq doubles (S² x d_h per head).
+        assert_eq!(attn(&long), 4 * attn(&short));
+    }
+
+    #[test]
+    fn cross_attention_graph_has_three_fusable_chains() {
+        let c = zoo::blenderbot();
+        let g = c.build_cross_attention_graph(512);
+        // 3 chains: self-attention, cross-attention, FFN.
+        let chains = g.mm_chains();
+        let fused: Vec<_> = chains.iter().filter(|(ids, ..)| ids.len() == 2).collect();
+        assert_eq!(fused.len(), 3);
+        // The cross-attention chain is asymmetric: S x dh x src then
+        // S x src x dh.
+        let cross = fused
+            .iter()
+            .find(|(_, ch, _)| ch.mm(0).l() == 512)
+            .expect("cross-attention chain");
+        assert_eq!(cross.1.mm(0).m(), c.seq_len);
+        assert_eq!(cross.1.mm(1).k(), 512);
+        assert_eq!(cross.1.mm(1).l(), c.head_dim());
+        // Encoder memory projections are sized by src_len.
+        assert!(g
+            .matmuls()
+            .any(|(_, mm, _)| mm.m() == c.batch * 512 && mm.k() == c.hidden));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn cross_attention_rejects_empty_source() {
+        let _ = zoo::bert().build_cross_attention_graph(0);
+    }
+
+    #[test]
+    fn decode_graph_has_skinny_attention() {
+        let c = zoo::llama2();
+        let g = c.build_decode_graph(4096);
+        let chains = g.mm_chains();
+        assert_eq!(chains.len(), 6);
+        let (_, attn, count) = chains
+            .iter()
+            .find(|(_, ch, _)| ch.len() == 2 && ch.mm(0).m() == 1)
+            .expect("decode attention chain");
+        assert_eq!(*count, c.batch * c.heads);
+        assert_eq!(attn.mm(0).l(), 4096); // scores over the KV cache
+        assert_eq!(attn.mm(1).k(), 4096);
+        // Decode is vastly cheaper per step than prefill per layer.
+        assert!(g.total_macs() < c.build_graph().total_macs() / 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty context")]
+    fn decode_rejects_empty_context() {
+        let _ = zoo::bert().build_decode_graph(0);
+    }
+
+    #[test]
+    fn ideal_ma_positive_and_below_macs() {
+        for c in zoo::all() {
+            let ma = c.layer_ideal_ma();
+            assert!(ma > 0, "{}", c.name);
+            assert!(ma < c.layer_macs(), "{}", c.name);
+        }
+    }
+}

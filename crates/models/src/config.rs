@@ -1,0 +1,148 @@
+//! Transformer hyper-parameters (the rows of Table II).
+
+use std::fmt;
+
+/// Hyper-parameters of one attention-based model, batch included.
+///
+/// `hidden` must be divisible by `heads`; the head dimension is
+/// `hidden / heads`. `ffn_hidden` is the FFN expansion width (4× hidden for
+/// the classic architectures; LLaMA2 uses its published 11 008).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TransformerConfig {
+    /// Model name as printed in Table II.
+    pub name: String,
+    /// Number of attention heads.
+    pub heads: u64,
+    /// Sequence length.
+    pub seq_len: u64,
+    /// Hidden (model) dimension.
+    pub hidden: u64,
+    /// FFN intermediate dimension.
+    pub ffn_hidden: u64,
+    /// Batch size (16 throughout the paper's evaluation).
+    pub batch: u64,
+}
+
+impl TransformerConfig {
+    /// Creates a configuration with the classic `ffn = 4 × hidden` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not divisible by `heads`, or any parameter is
+    /// zero.
+    pub fn new(
+        name: impl Into<String>,
+        heads: u64,
+        seq_len: u64,
+        hidden: u64,
+        batch: u64,
+    ) -> TransformerConfig {
+        TransformerConfig::with_ffn(name, heads, seq_len, hidden, 4 * hidden, batch)
+    }
+
+    /// Creates a configuration with an explicit FFN width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not divisible by `heads`, or any parameter is
+    /// zero.
+    pub fn with_ffn(
+        name: impl Into<String>,
+        heads: u64,
+        seq_len: u64,
+        hidden: u64,
+        ffn_hidden: u64,
+        batch: u64,
+    ) -> TransformerConfig {
+        assert!(
+            heads > 0 && seq_len > 0 && hidden > 0 && ffn_hidden > 0 && batch > 0,
+            "all transformer parameters must be non-zero"
+        );
+        assert!(
+            hidden.is_multiple_of(heads),
+            "hidden size {hidden} must be divisible by {heads} heads"
+        );
+        TransformerConfig {
+            name: name.into(),
+            heads,
+            seq_len,
+            hidden,
+            ffn_hidden,
+            batch,
+        }
+    }
+
+    /// Per-head dimension `hidden / heads`.
+    pub fn head_dim(&self) -> u64 {
+        self.hidden / self.heads
+    }
+
+    /// Tokens processed per forward pass: `batch × seq_len`.
+    pub fn tokens(&self) -> u64 {
+        self.batch * self.seq_len
+    }
+
+    /// A copy with a different sequence length (the Fig 11 sweep).
+    #[must_use]
+    pub fn with_seq_len(&self, seq_len: u64) -> TransformerConfig {
+        assert!(seq_len > 0, "sequence length must be non-zero");
+        TransformerConfig {
+            seq_len,
+            ..self.clone()
+        }
+    }
+
+    /// A copy with a different batch size.
+    #[must_use]
+    pub fn with_batch(&self, batch: u64) -> TransformerConfig {
+        assert!(batch > 0, "batch size must be non-zero");
+        TransformerConfig {
+            batch,
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for TransformerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (heads={}, seq={}, hidden={}, ffn={}, batch={})",
+            self.name, self.heads, self.seq_len, self.hidden, self.ffn_hidden, self.batch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_dim_and_tokens() {
+        let c = TransformerConfig::new("bert", 12, 1024, 768, 16);
+        assert_eq!(c.head_dim(), 64);
+        assert_eq!(c.tokens(), 16 * 1024);
+        assert_eq!(c.ffn_hidden, 4 * 768);
+    }
+
+    #[test]
+    fn with_seq_len_keeps_other_fields() {
+        let c = TransformerConfig::new("llama", 32, 4096, 4096, 16);
+        let short = c.with_seq_len(256);
+        assert_eq!(short.seq_len, 256);
+        assert_eq!(short.hidden, 4096);
+        assert_eq!(short.name, "llama");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_heads_panics() {
+        let _ = TransformerConfig::new("bad", 7, 128, 768, 1);
+    }
+
+    #[test]
+    fn display_includes_name() {
+        let c = TransformerConfig::new("bert", 12, 1024, 768, 16);
+        assert!(c.to_string().starts_with("bert"));
+    }
+}

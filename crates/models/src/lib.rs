@@ -1,0 +1,40 @@
+//! # fusecu-models — the Table II transformer workload zoo
+//!
+//! The paper evaluates on seven attention-based models (Table II) at batch
+//! size 16, plus a LLaMA2 sequence-length sweep from 256 to 16 K (Fig 11).
+//! This crate turns those hyper-parameters into the operator graphs the
+//! optimizer and architecture models consume.
+//!
+//! One *representative transformer layer* is generated per model: every
+//! evaluated metric (memory access, utilization) is reported normalized, and
+//! identical stacked layers scale both numerator and denominator equally, so
+//! layer count cancels. The layer contains:
+//!
+//! * Q/K/V projections `[B·S, H] × [H, H]`,
+//! * per-head attention `QKᵀ` (`[S, d_h] × [d_h, S]`), softmax, and `P·V`
+//!   (`[S, S] × [S, d_h]`), repeated `B × heads` times — the fusable chain
+//!   at the core of the paper's motivation,
+//! * the output projection `[B·S, H] × [H, H]`,
+//! * the two FFN matmuls `[B·S, H] × [H, F]` and `[B·S, F] × [F, H]` with a
+//!   transparent activation between them — a second fusable chain.
+//!
+//! Reshapes (head split/merge) break fusion chains, matching how spatial
+//! accelerators re-lay tensors between attention and projections.
+//!
+//! ```
+//! use fusecu_models::zoo;
+//!
+//! let bert = zoo::bert();
+//! assert_eq!(bert.heads, 12);
+//! let graph = bert.build_graph();
+//! assert!(graph.total_macs() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod config;
+pub mod zoo;
+
+pub use config::TransformerConfig;

@@ -1,0 +1,142 @@
+//! The seven Table II models.
+//!
+//! | model | heads | seq. length | hidden |
+//! |---|---|---|---|
+//! | BERT       | 12 | 1024 | 768  |
+//! | GPT-2      | 12 | 2048 | 768  |
+//! | Blenderbot | 16 | 256  | 1024 |
+//! | XLM        | 16 | 1024 | 2048 |
+//! | DeBERTa-v2 | 24 | 1024 | 1536 |
+//! | LLaMA2     | 32 | 4096 (256–16 K) | 4096 |
+//! | ALBERT     | 64 | 1024 | 4096 |
+//!
+//! Batch size is 16 throughout, as in §V-A.
+
+use crate::config::TransformerConfig;
+
+/// The paper's evaluation batch size.
+pub const PAPER_BATCH: u64 = 16;
+
+/// BERT-base: 12 heads, seq 1024, hidden 768.
+pub fn bert() -> TransformerConfig {
+    TransformerConfig::new("BERT", 12, 1024, 768, PAPER_BATCH)
+}
+
+/// GPT-2: 12 heads, seq 2048, hidden 768.
+pub fn gpt2() -> TransformerConfig {
+    TransformerConfig::new("GPT-2", 12, 2048, 768, PAPER_BATCH)
+}
+
+/// Blenderbot: 16 heads, seq 256, hidden 1024.
+pub fn blenderbot() -> TransformerConfig {
+    TransformerConfig::new("Blenderbot", 16, 256, 1024, PAPER_BATCH)
+}
+
+/// XLM: 16 heads, seq 1024, hidden 2048.
+pub fn xlm() -> TransformerConfig {
+    TransformerConfig::new("XLM", 16, 1024, 2048, PAPER_BATCH)
+}
+
+/// DeBERTa-v2: 24 heads, seq 1024, hidden 1536.
+pub fn deberta_v2() -> TransformerConfig {
+    TransformerConfig::new("DeBERTa-v2", 24, 1024, 1536, PAPER_BATCH)
+}
+
+/// LLaMA2-7B: 32 heads, seq 4096, hidden 4096, FFN 11008.
+pub fn llama2() -> TransformerConfig {
+    TransformerConfig::with_ffn("LLaMA2", 32, 4096, 4096, 11_008, PAPER_BATCH)
+}
+
+/// LLaMA2 at an alternative sequence length (the Fig 11 sweep, 256–16 K).
+pub fn llama2_with_seq(seq_len: u64) -> TransformerConfig {
+    llama2().with_seq_len(seq_len)
+}
+
+/// ALBERT-xxlarge: 64 heads, seq 1024, hidden 4096.
+pub fn albert() -> TransformerConfig {
+    TransformerConfig::new("ALBERT", 64, 1024, 4096, PAPER_BATCH)
+}
+
+/// All seven Table II models, in the paper's order.
+pub fn all() -> Vec<TransformerConfig> {
+    vec![
+        bert(),
+        gpt2(),
+        blenderbot(),
+        xlm(),
+        deberta_v2(),
+        llama2(),
+        albert(),
+    ]
+}
+
+/// The Fig 11 sequence lengths: 256 to 16 K in powers of two.
+pub fn fig11_seq_lengths() -> Vec<u64> {
+    (8..=14).map(|p| 1u64 << p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_parameters() {
+        let rows: Vec<(&str, u64, u64, u64)> = all()
+            .iter()
+            .map(|c| {
+                (
+                    match c.name.as_str() {
+                        "BERT" => "BERT",
+                        "GPT-2" => "GPT-2",
+                        "Blenderbot" => "Blenderbot",
+                        "XLM" => "XLM",
+                        "DeBERTa-v2" => "DeBERTa-v2",
+                        "LLaMA2" => "LLaMA2",
+                        "ALBERT" => "ALBERT",
+                        other => panic!("unexpected model {other}"),
+                    },
+                    c.heads,
+                    c.seq_len,
+                    c.hidden,
+                )
+            })
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("BERT", 12, 1024, 768),
+                ("GPT-2", 12, 2048, 768),
+                ("Blenderbot", 16, 256, 1024),
+                ("XLM", 16, 1024, 2048),
+                ("DeBERTa-v2", 24, 1024, 1536),
+                ("LLaMA2", 32, 4096, 4096),
+                ("ALBERT", 64, 1024, 4096),
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_is_sixteen_everywhere() {
+        assert!(all().iter().all(|c| c.batch == 16));
+    }
+
+    #[test]
+    fn head_dims_are_integral() {
+        for c in all() {
+            assert_eq!(c.hidden % c.heads, 0, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn fig11_sweep_range() {
+        let seqs = fig11_seq_lengths();
+        assert_eq!(seqs.first(), Some(&256));
+        assert_eq!(seqs.last(), Some(&16_384));
+        assert_eq!(seqs.len(), 7);
+        for s in seqs {
+            let c = llama2_with_seq(s);
+            assert_eq!(c.seq_len, s);
+            assert_eq!(c.hidden, 4096);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Elaboration of the evaluated designs: the TPUv4i-style baseline fabric
+//! and FuseCU.
+//!
+//! Component inventory follows §IV-B and Fig 12's caption: multipliers,
+//! adders, accumulators, base PE registers, control logic and the softmax
+//! unit are *unchanged* from the baseline systolic array; FuseCU adds the
+//! XS-PE datapath muxes, the inter-CU resize/fusion port muxes, and the
+//! configuration control — and nothing else (no extra buffers or
+//! registers).
+
+use crate::cells::Cell;
+use crate::netlist::Module;
+
+/// The baseline systolic PE: INT8 multiplier, 32-bit accumulate path,
+/// activation/weight/partial-sum registers, and a little local control.
+pub fn base_pe() -> Module {
+    Module::new("base_pe")
+        .cell(Cell::Mult8, 1)
+        .cell(Cell::Add32, 1)
+        .cell(Cell::RegBit, 32) // accumulator / psum pipeline register
+        .cell(Cell::RegBit, 8) // activation forwarding register
+        .cell(Cell::RegBit, 8) // weight / stationary register
+        .cell(Cell::Gate, 40) // local sequencing
+}
+
+/// The X-Stationary PE additions (Fig 6): two 8-bit datapath muxes (operand
+/// steering for IS/OS/WS), one 32-bit partial-sum path mux, the
+/// activation-output mux bit-slice shared with it, and the two mode
+/// configuration flops.
+pub fn xs_overhead() -> Module {
+    Module::new("xs_pe_logic")
+        .cell(Cell::Mux2Bit, 2 * 8) // operand steering
+        .cell(Cell::Mux2Bit, 32) // partial-sum / activation-output path
+        .cell(Cell::RegBit, 2) // XS mode configuration
+}
+
+/// An X-Stationary PE: the base PE plus the mux overhead.
+pub fn xs_pe() -> Module {
+    Module::new("xs_pe")
+        .child(base_pe(), 1)
+        .child(xs_overhead(), 1)
+}
+
+/// The per-CU softmax unit (unchanged from the baseline; Fig 12 counts it
+/// as base logic).
+pub fn softmax_unit(n: u64) -> Module {
+    // One exponent/normalize slice per array column.
+    Module::new("softmax_unit").cell(Cell::SoftmaxSlice, n)
+}
+
+/// Per-CU sequencing control of the baseline array.
+pub fn cu_control() -> Module {
+    Module::new("cu_control")
+        .cell(Cell::Gate, 8_000)
+        .cell(Cell::RegBit, 256)
+}
+
+/// One baseline compute unit: `n × n` base PEs + softmax + control.
+pub fn base_cu(n: u64) -> Module {
+    Module::new("base_cu")
+        .child(base_pe(), n * n)
+        .child(softmax_unit(n), 1)
+        .child(cu_control(), 1)
+}
+
+/// One FuseCU compute unit: `n × n` XS PEs + softmax + control.
+pub fn fusecu_cu(n: u64) -> Module {
+    Module::new("fusecu_cu")
+        .child(xs_pe(), n * n)
+        .child(softmax_unit(n), 1)
+        .child(cu_control(), 1)
+}
+
+/// The inter-CU resize/fusion interconnect: edge-port muxes letting each
+/// CU's boundary PEs select between memory and the neighboring CU (Fig 7),
+/// 8-bit operand wide on both axes of each of the four CUs.
+pub fn resize_interconnect(n: u64, cus: u64) -> Module {
+    Module::new("fusecu_interconnect").cell(Cell::Mux2Bit, cus * 2 * n * 8)
+}
+
+/// The fusion/resize configuration controller: FU configuration registers
+/// plus a small FSM sequencing phase switches.
+pub fn fusion_control(cus: u64) -> Module {
+    Module::new("fusion_control")
+        .cell(Cell::RegBit, cus * 16)
+        .cell(Cell::Gate, 600)
+}
+
+/// The full baseline design: `cus` compute units of `n × n` base PEs.
+pub fn tpu_like(n: u64, cus: u64) -> Module {
+    Module::new("tpu_like").child(base_cu(n), cus)
+}
+
+/// Planaria-style omni-directional fission interconnect, per PE: the
+/// published design threads bidirectional bypass links and steering
+/// through *every* PE so sub-arrays can be carved at a 16-PE granularity —
+/// two extra 8-bit operand muxes, a 32-bit partial-sum steering mux, and
+/// the bypass pipeline registers. This is what the paper contrasts against
+/// FuseCU's boundary-only muxes ("significantly lower than the 12.6 %
+/// incurred by Planaria").
+pub fn planaria_pe_interconnect() -> Module {
+    Module::new("planaria_pe_interconnect")
+        .cell(Cell::Mux2Bit, 2 * 8) // omni-directional operand steering
+        .cell(Cell::Mux2Bit, 32) // partial-sum steering
+        .cell(Cell::RegBit, 6) // bypass pipeline registers
+        .cell(Cell::Gate, 10) // per-PE fission control decode
+}
+
+/// A Planaria-like design: base PEs each wrapped with the fission
+/// interconnect, plus per-CU control.
+pub fn planaria_like(n: u64, cus: u64) -> Module {
+    let pe = Module::new("planaria_pe")
+        .child(base_pe(), 1)
+        .child(planaria_pe_interconnect(), 1);
+    let cu = Module::new("planaria_cu")
+        .child(pe, n * n)
+        .child(softmax_unit(n), 1)
+        .child(cu_control(), 1);
+    Module::new("planaria_like").child(cu, cus)
+}
+
+/// The full FuseCU design: `cus` XS compute units plus the resize
+/// interconnect and fusion control.
+pub fn fusecu(n: u64, cus: u64) -> Module {
+    Module::new("fusecu")
+        .child(fusecu_cu(n), cus)
+        .child(resize_interconnect(n, cus), 1)
+        .child(fusion_control(cus), 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xs_pe_is_base_plus_overhead() {
+        let delta = xs_pe().gate_equivalents() - base_pe().gate_equivalents();
+        assert!((delta - xs_overhead().gate_equivalents()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_pe_overhead_is_about_twelve_percent() {
+        let ratio = xs_overhead().gate_equivalents() / base_pe().gate_equivalents();
+        assert!(
+            (0.10..=0.14).contains(&ratio),
+            "XS overhead ratio {ratio:.4}"
+        );
+    }
+
+    #[test]
+    fn fusecu_has_the_same_arithmetic_as_baseline() {
+        // "does not modify any existing logic within the PE array": the
+        // multiplier/adder census must match exactly.
+        let base = tpu_like(128, 4).cell_census();
+        let fuse = fusecu(128, 4).cell_census();
+        assert_eq!(base["mult8"], fuse["mult8"]);
+        assert_eq!(base["add32"], fuse["add32"]);
+        assert_eq!(base["softmax_slice"], fuse["softmax_slice"]);
+    }
+
+    #[test]
+    fn interconnect_is_negligible() {
+        let total = fusecu(128, 4).area_um2();
+        let ic = fusecu(128, 4).area_of("fusecu_interconnect")
+            + fusecu(128, 4).area_of("fusion_control");
+        assert!(ic / total < 0.001, "interconnect share {:.5}", ic / total);
+    }
+
+    #[test]
+    fn planaria_interconnect_costs_what_the_paper_says() {
+        // Paper (§V-C, Fig 12 discussion): Planaria's flexible interconnect
+        // costs 12.6% of its design; FuseCU's boundary muxes < 0.1%.
+        let base = tpu_like(128, 4).area_um2();
+        let planaria = planaria_like(128, 4);
+        let ic = planaria.area_of("planaria_pe_interconnect");
+        let share = ic / planaria.area_um2();
+        assert!(
+            (0.10..=0.15).contains(&share),
+            "Planaria interconnect share {share:.4}"
+        );
+        assert!(planaria.area_um2() > base);
+        // FuseCU's interconnect is orders of magnitude cheaper.
+        let fuse = fusecu(128, 4);
+        let fuse_ic = fuse.area_of("fusecu_interconnect") + fuse.area_of("fusion_control");
+        assert!(fuse_ic / fuse.area_um2() < 0.001);
+        assert!(ic / fuse_ic > 100.0);
+    }
+
+    #[test]
+    fn elaboration_scales_with_array_size() {
+        let small = fusecu(16, 4).area_um2();
+        let large = fusecu(32, 4).area_um2();
+        assert!(large > 3.5 * small && large < 4.5 * small);
+    }
+}

@@ -1,0 +1,27 @@
+//! # fusecu-rtl — structural netlists and the 28 nm area model (Fig 12)
+//!
+//! The paper implements FuseCU in Chisel and synthesizes it with Design
+//! Compiler at 28 nm to obtain Fig 12's area breakdown. This crate replaces
+//! that flow with a structural elaboration: every design is a [`netlist`]
+//! module tree bottoming out in standard-cell-calibrated leaf [`cells`]
+//! (gate-equivalent counts at a 28 nm NAND2 footprint), and area is an
+//! exact rollup over the tree — the same additive accounting synthesis
+//! reports, minus placement effects, which cancel in the *relative*
+//! overheads Fig 12 reports.
+//!
+//! [`designs`] elaborates the baseline TPUv4i-style fabric and FuseCU
+//! (XS PEs + inter-CU resize muxes + fusion control) and [`report`]
+//! produces the Fig 12 breakdown: XS-PE logic, resize interconnect, and
+//! control overheads over the unchanged base logic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cells;
+pub mod designs;
+pub mod netlist;
+pub mod report;
+
+pub use cells::Cell;
+pub use netlist::Module;
+pub use report::{fig12_breakdown, Fig12Breakdown};

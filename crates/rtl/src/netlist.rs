@@ -1,0 +1,153 @@
+//! Hierarchical structural netlists with exact area rollup.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::cells::Cell;
+
+/// A module: a named bag of leaf cells plus counted sub-module instances.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    name: String,
+    cells: Vec<(Cell, u64)>,
+    children: Vec<(Module, u64)>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            cells: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds `count` leaf cells; returns `self` for chaining.
+    pub fn cell(mut self, cell: Cell, count: u64) -> Module {
+        self.cells.push((cell, count));
+        self
+    }
+
+    /// Adds `count` instances of a sub-module; returns `self` for chaining.
+    pub fn child(mut self, module: Module, count: u64) -> Module {
+        self.children.push((module, count));
+        self
+    }
+
+    /// Total gate equivalents, exact rollup over the hierarchy.
+    pub fn gate_equivalents(&self) -> f64 {
+        let leaf: f64 = self
+            .cells
+            .iter()
+            .map(|(c, n)| c.gate_equivalents() * *n as f64)
+            .sum();
+        let sub: f64 = self
+            .children
+            .iter()
+            .map(|(m, n)| m.gate_equivalents() * *n as f64)
+            .sum();
+        leaf + sub
+    }
+
+    /// Total area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.gate_equivalents() * crate::cells::UM2_PER_GE
+    }
+
+    /// Area of every direct child (instances multiplied), for breakdowns.
+    pub fn child_areas(&self) -> Vec<(&str, f64)> {
+        self.children
+            .iter()
+            .map(|(m, n)| (m.name(), m.area_um2() * *n as f64))
+            .collect()
+    }
+
+    /// Flattened leaf-cell census over the whole hierarchy.
+    pub fn cell_census(&self) -> BTreeMap<&'static str, u64> {
+        let mut census = BTreeMap::new();
+        self.census_into(1, &mut census);
+        census
+    }
+
+    fn census_into(&self, mult: u64, census: &mut BTreeMap<&'static str, u64>) {
+        for (c, n) in &self.cells {
+            *census.entry(c.name()).or_insert(0) += n * mult;
+        }
+        for (m, n) in &self.children {
+            m.census_into(mult * n, census);
+        }
+    }
+
+    /// Finds the total area contributed by all instances of a (deeply
+    /// nested) child module with the given name.
+    pub fn area_of(&self, name: &str) -> f64 {
+        let mut total = 0.0;
+        self.area_of_into(1.0, name, &mut total);
+        total
+    }
+
+    fn area_of_into(&self, mult: f64, name: &str, total: &mut f64) {
+        for (m, n) in &self.children {
+            if m.name() == name {
+                *total += m.area_um2() * *n as f64 * mult;
+            } else {
+                m.area_of_into(mult * *n as f64, name, total);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {:.1} um2", self.name, self.area_um2())?;
+        for (m, n) in &self.children {
+            writeln!(f, "  {} x{}: {:.1} um2", m.name(), n, m.area_um2() * *n as f64)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollup_is_linear() {
+        let leaf = Module::new("leaf").cell(Cell::Gate, 10);
+        let mid = Module::new("mid").child(leaf.clone(), 3);
+        let top = Module::new("top").child(mid, 2).cell(Cell::Gate, 5);
+        assert!((top.gate_equivalents() - (2.0 * 30.0 + 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn census_multiplies_instances() {
+        let pe = Module::new("pe").cell(Cell::Mult8, 1).cell(Cell::RegBit, 48);
+        let array = Module::new("array").child(pe, 16);
+        let census = array.cell_census();
+        assert_eq!(census["mult8"], 16);
+        assert_eq!(census["reg_bit"], 16 * 48);
+    }
+
+    #[test]
+    fn area_of_finds_nested_instances() {
+        let mux = Module::new("portmux").cell(Cell::Mux2Bit, 8);
+        let cu = Module::new("cu").child(mux.clone(), 4);
+        let top = Module::new("top").child(cu, 2);
+        let direct = mux.area_um2();
+        assert!((top.area_of("portmux") - 8.0 * direct).abs() < 1e-9);
+        assert_eq!(top.area_of("absent"), 0.0);
+    }
+
+    #[test]
+    fn display_lists_children() {
+        let top = Module::new("top").child(Module::new("pe").cell(Cell::Gate, 1), 4);
+        let s = top.to_string();
+        assert!(s.contains("top:") && s.contains("pe x4"), "{s}");
+    }
+}

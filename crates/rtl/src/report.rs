@@ -1,0 +1,128 @@
+//! The Fig 12 area breakdown: FuseCU overheads over the TPUv4i baseline.
+
+use std::fmt;
+
+use crate::designs;
+
+/// Fig 12's numbers: absolute areas (µm² at 28 nm) of the base logic and
+/// each overhead component, with the paper's two headline ratios.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig12Breakdown {
+    /// Area of the unchanged baseline design (multipliers, adders,
+    /// accumulators, base PE registers, control, softmax units).
+    pub base_um2: f64,
+    /// Added XS-PE datapath logic across all PEs.
+    pub xs_pe_logic_um2: f64,
+    /// Added inter-CU resize/fusion interconnect.
+    pub interconnect_um2: f64,
+    /// Added fusion/resize configuration control.
+    pub control_um2: f64,
+}
+
+impl Fig12Breakdown {
+    /// Total FuseCU area.
+    pub fn total_um2(&self) -> f64 {
+        self.base_um2 + self.overhead_um2()
+    }
+
+    /// Total added area.
+    pub fn overhead_um2(&self) -> f64 {
+        self.xs_pe_logic_um2 + self.interconnect_um2 + self.control_um2
+    }
+
+    /// The paper's headline: overhead relative to the TPUv4i baseline
+    /// (12.0 % in Fig 12).
+    pub fn overhead_ratio(&self) -> f64 {
+        self.overhead_um2() / self.base_um2
+    }
+
+    /// Interconnect + control share of the total (< 0.1 % in Fig 12,
+    /// versus Planaria's reported 12.6 % interconnect cost).
+    pub fn interconnect_share(&self) -> f64 {
+        (self.interconnect_um2 + self.control_um2) / self.total_um2()
+    }
+}
+
+impl fmt::Display for Fig12Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "FuseCU area breakdown (28 nm):")?;
+        writeln!(f, "  base logic        {:>14.0} um2", self.base_um2)?;
+        writeln!(f, "  XS PE logic       {:>14.0} um2", self.xs_pe_logic_um2)?;
+        writeln!(f, "  resize interconnect{:>13.0} um2", self.interconnect_um2)?;
+        writeln!(f, "  fusion control    {:>14.0} um2", self.control_um2)?;
+        writeln!(
+            f,
+            "  total overhead    {:>13.1} %  (paper: 12.0 %)",
+            100.0 * self.overhead_ratio()
+        )?;
+        write!(
+            f,
+            "  interconnect+ctrl {:>13.3} %  (paper: < 0.1 %)",
+            100.0 * self.interconnect_share()
+        )
+    }
+}
+
+/// Elaborates both designs at the given fabric size and extracts the
+/// Fig 12 breakdown.
+pub fn fig12_breakdown(n: u64, cus: u64) -> Fig12Breakdown {
+    let base = designs::tpu_like(n, cus);
+    let fuse = designs::fusecu(n, cus);
+    let xs = fuse.area_of("xs_pe_logic");
+    let interconnect = fuse.area_of("fusecu_interconnect");
+    let control = fuse.area_of("fusion_control");
+    let breakdown = Fig12Breakdown {
+        base_um2: base.area_um2(),
+        xs_pe_logic_um2: xs,
+        interconnect_um2: interconnect,
+        control_um2: control,
+    };
+    debug_assert!(
+        (breakdown.total_um2() - fuse.area_um2()).abs() < 1.0,
+        "breakdown must account for the whole design"
+    );
+    breakdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_overheads() {
+        let b = fig12_breakdown(128, 4);
+        // Fig 12: 12.0 % total overhead over TPUv4i.
+        assert!(
+            (0.10..=0.14).contains(&b.overhead_ratio()),
+            "overhead {:.4}",
+            b.overhead_ratio()
+        );
+        // Fig 12: interconnect + control < 0.1 %.
+        assert!(
+            b.interconnect_share() < 0.001,
+            "interconnect share {:.5}",
+            b.interconnect_share()
+        );
+    }
+
+    #[test]
+    fn breakdown_sums_to_design_area() {
+        let b = fig12_breakdown(64, 4);
+        let fuse = designs::fusecu(64, 4);
+        assert!((b.total_um2() - fuse.area_um2()).abs() < 1.0);
+    }
+
+    #[test]
+    fn overhead_ratio_stable_across_sizes() {
+        // The XS overhead is per-PE, so the ratio barely moves with N.
+        let small = fig12_breakdown(32, 4).overhead_ratio();
+        let large = fig12_breakdown(256, 4).overhead_ratio();
+        assert!((small - large).abs() < 0.01);
+    }
+
+    #[test]
+    fn display_reports_percentages() {
+        let s = fig12_breakdown(128, 4).to_string();
+        assert!(s.contains("XS PE logic") && s.contains("paper: 12.0 %"), "{s}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Exhaustive search over the fused-pair nest space.
+//!
+//! Validates the closed-form fused optimizer of `fusecu-fusion`: enumerate
+//! shared-loop orders × balanced tile representatives for all four fused
+//! dimensions and keep the best nest fitting the buffer. For transformer
+//! shapes the 4-dimensional grid can be large, so a per-dimension cap
+//! subsamples the representative lists (endpoints always retained); with
+//! the cap disabled the search is a true oracle over the fused space.
+
+use fusecu_dataflow::CostModel;
+use fusecu_fusion::{FusedDataflow, FusedNest, FusedPair, FusedTiling};
+
+use crate::space::{balanced_tiles, subsample};
+
+/// Exhaustive fused-dataflow searcher.
+#[derive(Debug, Clone, Copy)]
+pub struct FusedExhaustive {
+    model: CostModel,
+    max_reps: Option<usize>,
+}
+
+impl FusedExhaustive {
+    /// A full-resolution oracle (no subsampling).
+    pub fn new(model: CostModel) -> FusedExhaustive {
+        FusedExhaustive {
+            model,
+            max_reps: None,
+        }
+    }
+
+    /// A capped searcher scanning at most `max_reps` tile candidates per
+    /// dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_reps < 2` (the endpoints are always needed).
+    pub fn with_cap(model: CostModel, max_reps: usize) -> FusedExhaustive {
+        assert!(max_reps >= 2, "cap must retain the endpoints");
+        FusedExhaustive {
+            model,
+            max_reps: Some(max_reps),
+        }
+    }
+
+    fn tiles_for(&self, d: u64) -> Vec<u64> {
+        let reps = balanced_tiles(d);
+        match self.max_reps {
+            Some(cap) => subsample(reps, cap),
+            None => reps,
+        }
+    }
+
+    /// Scans the fused space; returns the best nest and the number of
+    /// evaluations, or `None` when nothing fits.
+    pub fn optimize(&self, pair: FusedPair, bs: u64) -> Option<(FusedDataflow, u64)> {
+        use fusecu_fusion::FusedDim::{K, L, M, N};
+        let tiles = [
+            self.tiles_for(pair.dim(M)),
+            self.tiles_for(pair.dim(K)),
+            self.tiles_for(pair.dim(L)),
+            self.tiles_for(pair.dim(N)),
+        ];
+        let mut best: Option<FusedDataflow> = None;
+        let mut evaluations = 0u64;
+        for outer_is_m in [true, false] {
+            for &tm in &tiles[0] {
+                for &tk in &tiles[1] {
+                    for &tl in &tiles[2] {
+                        // The footprint is nondecreasing in every tile size,
+                        // so once the smallest T_N fails we can stop growing
+                        // T_L, and similarly outward.
+                        let probe = FusedNest::new(
+                            outer_is_m,
+                            FusedTiling::new(tm, tk, tl, tiles[3][0]),
+                        );
+                        if !probe.fits(&pair, bs) {
+                            break;
+                        }
+                        for &tn in &tiles[3] {
+                            let nest =
+                                FusedNest::new(outer_is_m, FusedTiling::new(tm, tk, tl, tn));
+                            if !nest.fits(&pair, bs) {
+                                break;
+                            }
+                            evaluations += 1;
+                            let df = FusedDataflow::score(&self.model, pair, nest);
+                            if best.is_none_or(|b| {
+                                (df.total_ma(), df.footprint())
+                                    < (b.total_ma(), b.footprint())
+                            }) {
+                                best = Some(df);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|b| (b, evaluations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusecu_fusion::optimize_pair;
+    use fusecu_ir::MatMul;
+
+    const MODEL: CostModel = CostModel {
+        partial_sums: fusecu_dataflow::PartialSumPolicy::PerVisit,
+    };
+
+    fn pair(m: u64, k: u64, l: u64, n: u64) -> FusedPair {
+        FusedPair::try_new(MatMul::new(m, k, l), MatMul::new(m, l, n)).unwrap()
+    }
+
+    #[test]
+    fn closed_forms_match_fused_oracle() {
+        // The constant-size fused candidate family must reach the optimum
+        // the full enumeration finds.
+        let oracle = FusedExhaustive::new(MODEL);
+        let pairs = [
+            pair(64, 16, 48, 32),
+            pair(96, 96, 96, 96),
+            pair(128, 8, 64, 8),
+            pair(40, 100, 20, 60),
+        ];
+        for p in pairs {
+            for bs in [16u64, 200, 2_000, 20_000, 200_000] {
+                let searched = oracle.optimize(p, bs).map(|(d, _)| d.total_ma());
+                let principled = optimize_pair(&MODEL, p, bs).map(|d| d.total_ma());
+                assert_eq!(
+                    principled, searched,
+                    "pair={p} bs={bs}: closed forms missed the fused optimum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capped_search_never_beats_oracle() {
+        let p = pair(256, 64, 256, 64);
+        let full = FusedExhaustive::new(MODEL);
+        let capped = FusedExhaustive::with_cap(MODEL, 8);
+        for bs in [1_000u64, 50_000] {
+            let (f, _) = full.optimize(p, bs).unwrap();
+            let (c, ce) = capped.optimize(p, bs).unwrap();
+            assert!(c.total_ma() >= f.total_ma(), "bs={bs}");
+            assert!(ce > 0);
+        }
+    }
+
+    #[test]
+    fn nothing_fits_below_three_elements() {
+        assert!(FusedExhaustive::new(MODEL)
+            .optimize(pair(8, 8, 8, 8), 2)
+            .is_none());
+    }
+}

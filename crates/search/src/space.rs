@@ -1,0 +1,105 @@
+//! Tile-size candidate sets for the search space.
+//!
+//! Memory access under the loop-nest model depends on the *iteration count*
+//! `N_d = ceil(D / T_d)` of each loop, never on the raw tile size, while the
+//! buffer footprint grows with the tile size. For any target iteration count
+//! `n` the smallest tile achieving it is the **balanced representative**
+//! `T = ceil(D / n)`. Searching only balanced representatives is therefore
+//! lossless: every feasible `(order, iteration-count)` profile is covered at
+//! its minimum footprint, so the optimum over representatives equals the
+//! optimum over all `T ∈ [1, D]`.
+//!
+//! For a dimension of size `D` there are `O(2·√D)` distinct representatives,
+//! which is what keeps exhaustive search tractable at transformer scales.
+
+pub use fusecu_dataflow::tiling::balanced_tiles;
+
+/// A coarse power-of-two tile set (plus the full dimension), the kind of
+/// space hardware-template searchers like DAT restrict themselves to.
+pub fn pow2_tiles(d: u64) -> Vec<u64> {
+    assert!(d > 0, "dimension size must be non-zero");
+    let mut out = Vec::new();
+    let mut t = 1u64;
+    while t < d {
+        out.push(t);
+        t *= 2;
+    }
+    out.push(d);
+    out
+}
+
+/// Caps a candidate list to at most `max_len` entries by uniform
+/// subsampling, always retaining the first and last.
+pub fn subsample(mut tiles: Vec<u64>, max_len: usize) -> Vec<u64> {
+    assert!(max_len >= 2, "need room for at least the endpoints");
+    if tiles.len() <= max_len {
+        return tiles;
+    }
+    let last = *tiles.last().expect("non-empty");
+    let step = (tiles.len() - 1) as f64 / (max_len - 1) as f64;
+    let mut out: Vec<u64> = (0..max_len)
+        .map(|i| tiles[(i as f64 * step).round() as usize])
+        .collect();
+    out.dedup();
+    if *out.last().expect("non-empty") != last {
+        out.push(last);
+    }
+    tiles.clear();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representatives_cover_all_iteration_counts() {
+        for d in [1u64, 2, 5, 7, 12, 100, 768] {
+            let reps = balanced_tiles(d);
+            // Every achievable iteration count appears exactly once.
+            let counts: Vec<u64> = reps.iter().map(|t| d.div_ceil(*t)).collect();
+            let mut all: Vec<u64> = (1..=d).map(|t| d.div_ceil(t)).collect();
+            all.sort_unstable();
+            all.dedup();
+            let mut sorted = counts.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, all, "d={d}");
+            // Each representative is the smallest tile for its count.
+            for (t, n) in reps.iter().zip(&counts) {
+                assert_eq!(*t, d.div_ceil(*n), "d={d} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn representative_count_is_sublinear() {
+        let reps = balanced_tiles(1 << 20);
+        assert!(reps.len() < 2 * 1_024 + 4, "got {}", reps.len());
+        assert_eq!(reps[0], 1);
+        assert_eq!(*reps.last().unwrap(), 1 << 20);
+    }
+
+    #[test]
+    fn ascending_and_unique() {
+        for d in [3u64, 16, 97, 1000] {
+            let reps = balanced_tiles(d);
+            assert!(reps.windows(2).all(|w| w[0] < w[1]), "d={d}");
+        }
+    }
+
+    #[test]
+    fn pow2_includes_dim() {
+        assert_eq!(pow2_tiles(6), vec![1, 2, 4, 6]);
+        assert_eq!(pow2_tiles(8), vec![1, 2, 4, 8]);
+        assert_eq!(pow2_tiles(1), vec![1]);
+    }
+
+    #[test]
+    fn subsample_keeps_endpoints() {
+        let s = subsample((1..=100).collect(), 10);
+        assert!(s.len() <= 11);
+        assert_eq!(s[0], 1);
+        assert_eq!(*s.last().unwrap(), 100);
+        assert_eq!(subsample(vec![1, 2, 3], 8), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the searchers: oracle soundness and GA behavior.
+
+use proptest::prelude::*;
+
+use fusecu_dataflow::{CostModel, LoopNest, Tiling};
+use fusecu_ir::MatMul;
+use fusecu_search::space::{pow2_tiles, subsample};
+use fusecu_search::{ExhaustiveSearch, GeneticConfig, GeneticSearch};
+
+fn model() -> CostModel {
+    CostModel::paper()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Oracle soundness: no random feasible nest beats the searched best.
+    #[test]
+    fn oracle_dominates_random_nests(
+        m in 1u64..96, k in 1u64..96, l in 1u64..96,
+        bs in 3u64..20_000,
+        tm in 1u64..128, tk in 1u64..128, tl in 1u64..128,
+        o in 0usize..6,
+    ) {
+        let mm = MatMul::new(m, k, l);
+        let best = ExhaustiveSearch::new(model())
+            .try_optimize(mm, bs)
+            .expect("bs >= 3");
+        let nest = LoopNest::new(LoopNest::orders()[o], Tiling::new(tm, tk, tl));
+        if nest.tiling.fits(mm, bs) {
+            prop_assert!(model().evaluate(mm, &nest).total() >= best.best().total_ma());
+        }
+        prop_assert!(best.best().buffer_elems() <= bs);
+    }
+
+    /// The GA always returns a feasible dataflow, never better than the
+    /// oracle, and is deterministic per seed.
+    #[test]
+    fn ga_is_sound_and_deterministic(
+        m in 1u64..96, k in 1u64..96, l in 1u64..96,
+        bs in 3u64..20_000,
+        seed in any::<u64>(),
+    ) {
+        let mm = MatMul::new(m, k, l);
+        let cfg = GeneticConfig { seed, generations: 10, ..GeneticConfig::default() };
+        let ga = GeneticSearch::with_config(model(), cfg);
+        let a = ga.optimize(mm, bs).expect("bs >= 3");
+        let b = ga.optimize(mm, bs).expect("bs >= 3");
+        prop_assert_eq!(a.best().total_ma(), b.best().total_ma());
+        prop_assert!(a.best().buffer_elems() <= bs);
+        let oracle = ExhaustiveSearch::new(model()).optimize(mm, bs);
+        prop_assert!(a.best().total_ma() >= oracle.best().total_ma());
+    }
+
+    /// Subsampling keeps endpoints and stays within the original list.
+    #[test]
+    fn subsample_is_a_sublist(len in 2usize..200, cap in 2usize..32) {
+        let original: Vec<u64> = (1..=len as u64).collect();
+        let s = subsample(original.clone(), cap);
+        prop_assert!(s.len() <= cap + 1);
+        prop_assert_eq!(*s.first().unwrap(), 1);
+        prop_assert_eq!(*s.last().unwrap(), len as u64);
+        prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(s.iter().all(|v| original.contains(v)));
+    }
+
+    /// Power-of-two tiles are sorted, start at 1, and end at the dimension.
+    #[test]
+    fn pow2_tiles_are_well_formed(d in 1u64..1_000_000) {
+        let t = pow2_tiles(d);
+        prop_assert_eq!(t[0].min(d), t[0]);
+        prop_assert_eq!(*t.last().unwrap(), d);
+        prop_assert!(t.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,409 @@
+//! A compute unit: an `N × N` grid of XS PEs with skewed systolic
+//! injection and cycle-stepped execution.
+
+use fusecu_arch::Stationary;
+
+use crate::matrix::Matrix;
+use crate::pe::XsPe;
+
+/// One compute unit of `n × n` X-Stationary PEs.
+///
+/// The grid steps synchronously: every cycle each PE consumes its west and
+/// north neighbors' registered outputs from the previous cycle (edge PEs
+/// consume the injected boundary streams) and updates its own registers.
+#[derive(Debug, Clone)]
+pub struct CuArray {
+    n: usize,
+    pes: Vec<XsPe>,
+}
+
+/// The result of a single-tile systolic run: the output tile and the cycle
+/// count consumed.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The computed output tile.
+    pub out: Matrix,
+    /// Cycles from first injection to last drain.
+    pub cycles: u64,
+}
+
+impl CuArray {
+    /// A fresh CU with every PE in the given mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn new(n: usize, mode: Stationary) -> CuArray {
+        assert!(n > 0, "array edge must be non-zero");
+        CuArray {
+            n,
+            pes: vec![XsPe::new(mode); n * n],
+        }
+    }
+
+    /// The array edge.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Access one PE.
+    pub fn pe(&self, r: usize, c: usize) -> &XsPe {
+        &self.pes[r * self.n + c]
+    }
+
+    fn pe_mut(&mut self, r: usize, c: usize) -> &mut XsPe {
+        &mut self.pes[r * self.n + c]
+    }
+
+    /// Sets every PE's mode.
+    pub fn set_mode(&mut self, mode: Stationary) {
+        for pe in &mut self.pes {
+            pe.set_mode(mode);
+        }
+    }
+
+    /// Loads a stationary tile into the top-left `tile.rows() × tile.cols()`
+    /// PEs and zeroes the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile exceeds the array.
+    pub fn load_stationary(&mut self, tile: &Matrix) {
+        assert!(
+            tile.rows() <= self.n && tile.cols() <= self.n,
+            "stationary tile exceeds the array"
+        );
+        for r in 0..self.n {
+            for c in 0..self.n {
+                let v = if r < tile.rows() && c < tile.cols() {
+                    tile[(r, c)]
+                } else {
+                    0
+                };
+                self.pe_mut(r, c).load_stationary(v);
+            }
+        }
+    }
+
+    /// Clears every accumulator and forwarding register.
+    pub fn clear(&mut self) {
+        let mode = self.pe(0, 0).mode();
+        self.pes = vec![XsPe::new(mode); self.n * self.n];
+    }
+
+    /// Clears moving state (forwarding registers and accumulators) while
+    /// keeping every stationary register — used between fused phases.
+    pub fn clear_flow(&mut self) {
+        for pe in &mut self.pes {
+            pe.clear_flow();
+        }
+    }
+
+    /// Current registered east-edge outputs (row-indexed), without
+    /// stepping — used by the multi-CU fabric to wire CU boundaries with
+    /// monolithic-array timing.
+    pub fn east_edge(&self) -> Vec<i64> {
+        (0..self.n).map(|r| self.pe(r, self.n - 1).east()).collect()
+    }
+
+    /// Current registered south-edge outputs (column-indexed), without
+    /// stepping.
+    pub fn south_edge(&self) -> Vec<i64> {
+        (0..self.n).map(|c| self.pe(self.n - 1, c).south()).collect()
+    }
+
+    /// One synchronous step. `west_in[r]` feeds row `r`'s west edge,
+    /// `north_in[c]` feeds column `c`'s north edge. Returns the east-edge
+    /// and south-edge registered outputs *after* the step.
+    pub fn step(&mut self, west_in: &[i64], north_in: &[i64]) -> (Vec<i64>, Vec<i64>) {
+        assert_eq!(west_in.len(), self.n);
+        assert_eq!(north_in.len(), self.n);
+        // Two-phase update: gather current neighbor outputs first.
+        let mut west_wires = vec![0i64; self.n * self.n];
+        let mut north_wires = vec![0i64; self.n * self.n];
+        for r in 0..self.n {
+            for c in 0..self.n {
+                west_wires[r * self.n + c] = if c == 0 {
+                    west_in[r]
+                } else {
+                    self.pe(r, c - 1).east()
+                };
+                north_wires[r * self.n + c] = if r == 0 {
+                    north_in[c]
+                } else {
+                    self.pe(r - 1, c).south()
+                };
+            }
+        }
+        for r in 0..self.n {
+            for c in 0..self.n {
+                let idx = r * self.n + c;
+                self.pes[idx].step(west_wires[idx], north_wires[idx]);
+            }
+        }
+        let east: Vec<i64> = (0..self.n).map(|r| self.pe(r, self.n - 1).east()).collect();
+        let south: Vec<i64> = (0..self.n).map(|c| self.pe(self.n - 1, c).south()).collect();
+        (east, south)
+    }
+
+    /// Weight-stationary matmul of one tile: rows map `K`, columns map `L`,
+    /// `M` streams. `a` is `M × K`, `b` is `K × L` (`b` becomes the
+    /// stationary tile); returns `C = a × b` (`M × L`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b` exceeds the array.
+    pub fn run_ws(&mut self, a: &Matrix, b: &Matrix) -> RunResult {
+        let (m, k, l) = (a.rows(), a.cols(), b.cols());
+        assert_eq!(k, b.rows(), "inner dimensions must agree");
+        self.set_mode(Stationary::Ws);
+        self.clear();
+        self.set_mode(Stationary::Ws);
+        self.load_stationary(b);
+        let mut out = Matrix::zero(m, l);
+        let total = m + self.n + self.n + 2;
+        for t in 0..total {
+            let west: Vec<i64> = (0..self.n)
+                .map(|row_k| {
+                    // A[m'][k] enters row k at cycle m' + k.
+                    let mi = t as i64 - row_k as i64;
+                    if row_k < k && mi >= 0 && (mi as usize) < m {
+                        a[(mi as usize, row_k)]
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let (_, south) = self.step(&west, &vec![0; self.n]);
+            // C[m'][l'] leaves the bottom of column l' after the step at
+            // cycle m' + (n - 1) + l'.
+            for (col_l, v) in south.iter().enumerate() {
+                let mi = t as i64 - (self.n - 1) as i64 - col_l as i64;
+                if col_l < l && mi >= 0 && (mi as usize) < m {
+                    out[(mi as usize, col_l)] = *v;
+                }
+            }
+        }
+        RunResult {
+            out,
+            cycles: total as u64,
+        }
+    }
+
+    /// Input-stationary matmul of one tile: rows map `M`, columns map `K`,
+    /// `L` streams. `a` is `M × K` (stationary), `b` is `K × L`; returns
+    /// `C = a × b` (`M × L`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` exceeds the array.
+    pub fn run_is(&mut self, a: &Matrix, b: &Matrix) -> RunResult {
+        let (m, k, l) = (a.rows(), a.cols(), b.cols());
+        assert_eq!(k, b.rows(), "inner dimensions must agree");
+        self.set_mode(Stationary::Is);
+        self.clear();
+        self.set_mode(Stationary::Is);
+        self.load_stationary(a);
+        let mut out = Matrix::zero(m, l);
+        let total = l + self.n + self.n + 2;
+        for t in 0..total {
+            let north: Vec<i64> = (0..self.n)
+                .map(|col_k| {
+                    // B[k][l'] enters column k at cycle l' + k.
+                    let li = t as i64 - col_k as i64;
+                    if col_k < k && li >= 0 && (li as usize) < l {
+                        b[(col_k, li as usize)]
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let (east, _) = self.step(&vec![0; self.n], &north);
+            // C[m'][l'] leaves the east edge of row m' after the step at
+            // cycle l' + (n - 1) + m'.
+            for (row_m, v) in east.iter().enumerate() {
+                let li = t as i64 - (self.n - 1) as i64 - row_m as i64;
+                if row_m < m && li >= 0 && (li as usize) < l {
+                    out[(row_m, li as usize)] = *v;
+                }
+            }
+        }
+        RunResult {
+            out,
+            cycles: total as u64,
+        }
+    }
+
+    /// Input-stationary pass over whatever stationary tile is already
+    /// resident in the PEs (rows map `M`, columns map the resident tile's
+    /// `K`): streams `b` (`K × L`) and returns the `m × L` product. Used by
+    /// tile fusion after promoting the OS accumulators — the resident tile
+    /// is *not* reloaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b`'s row count exceeds the array.
+    pub fn run_is_resident(&mut self, m: usize, b: &Matrix) -> RunResult {
+        let (k, l) = (b.rows(), b.cols());
+        assert!(k <= self.n, "stream tile exceeds the array");
+        assert!(m <= self.n, "output rows exceed the array");
+        self.set_mode(Stationary::Is);
+        for pe in &mut self.pes {
+            pe.clear_flow();
+        }
+        let mut out = Matrix::zero(m, l);
+        let total = l + self.n + self.n + 2;
+        for t in 0..total {
+            let north: Vec<i64> = (0..self.n)
+                .map(|col_k| {
+                    let li = t as i64 - col_k as i64;
+                    if col_k < k && li >= 0 && (li as usize) < l {
+                        b[(col_k, li as usize)]
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let (east, _) = self.step(&vec![0; self.n], &north);
+            for (row_m, v) in east.iter().enumerate() {
+                let li = t as i64 - (self.n - 1) as i64 - row_m as i64;
+                if row_m < m && li >= 0 && (li as usize) < l {
+                    out[(row_m, li as usize)] = *v;
+                }
+            }
+        }
+        RunResult {
+            out,
+            cycles: total as u64,
+        }
+    }
+
+    /// Promotes every PE's accumulator into its stationary register (the
+    /// tile-fusion OS→IS mux).
+    pub fn promote_acc_to_stationary(&mut self) {
+        for pe in &mut self.pes {
+            pe.promote_acc_to_stationary();
+        }
+    }
+
+    /// Output-stationary matmul of one tile: rows map `M`, columns map `L`,
+    /// `K` streams; the result accumulates in place and is read from the
+    /// accumulators. `a` is `M × K`, `b` is `K × L`; returns `C` (`M × L`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the output exceeds the array.
+    pub fn run_os(&mut self, a: &Matrix, b: &Matrix) -> RunResult {
+        let (m, k, l) = (a.rows(), a.cols(), b.cols());
+        assert_eq!(k, b.rows(), "inner dimensions must agree");
+        assert!(m <= self.n && l <= self.n, "output tile exceeds the array");
+        self.set_mode(Stationary::Os);
+        self.clear();
+        self.set_mode(Stationary::Os);
+        let total = k + self.n + self.n + 2;
+        for t in 0..total {
+            let west: Vec<i64> = (0..self.n)
+                .map(|row_m| {
+                    // A[m'][k'] enters row m' at cycle k' + m'.
+                    let ki = t as i64 - row_m as i64;
+                    if row_m < m && ki >= 0 && (ki as usize) < k {
+                        a[(row_m, ki as usize)]
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let north: Vec<i64> = (0..self.n)
+                .map(|col_l| {
+                    // B[k'][l'] enters column l' at cycle k' + l'.
+                    let ki = t as i64 - col_l as i64;
+                    if col_l < l && ki >= 0 && (ki as usize) < k {
+                        b[(ki as usize, col_l)]
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            self.step(&west, &north);
+        }
+        let out = Matrix::from_fn(m, l, |r, c| self.pe(r, c).acc());
+        RunResult {
+            out,
+            cycles: total as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(mode: &str, n: usize, m: usize, k: usize, l: usize, seed: u64) {
+        let a = Matrix::pseudo_random(m, k, seed);
+        let b = Matrix::pseudo_random(k, l, seed + 100);
+        let golden = a.matmul(&b);
+        let mut cu = CuArray::new(n, Stationary::Ws);
+        let got = match mode {
+            "ws" => cu.run_ws(&a, &b),
+            "is" => cu.run_is(&a, &b),
+            "os" => cu.run_os(&a, &b),
+            _ => unreachable!(),
+        };
+        assert_eq!(got.out, golden, "{mode} n={n} m={m} k={k} l={l}");
+        assert!(got.cycles > 0);
+    }
+
+    #[test]
+    fn ws_matches_golden() {
+        check("ws", 4, 4, 4, 4, 1);
+        check("ws", 4, 7, 3, 2, 2); // uneven, tall stream
+        check("ws", 6, 1, 6, 6, 3);
+        check("ws", 5, 9, 2, 5, 4);
+    }
+
+    #[test]
+    fn is_matches_golden() {
+        check("is", 4, 4, 4, 4, 5);
+        check("is", 4, 3, 4, 9, 6); // long stream
+        check("is", 6, 6, 2, 1, 7);
+    }
+
+    #[test]
+    fn os_matches_golden() {
+        check("os", 4, 4, 4, 4, 8);
+        check("os", 4, 2, 11, 3, 9); // deep reduction
+        check("os", 5, 5, 1, 5, 10);
+    }
+
+    #[test]
+    fn all_modes_agree_with_each_other() {
+        let a = Matrix::pseudo_random(4, 4, 42);
+        let b = Matrix::pseudo_random(4, 4, 43);
+        let mut cu = CuArray::new(4, Stationary::Ws);
+        let ws = cu.run_ws(&a, &b).out;
+        let is = cu.run_is(&a, &b).out;
+        let os = cu.run_os(&a, &b).out;
+        assert_eq!(ws, is);
+        assert_eq!(is, os);
+    }
+
+    #[test]
+    fn cycle_counts_scale_with_stream_depth() {
+        let mut cu = CuArray::new(4, Stationary::Ws);
+        let a_short = Matrix::pseudo_random(2, 4, 1);
+        let a_long = Matrix::pseudo_random(20, 4, 1);
+        let b = Matrix::pseudo_random(4, 4, 2);
+        let short = cu.run_ws(&a_short, &b).cycles;
+        let long = cu.run_ws(&a_long, &b).cycles;
+        assert_eq!(long - short, 18); // M grows by 18 streaming beats
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the array")]
+    fn oversized_stationary_panics() {
+        let mut cu = CuArray::new(2, Stationary::Ws);
+        let a = Matrix::zero(2, 4);
+        let b = Matrix::zero(4, 2);
+        let _ = cu.run_ws(&a, &b);
+    }
+}

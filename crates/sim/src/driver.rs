@@ -1,0 +1,364 @@
+//! Tiled execution drivers: running full-size matmuls through the
+//! simulated fabric and *measuring* the traffic the analytical model
+//! predicts.
+//!
+//! Two drivers:
+//!
+//! * [`execute_nest`] replays a buffer-level [`LoopNest`] with a modeled
+//!   one-tile-per-operand buffer, counting every element fetched or written
+//!   on a tile switch. Its measured traffic must equal
+//!   [`CostModel::evaluate`](fusecu_dataflow::CostModel::evaluate) exactly — the execution-level proof of the
+//!   memory-access model that Fig 9 relies on.
+//! * [`execute_on_cu`] runs each tile's arithmetic through the systolic
+//!   [`CuArray`] instead of a golden kernel, proving the mapping handles
+//!   every (possibly ragged) tile a real schedule produces.
+
+use fusecu_arch::Stationary;
+use fusecu_dataflow::{LoopNest, MemoryAccess};
+use fusecu_ir::{MatMul, MmDim, Operand};
+
+use crate::array::CuArray;
+use crate::matrix::Matrix;
+
+/// The result of replaying a loop nest: the product and the measured
+/// per-tensor buffer↔memory traffic.
+#[derive(Debug, Clone)]
+pub struct NestRun {
+    /// The computed product.
+    pub out: Matrix,
+    /// Measured traffic, comparable to
+    /// [`CostModel::evaluate`](fusecu_dataflow::CostModel::evaluate).
+    pub measured: MemoryAccess,
+}
+
+/// Replays `nest` over `a × b`, fetching one tile per operand into a
+/// modeled buffer and charging a full (edge-clamped) tile of traffic on
+/// every tile switch; the output tile is charged per residency visit,
+/// matching the paper's accounting.
+///
+/// # Panics
+///
+/// Panics when the matrices do not match the nest's matmul dimensions.
+pub fn execute_nest(a: &Matrix, b: &Matrix, mm: MatMul, nest: &LoopNest) -> NestRun {
+    assert_eq!((a.rows() as u64, a.cols() as u64), (mm.m(), mm.k()));
+    assert_eq!((b.rows() as u64, b.cols() as u64), (mm.k(), mm.l()));
+    let n_of = |d: MmDim| nest.tiling.iterations(mm, d) as usize;
+    let t_of = |d: MmDim| nest.tiling.tile(d).min(mm.dim(d)) as usize;
+    let span = |d: MmDim, i: usize| {
+        let t = t_of(d);
+        t.min(mm.dim(d) as usize - i * t)
+    };
+    let counts = nest.order.map(n_of);
+
+    let mut out = Matrix::zero(mm.m() as usize, mm.l() as usize);
+    let mut traffic = [0u64; 3]; // A, B, C
+    let mut resident: [Option<(usize, usize)>; 3] = [None; 3];
+
+    for i0 in 0..counts[0] {
+        for i1 in 0..counts[1] {
+            for i2 in 0..counts[2] {
+                let iter = [i0, i1, i2];
+                let at = |d: MmDim| iter[nest.order.iter().position(|x| *x == d).unwrap()];
+                let (im, ik, il) = (at(MmDim::M), at(MmDim::K), at(MmDim::L));
+                for (slot, op) in Operand::ALL.iter().enumerate() {
+                    let [da, db] = op.dims();
+                    let key = (at(da), at(db));
+                    if resident[slot] != Some(key) {
+                        traffic[slot] += (span(da, key.0) * span(db, key.1)) as u64;
+                        resident[slot] = Some(key);
+                    }
+                }
+                // Compute this tile's contribution (golden arithmetic; the
+                // systolic path is validated by `execute_on_cu`).
+                let a_tile = a.tile(im * t_of(MmDim::M), ik * t_of(MmDim::K), t_of(MmDim::M), t_of(MmDim::K));
+                let b_tile = b.tile(ik * t_of(MmDim::K), il * t_of(MmDim::L), t_of(MmDim::K), t_of(MmDim::L));
+                out.add_tile(
+                    im * t_of(MmDim::M),
+                    il * t_of(MmDim::L),
+                    &a_tile.matmul(&b_tile),
+                );
+            }
+        }
+    }
+    NestRun {
+        out,
+        measured: MemoryAccess::new(traffic[0], traffic[1], traffic[2]),
+    }
+}
+
+/// The result of replaying a fused nest: the chain output and the measured
+/// per-external-tensor traffic.
+#[derive(Debug, Clone)]
+pub struct FusedNestRun {
+    /// The computed `E = (A × B) × D`.
+    pub out: Matrix,
+    /// Measured traffic per external tensor, in `ExtTensor::ALL` order
+    /// (`A, B, D, E`), comparable to `FusedNest::evaluate`.
+    pub measured: [u64; 4],
+}
+
+/// Replays a fused nest over real matrices: shared tile loops over the
+/// intermediate's dimensions, a producer phase accumulating each `C` tile
+/// in a modeled register file, and a consumer phase draining it into `E` —
+/// the intermediate never counts as traffic. External tensors charge one
+/// (edge-clamped) tile on every residency switch, output per visit.
+///
+/// # Panics
+///
+/// Panics when the matrices do not match the pair's dimensions.
+pub fn execute_fused_nest(
+    a: &Matrix,
+    b: &Matrix,
+    d: &Matrix,
+    pair: &fusecu_fusion::FusedPair,
+    nest: &fusecu_fusion::FusedNest,
+) -> FusedNestRun {
+    use fusecu_fusion::{ExtTensor, FusedDim};
+    let dims = |t: FusedDim| pair.dim(t) as usize;
+    assert_eq!((a.rows(), a.cols()), (dims(FusedDim::M), dims(FusedDim::K)));
+    assert_eq!((b.rows(), b.cols()), (dims(FusedDim::K), dims(FusedDim::L)));
+    assert_eq!((d.rows(), d.cols()), (dims(FusedDim::L), dims(FusedDim::N)));
+    let tile = |t: FusedDim| nest.tiling.clamped_tile(pair, t) as usize;
+    let iters = |t: FusedDim| nest.tiling.iterations(pair, t) as usize;
+    let span = |t: FusedDim, i: usize| tile(t).min(dims(t) - i * tile(t));
+
+    let [s0, s1] = nest.shared_order();
+    let mut out = Matrix::zero(dims(FusedDim::M), dims(FusedDim::N));
+    let mut traffic = [0u64; 4];
+    let mut resident: [Option<(usize, usize)>; 4] = [None; 4];
+    let mut touch = |slot: usize, t: ExtTensor, key: (usize, usize)| {
+        if resident[slot] != Some(key) {
+            let [da, db] = t.dims();
+            let sa = tile(da).min(dims(da) - key.0 * tile(da));
+            let sb = tile(db).min(dims(db) - key.1 * tile(db));
+            traffic[slot] += (sa * sb) as u64;
+            resident[slot] = Some(key);
+        }
+    };
+
+    for i0 in 0..iters(s0) {
+        for i1 in 0..iters(s1) {
+            let (im, il) = if s0 == FusedDim::M { (i0, i1) } else { (i1, i0) };
+            // Producer phase: accumulate the C tile in "registers".
+            let mut c_tile = Matrix::zero(span(FusedDim::M, im), span(FusedDim::L, il));
+            for ik in 0..iters(FusedDim::K) {
+                touch(0, ExtTensor::A, (im, ik));
+                touch(1, ExtTensor::B, (ik, il));
+                let a_t = a.tile(
+                    im * tile(FusedDim::M),
+                    ik * tile(FusedDim::K),
+                    tile(FusedDim::M),
+                    tile(FusedDim::K),
+                );
+                let b_t = b.tile(
+                    ik * tile(FusedDim::K),
+                    il * tile(FusedDim::L),
+                    tile(FusedDim::K),
+                    tile(FusedDim::L),
+                );
+                c_tile.add_tile(0, 0, &a_t.matmul(&b_t));
+            }
+            // Consumer phase: drain the C tile through D into E.
+            for inn in 0..iters(FusedDim::N) {
+                touch(2, ExtTensor::D, (il, inn));
+                touch(3, ExtTensor::E, (im, inn));
+                let d_t = d.tile(
+                    il * tile(FusedDim::L),
+                    inn * tile(FusedDim::N),
+                    tile(FusedDim::L),
+                    tile(FusedDim::N),
+                );
+                out.add_tile(
+                    im * tile(FusedDim::M),
+                    inn * tile(FusedDim::N),
+                    &c_tile.matmul(&d_t),
+                );
+            }
+        }
+    }
+    FusedNestRun {
+        out,
+        measured: traffic,
+    }
+}
+
+/// Runs a full matmul through a CU by tiling to the array edge with the
+/// requested stationary, accumulating partial products across the reduction
+/// tiles. Returns the product and the summed systolic cycle count.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch between `a` and `b`.
+pub fn execute_on_cu(a: &Matrix, b: &Matrix, stationary: Stationary, n: usize) -> (Matrix, u64) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, l) = (a.rows(), a.cols(), b.cols());
+    let mut cu = CuArray::new(n, stationary);
+    let mut out = Matrix::zero(m, l);
+    let mut cycles = 0u64;
+    let step = |d: usize| d.div_ceil(n);
+    match stationary {
+        Stationary::Ws => {
+            for ik in 0..step(k) {
+                for il in 0..step(l) {
+                    let b_tile = b.tile(ik * n, il * n, n, n);
+                    let a_cols = a.tile(0, ik * n, m, n);
+                    let r = cu.run_ws(&a_cols, &b_tile);
+                    out.add_tile(0, il * n, &r.out);
+                    cycles += r.cycles;
+                }
+            }
+        }
+        Stationary::Is => {
+            for im in 0..step(m) {
+                for ik in 0..step(k) {
+                    let a_tile = a.tile(im * n, ik * n, n, n);
+                    let b_rows = b.tile(ik * n, 0, n, l);
+                    let r = cu.run_is(&a_tile, &b_rows);
+                    out.add_tile(im * n, 0, &r.out);
+                    cycles += r.cycles;
+                }
+            }
+        }
+        Stationary::Os => {
+            for im in 0..step(m) {
+                for il in 0..step(l) {
+                    let a_rows = a.tile(im * n, 0, n, k);
+                    let b_cols = b.tile(0, il * n, k, n);
+                    // One OS pass accumulates the whole reduction on-array.
+                    let r = cu.run_os(&a_rows, &b_cols);
+                    out.set_tile(im * n, il * n, &r.out);
+                    cycles += r.cycles;
+                }
+            }
+        }
+    }
+    (out, cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusecu_dataflow::{CostModel, Tiling};
+
+    #[test]
+    fn nest_replay_matches_golden_product() {
+        let mm = MatMul::new(10, 7, 9);
+        let a = Matrix::pseudo_random(10, 7, 31);
+        let b = Matrix::pseudo_random(7, 9, 32);
+        let nest = LoopNest::new([MmDim::M, MmDim::L, MmDim::K], Tiling::new(3, 2, 4));
+        let run = execute_nest(&a, &b, mm, &nest);
+        assert_eq!(run.out, a.matmul(&b));
+    }
+
+    #[test]
+    fn measured_traffic_equals_analytical_model() {
+        // The execution-level proof of the cost model: replay many nests
+        // and require exact agreement with CostModel::evaluate.
+        let model = CostModel::paper();
+        let mm = MatMul::new(12, 10, 8);
+        let a = Matrix::pseudo_random(12, 10, 41);
+        let b = Matrix::pseudo_random(10, 8, 42);
+        for order in LoopNest::orders() {
+            for tiling in [
+                Tiling::new(1, 1, 1),
+                Tiling::new(3, 2, 4),
+                Tiling::new(5, 10, 3),
+                Tiling::new(12, 1, 8),
+                Tiling::new(7, 7, 7),
+            ] {
+                let nest = LoopNest::new(order, tiling);
+                let run = execute_nest(&a, &b, mm, &nest);
+                assert_eq!(
+                    run.measured,
+                    model.evaluate(mm, &nest),
+                    "order {order:?} tiling {tiling}"
+                );
+                assert_eq!(run.out, a.matmul(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_nest_replay_matches_golden_and_model() {
+        use fusecu_fusion::{ExtTensor, FusedNest, FusedPair, FusedTiling};
+        use fusecu_ir::MatMul;
+        let pair = FusedPair::try_new(MatMul::new(10, 6, 12), MatMul::new(10, 12, 8)).unwrap();
+        let a = Matrix::pseudo_random(10, 6, 81);
+        let b = Matrix::pseudo_random(6, 12, 82);
+        let d = Matrix::pseudo_random(12, 8, 83);
+        let golden = a.matmul(&b).matmul(&d);
+        let model = CostModel::paper();
+        for outer_is_m in [true, false] {
+            for (tm, tk, tl, tn) in [
+                (1u64, 1u64, 1u64, 1u64),
+                (5, 2, 4, 3),
+                (10, 6, 3, 8),
+                (4, 6, 12, 2),
+                (10, 3, 12, 8),
+            ] {
+                let nest = FusedNest::new(outer_is_m, FusedTiling::new(tm, tk, tl, tn));
+                let run = execute_fused_nest(&a, &b, &d, &pair, &nest);
+                assert_eq!(run.out, golden, "{nest}");
+                let predicted = nest.evaluate(&model, &pair);
+                for (i, t) in ExtTensor::ALL.iter().enumerate() {
+                    assert_eq!(
+                        run.measured[i],
+                        predicted.of(*t),
+                        "{nest} tensor {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_fused_nest_replays_exactly() {
+        use fusecu_fusion::{optimize_pair, ExtTensor, FusedPair};
+        use fusecu_ir::MatMul;
+        let pair = FusedPair::try_new(MatMul::new(24, 8, 24), MatMul::new(24, 24, 8)).unwrap();
+        let a = Matrix::pseudo_random(24, 8, 91);
+        let b = Matrix::pseudo_random(8, 24, 92);
+        let d = Matrix::pseudo_random(24, 8, 93);
+        let model = CostModel::paper();
+        for bs in [16u64, 120, 800] {
+            if let Some(fused) = optimize_pair(&model, pair, bs) {
+                let run = execute_fused_nest(&a, &b, &d, &pair, fused.nest());
+                assert_eq!(run.out, a.matmul(&b).matmul(&d), "bs={bs}");
+                let total: u64 = run.measured.iter().sum();
+                assert_eq!(total, fused.total_ma(), "bs={bs}");
+                let _ = ExtTensor::ALL;
+            }
+        }
+    }
+
+    #[test]
+    fn cu_execution_handles_ragged_tiles() {
+        let a = Matrix::pseudo_random(9, 10, 51);
+        let b = Matrix::pseudo_random(10, 7, 52);
+        let golden = a.matmul(&b);
+        for stationary in [Stationary::Ws, Stationary::Is, Stationary::Os] {
+            let (out, cycles) = execute_on_cu(&a, &b, stationary, 4);
+            assert_eq!(out, golden, "{stationary}");
+            assert!(cycles > 0);
+        }
+    }
+
+    #[test]
+    fn cu_execution_matches_across_array_sizes() {
+        let a = Matrix::pseudo_random(6, 6, 61);
+        let b = Matrix::pseudo_random(6, 6, 62);
+        let (small, _) = execute_on_cu(&a, &b, Stationary::Ws, 2);
+        let (large, _) = execute_on_cu(&a, &b, Stationary::Ws, 8);
+        assert_eq!(small, large);
+        assert_eq!(small, a.matmul(&b));
+    }
+
+    #[test]
+    fn bigger_arrays_use_fewer_cycles() {
+        let a = Matrix::pseudo_random(16, 16, 71);
+        let b = Matrix::pseudo_random(16, 16, 72);
+        let (_, c4) = execute_on_cu(&a, &b, Stationary::Os, 4);
+        let (_, c8) = execute_on_cu(&a, &b, Stationary::Os, 8);
+        assert!(c8 < c4);
+    }
+}

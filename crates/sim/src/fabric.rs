@@ -1,0 +1,890 @@
+//! The four-CU FuseCU fabric with reconfigurable shape (Fig 7).
+//!
+//! Four `N × N` compute units connect through boundary port muxes into one
+//! logical array of shape square (`2N × 2N`), wide (`N × 4N`), or narrow
+//! (`4N × N`). The wiring is structural: every cycle each CU captures its
+//! neighbors' *previous-cycle* edge registers (exactly the timing a
+//! monolithic array of the logical size would have) and steps once; edge
+//! CUs draw from the injected memory streams. The tests prove
+//! cycle-for-cycle equivalence with a monolithic array of the logical
+//! shape — the paper's claim that FuseCU "simply adds MUX and wires" while
+//! supporting untiled dimensions beyond one CU.
+
+use fusecu_arch::Stationary;
+
+use crate::array::{CuArray, RunResult};
+use crate::matrix::Matrix;
+
+/// The logical arrangement of the four CUs (Fig 7(c)–(e)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FabricShape {
+    /// 2 × 2 grid: a `2N × 2N` array.
+    Square,
+    /// 1 × 4 row: an `N × 4N` array (wide).
+    Wide,
+    /// 4 × 1 column: a `4N × N` array (narrow).
+    Narrow,
+}
+
+impl FabricShape {
+    /// All shapes.
+    pub const ALL: [FabricShape; 3] = [FabricShape::Square, FabricShape::Wide, FabricShape::Narrow];
+
+    /// CU grid extent `(cu_rows, cu_cols)`.
+    pub fn grid(self) -> (usize, usize) {
+        match self {
+            FabricShape::Square => (2, 2),
+            FabricShape::Wide => (1, 4),
+            FabricShape::Narrow => (4, 1),
+        }
+    }
+
+    /// Logical PE extent `(rows, cols)` for a CU edge of `n`.
+    pub fn logical(self, n: usize) -> (usize, usize) {
+        let (gr, gc) = self.grid();
+        (gr * n, gc * n)
+    }
+}
+
+/// The four-CU fabric.
+#[derive(Debug, Clone)]
+pub struct FuseCuFabric {
+    n: usize,
+    shape: FabricShape,
+    cus: Vec<CuArray>, // row-major over the CU grid
+}
+
+impl FuseCuFabric {
+    /// A fabric of four `n × n` CUs in the given shape.
+    pub fn new(n: usize, shape: FabricShape, mode: Stationary) -> FuseCuFabric {
+        let (gr, gc) = shape.grid();
+        FuseCuFabric {
+            n,
+            shape,
+            cus: vec![CuArray::new(n, mode); gr * gc],
+        }
+    }
+
+    /// The logical array extent.
+    pub fn logical(&self) -> (usize, usize) {
+        self.shape.logical(self.n)
+    }
+
+    fn cu_index(&self, gr_row: usize, gr_col: usize) -> usize {
+        let (_, gc) = self.shape.grid();
+        gr_row * gc + gr_col
+    }
+
+    /// Loads a stationary tile spanning the logical array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile exceeds the logical extent.
+    pub fn load_stationary(&mut self, tile: &Matrix) {
+        let (rows, cols) = self.logical();
+        assert!(
+            tile.rows() <= rows && tile.cols() <= cols,
+            "stationary tile exceeds the logical array"
+        );
+        let (gr, gc) = self.shape.grid();
+        for r in 0..gr {
+            for c in 0..gc {
+                // Quadrant slice, zero-padded at the fabric edge.
+                let quad = Matrix::from_fn(self.n, self.n, |i, j| {
+                    let (ri, cj) = (r * self.n + i, c * self.n + j);
+                    if ri < tile.rows() && cj < tile.cols() {
+                        tile[(ri, cj)]
+                    } else {
+                        0
+                    }
+                });
+                let idx = self.cu_index(r, c);
+                self.cus[idx].load_stationary(&quad);
+            }
+        }
+    }
+
+    /// One synchronous fabric step with logical-edge inputs. Returns the
+    /// logical south-edge outputs after the step.
+    ///
+    /// Boundary muxes: interior CU edges receive the neighboring CU's
+    /// pre-step edge registers; exterior edges receive the injected
+    /// streams — same timing as a monolithic array.
+    pub fn step(&mut self, west_in: &[i64], north_in: &[i64]) -> Vec<i64> {
+        let (rows, cols) = self.logical();
+        assert_eq!(west_in.len(), rows);
+        assert_eq!(north_in.len(), cols);
+        let (gr, gc) = self.shape.grid();
+        // Capture all pre-step edges first (registered inter-CU wires).
+        let east_edges: Vec<Vec<i64>> = self.cus.iter().map(CuArray::east_edge).collect();
+        let south_edges: Vec<Vec<i64>> = self.cus.iter().map(CuArray::south_edge).collect();
+        let mut south_out = vec![0i64; cols];
+        for r in 0..gr {
+            for c in 0..gc {
+                let idx = self.cu_index(r, c);
+                let west: Vec<i64> = if c == 0 {
+                    west_in[r * self.n..(r + 1) * self.n].to_vec()
+                } else {
+                    east_edges[self.cu_index(r, c - 1)].clone()
+                };
+                let north: Vec<i64> = if r == 0 {
+                    north_in[c * self.n..(c + 1) * self.n].to_vec()
+                } else {
+                    south_edges[self.cu_index(r - 1, c)].clone()
+                };
+                let (_, south) = self.cus[idx].step(&west, &north);
+                if r == gr - 1 {
+                    south_out[c * self.n..(c + 1) * self.n].copy_from_slice(&south);
+                }
+            }
+        }
+        south_out
+    }
+
+    /// Weight-stationary matmul on the reshaped fabric: `b` (`K × L`) is
+    /// the stationary tile over the logical array, `a` (`M × K`) streams.
+    /// Identical schedule to [`CuArray::run_ws`] at the logical size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b` exceeds the logical array.
+    pub fn run_ws(&mut self, a: &Matrix, b: &Matrix) -> RunResult {
+        let (m, k, l) = (a.rows(), a.cols(), b.cols());
+        assert_eq!(k, b.rows(), "inner dimensions must agree");
+        let (rows, cols) = self.logical();
+        let mode = Stationary::Ws;
+        for cu in &mut self.cus {
+            cu.set_mode(mode);
+            cu.clear();
+            cu.set_mode(mode);
+        }
+        self.load_stationary(b);
+        let mut out = Matrix::zero(m, l);
+        let total = m + rows + cols + 2;
+        for t in 0..total {
+            let west: Vec<i64> = (0..rows)
+                .map(|row_k| {
+                    let mi = t as i64 - row_k as i64;
+                    if row_k < k && mi >= 0 && (mi as usize) < m {
+                        a[(mi as usize, row_k)]
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let south = self.step(&west, &vec![0; cols]);
+            for (col_l, v) in south.iter().enumerate() {
+                let mi = t as i64 - (rows - 1) as i64 - col_l as i64;
+                if col_l < l && mi >= 0 && (mi as usize) < m {
+                    out[(mi as usize, col_l)] = *v;
+                }
+            }
+        }
+        RunResult {
+            out,
+            cycles: total as u64,
+        }
+    }
+}
+
+impl FuseCuFabric {
+    /// Output-stationary matmul on the logical fabric: the `M × L` output
+    /// accumulates in place across the four CUs' PEs (`a` is `M × K`,
+    /// `b` is `K × L`; both stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the output exceeds the logical array.
+    pub fn run_os(&mut self, a: &Matrix, b: &Matrix) -> RunResult {
+        let (m, k, l) = (a.rows(), a.cols(), b.cols());
+        assert_eq!(k, b.rows(), "inner dimensions must agree");
+        let (rows, cols) = self.logical();
+        assert!(m <= rows && l <= cols, "output exceeds the logical array");
+        for cu in &mut self.cus {
+            cu.set_mode(Stationary::Os);
+            cu.clear();
+            cu.set_mode(Stationary::Os);
+        }
+        let total = k + rows + cols + 2;
+        for t in 0..total {
+            let west: Vec<i64> = (0..rows)
+                .map(|row_m| {
+                    let ki = t as i64 - row_m as i64;
+                    if row_m < m && ki >= 0 && (ki as usize) < k {
+                        a[(row_m, ki as usize)]
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let north: Vec<i64> = (0..cols)
+                .map(|col_l| {
+                    let ki = t as i64 - col_l as i64;
+                    if col_l < l && ki >= 0 && (ki as usize) < k {
+                        b[(ki as usize, col_l)]
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            self.step(&west, &north);
+        }
+        let out = Matrix::from_fn(m, l, |r, c| self.acc(r, c));
+        RunResult {
+            out,
+            cycles: total as u64,
+        }
+    }
+
+    /// Accumulator readout at a logical coordinate.
+    pub fn acc(&self, r: usize, c: usize) -> i64 {
+        let (_, gc) = self.shape.grid();
+        let cu = (r / self.n) * gc + (c / self.n);
+        self.cus[cu].pe(r % self.n, c % self.n).acc()
+    }
+
+    /// Promotes every PE's accumulator into its stationary register across
+    /// the fabric (the tile-fusion OS→IS switch at fabric scale).
+    pub fn promote_acc_to_stationary(&mut self) {
+        for cu in &mut self.cus {
+            cu.promote_acc_to_stationary();
+        }
+    }
+
+    /// Input-stationary pass over the resident fabric-wide tile (`m`
+    /// logical rows), streaming `b` (`K × L` with `K` up to the logical
+    /// column count). Mirrors [`CuArray::run_is_resident`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream or output exceeds the logical array.
+    pub fn run_is_resident(&mut self, m: usize, b: &Matrix) -> RunResult {
+        let (k, l) = (b.rows(), b.cols());
+        let (rows, cols) = self.logical();
+        assert!(k <= cols, "stream tile exceeds the logical array");
+        assert!(m <= rows, "output rows exceed the logical array");
+        for cu in &mut self.cus {
+            cu.set_mode(Stationary::Is);
+            cu.clear_flow();
+        }
+        let mut out = Matrix::zero(m, l);
+        let total = l + rows + cols + 2;
+        for t in 0..total {
+            let north: Vec<i64> = (0..cols)
+                .map(|col_k| {
+                    let li = t as i64 - col_k as i64;
+                    if col_k < k && li >= 0 && (li as usize) < l {
+                        b[(col_k, li as usize)]
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let east = self.step_east(&vec![0; rows], &north);
+            for (row_m, v) in east.iter().enumerate() {
+                let li = t as i64 - (cols - 1) as i64 - row_m as i64;
+                if row_m < m && li >= 0 && (li as usize) < l {
+                    out[(row_m, li as usize)] = *v;
+                }
+            }
+        }
+        RunResult {
+            out,
+            cycles: total as u64,
+        }
+    }
+
+    /// Like [`FuseCuFabric::step`], returning the logical *east* edge
+    /// (needed by IS drains).
+    pub fn step_east(&mut self, west_in: &[i64], north_in: &[i64]) -> Vec<i64> {
+        let (rows, cols) = self.logical();
+        assert_eq!(west_in.len(), rows);
+        assert_eq!(north_in.len(), cols);
+        let (gr, gc) = self.shape.grid();
+        let east_edges: Vec<Vec<i64>> = self.cus.iter().map(CuArray::east_edge).collect();
+        let south_edges: Vec<Vec<i64>> = self.cus.iter().map(CuArray::south_edge).collect();
+        let mut east_out = vec![0i64; rows];
+        for r in 0..gr {
+            for c in 0..gc {
+                let idx = self.cu_index(r, c);
+                let west: Vec<i64> = if c == 0 {
+                    west_in[r * self.n..(r + 1) * self.n].to_vec()
+                } else {
+                    east_edges[self.cu_index(r, c - 1)].clone()
+                };
+                let north: Vec<i64> = if r == 0 {
+                    north_in[c * self.n..(c + 1) * self.n].to_vec()
+                } else {
+                    south_edges[self.cu_index(r - 1, c)].clone()
+                };
+                let (east, _) = self.cus[idx].step(&west, &north);
+                if c == gc - 1 {
+                    east_out[r * self.n..(r + 1) * self.n].copy_from_slice(&east);
+                }
+            }
+        }
+        east_out
+    }
+}
+
+/// Fig 7(c)/(d), executed: **fabric tile fusion**. An OS pass computes the
+/// intermediate tile `C[M, L]` (up to the logical extent — `2N × 2N` on
+/// the square fabric) in the PE accumulators across all four CUs; the XS
+/// muxes promote it in place; an IS pass streams `D` through the same PEs
+/// to produce `E = C × D`. No buffer ever holds `C`.
+///
+/// # Panics
+///
+/// Panics when the intermediate exceeds the fabric or shapes mismatch.
+pub fn fabric_tile_fusion(
+    n: usize,
+    shape: FabricShape,
+    a: &Matrix,
+    b: &Matrix,
+    d: &Matrix,
+) -> crate::fusion::FusedRunResult {
+    assert_eq!(a.cols(), b.rows(), "producer inner dimensions must agree");
+    assert_eq!(b.cols(), d.rows(), "consumer inner dimensions must agree");
+    let (m, l) = (a.rows(), b.cols());
+    let mut fabric = FuseCuFabric::new(n, shape, Stationary::Os);
+    let os = fabric.run_os(a, b);
+    fabric.promote_acc_to_stationary();
+    let is = fabric.run_is_resident(m, d);
+    crate::fusion::FusedRunResult {
+        out: is.out,
+        cycles: os.cycles + is.cycles,
+        intermediate_elems: (m * l) as u64,
+    }
+}
+
+/// An east–west chain of CUs forming one wide logical array (`N × len·N`):
+/// the building block of the Fig 7(e) halves.
+#[derive(Debug, Clone)]
+pub struct CuRow {
+    n: usize,
+    cus: Vec<CuArray>,
+}
+
+impl CuRow {
+    /// A row of `len` CUs of edge `n`.
+    pub fn new(n: usize, len: usize, mode: Stationary) -> CuRow {
+        assert!(len > 0, "a CU row needs at least one unit");
+        CuRow {
+            n,
+            cus: vec![CuArray::new(n, mode); len],
+        }
+    }
+
+    /// Logical extent `(rows, cols)`.
+    pub fn logical(&self) -> (usize, usize) {
+        (self.n, self.n * self.cus.len())
+    }
+
+    /// Loads a stationary tile spanning the row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile exceeds the logical extent.
+    pub fn load_stationary(&mut self, tile: &Matrix) {
+        let (rows, cols) = self.logical();
+        assert!(
+            tile.rows() <= rows && tile.cols() <= cols,
+            "stationary tile exceeds the CU row"
+        );
+        for (c, cu) in self.cus.iter_mut().enumerate() {
+            let quad = Matrix::from_fn(self.n, self.n, |i, j| {
+                let cj = c * self.n + j;
+                if i < tile.rows() && cj < tile.cols() {
+                    tile[(i, cj)]
+                } else {
+                    0
+                }
+            });
+            cu.load_stationary(&quad);
+        }
+    }
+
+    /// One synchronous step: `west_in` feeds the leftmost CU, `north_in`
+    /// spans all CUs. Returns `(east_edge, south_edge)` of the whole row.
+    pub fn step(&mut self, west_in: &[i64], north_in: &[i64]) -> (Vec<i64>, Vec<i64>) {
+        let (rows, cols) = self.logical();
+        assert_eq!(west_in.len(), rows);
+        assert_eq!(north_in.len(), cols);
+        // Registered inter-CU wires: capture pre-step east edges first.
+        let east_edges: Vec<Vec<i64>> = self.cus.iter().map(CuArray::east_edge).collect();
+        let mut south_out = vec![0i64; cols];
+        let mut east_out = vec![0i64; rows];
+        let len = self.cus.len();
+        for (c, cu) in self.cus.iter_mut().enumerate() {
+            let west = if c == 0 {
+                west_in.to_vec()
+            } else {
+                east_edges[c - 1].clone()
+            };
+            let (east, south) = cu.step(&west, &north_in[c * self.n..(c + 1) * self.n]);
+            south_out[c * self.n..(c + 1) * self.n].copy_from_slice(&south);
+            if c == len - 1 {
+                east_out = east;
+            }
+        }
+        (east_out, south_out)
+    }
+
+    /// Accumulator readout across the row (for OS use).
+    pub fn acc(&self, r: usize, c: usize) -> i64 {
+        self.cus[c / self.n].pe(r, c % self.n).acc()
+    }
+}
+
+/// A north–south chain of CUs forming one narrow logical array
+/// (`len·N × N`): the building block of narrow column fusion ("narrow
+/// column fusion is omitted for simplicity" in Fig 7 — here it is not).
+#[derive(Debug, Clone)]
+pub struct CuCol {
+    n: usize,
+    cus: Vec<CuArray>,
+}
+
+impl CuCol {
+    /// A column of `len` CUs of edge `n`.
+    pub fn new(n: usize, len: usize, mode: Stationary) -> CuCol {
+        assert!(len > 0, "a CU column needs at least one unit");
+        CuCol {
+            n,
+            cus: vec![CuArray::new(n, mode); len],
+        }
+    }
+
+    /// Logical extent `(rows, cols)`.
+    pub fn logical(&self) -> (usize, usize) {
+        (self.n * self.cus.len(), self.n)
+    }
+
+    /// Loads a stationary tile spanning the column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile exceeds the logical extent.
+    pub fn load_stationary(&mut self, tile: &Matrix) {
+        let (rows, cols) = self.logical();
+        assert!(
+            tile.rows() <= rows && tile.cols() <= cols,
+            "stationary tile exceeds the CU column"
+        );
+        for (r, cu) in self.cus.iter_mut().enumerate() {
+            let quad = Matrix::from_fn(self.n, self.n, |i, j| {
+                let ri = r * self.n + i;
+                if ri < tile.rows() && j < tile.cols() {
+                    tile[(ri, j)]
+                } else {
+                    0
+                }
+            });
+            cu.load_stationary(&quad);
+        }
+    }
+
+    /// One synchronous step: `west_in` spans all CUs' rows, `north_in`
+    /// feeds the topmost CU. Returns `(east_edge, south_edge)`.
+    pub fn step(&mut self, west_in: &[i64], north_in: &[i64]) -> (Vec<i64>, Vec<i64>) {
+        let (rows, cols) = self.logical();
+        assert_eq!(west_in.len(), rows);
+        assert_eq!(north_in.len(), cols);
+        let south_edges: Vec<Vec<i64>> = self.cus.iter().map(CuArray::south_edge).collect();
+        let mut east_out = vec![0i64; rows];
+        let mut south_out = vec![0i64; cols];
+        let len = self.cus.len();
+        for (r, cu) in self.cus.iter_mut().enumerate() {
+            let north = if r == 0 {
+                north_in.to_vec()
+            } else {
+                south_edges[r - 1].clone()
+            };
+            let (east, south) = cu.step(&west_in[r * self.n..(r + 1) * self.n], &north);
+            east_out[r * self.n..(r + 1) * self.n].copy_from_slice(&east);
+            if r == len - 1 {
+                south_out = south;
+            }
+        }
+        (east_out, south_out)
+    }
+
+    /// Accumulator readout at a logical coordinate.
+    pub fn acc(&self, r: usize, c: usize) -> i64 {
+        self.cus[r / self.n].pe(r % self.n, c).acc()
+    }
+}
+
+/// **Narrow column fusion**: the mirror of [`wide_column_fusion`] for tall
+/// operands — producer and consumer are 2-CU *columns* (`2N × N`), so the
+/// shared row dimension `M` may reach `2N` while `K` and `N` stay within
+/// one CU. Intermediate columns stream east from the producer into the
+/// consumer through the port muxes.
+///
+/// # Panics
+///
+/// Panics when `A` exceeds `2N × N`, `E` exceeds `2N × N`, or shapes
+/// mismatch.
+pub fn narrow_column_fusion(
+    n: usize,
+    a: &Matrix,
+    b: &Matrix,
+    d: &Matrix,
+) -> crate::fusion::FusedRunResult {
+    assert_eq!(a.cols(), b.rows(), "producer inner dimensions must agree");
+    assert_eq!(b.cols(), d.rows(), "consumer inner dimensions must agree");
+    let (m, k) = (a.rows(), a.cols());
+    let l = b.cols();
+    let nn = d.cols();
+    assert!(m <= 2 * n && k <= n, "producer stationary exceeds 2N x N");
+    assert!(nn <= n, "consumer output exceeds 2N x N");
+
+    let mut producer = CuCol::new(n, 2, Stationary::Is);
+    producer.load_stationary(a);
+    let mut consumer = CuCol::new(n, 2, Stationary::Os);
+
+    // In the IS producer, C[m'][l'] exits the east edge of row m' after the
+    // step at cycle l' + (n - 1) + m' (the window depth is the column count
+    // n, not the row count); the OS consumer wants it at local l' + m'.
+    let offset = n - 1;
+    let total = l + 6 * n + 4;
+    let zeros = vec![0i64; 2 * n];
+    for t in 0..total {
+        let north_p: Vec<i64> = (0..n)
+            .map(|col_k| {
+                let li = t as i64 - col_k as i64;
+                if col_k < k && li >= 0 && (li as usize) < l {
+                    b[(col_k, li as usize)]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let (east_p, _) = producer.step(&zeros, &north_p);
+        let tc = t as i64 - offset as i64;
+        let north_c: Vec<i64> = (0..n)
+            .map(|col_j| {
+                let li = tc - col_j as i64;
+                if col_j < nn && li >= 0 && (li as usize) < l {
+                    d[(li as usize, col_j)]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        consumer.step(&east_p, &north_c);
+    }
+    let out = Matrix::from_fn(m, nn, |r, c| consumer.acc(r, c));
+    crate::fusion::FusedRunResult {
+        out,
+        cycles: total as u64,
+        intermediate_elems: (m * l) as u64,
+    }
+}
+
+/// Fig 7(e), executed: **wide column fusion** on the four-CU fabric. The
+/// top two CUs form a wide (`N × 2N`) IS producer holding `A[M, K]` with
+/// `K` up to `2N`; the bottom two CUs form a wide OS consumer accumulating
+/// `E[M, N]` with `N` up to `2N`. Columns of the intermediate stream from
+/// the producer's east port through the fusion muxes into the consumer's
+/// west port — `C` exists only on that wire.
+///
+/// # Panics
+///
+/// Panics when `A` exceeds `N × 2N`, `E` exceeds `N × 2N`, or the shapes
+/// do not chain.
+pub fn wide_column_fusion(
+    n: usize,
+    a: &Matrix,
+    b: &Matrix,
+    d: &Matrix,
+) -> crate::fusion::FusedRunResult {
+    assert_eq!(a.cols(), b.rows(), "producer inner dimensions must agree");
+    assert_eq!(b.cols(), d.rows(), "consumer inner dimensions must agree");
+    let (m, k) = (a.rows(), a.cols());
+    let l = b.cols();
+    let nn = d.cols();
+    assert!(m <= n && k <= 2 * n, "producer stationary exceeds N x 2N");
+    assert!(nn <= 2 * n, "consumer output exceeds N x 2N");
+
+    let mut producer = CuRow::new(n, 2, Stationary::Is);
+    producer.load_stationary(a);
+    let mut consumer = CuRow::new(n, 2, Stationary::Os);
+
+    // Producer (width 2N) emits C[m'][l'] on its east edge after the step
+    // at cycle l' + (2n - 1) + m'; the consumer's OS schedule wants its
+    // west input at local cycle l' + m'.
+    let offset = 2 * n - 1;
+    let total = l + 6 * n + 4;
+    let zeros = vec![0i64; n];
+    for t in 0..total {
+        let north_p: Vec<i64> = (0..2 * n)
+            .map(|col_k| {
+                let li = t as i64 - col_k as i64;
+                if col_k < k && li >= 0 && (li as usize) < l {
+                    b[(col_k, li as usize)]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let (east_p, _) = producer.step(&zeros, &north_p);
+        let tc = t as i64 - offset as i64;
+        let north_c: Vec<i64> = (0..2 * n)
+            .map(|col_j| {
+                let li = tc - col_j as i64;
+                if col_j < nn && li >= 0 && (li as usize) < l {
+                    d[(li as usize, col_j)]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        consumer.step(&east_p, &north_c);
+    }
+    let out = Matrix::from_fn(m, nn, |r, c| consumer.acc(r, c));
+    crate::fusion::FusedRunResult {
+        out,
+        cycles: total as u64,
+        intermediate_elems: (m * l) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_tile_four_cus() {
+        for shape in FabricShape::ALL {
+            let (gr, gc) = shape.grid();
+            assert_eq!(gr * gc, 4);
+            assert_eq!(shape.logical(4), (gr * 4, gc * 4));
+        }
+    }
+
+    #[test]
+    fn wide_fabric_hosts_a_4n_stationary_dimension() {
+        // B = 4 x 16 on four 4x4 CUs in wide arrangement: the untiled L
+        // dimension spans all four CUs, which no single CU could hold.
+        let n = 4;
+        let a = Matrix::pseudo_random(9, 4, 1);
+        let b = Matrix::pseudo_random(4, 16, 2);
+        let mut fabric = FuseCuFabric::new(n, FabricShape::Wide, Stationary::Ws);
+        let r = fabric.run_ws(&a, &b);
+        assert_eq!(r.out, a.matmul(&b));
+    }
+
+    #[test]
+    fn narrow_fabric_hosts_a_4n_reduction_dimension() {
+        let n = 4;
+        let a = Matrix::pseudo_random(6, 16, 3);
+        let b = Matrix::pseudo_random(16, 4, 4);
+        let mut fabric = FuseCuFabric::new(n, FabricShape::Narrow, Stationary::Ws);
+        let r = fabric.run_ws(&a, &b);
+        assert_eq!(r.out, a.matmul(&b));
+    }
+
+    #[test]
+    fn square_fabric_matches_monolithic_array_cycle_for_cycle() {
+        // The paper's "simply adds MUX and wires": the composed fabric is
+        // indistinguishable from a monolithic 2N x 2N array.
+        let n = 3;
+        let a = Matrix::pseudo_random(7, 5, 5);
+        let b = Matrix::pseudo_random(5, 6, 6);
+        let mut fabric = FuseCuFabric::new(n, FabricShape::Square, Stationary::Ws);
+        let mut monolithic = CuArray::new(2 * n, Stationary::Ws);
+        let f = fabric.run_ws(&a, &b);
+        let m = monolithic.run_ws(&a, &b);
+        assert_eq!(f.out, m.out);
+        assert_eq!(f.cycles, m.cycles);
+    }
+
+    #[test]
+    fn all_shapes_compute_what_fits() {
+        let n = 4;
+        for shape in FabricShape::ALL {
+            let (rows, cols) = shape.logical(n);
+            let k = rows.min(7);
+            let l = cols.min(7);
+            let a = Matrix::pseudo_random(5, k, 7);
+            let b = Matrix::pseudo_random(k, l, 8);
+            let mut fabric = FuseCuFabric::new(n, shape, Stationary::Ws);
+            assert_eq!(fabric.run_ws(&a, &b).out, a.matmul(&b), "{shape:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the logical array")]
+    fn oversized_stationary_rejected() {
+        let mut fabric = FuseCuFabric::new(4, FabricShape::Wide, Stationary::Ws);
+        let a = Matrix::zero(4, 8);
+        let b = Matrix::zero(8, 16); // K = 8 > logical rows (4) in wide
+        let _ = fabric.run_ws(&a, &b);
+    }
+
+    #[test]
+    fn fabric_os_matches_golden_beyond_one_cu() {
+        // Output 7x10 on 4x4 CUs arranged square (logical 8x8 would not
+        // fit 10 columns; use wide 4x16): exercises cross-CU accumulation.
+        let a = Matrix::pseudo_random(4, 9, 51);
+        let b = Matrix::pseudo_random(9, 13, 52);
+        let mut fabric = FuseCuFabric::new(4, FabricShape::Wide, Stationary::Os);
+        let r = fabric.run_os(&a, &b);
+        assert_eq!(r.out, a.matmul(&b));
+        // Square fabric too.
+        let a2 = Matrix::pseudo_random(7, 5, 53);
+        let b2 = Matrix::pseudo_random(5, 6, 54);
+        let mut sq = FuseCuFabric::new(4, FabricShape::Square, Stationary::Os);
+        assert_eq!(sq.run_os(&a2, &b2).out, a2.matmul(&b2));
+    }
+
+    #[test]
+    fn fabric_tile_fusion_hosts_2n_intermediates() {
+        // C = 7x7 exceeds one 4x4 CU; the square fabric (8x8) fuses it in
+        // place across all four CUs.
+        for (m, k, l, nn, seed) in [
+            (7usize, 5usize, 7usize, 6usize, 61u64),
+            (8, 3, 8, 9, 62), // full 2N x 2N intermediate, long consumer
+            (5, 8, 6, 3, 63),
+        ] {
+            let a = Matrix::pseudo_random(m, k, seed);
+            let b = Matrix::pseudo_random(k, l, seed + 10);
+            let d = Matrix::pseudo_random(l, nn, seed + 20);
+            let r = fabric_tile_fusion(4, FabricShape::Square, &a, &b, &d);
+            assert_eq!(
+                r.out,
+                a.matmul(&b).matmul(&d),
+                "m={m} k={k} l={l} nn={nn}"
+            );
+            assert_eq!(r.intermediate_elems, (m * l) as u64);
+        }
+    }
+
+    #[test]
+    fn fabric_tile_fusion_agrees_with_single_cu() {
+        let a = Matrix::pseudo_random(4, 4, 71);
+        let b = Matrix::pseudo_random(4, 4, 72);
+        let d = Matrix::pseudo_random(4, 6, 73);
+        let fabric = fabric_tile_fusion(4, FabricShape::Square, &a, &b, &d);
+        let single = crate::fusion::tile_fusion(4, &a, &b, &d);
+        assert_eq!(fabric.out, single.out);
+    }
+
+    #[test]
+    fn wide_column_fusion_matches_golden() {
+        // K and N both beyond one CU (up to 2N): the Fig 7(e) config.
+        for (n, m, k, l, nn, seed) in [
+            (4usize, 4usize, 8usize, 10usize, 8usize, 1u64),
+            (4, 3, 7, 4, 5, 2),
+            (5, 5, 10, 13, 9, 3),
+        ] {
+            let a = Matrix::pseudo_random(m, k, seed);
+            let b = Matrix::pseudo_random(k, l, seed + 10);
+            let d = Matrix::pseudo_random(l, nn, seed + 20);
+            let r = wide_column_fusion(n, &a, &b, &d);
+            assert_eq!(
+                r.out,
+                a.matmul(&b).matmul(&d),
+                "n={n} m={m} k={k} l={l} nn={nn}"
+            );
+            assert_eq!(r.intermediate_elems, (m * l) as u64);
+        }
+    }
+
+    #[test]
+    fn wide_fusion_agrees_with_single_cu_fusion_where_both_fit() {
+        let n = 6;
+        let a = Matrix::pseudo_random(4, 5, 31);
+        let b = Matrix::pseudo_random(5, 9, 32);
+        let d = Matrix::pseudo_random(9, 4, 33);
+        let wide = wide_column_fusion(n, &a, &b, &d);
+        let single = crate::fusion::column_fusion(n, &a, &b, &d);
+        assert_eq!(wide.out, single.out);
+    }
+
+    #[test]
+    fn narrow_column_fusion_matches_golden() {
+        // M beyond one CU (up to 2N): tall attention-style operands.
+        for (n, m, k, l, nn, seed) in [
+            (4usize, 8usize, 4usize, 10usize, 4usize, 81u64),
+            (4, 7, 3, 5, 2, 82),
+            (5, 10, 5, 12, 5, 83),
+        ] {
+            let a = Matrix::pseudo_random(m, k, seed);
+            let b = Matrix::pseudo_random(k, l, seed + 10);
+            let d = Matrix::pseudo_random(l, nn, seed + 20);
+            let r = narrow_column_fusion(n, &a, &b, &d);
+            assert_eq!(
+                r.out,
+                a.matmul(&b).matmul(&d),
+                "n={n} m={m} k={k} l={l} nn={nn}"
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_and_wide_fusion_agree_where_both_fit() {
+        let n = 6;
+        let a = Matrix::pseudo_random(5, 4, 91);
+        let b = Matrix::pseudo_random(4, 8, 92);
+        let d = Matrix::pseudo_random(8, 5, 93);
+        assert_eq!(
+            narrow_column_fusion(n, &a, &b, &d).out,
+            wide_column_fusion(n, &a, &b, &d).out
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 2N x N")]
+    fn narrow_fusion_rejects_oversized_producer() {
+        let a = Matrix::zero(12, 4); // M = 12 > 2N = 8
+        let b = Matrix::zero(4, 4);
+        let d = Matrix::zero(4, 4);
+        let _ = narrow_column_fusion(4, &a, &b, &d);
+    }
+
+    #[test]
+    fn cu_row_step_matches_monolithic_ws() {
+        // A 1x2 CU row is indistinguishable from a monolithic N x 2N array
+        // for WS execution (here exercised through wide_column_fusion's
+        // producer path via load/step, checked by a direct WS run).
+        let n = 3;
+        let a = Matrix::pseudo_random(5, 3, 41);
+        let b_stat = Matrix::pseudo_random(3, 6, 42);
+        let mut row = CuRow::new(n, 2, Stationary::Ws);
+        row.load_stationary(&b_stat);
+        let (m, k, l) = (a.rows(), a.cols(), b_stat.cols());
+        let mut out = Matrix::zero(m, l);
+        let total = m + n + 2 * n + 2;
+        for t in 0..total {
+            let west: Vec<i64> = (0..n)
+                .map(|row_k| {
+                    let mi = t as i64 - row_k as i64;
+                    if row_k < k && mi >= 0 && (mi as usize) < m {
+                        a[(mi as usize, row_k)]
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let (_, south) = row.step(&west, &vec![0; 2 * n]);
+            for (col_l, v) in south.iter().enumerate() {
+                let mi = t as i64 - (n - 1) as i64 - col_l as i64;
+                if col_l < l && mi >= 0 && (mi as usize) < m {
+                    out[(mi as usize, col_l)] = *v;
+                }
+            }
+        }
+        assert_eq!(out, a.matmul(&b_stat));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds N x 2N")]
+    fn wide_fusion_rejects_oversized_producer() {
+        let a = Matrix::zero(4, 12); // K = 12 > 2N = 8
+        let b = Matrix::zero(12, 4);
+        let d = Matrix::zero(4, 4);
+        let _ = wide_column_fusion(4, &a, &b, &d);
+    }
+}

@@ -1,0 +1,205 @@
+//! Exact integer matrices and the golden matmul reference.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `i64` matrix.
+///
+/// Integer arithmetic keeps every simulator check bit-exact; the INT8
+/// accelerators under study accumulate in wide integers the same way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a generator function `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> i64) -> Matrix {
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// A deterministic pseudo-random matrix with small entries (|x| ≤ 8),
+    /// keyed by `seed` — reproducible across runs without an RNG crate.
+    pub fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let v = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            ((v >> 32) % 17) as i64 - 8
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The golden matmul: `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        Matrix::from_fn(self.rows, rhs.cols, |i, j| {
+            (0..self.cols).map(|k| self[(i, k)] * rhs[(k, j)]).sum()
+        })
+    }
+
+    /// A sub-matrix view copied out: rows `r0..r0+h`, cols `c0..c0+w`,
+    /// clamped to the matrix extent (edge tiles may be smaller).
+    pub fn tile(&self, r0: usize, c0: usize, h: usize, w: usize) -> Matrix {
+        let h = h.min(self.rows - r0);
+        let w = w.min(self.cols - c0);
+        Matrix::from_fn(h, w, |r, c| self[(r0 + r, c0 + c)])
+    }
+
+    /// Writes `block` into this matrix at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block overruns the matrix.
+    pub fn set_tile(&mut self, r0: usize, c0: usize, block: &Matrix) {
+        assert!(r0 + block.rows <= self.rows && c0 + block.cols <= self.cols);
+        for r in 0..block.rows {
+            for c in 0..block.cols {
+                self[(r0 + r, c0 + c)] = block[(r, c)];
+            }
+        }
+    }
+
+    /// Adds `block` into this matrix at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block overruns the matrix.
+    pub fn add_tile(&mut self, r0: usize, c0: usize, block: &Matrix) {
+        assert!(r0 + block.rows <= self.rows && c0 + block.cols <= self.cols);
+        for r in 0..block.rows {
+            for c in 0..block.cols {
+                self[(r0 + r, c0 + c)] += block[(r, c)];
+            }
+        }
+    }
+
+    /// Element count.
+    pub fn elems(&self) -> u64 {
+        (self.rows * self.cols) as u64
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = i64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &i64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut i64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:>6}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::pseudo_random(4, 3, 7);
+        let id = Matrix::from_fn(3, 3, |r, c| i64::from(r == c));
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r * 2 + c) as i64 + 1); // [1 2; 3 4]
+        let b = Matrix::from_fn(2, 2, |r, c| (r * 2 + c) as i64 + 5); // [5 6; 7 8]
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19);
+        assert_eq!(c[(0, 1)], 22);
+        assert_eq!(c[(1, 0)], 43);
+        assert_eq!(c[(1, 1)], 50);
+    }
+
+    #[test]
+    fn pseudo_random_is_deterministic_and_seeded() {
+        let a = Matrix::pseudo_random(5, 5, 1);
+        let b = Matrix::pseudo_random(5, 5, 1);
+        let c = Matrix::pseudo_random(5, 5, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!((0..5).all(|r| (0..5).all(|c2| a[(r, c2)].abs() <= 8)));
+    }
+
+    #[test]
+    fn tile_clamps_at_edges() {
+        let a = Matrix::from_fn(5, 5, |r, c| (r * 5 + c) as i64);
+        let t = a.tile(3, 3, 4, 4);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t[(0, 0)], 18);
+    }
+
+    #[test]
+    fn set_and_add_tile() {
+        let mut m = Matrix::zero(4, 4);
+        let b = Matrix::from_fn(2, 2, |_, _| 3);
+        m.set_tile(1, 1, &b);
+        m.add_tile(1, 1, &b);
+        assert_eq!(m[(1, 1)], 6);
+        assert_eq!(m[(0, 0)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_matmul_panics() {
+        let _ = Matrix::zero(2, 3).matmul(&Matrix::zero(2, 3));
+    }
+}

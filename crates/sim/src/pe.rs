@@ -1,0 +1,172 @@
+//! The X-Stationary processing element (Fig 6) at register-transfer level.
+//!
+//! One PE holds a stationary register, an accumulator, and two registered
+//! forwarding outputs (east, south). Muxes — the paper's additions to the
+//! baseline systolic PE — select among three datapaths:
+//!
+//! * **WS**: the stationary register holds a weight; activations flow west
+//!   to east; partial sums accumulate north to south.
+//! * **IS**: the stationary register holds an input; weights flow north to
+//!   south; partial sums accumulate west to east.
+//! * **OS**: both operands flow through (west→east, north→south) and the
+//!   product accumulates in place.
+//!
+//! Two further mux paths enable fusion without any new storage:
+//! [`XsPe::promote_acc_to_stationary`] moves the finished OS accumulator
+//! into the stationary register (tile fusion's OS→IS switch), and the
+//! accumulator is readable on the forwarding path for column fusion's
+//! drain-through-activation-output.
+
+use fusecu_arch::Stationary;
+
+/// One X-Stationary PE.
+#[derive(Debug, Clone)]
+pub struct XsPe {
+    mode: Stationary,
+    stationary: i64,
+    acc: i64,
+    east: i64,
+    south: i64,
+}
+
+impl XsPe {
+    /// A fresh PE in the given mode with cleared state.
+    pub fn new(mode: Stationary) -> XsPe {
+        XsPe {
+            mode,
+            stationary: 0,
+            acc: 0,
+            east: 0,
+            south: 0,
+        }
+    }
+
+    /// Loads the stationary register (weight for WS, input for IS).
+    pub fn load_stationary(&mut self, value: i64) {
+        self.stationary = value;
+    }
+
+    /// Clears the accumulator (before an OS pass).
+    pub fn clear_acc(&mut self) {
+        self.acc = 0;
+    }
+
+    /// The accumulator value (OS result readout).
+    pub fn acc(&self) -> i64 {
+        self.acc
+    }
+
+    /// Current registered east output.
+    pub fn east(&self) -> i64 {
+        self.east
+    }
+
+    /// Current registered south output.
+    pub fn south(&self) -> i64 {
+        self.south
+    }
+
+    /// The PE's current mode.
+    pub fn mode(&self) -> Stationary {
+        self.mode
+    }
+
+    /// Reconfigures the datapath mux (the XS configuration bit).
+    pub fn set_mode(&mut self, mode: Stationary) {
+        self.mode = mode;
+    }
+
+    /// Tile fusion's key mux: the finished OS accumulator becomes the
+    /// stationary operand of the subsequent IS pass — the intermediate
+    /// tensor never leaves the PE.
+    pub fn promote_acc_to_stationary(&mut self) {
+        self.stationary = self.acc;
+        self.acc = 0;
+    }
+
+    /// Clears the moving state (forwarding registers and accumulator) while
+    /// keeping the stationary register — used between fused phases.
+    pub fn clear_flow(&mut self) {
+        self.acc = 0;
+        self.east = 0;
+        self.south = 0;
+    }
+
+    /// One clock edge: consumes the neighbor inputs present this cycle and
+    /// updates the registered outputs and accumulator.
+    pub fn step(&mut self, west_in: i64, north_in: i64) {
+        match self.mode {
+            Stationary::Ws => {
+                // Activation rides east; partial sum accumulates south.
+                self.south = north_in + self.stationary * west_in;
+                self.east = west_in;
+            }
+            Stationary::Is => {
+                // Weight rides south; partial sum accumulates east.
+                self.east = west_in + self.stationary * north_in;
+                self.south = north_in;
+            }
+            Stationary::Os => {
+                // Both operands ride through; the product stays here.
+                self.acc += west_in * north_in;
+                self.east = west_in;
+                self.south = north_in;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ws_accumulates_southward() {
+        let mut pe = XsPe::new(Stationary::Ws);
+        pe.load_stationary(3);
+        pe.step(5, 10); // south = 10 + 3*5
+        assert_eq!(pe.south(), 25);
+        assert_eq!(pe.east(), 5);
+        assert_eq!(pe.acc(), 0);
+    }
+
+    #[test]
+    fn is_accumulates_eastward() {
+        let mut pe = XsPe::new(Stationary::Is);
+        pe.load_stationary(4);
+        pe.step(7, 2); // east = 7 + 4*2
+        assert_eq!(pe.east(), 15);
+        assert_eq!(pe.south(), 2);
+    }
+
+    #[test]
+    fn os_accumulates_in_place() {
+        let mut pe = XsPe::new(Stationary::Os);
+        pe.step(2, 3);
+        pe.step(4, 5);
+        assert_eq!(pe.acc(), 26);
+        assert_eq!(pe.east(), 4);
+        assert_eq!(pe.south(), 5);
+    }
+
+    #[test]
+    fn promote_moves_acc_into_stationary() {
+        let mut pe = XsPe::new(Stationary::Os);
+        pe.step(2, 3);
+        pe.promote_acc_to_stationary();
+        pe.set_mode(Stationary::Is);
+        assert_eq!(pe.acc(), 0);
+        pe.step(0, 10); // east = 0 + 6*10
+        assert_eq!(pe.east(), 60);
+    }
+
+    #[test]
+    fn mode_switch_keeps_registers() {
+        let mut pe = XsPe::new(Stationary::Ws);
+        pe.load_stationary(9);
+        pe.set_mode(Stationary::Is);
+        assert_eq!(pe.mode(), Stationary::Is);
+        pe.step(1, 2);
+        assert_eq!(pe.east(), 1 + 9 * 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! Compare the five platforms on one transformer model — a single Fig 10
+//! column, with an adjustable buffer size.
+//!
+//! Run with `cargo run -p fusecu --example accelerator_comparison -- [model] [buffer-KiB]`
+//! where `model` is one of `bert`, `gpt2`, `blenderbot`, `xlm`, `deberta`,
+//! `llama2`, `albert` (default `bert`) and `buffer-KiB` defaults to 512.
+
+use fusecu::pipeline::compare_platforms_at;
+use fusecu::prelude::*;
+
+fn pick_model(name: &str) -> TransformerConfig {
+    match name {
+        "bert" => zoo::bert(),
+        "gpt2" => zoo::gpt2(),
+        "blenderbot" => zoo::blenderbot(),
+        "xlm" => zoo::xlm(),
+        "deberta" => zoo::deberta_v2(),
+        "llama2" => zoo::llama2(),
+        "albert" => zoo::albert(),
+        other => {
+            eprintln!("unknown model '{other}', using bert");
+            zoo::bert()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model = pick_model(args.get(1).map(String::as_str).unwrap_or("bert"));
+    let buffer_kib: u64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let spec = ArraySpec::tpuv4i_with_buffer(buffer_kib * 1024);
+
+    println!("model: {model}");
+    println!("fabric: {spec}");
+    println!();
+
+    let row = compare_platforms_at(&model, &spec);
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>14}",
+        "platform", "MA (elements)", "norm. MA", "utilization", "speedup vs TPU"
+    );
+    for p in Platform::ALL {
+        println!(
+            "{:<10} {:>14} {:>14.3} {:>12.3} {:>14.2}x",
+            p.name(),
+            row.perf(p).total_ma(),
+            row.normalized_ma(p),
+            row.utilization(p),
+            row.speedup(p, Platform::Tpuv4i)
+        );
+    }
+    println!();
+    let fused = row.perf(Platform::FuseCu);
+    println!(
+        "FuseCU executed {} fused pairs ({:?})",
+        fused.fused_steps(),
+        fused.fused_mappings()
+    );
+}

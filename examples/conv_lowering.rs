@@ -1,0 +1,59 @@
+//! Beyond matmul: the principles on convolutions (§III-B's note that all
+//! tensor operators expressible as loop nests share the derivation).
+//! Lowers ResNet-style convolutions through im2col and optimizes each with
+//! the same one-shot principles, cross-checked against the search oracle.
+//!
+//! Run with `cargo run -p fusecu --example conv_lowering`.
+
+use fusecu::ir::Conv2d;
+use fusecu::prelude::*;
+
+fn main() {
+    // A small 24 KiB buffer keeps the layers spread across regimes.
+    let buffer = 24 * 1024;
+    let model = CostModel::paper();
+    let oracle = ExhaustiveSearch::new(model);
+
+    // A ResNet-50-flavored ladder at batch 8.
+    let layers = [
+        ("conv1 7x7/2", Conv2d {
+            batch: 8,
+            in_channels: 3,
+            height: 224,
+            width: 224,
+            out_channels: 64,
+            kernel_h: 7,
+            kernel_w: 7,
+            stride: 2,
+            padding: 3,
+        }),
+        ("res2 3x3", Conv2d::same(8, 64, 56, 64, 3)),
+        ("res3 3x3", Conv2d::same(8, 128, 28, 128, 3)),
+        ("res4 1x1", Conv2d::same(8, 256, 14, 1024, 1)),
+        ("res5 3x3", Conv2d::same(8, 512, 7, 512, 3)),
+    ];
+
+    println!("buffer: {} KiB\n", buffer / 1024);
+    println!(
+        "{:<12} {:>22} {:>9} {:>12} {:>10} {:>9}",
+        "layer", "im2col matmul", "regime", "class", "MA/ideal", "= oracle"
+    );
+    for (name, conv) in layers {
+        let mm = conv.to_matmul().expect("non-degenerate layer");
+        let best = fusecu::optimize(mm, buffer);
+        let searched = oracle.optimize(mm, buffer).best().total_ma();
+        println!(
+            "{:<12} {:>8}x{:<5}x{:<6} {:>9} {:>12} {:>9.3}x {:>9}",
+            name,
+            mm.m(),
+            mm.k(),
+            mm.l(),
+            BufferRegime::classify(mm, buffer).to_string(),
+            best.class().map(|c| c.to_string()).unwrap_or_default(),
+            best.total_ma() as f64 / mm.ideal_ma() as f64,
+            if best.total_ma() == searched { "yes" } else { "NO" }
+        );
+        assert_eq!(best.total_ma(), searched, "{name}: principles must match search");
+    }
+    println!("\nevery lowered convolution optimizes one-shot to the searched optimum");
+}

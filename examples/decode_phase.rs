@@ -1,0 +1,57 @@
+//! Autoregressive decode: the paper's evaluation covers prefill; this
+//! extension runs one decode step (a single query token against a KV
+//! cache) through the same pipeline. Decode collapses every matmul to a
+//! skinny shape, the regime where flexible stationaries and the
+//! wide/narrow fabric reshapes matter most — and where fused attention
+//! avoids spilling the per-token score vector.
+//!
+//! Run with `cargo run -p fusecu --example decode_phase -- [context-len]`.
+
+use fusecu::pipeline::evaluation_model;
+use fusecu::prelude::*;
+
+fn main() {
+    let context: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+    let cfg = zoo::llama2();
+    let graph = cfg.build_decode_graph(context);
+    let spec = ArraySpec::paper_default();
+    let model = evaluation_model();
+
+    println!("model: {cfg}");
+    println!("decode step against a {context}-token KV cache\n");
+    println!(
+        "{:<10} {:>14} {:>12} {:>14}",
+        "platform", "MA (elements)", "norm. MA", "speedup vs TPU"
+    );
+    let tpu = evaluate_graph(&spec, Platform::Tpuv4i, &model, &graph);
+    for p in Platform::ALL {
+        let perf = evaluate_graph(&spec, p, &model, &graph);
+        println!(
+            "{:<10} {:>14} {:>14.3} {:>13.2}x",
+            p.name(),
+            perf.total_ma(),
+            perf.total_ma() as f64 / tpu.total_ma() as f64,
+            tpu.total_cycles() as f64 / perf.total_cycles() as f64
+        );
+    }
+
+    // The per-head decode attention pair and its fusion decision.
+    let dh = cfg.head_dim();
+    let pair = FusedPair::try_new(
+        MatMul::new(1, dh, context),
+        MatMul::new(1, context, dh),
+    )
+    .expect("decode attention chains");
+    let d = fusecu::decide(&CostModel::paper(), pair, spec.buffer_elems);
+    println!();
+    println!(
+        "per-head decode attention {pair}: classes {:?}/{:?}, fuse = {}, saves {} elements/head",
+        d.producer_class(),
+        d.consumer_class(),
+        d.profitable(),
+        d.saved_ma()
+    );
+}

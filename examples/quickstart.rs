@@ -1,0 +1,57 @@
+//! Quickstart: one-shot principle-based dataflow optimization.
+//!
+//! Reproduces the paper's §III-A worked example — the BERT matmul
+//! `A[1024,768] × B[768,768]` in a 512 KiB buffer — and then a fusion
+//! decision on the attention pair it motivates.
+//!
+//! Run with `cargo run -p fusecu --example quickstart`.
+
+use fusecu::prelude::*;
+
+fn main() {
+    // ----- intra-operator: Principles 1-3 -------------------------------
+    let mm = MatMul::new(1024, 768, 768);
+    let buffer = 512 * 1024; // elements (INT8 => bytes)
+
+    println!("operator: {mm}");
+    println!(
+        "buffer:   {} KiB  ->  regime: {}",
+        buffer / 1024,
+        BufferRegime::classify(mm, buffer)
+    );
+
+    let best = fusecu::optimize(mm, buffer);
+    println!("optimal dataflow: {best}");
+    println!(
+        "  class {:?}; K untiled: {}; B accessed {}x its footprint",
+        best.class(),
+        best.tiling().is_untiled(mm, MmDim::K),
+        best.ma().of(Operand::Rhs) / mm.tensor_elems(Operand::Rhs),
+    );
+    println!(
+        "  total MA {} elements vs ideal {} ({}x)",
+        best.total_ma(),
+        mm.ideal_ma(),
+        best.total_ma() as f64 / mm.ideal_ma() as f64
+    );
+
+    // ----- inter-operator: Principle 4 ----------------------------------
+    let pair = FusedPair::try_new(MatMul::new(1024, 64, 1024), MatMul::new(1024, 1024, 64))
+        .expect("attention shapes chain");
+    let decision = fusecu::decide(&CostModel::paper(), pair, buffer);
+    println!();
+    println!("fusion candidate: {pair}");
+    println!(
+        "  operator classes: {:?} / {:?}  (same NRA: {})",
+        decision.producer_class(),
+        decision.consumer_class(),
+        decision.same_nra()
+    );
+    println!(
+        "  unfused MA {} vs fused MA {:?}  ->  profitable: {}, saving {} elements",
+        decision.unfused_ma(),
+        decision.fused().map(|f| f.total_ma()),
+        decision.profitable(),
+        decision.saved_ma()
+    );
+}

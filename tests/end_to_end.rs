@@ -1,0 +1,148 @@
+//! End-to-end integration: the full pipeline from Table II hyper-parameters
+//! through graph construction, per-platform dataflow optimization, fusion
+//! planning, and the cycle model — asserting the structural relationships
+//! every figure relies on.
+
+use fusecu::pipeline::{compare_platforms, compare_platforms_at};
+use fusecu::prelude::*;
+
+#[test]
+fn every_model_evaluates_on_every_platform() {
+    for cfg in zoo::all() {
+        let row = compare_platforms(&cfg);
+        for p in Platform::ALL {
+            let perf = row.perf(p);
+            assert!(perf.total_ma() > 0, "{}: {p} zero MA", cfg.name);
+            assert!(perf.total_cycles() > 0, "{}: {p} zero cycles", cfg.name);
+            let util = row.utilization(p);
+            assert!(
+                util > 0.0 && util <= 1.0,
+                "{}: {p} utilization {util}",
+                cfg.name
+            );
+        }
+        // MACs are an invariant of the model, not the platform.
+        let macs = row.perf(Platform::Tpuv4i).total_macs();
+        for p in Platform::ALL {
+            assert_eq!(row.perf(p).total_macs(), macs, "{}", cfg.name);
+        }
+    }
+}
+
+#[test]
+fn platform_space_containment_orders_memory_access() {
+    // UnfCU's dataflow space contains Gemmini's, which contains TPUv4i's;
+    // FuseCU's contains UnfCU's. MA must be ordered accordingly on every
+    // model (Planaria's WS-only space is not comparable to Gemmini's).
+    for cfg in zoo::all() {
+        let row = compare_platforms(&cfg);
+        let ma = |p: Platform| row.perf(p).total_ma();
+        assert!(ma(Platform::Gemmini) <= ma(Platform::Tpuv4i), "{}", cfg.name);
+        assert!(ma(Platform::UnfCu) <= ma(Platform::Gemmini), "{}", cfg.name);
+        assert!(ma(Platform::UnfCu) <= ma(Platform::Planaria), "{}", cfg.name);
+        assert!(ma(Platform::FuseCu) <= ma(Platform::UnfCu), "{}", cfg.name);
+    }
+}
+
+#[test]
+fn only_fusecu_fuses_and_it_always_finds_pairs() {
+    for cfg in zoo::all() {
+        let row = compare_platforms(&cfg);
+        for p in Platform::ALL {
+            let steps = row.perf(p).fused_steps();
+            if p == Platform::FuseCu {
+                assert!(steps >= 1, "{}: FuseCU found no profitable fusion", cfg.name);
+            } else {
+                assert_eq!(steps, 0, "{}: {p} must not fuse", cfg.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn graphs_have_expected_structure() {
+    for cfg in zoo::all() {
+        let g = cfg.build_graph();
+        assert_eq!(g.node_count(), 10, "{}", cfg.name);
+        let chains = g.mm_chains();
+        // Two fusable chains (attention, FFN) + four solo projections.
+        assert_eq!(chains.len(), 6, "{}", cfg.name);
+        let fusable = chains.iter().filter(|(ids, ..)| ids.len() == 2).count();
+        assert_eq!(fusable, 2, "{}", cfg.name);
+        // Attention chain instance count = batch x heads.
+        let (_, _, count) = chains
+            .iter()
+            .find(|(_, ch, _)| ch.len() == 2 && ch.mm(0).k() == cfg.head_dim())
+            .expect("attention chain");
+        assert_eq!(*count, cfg.batch * cfg.heads, "{}", cfg.name);
+    }
+}
+
+#[test]
+fn buffer_sweep_is_monotone_for_flexible_platforms() {
+    // More buffer never hurts a platform with free tiling.
+    let cfg = zoo::blenderbot();
+    let mut last_ma = u64::MAX;
+    for kib in [64u64, 256, 1024, 4096, 16_384] {
+        let spec = ArraySpec::tpuv4i_with_buffer(kib * 1024);
+        let row = compare_platforms_at(&cfg, &spec);
+        let ma = row.perf(Platform::FuseCu).total_ma();
+        assert!(ma <= last_ma, "buffer {kib} KiB regressed: {ma} > {last_ma}");
+        last_ma = ma;
+    }
+}
+
+#[test]
+fn huge_buffers_converge_to_the_fused_floor() {
+    // With a giant buffer every matmul reaches Three-NRA and fusion only
+    // removes intermediate traffic; FuseCU's total approaches the sum of
+    // fused chain lower bounds.
+    let cfg = zoo::blenderbot();
+    let spec = ArraySpec::tpuv4i_with_buffer(256 * 1024 * 1024);
+    let row = compare_platforms_at(&cfg, &spec);
+    let floor: u64 = cfg
+        .build_graph()
+        .mm_chains()
+        .iter()
+        .map(|(_, chain, count)| chain.fused_ideal_ma() * count)
+        .sum();
+    let fuse = row.perf(Platform::FuseCu).total_ma();
+    assert!(fuse >= floor);
+    assert!(
+        (fuse as f64) < 1.05 * floor as f64,
+        "FuseCU {fuse} should approach the fused floor {floor}"
+    );
+}
+
+#[test]
+fn cross_attention_and_decode_graphs_evaluate_consistently() {
+    let spec = ArraySpec::paper_default();
+    let model = fusecu::pipeline::evaluation_model();
+    let cfg = zoo::blenderbot();
+    for graph in [
+        cfg.build_cross_attention_graph(512),
+        cfg.build_decode_graph(2048),
+    ] {
+        let tpu = evaluate_graph(&spec, Platform::Tpuv4i, &model, &graph);
+        let fuse = evaluate_graph(&spec, Platform::FuseCu, &model, &graph);
+        assert!(fuse.total_ma() <= tpu.total_ma());
+        assert!(fuse.total_cycles() <= tpu.total_cycles());
+        assert_eq!(fuse.total_macs(), tpu.total_macs());
+    }
+    // Cross-attention offers three fusable chains; FuseCU uses them.
+    let xg = cfg.build_cross_attention_graph(512);
+    let fuse = evaluate_graph(&spec, Platform::FuseCu, &model, &xg);
+    assert!(fuse.fused_steps() >= 2, "got {}", fuse.fused_steps());
+}
+
+#[test]
+fn area_model_consistent_with_architecture_claims() {
+    let b = fusecu::rtl::fig12_breakdown(128, 4);
+    assert!((0.10..=0.14).contains(&b.overhead_ratio()));
+    assert!(b.interconnect_share() < 0.001);
+    // The claimed "no buffer/register additions": arithmetic census equal.
+    let base = fusecu::rtl::designs::tpu_like(128, 4).cell_census();
+    let fuse = fusecu::rtl::designs::fusecu(128, 4).cell_census();
+    assert_eq!(base["mult8"], fuse["mult8"]);
+    assert_eq!(base["add32"], fuse["add32"]);
+}

@@ -1,0 +1,142 @@
+//! The Fig 9 theorem at integration scope: across randomized shapes and
+//! buffer sizes, the one-shot principle optimizers exactly match the
+//! exhaustive search oracles — intra-operator and fused — and Principle 4's
+//! profitability rule holds.
+
+use proptest::prelude::*;
+
+use fusecu::dataflow::principles::try_optimize_with;
+use fusecu::prelude::*;
+use fusecu_fusion::optimize_pair;
+use fusecu_search::fused_exhaustive::FusedExhaustive;
+
+fn model() -> CostModel {
+    CostModel::paper()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Principles 1-3 reach the global optimum of the loop-nest model.
+    #[test]
+    fn principles_equal_exhaustive_oracle(
+        m in 1u64..128,
+        k in 1u64..128,
+        l in 1u64..128,
+        bs in 3u64..30_000,
+    ) {
+        let mm = MatMul::new(m, k, l);
+        let principled = try_optimize_with(&model(), mm, bs).expect("bs >= 3");
+        let searched = ExhaustiveSearch::new(model()).optimize(mm, bs);
+        prop_assert_eq!(
+            principled.total_ma(),
+            searched.best().total_ma(),
+            "mm={} bs={}", mm, bs
+        );
+        prop_assert!(principled.buffer_elems() <= bs);
+        prop_assert!(principled.total_ma() >= mm.ideal_ma());
+    }
+
+    /// The fused closed forms reach the fused-space optimum.
+    #[test]
+    fn fused_closed_forms_equal_fused_oracle(
+        m in 1u64..48,
+        k in 1u64..48,
+        l in 1u64..48,
+        n in 1u64..48,
+        bs in 3u64..10_000,
+    ) {
+        let pair = FusedPair::try_new(MatMul::new(m, k, l), MatMul::new(m, l, n))
+            .expect("shapes chain by construction");
+        let principled = optimize_pair(&model(), pair, bs).map(|d| d.total_ma());
+        let searched = FusedExhaustive::new(model())
+            .optimize(pair, bs)
+            .map(|(d, _)| d.total_ma());
+        prop_assert_eq!(principled, searched, "pair={} bs={}", pair, bs);
+    }
+
+    /// The genetic (DAT-style) searcher never beats the principles — the
+    /// directional half of Fig 9's comparison.
+    #[test]
+    fn genetic_never_beats_principles(
+        m in 1u64..160,
+        k in 1u64..160,
+        l in 1u64..160,
+        bs in 3u64..60_000,
+    ) {
+        let mm = MatMul::new(m, k, l);
+        let principled = try_optimize_with(&model(), mm, bs).expect("bs >= 3");
+        let ga = GeneticSearch::new(model()).optimize(mm, bs).expect("bs >= 3");
+        prop_assert!(ga.best().total_ma() >= principled.total_ma());
+    }
+
+    /// Same-NRA symmetric pairs fuse profitably (Principle 4, positive
+    /// direction). Symmetric pairs guarantee identical per-op classes.
+    #[test]
+    fn symmetric_same_nra_pairs_fuse_profitably(
+        m in 8u64..128,
+        k in 8u64..128,
+        l in 8u64..128,
+        bs_shift in 6u32..20,
+    ) {
+        let bs = 1u64 << bs_shift;
+        let pair = FusedPair::try_new(MatMul::new(m, k, l), MatMul::new(m, l, k))
+            .expect("symmetric pair chains");
+        let d = fusecu::decide(&model(), pair, bs);
+        if d.same_nra() && d.fused().is_some() {
+            prop_assert!(
+                d.profitable(),
+                "same-NRA pair {} at bs={} classes {:?} must profit",
+                pair, bs, (d.producer_class(), d.consumer_class())
+            );
+        }
+    }
+
+    /// For Dmin-dominated shapes (the derivation's regime) the table's
+    /// prediction is admitted outright, no tolerance needed.
+    #[test]
+    fn regime_table_exact_for_dominated_shapes(
+        dmin in 2u64..64,
+        factor in 4u64..12,
+        bs in 3u64..100_000,
+    ) {
+        let big = dmin * factor;
+        let mm = MatMul::new(big, dmin, big);
+        let best = try_optimize_with(&model(), mm, bs).expect("bs >= 3");
+        let class = best.class().expect("optimum always classifies");
+        prop_assert!(
+            BufferRegime::classify(mm, bs).admits(class),
+            "mm={} bs={} class={}", mm, bs, class
+        );
+    }
+
+    /// The regime table admits the observed optimal class everywhere.
+    #[test]
+    fn regime_table_admits_the_optimum(
+        m in 1u64..400,
+        k in 1u64..400,
+        l in 1u64..400,
+        bs in 3u64..200_000,
+    ) {
+        let mm = MatMul::new(m, k, l);
+        let best = try_optimize_with(&model(), mm, bs).expect("bs >= 3");
+        let class = best.class().expect("optimum always classifies");
+        prop_assert!(
+            fusecu::dataflow::regime::prediction_holds(&model(), mm, bs, 1.12),
+            "mm={} bs={} class={}", mm, bs, class
+        );
+    }
+}
+
+/// Deterministic spot-check of the paper's §III-A example (kept out of
+/// proptest so the exact numbers appear in failures).
+#[test]
+fn bert_worked_example_is_exact() {
+    let mm = MatMul::new(1024, 768, 768);
+    let df = fusecu::optimize(mm, 512 * 1024);
+    assert_eq!(df.class(), Some(NraClass::Two));
+    assert_eq!(df.ma().of(Operand::Rhs), 2 * 768 * 768);
+    assert_eq!(df.total_ma(), 2 * 1024 * 768 + 2 * 768 * 768);
+    let searched = ExhaustiveSearch::new(CostModel::paper()).optimize(mm, 512 * 1024);
+    assert_eq!(searched.best().total_ma(), df.total_ma());
+}

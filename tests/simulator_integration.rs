@@ -1,0 +1,221 @@
+//! Simulator ↔ analytical-model integration: dataflows chosen by the
+//! optimizers are *executed* on the cycle-level fabric simulator, and the
+//! measured traffic and results must agree with the models bit-exactly.
+
+use proptest::prelude::*;
+
+use fusecu::prelude::*;
+use fusecu::sim::driver::{execute_nest, execute_on_cu};
+use fusecu::sim::{fusion, Matrix};
+use fusecu_dataflow::principles::try_optimize_with;
+
+/// The optimizer's chosen nest, replayed in execution, measures exactly the
+/// traffic the optimizer predicted — for every regime.
+#[test]
+fn optimized_dataflows_measure_their_predicted_traffic() {
+    let model = CostModel::paper();
+    let mm = MatMul::new(24, 18, 30);
+    let a = Matrix::pseudo_random(24, 18, 1);
+    let b = Matrix::pseudo_random(18, 30, 2);
+    for bs in [8u64, 40, 120, 480, 2_000] {
+        let df = try_optimize_with(&model, mm, bs).expect("feasible");
+        let run = execute_nest(&a, &b, mm, df.nest());
+        assert_eq!(run.out, a.matmul(&b), "bs={bs}");
+        assert_eq!(
+            run.measured.total(),
+            df.total_ma(),
+            "bs={bs}: measured traffic diverges from the model"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random nests replayed in execution agree with the cost model.
+    #[test]
+    fn random_nests_measure_model_traffic(
+        m in 1usize..16,
+        k in 1usize..16,
+        l in 1usize..16,
+        tm in 1u64..20,
+        tk in 1u64..20,
+        tl in 1u64..20,
+        order_idx in 0usize..6,
+    ) {
+        let mm = MatMul::new(m as u64, k as u64, l as u64);
+        let a = Matrix::pseudo_random(m, k, 7);
+        let b = Matrix::pseudo_random(k, l, 8);
+        let nest = LoopNest::new(LoopNest::orders()[order_idx], Tiling::new(tm, tk, tl));
+        let run = execute_nest(&a, &b, mm, &nest);
+        prop_assert_eq!(run.out, a.matmul(&b));
+        prop_assert_eq!(run.measured, CostModel::paper().evaluate(mm, &nest));
+    }
+
+    /// The systolic fabric computes any shape exactly under any stationary.
+    #[test]
+    fn systolic_execution_is_exact(
+        m in 1usize..12,
+        k in 1usize..12,
+        l in 1usize..12,
+        n in 2usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let a = Matrix::pseudo_random(m, k, seed);
+        let b = Matrix::pseudo_random(k, l, seed + 1);
+        let golden = a.matmul(&b);
+        for stationary in [Stationary::Ws, Stationary::Os, Stationary::Is] {
+            let (out, cycles) = execute_on_cu(&a, &b, stationary, n);
+            prop_assert_eq!(&out, &golden, "{} n={}", stationary, n);
+            prop_assert!(cycles > 0);
+        }
+    }
+
+    /// Fused mappings are exact for any chainable shapes that fit.
+    #[test]
+    fn fused_mappings_are_exact(
+        m in 1usize..8,
+        k in 1usize..8,
+        l in 1usize..8,
+        nn in 1usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let n = 8;
+        let a = Matrix::pseudo_random(m, k, seed);
+        let b = Matrix::pseudo_random(k, l, seed + 1);
+        let d = Matrix::pseudo_random(l, nn, seed + 2);
+        let golden = a.matmul(&b).matmul(&d);
+        prop_assert_eq!(fusion::tile_fusion(n, &a, &b, &d).out, golden.clone());
+        prop_assert_eq!(fusion::column_fusion(n, &a, &b, &d).out, golden);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The reshaped four-CU fabric computes exactly like a monolithic
+    /// array for any stationary tile that fits its logical extent.
+    #[test]
+    fn fabric_shapes_are_exact(
+        n in 2usize..6,
+        m in 1usize..12,
+        seed in 0u64..1_000,
+        shape_idx in 0usize..3,
+    ) {
+        use fusecu::sim::{FabricShape, FuseCuFabric};
+        let shape = FabricShape::ALL[shape_idx];
+        let (rows, cols) = shape.logical(n);
+        let k = 1 + (seed as usize % rows);
+        let l = 1 + ((seed as usize / 7) % cols);
+        let a = Matrix::pseudo_random(m, k, seed);
+        let b = Matrix::pseudo_random(k, l, seed + 1);
+        let mut fabric = FuseCuFabric::new(n, shape, Stationary::Ws);
+        prop_assert_eq!(fabric.run_ws(&a, &b).out, a.matmul(&b));
+    }
+
+    /// Wide and narrow column fusion stay exact across random shapes that
+    /// fit their respective 2-CU group extents.
+    #[test]
+    fn group_column_fusion_is_exact(
+        n in 3usize..6,
+        l in 1usize..14,
+        seed in 0u64..1_000,
+    ) {
+        use fusecu::sim::fabric::{narrow_column_fusion, wide_column_fusion};
+        // Wide: K, N up to 2N; M up to N.
+        let (m, k, nn) = (
+            1 + (seed as usize % n),
+            1 + (seed as usize % (2 * n)),
+            1 + ((seed as usize / 3) % (2 * n)),
+        );
+        let a = Matrix::pseudo_random(m, k, seed);
+        let b = Matrix::pseudo_random(k, l, seed + 1);
+        let d = Matrix::pseudo_random(l, nn, seed + 2);
+        let golden = a.matmul(&b).matmul(&d);
+        prop_assert_eq!(wide_column_fusion(n, &a, &b, &d).out, golden.clone());
+        // Narrow: M up to 2N; K, N up to N.
+        let (m2, k2, nn2) = (
+            1 + (seed as usize % (2 * n)),
+            1 + (seed as usize % n),
+            1 + ((seed as usize / 3) % n),
+        );
+        let a2 = Matrix::pseudo_random(m2, k2, seed + 3);
+        let b2 = Matrix::pseudo_random(k2, l, seed + 4);
+        let d2 = Matrix::pseudo_random(l, nn2, seed + 5);
+        prop_assert_eq!(
+            narrow_column_fusion(n, &a2, &b2, &d2).out,
+            a2.matmul(&b2).matmul(&d2)
+        );
+    }
+
+    /// The fused-nest replay agrees with the fused cost model for random
+    /// nests — the inter-operator twin of `execute_nest`'s proof.
+    #[test]
+    fn random_fused_nests_measure_model_traffic(
+        m in 1usize..10,
+        k in 1usize..10,
+        l in 1usize..10,
+        nn in 1usize..10,
+        tm in 1u64..12, tk in 1u64..12, tl in 1u64..12, tn in 1u64..12,
+        outer_is_m in proptest::bool::ANY,
+    ) {
+        use fusecu::sim::driver::execute_fused_nest;
+        use fusecu_fusion::{ExtTensor, FusedNest, FusedTiling};
+        let pair = FusedPair::try_new(
+            MatMul::new(m as u64, k as u64, l as u64),
+            MatMul::new(m as u64, l as u64, nn as u64),
+        )
+        .expect("chained by construction");
+        let a = Matrix::pseudo_random(m, k, 7);
+        let b = Matrix::pseudo_random(k, l, 8);
+        let d = Matrix::pseudo_random(l, nn, 9);
+        let nest = FusedNest::new(outer_is_m, FusedTiling::new(tm, tk, tl, tn));
+        let run = execute_fused_nest(&a, &b, &d, &pair, &nest);
+        prop_assert_eq!(run.out, a.matmul(&b).matmul(&d));
+        let predicted = nest.evaluate(&CostModel::paper(), &pair);
+        for (i, t) in ExtTensor::ALL.iter().enumerate() {
+            prop_assert_eq!(run.measured[i], predicted.of(*t), "{}", t);
+        }
+    }
+}
+
+/// The architecture model's preferred fused mapping executes correctly on
+/// the simulated fabric (scaled down): the planner, the mapping chooser,
+/// and the RTL-level fabric agree end to end.
+#[test]
+fn planned_fusion_executes_on_the_fabric() {
+    // A miniature attention head: seq 12, head dim 4, on a 12-PE fabric.
+    let producer = MatMul::new(12, 4, 12);
+    let consumer = MatMul::new(12, 12, 4);
+    let pair = FusedPair::try_new(producer, consumer).unwrap();
+    let decision = fusecu::decide(&CostModel::paper(), pair, 256);
+    assert!(decision.profitable(), "mini attention must fuse");
+
+    let q = Matrix::pseudo_random(12, 4, 11);
+    let kt = Matrix::pseudo_random(4, 12, 12);
+    let v = Matrix::pseudo_random(12, 4, 13);
+    let golden = q.matmul(&kt).matmul(&v);
+    let run = fusion::column_fusion(12, &q, &kt, &v);
+    assert_eq!(run.out, golden);
+    assert_eq!(run.intermediate_elems, 12 * 12);
+}
+
+/// Cycle counts from the simulator corroborate the analytical fill/drain
+/// shape of the cycle model: streaming depth plus ~2N overhead.
+#[test]
+fn simulated_cycles_match_fill_drain_model() {
+    let n = 8usize;
+    let mut cu = fusecu::sim::CuArray::new(n, Stationary::Ws);
+    for m in [4usize, 16, 64] {
+        let a = Matrix::pseudo_random(m, n, 3);
+        let b = Matrix::pseudo_random(n, n, 4);
+        let r = cu.run_ws(&a, &b);
+        // Analytical: d3 + a + b = m + 2n, within a small constant.
+        let analytic = (m + 2 * n) as u64;
+        assert!(
+            r.cycles >= analytic && r.cycles <= analytic + 4,
+            "m={m}: simulated {} vs analytic {analytic}",
+            r.cycles
+        );
+    }
+}
