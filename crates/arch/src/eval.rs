@@ -14,7 +14,7 @@ use fusecu_fusion::planner::{plan_chain, ChainStep};
 use fusecu_ir::OpGraph;
 
 use crate::fused::{FusedMapping, FusedPerf};
-use crate::intra::{optimize_op, OpPerf};
+use crate::intra::{optimize_op_cached, OpPerf};
 use crate::platform::Platform;
 use crate::spec::ArraySpec;
 
@@ -211,7 +211,7 @@ pub fn evaluate_graph(
             for step in plan.steps() {
                 match step {
                     ChainStep::Solo { index, .. } => {
-                        steps.push(StepPerf::Solo(optimize_op(
+                        steps.push(StepPerf::Solo(optimize_op_cached(
                             spec,
                             platform,
                             model,
@@ -227,7 +227,9 @@ pub fn evaluate_graph(
         }
     } else {
         for (_, mm, count) in graph.matmuls() {
-            steps.push(StepPerf::Solo(optimize_op(spec, platform, model, mm, count)));
+            steps.push(StepPerf::Solo(optimize_op_cached(
+                spec, platform, model, mm, count,
+            )));
         }
     }
     GraphPerf { platform, steps }

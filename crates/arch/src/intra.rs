@@ -10,11 +10,20 @@
 //!   flexibility menu ([`crate::flex`]).
 //!
 //! The two couple through the final cycle count `max(compute, DRAM)`; the
-//! chosen configuration minimizes `(cycles, memory access)`.
+//! chosen configuration minimizes `(memory access, cycles)` — communication
+//! first, matching the paper's lower-bound objective. Memory access is the
+//! primary metric throughout the paper (and the only one its principles
+//! bound); cycles only break ties between stationaries with equal traffic.
+//! Putting cycles first would let a larger buffer or a faster DRAM link
+//! *raise* traffic by trading MA for compute overlap, breaking the
+//! monotonicity the lower-bound analysis guarantees.
+
+use std::sync::OnceLock;
 
 use fusecu_dataflow::principles::stationary_sweep;
 use fusecu_dataflow::{CostModel, Dataflow, LoopNest, Tiling};
 use fusecu_ir::{MatMul, Operand};
+use fusecu_search::cache::{CacheStats, MemoCache};
 
 use crate::flex::best_mapping;
 use crate::platform::Platform;
@@ -190,7 +199,7 @@ pub fn optimize_op(
         };
         let better = match &best {
             None => true,
-            Some(b) => (cand.cycles(), cand.total_ma()) < (b.cycles(), b.total_ma()),
+            Some(b) => (cand.total_ma(), cand.cycles()) < (b.total_ma(), b.cycles()),
         };
         if better {
             best = Some(cand);
@@ -202,6 +211,41 @@ pub fn optimize_op(
             spec.buffer_elems
         )
     })
+}
+
+/// Memoization key of one operator-level optimization: every input
+/// [`optimize_op`] depends on.
+type OpKey = (MatMul, u64, Platform, ArraySpec, CostModel);
+
+fn op_cache() -> &'static MemoCache<OpKey, OpPerf> {
+    static CACHE: OnceLock<MemoCache<OpKey, OpPerf>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
+
+/// [`optimize_op`] through the process-wide operator cache.
+///
+/// Graph evaluation revisits the same operator many times — transformer
+/// graphs repeat shapes across layers (already aggregated into `count`)
+/// and, more importantly, the figure grids re-evaluate identical
+/// `(shape, platform, spec)` points across models, bandwidth sweeps, and
+/// sequence lengths. `optimize_op` is deterministic, so the memoized
+/// result is indistinguishable from a fresh one.
+pub fn optimize_op_cached(
+    spec: &ArraySpec,
+    platform: Platform,
+    model: &CostModel,
+    mm: MatMul,
+    count: u64,
+) -> OpPerf {
+    op_cache().get_or_compute((mm, count, platform, *spec, *model), || {
+        optimize_op(spec, platform, model, mm, count)
+    })
+}
+
+/// Hit/miss counters of the process-wide operator cache, for the figure
+/// binaries' cache-effectiveness logging.
+pub fn op_cache_stats() -> CacheStats {
+    op_cache().stats()
 }
 
 #[cfg(test)]

@@ -40,7 +40,7 @@ pub mod stationary;
 pub use energy::EnergyModel;
 pub use eval::{evaluate_graph, GraphPerf};
 pub use flex::TilingFlex;
-pub use intra::{optimize_op, OpPerf};
+pub use intra::{op_cache_stats, optimize_op, optimize_op_cached, OpPerf};
 pub use mapping::{classify_intermediate, recommended_mapping, IntermediateShape};
 pub use platform::Platform;
 pub use spec::ArraySpec;

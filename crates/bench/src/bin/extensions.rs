@@ -7,11 +7,12 @@
 use fusecu::dataflow::hierarchy::{optimize_two_level, untiling_bound};
 use fusecu::dataflow::principles::try_optimize_with;
 use fusecu::ir::Conv2d;
-use fusecu::pipeline::compare_platforms_decode;
+use fusecu::pipeline::compare_platforms_decode_with;
 use fusecu::prelude::*;
 use fusecu_bench::{header, write_csv};
 
 fn decode_sweep() {
+    let parallelism = Parallelism::from_args();
     header("Extension 1: LLaMA2 autoregressive decode vs KV-cache length");
     println!(
         "{:<10} {:>14} {:>14} {:>16}",
@@ -19,7 +20,7 @@ fn decode_sweep() {
     );
     let mut rows = Vec::new();
     for context in [512u64, 2048, 8192, 32_768] {
-        let row = compare_platforms_decode(&zoo::llama2(), context);
+        let row = compare_platforms_decode_with(&zoo::llama2(), context, parallelism);
         let spd = row.speedup(Platform::FuseCu, Platform::Tpuv4i);
         println!(
             "{:<10} {:>14.4} {:>14.4} {:>15.2}x",
@@ -109,4 +110,8 @@ fn main() {
     decode_sweep();
     hierarchy_bound();
     conv_regimes();
+    println!(
+        "\noperator cache: {}",
+        fusecu::arch::op_cache_stats()
+    );
 }

@@ -7,14 +7,16 @@
 //! each approach spends, substantiating the one-shot claim of §I.
 //!
 //! Run with `cargo run --release -p fusecu-bench --bin fig09_validate`.
+//! Pass `--serial` to disable the parallel sweep engine (output is
+//! byte-identical either way) or `--threads N` to pin the worker count.
 
 use std::time::Instant;
 
-use fusecu::pipeline::{fig9_buffer_sizes, validate_buffer_sweep};
+use fusecu::pipeline::{fig9_buffer_sizes, validate_buffer_sweep_with};
 use fusecu::prelude::*;
 use fusecu_bench::{header, write_csv};
 
-fn sweep(name: &str, mm: MatMul) {
+fn sweep(name: &str, mm: MatMul, parallelism: Parallelism) {
     header(&format!(
         "Fig 9 [{name}]: normalized memory access vs buffer size ({mm})"
     ));
@@ -23,7 +25,9 @@ fn sweep(name: &str, mm: MatMul) {
         "buffer", "principles", "exhaustive", "genetic(DAT)", "optimal?", "search evals", "GA gap"
     );
     let ideal = mm.ideal_ma() as f64;
-    let points = validate_buffer_sweep(mm, &fig9_buffer_sizes());
+    let t0 = Instant::now();
+    let points = validate_buffer_sweep_with(mm, &fig9_buffer_sizes(), parallelism);
+    let elapsed = t0.elapsed();
     for p in &points {
         println!(
             "{:>9} KiB {:>12.4} {:>12.4} {:>12.4} {:>10} {:>12} {:>7.2}%",
@@ -38,6 +42,11 @@ fn sweep(name: &str, mm: MatMul) {
     }
     let misses = points.iter().filter(|p| !p.principles_optimal()).count();
     println!("principle-vs-search mismatches: {misses} (paper: none; DAT occasionally worse)");
+    println!(
+        "sweep wall-clock: {elapsed:.2?} on {} worker(s); dataflow cache: {}",
+        parallelism.workers(),
+        DataflowCache::global().stats()
+    );
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -102,10 +111,11 @@ fn timing(mm: MatMul) {
 }
 
 fn main() {
+    let parallelism = Parallelism::from_args();
     // Representative matmuls drawn from the evaluated models: a BERT
     // projection, a per-head attention score matmul, and an XLM FFN slab.
-    sweep("BERT projection", MatMul::new(1024, 768, 768));
-    sweep("attention QK^T", MatMul::new(1024, 64, 1024));
-    sweep("XLM FFN", MatMul::new(16384, 2048, 8192));
+    sweep("BERT projection", MatMul::new(1024, 768, 768), parallelism);
+    sweep("attention QK^T", MatMul::new(1024, 64, 1024), parallelism);
+    sweep("XLM FFN", MatMul::new(16384, 2048, 8192), parallelism);
     timing(MatMul::new(1024, 768, 768));
 }

@@ -2,12 +2,14 @@
 //! five platforms across the seven Table II models.
 //!
 //! Run with `cargo run --release -p fusecu-bench --bin fig10_comparison`.
+//! Pass `--serial` to disable the parallel evaluation engine.
 
-use fusecu::pipeline::{compare_platforms, suite_means, PlatformRow};
+use fusecu::pipeline::{compare_suite_with, suite_means, PlatformRow};
 use fusecu::prelude::*;
 use fusecu_bench::{header, pct, write_csv};
 
 fn main() {
+    let parallelism = Parallelism::from_args();
     header("Fig 10: normalized memory access | utilization, per model");
     print!("{:<12}", "model");
     for p in Platform::ALL {
@@ -15,7 +17,8 @@ fn main() {
     }
     println!();
 
-    let rows: Vec<PlatformRow> = zoo::all().iter().map(compare_platforms).collect();
+    let rows: Vec<PlatformRow> =
+        compare_suite_with(&zoo::all(), &ArraySpec::paper_default(), parallelism);
     for row in &rows {
         print!("{:<12}", row.model.name);
         for p in Platform::ALL {
@@ -118,5 +121,9 @@ fn main() {
     println!(
         "  vs Planaria {:.2}x (paper: 1.14x)",
         spd_of(Platform::FuseCu) / spd_of(Platform::Planaria)
+    );
+    println!(
+        "\noperator cache: {} (shapes repeated across layers and models are optimized once)",
+        fusecu::arch::op_cache_stats()
     );
 }

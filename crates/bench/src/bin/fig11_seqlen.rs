@@ -1,12 +1,14 @@
 //! Fig 11: LLaMA2 under different sequence lengths (256 – 16 K).
 //!
 //! Run with `cargo run --release -p fusecu-bench --bin fig11_seqlen`.
+//! Pass `--serial` to disable the parallel evaluation engine.
 
-use fusecu::pipeline::sequence_sweep;
+use fusecu::pipeline::sequence_sweep_with;
 use fusecu::prelude::*;
 use fusecu_bench::{header, write_csv};
 
 fn main() {
+    let parallelism = Parallelism::from_args();
     header("Fig 11: LLaMA2 normalized memory access | utilization vs sequence length");
     print!("{:<10}", "seq len");
     for p in Platform::ALL {
@@ -14,7 +16,7 @@ fn main() {
     }
     println!("  {:>12}", "fusion gain");
 
-    let sweep = sequence_sweep(&zoo::fig11_seq_lengths());
+    let sweep = sequence_sweep_with(&zoo::fig11_seq_lengths(), parallelism);
     for (s, row) in &sweep {
         print!("{:<10}", s);
         for p in Platform::ALL {
@@ -50,4 +52,8 @@ fn main() {
     ) {
         println!("data written to {}", path.display());
     }
+    println!(
+        "operator cache: {} (attention shapes recur across sequence lengths)",
+        fusecu::arch::op_cache_stats()
+    );
 }

@@ -1,0 +1,47 @@
+//! The Fig 9 CSV contract: the parallel sweep engine and the `--serial`
+//! escape hatch must emit byte-identical data files.
+
+use fusecu::pipeline::{fig9_buffer_sizes, validate_buffer_sweep_with, SweepPoint};
+use fusecu::prelude::*;
+use fusecu_bench::write_csv;
+
+fn fig9_rows(points: &[SweepPoint]) -> Vec<Vec<String>> {
+    points
+        .iter()
+        .map(|p| {
+            vec![
+                p.buffer.to_string(),
+                p.principle_ma.to_string(),
+                p.exhaustive.0.to_string(),
+                p.genetic.0.to_string(),
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn fig09_csv_is_byte_identical_serial_vs_parallel() {
+    // The exact shape and columns of the fig09_validate binary's
+    // `fig09_bert_projection.csv`.
+    let mm = MatMul::new(1024, 768, 768);
+    let buffers = fig9_buffer_sizes();
+    let columns = ["buffer_elems", "principle_ma", "exhaustive_ma", "genetic_ma"];
+
+    let serial = validate_buffer_sweep_with(mm, &buffers, Parallelism::Serial);
+    let parallel = validate_buffer_sweep_with(mm, &buffers, Parallelism::Threads(4));
+
+    let serial_path =
+        write_csv("test_fig09_serial", &columns, &fig9_rows(&serial)).expect("writable target");
+    let parallel_path =
+        write_csv("test_fig09_parallel", &columns, &fig9_rows(&parallel)).expect("writable target");
+
+    let serial_bytes = std::fs::read(&serial_path).unwrap();
+    let parallel_bytes = std::fs::read(&parallel_path).unwrap();
+    assert!(!serial_bytes.is_empty());
+    assert_eq!(
+        serial_bytes, parallel_bytes,
+        "serial and parallel sweeps must serialize identically"
+    );
+    let _ = std::fs::remove_file(serial_path);
+    let _ = std::fs::remove_file(parallel_path);
+}

@@ -11,13 +11,17 @@
 //! (spilled partials are physically read back), while Fig 9's optimizer
 //! validation uses the paper's per-visit equations; both policies ride the
 //! same reuse analysis.
+//!
+//! Every sweep fans its independent points across cores through
+//! `fusecu-search`'s parallel engine and shared memo caches; the `_with`
+//! variants take an explicit [`Parallelism`] (the binaries' `--serial`
+//! escape hatch), and serial/parallel runs produce identical results.
 
 use fusecu_arch::{evaluate_graph, ArraySpec, GraphPerf, Platform};
-use fusecu_dataflow::principles::try_optimize_with;
 use fusecu_dataflow::CostModel;
 use fusecu_ir::MatMul;
 use fusecu_models::TransformerConfig;
-use fusecu_search::{ExhaustiveSearch, GeneticSearch};
+use fusecu_search::{par_map, Parallelism, SweepEngine};
 
 /// The cost model used for architecture evaluation (Fig 10/11).
 pub fn evaluation_model() -> CostModel {
@@ -56,28 +60,35 @@ impl SweepPoint {
     }
 }
 
-/// Runs the Fig 9 validation for one matmul over a buffer sweep.
+/// Runs the Fig 9 validation for one matmul over a buffer sweep, fanning
+/// the points across all available cores through the shared dataflow
+/// cache.
 ///
 /// # Panics
 ///
 /// Panics if a buffer size is below the 3-element minimum.
 pub fn validate_buffer_sweep(mm: MatMul, buffers: &[u64]) -> Vec<SweepPoint> {
-    let model = validation_model();
-    let oracle = ExhaustiveSearch::new(model);
-    let ga = GeneticSearch::new(model);
-    buffers
-        .iter()
-        .map(|&bs| {
-            let principle = try_optimize_with(&model, mm, bs)
-                .unwrap_or_else(|| panic!("buffer of {bs} elements is infeasible"));
-            let ex = oracle.optimize(mm, bs);
-            let g = ga.optimize(mm, bs).expect("feasible for the GA too");
-            SweepPoint {
-                buffer: bs,
-                principle_ma: principle.total_ma(),
-                exhaustive: (ex.best().total_ma(), ex.evaluations()),
-                genetic: (g.best().total_ma(), g.evaluations()),
-            }
+    validate_buffer_sweep_with(mm, buffers, Parallelism::Auto)
+}
+
+/// [`validate_buffer_sweep`] with an explicit work-distribution policy
+/// (the figure binaries' `--serial` escape hatch). Serial and parallel
+/// runs produce identical points: the engine assigns results by item
+/// index and every optimizer is deterministic.
+pub fn validate_buffer_sweep_with(
+    mm: MatMul,
+    buffers: &[u64],
+    parallelism: Parallelism,
+) -> Vec<SweepPoint> {
+    let engine = SweepEngine::new(validation_model()).with_parallelism(parallelism);
+    engine
+        .sweep(&[mm], buffers)
+        .into_iter()
+        .map(|o| SweepPoint {
+            buffer: o.buffer,
+            principle_ma: o.principle.total_ma(),
+            exhaustive: (o.exhaustive.best().total_ma(), o.exhaustive.evaluations()),
+            genetic: (o.genetic.best().total_ma(), o.genetic.evaluations()),
         })
         .collect()
 }
@@ -125,19 +136,55 @@ pub fn compare_platforms(model: &TransformerConfig) -> PlatformRow {
     compare_platforms_at(model, &ArraySpec::paper_default())
 }
 
-/// Evaluates one model on every platform at an explicit architecture point.
+/// Evaluates one model on every platform at an explicit architecture
+/// point, one platform per worker thread.
 pub fn compare_platforms_at(model: &TransformerConfig, spec: &ArraySpec) -> PlatformRow {
+    compare_platforms_at_with(model, spec, Parallelism::Auto)
+}
+
+/// [`compare_platforms_at`] with an explicit work-distribution policy.
+pub fn compare_platforms_at_with(
+    model: &TransformerConfig,
+    spec: &ArraySpec,
+    parallelism: Parallelism,
+) -> PlatformRow {
     let cost = evaluation_model();
     let graph = model.build_graph();
-    let perfs = Platform::ALL
-        .iter()
-        .map(|p| (*p, evaluate_graph(spec, *p, &cost, &graph)))
-        .collect();
+    let perfs = par_map(parallelism, &Platform::ALL, |_, p| {
+        (*p, evaluate_graph(spec, *p, &cost, &graph))
+    });
     PlatformRow {
         model: model.clone(),
         spec: *spec,
         perfs,
     }
+}
+
+/// Evaluates a whole model suite, fanning `(model, platform)` pairs — the
+/// finest independent grain — across workers. Row order follows `models`;
+/// results are identical to calling [`compare_platforms_at`] per model.
+pub fn compare_suite_with(
+    models: &[TransformerConfig],
+    spec: &ArraySpec,
+    parallelism: Parallelism,
+) -> Vec<PlatformRow> {
+    let cost = evaluation_model();
+    let graphs: Vec<_> = models.iter().map(|m| m.build_graph()).collect();
+    let pairs: Vec<(usize, Platform)> = (0..models.len())
+        .flat_map(|i| Platform::ALL.iter().map(move |&p| (i, p)))
+        .collect();
+    let perfs = par_map(parallelism, &pairs, |_, &(i, p)| {
+        (p, evaluate_graph(spec, p, &cost, &graphs[i]))
+    });
+    models
+        .iter()
+        .zip(perfs.chunks_exact(Platform::ALL.len()))
+        .map(|(m, row)| PlatformRow {
+            model: m.clone(),
+            spec: *spec,
+            perfs: row.to_vec(),
+        })
+        .collect()
 }
 
 /// Fig 10 means over a model suite: returns, per platform, the average
@@ -164,13 +211,21 @@ pub fn suite_means(rows: &[PlatformRow]) -> Vec<(Platform, f64, f64, f64)> {
 /// of `context_len` tokens) on every platform — the autoregressive-phase
 /// extension of the Fig 10 methodology.
 pub fn compare_platforms_decode(model: &TransformerConfig, context_len: u64) -> PlatformRow {
+    compare_platforms_decode_with(model, context_len, Parallelism::Auto)
+}
+
+/// [`compare_platforms_decode`] with an explicit work-distribution policy.
+pub fn compare_platforms_decode_with(
+    model: &TransformerConfig,
+    context_len: u64,
+    parallelism: Parallelism,
+) -> PlatformRow {
     let spec = ArraySpec::paper_default();
     let cost = evaluation_model();
     let graph = model.build_decode_graph(context_len);
-    let perfs = Platform::ALL
-        .iter()
-        .map(|p| (*p, evaluate_graph(&spec, *p, &cost, &graph)))
-        .collect();
+    let perfs = par_map(parallelism, &Platform::ALL, |_, p| {
+        (*p, evaluate_graph(&spec, *p, &cost, &graph))
+    });
     PlatformRow {
         model: model.clone(),
         spec,
@@ -180,13 +235,23 @@ pub fn compare_platforms_decode(model: &TransformerConfig, context_len: u64) -> 
 
 /// The Fig 11 sweep: LLaMA2 at each sequence length, all platforms.
 pub fn sequence_sweep(seq_lengths: &[u64]) -> Vec<(u64, PlatformRow)> {
-    seq_lengths
+    sequence_sweep_with(seq_lengths, Parallelism::Auto)
+}
+
+/// [`sequence_sweep`] with an explicit work-distribution policy. The fan
+/// is over `(sequence length, platform)` pairs — the finest independent
+/// grain — with each inner evaluation kept serial so worker counts do not
+/// multiply.
+pub fn sequence_sweep_with(
+    seq_lengths: &[u64],
+    parallelism: Parallelism,
+) -> Vec<(u64, PlatformRow)> {
+    let configs: Vec<TransformerConfig> = seq_lengths
         .iter()
-        .map(|&s| {
-            let cfg = fusecu_models::zoo::llama2_with_seq(s);
-            (s, compare_platforms(&cfg))
-        })
-        .collect()
+        .map(|&s| fusecu_models::zoo::llama2_with_seq(s))
+        .collect();
+    let rows = compare_suite_with(&configs, &ArraySpec::paper_default(), parallelism);
+    seq_lengths.iter().copied().zip(rows).collect()
 }
 
 #[cfg(test)]

@@ -14,6 +14,9 @@ pub use fusecu_dataflow::{
 pub use fusecu_fusion::{FusedDataflow, FusedPair, FusionDecision};
 pub use fusecu_ir::{Conv2d, MatMul, MmChain, MmDim, OpGraph, Operand};
 pub use fusecu_models::{zoo, TransformerConfig};
-pub use fusecu_search::{ExhaustiveSearch, FusedExhaustive, FusedGenetic, GeneticSearch};
+pub use fusecu_search::{
+    DataflowCache, ExhaustiveSearch, FusedExhaustive, FusedGenetic, GeneticSearch, Parallelism,
+    SweepEngine,
+};
 
 pub use crate::pipeline::{compare_platforms, compare_platforms_decode, sequence_sweep, validate_buffer_sweep};

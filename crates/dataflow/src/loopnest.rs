@@ -23,7 +23,7 @@ use crate::tiling::Tiling;
 
 /// How partial sums of the output are charged when the reduction loop
 /// revisits an evicted output tile.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PartialSumPolicy {
     /// Charge the output footprint once per visit — the paper's convention
     /// (its Eq. 1 counts `ML` for a stationary output and symmetric products
@@ -203,7 +203,10 @@ impl fmt::Display for MemoryAccess {
 
 /// The memory-access cost model shared by the principle optimizer and the
 /// searching baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Derives `Hash`/`Eq` so it can serve as part of a memoization key (see
+/// `fusecu-search`'s dataflow cache, keyed on `(MatMul, bs, CostModel)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CostModel {
     /// Partial-sum accounting for the output tensor.
     pub partial_sums: PartialSumPolicy,

@@ -1,0 +1,352 @@
+//! Concurrent memoization for dataflow-optimization results.
+//!
+//! The figure pipeline evaluates the same `(matmul, buffer size, cost
+//! model)` points over and over: Fig 9 sweeps one shape across eleven
+//! buffer sizes per optimizer, Fig 10 revisits identical projection shapes
+//! across platforms and models, and the ablation sweeps re-run entire
+//! grids with only the bandwidth changed (which the buffer-level optimum
+//! does not depend on). [`DataflowCache`] memoizes each optimizer's result
+//! behind a sharded concurrent map so a repeated point is computed exactly
+//! once per process — including under the parallel sweep engine
+//! ([`crate::parallel`]), where per-key [`OnceLock`] cells guarantee a key
+//! raced by two workers is still evaluated by only one of them.
+//!
+//! The generic [`MemoCache`] is exported for downstream layers (the arch
+//! crate memoizes per-platform operator plans with it); [`DataflowCache`]
+//! is the concrete instance keyed on `(MatMul, bs, CostModel)` for the
+//! three intra-operator optimizers this crate owns.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use fusecu_dataflow::principles::try_optimize_with;
+use fusecu_dataflow::{CostModel, Dataflow};
+use fusecu_ir::MatMul;
+
+use crate::exhaustive::{ExhaustiveSearch, SearchResult};
+use crate::genetic::GeneticSearch;
+
+/// Hit/miss counters of a cache, taken at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (including waits on a concurrent
+    /// computation of the same key).
+    pub hits: u64,
+    /// Lookups that ran the underlying computation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Counter-wise difference, for measuring one phase of a run.
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate)",
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate()
+        )
+    }
+}
+
+/// Number of independently locked shards; a small power of two is plenty
+/// for the worker counts `std::thread::scope` sweeps run with.
+const SHARDS: usize = 16;
+
+/// A sharded, thread-safe memoization map.
+///
+/// Each key owns a [`OnceLock`] cell, so concurrent lookups of the same
+/// key serialize on that cell alone: exactly one caller computes, the rest
+/// block and then read — the shard lock is never held during computation.
+/// Values are cloned out, so `V` should be cheap to clone (the dataflow
+/// results cached here are all `Copy`).
+pub struct MemoCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, Arc<OnceLock<V>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> MemoCache<K, V> {
+        MemoCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<OnceLock<V>>>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Returns the cached value for `key`, computing it with `f` on a miss.
+    ///
+    /// A key being computed by another thread counts as a hit: the caller
+    /// waits for that computation instead of duplicating it.
+    pub fn get_or_compute(&self, key: K, f: impl FnOnce() -> V) -> V {
+        let cell = {
+            let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+            Arc::clone(shard.entry(key).or_default())
+        };
+        let mut computed = false;
+        let value = cell
+            .get_or_init(|| {
+                computed = true;
+                f()
+            })
+            .clone();
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and resets the counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> Default for MemoCache<K, V> {
+    fn default() -> MemoCache<K, V> {
+        MemoCache::new()
+    }
+}
+
+/// The memoization key of one intra-operator optimization problem: the
+/// shape, the buffer budget in elements, and the cost model. Everything an
+/// optimizer's answer depends on — and nothing else (bandwidth and array
+/// geometry live above the buffer level).
+pub type SweepKey = (MatMul, u64, CostModel);
+
+/// Memoized front-end to the three intra-operator optimizers, keyed on
+/// `(MatMul, bs, CostModel)`.
+///
+/// Each optimizer has its own map so a caller that only needs the
+/// principle result never pays for a search. All three searchers are
+/// deterministic (the genetic searcher runs on a fixed seed), so cached
+/// and freshly computed results are indistinguishable — which is what lets
+/// the parallel sweep engine promise byte-identical output to a serial
+/// run.
+pub struct DataflowCache {
+    principle: MemoCache<SweepKey, Option<Dataflow>>,
+    exhaustive: MemoCache<SweepKey, Option<SearchResult>>,
+    genetic: MemoCache<SweepKey, Option<SearchResult>>,
+}
+
+impl DataflowCache {
+    /// An empty cache.
+    pub fn new() -> DataflowCache {
+        DataflowCache {
+            principle: MemoCache::new(),
+            exhaustive: MemoCache::new(),
+            genetic: MemoCache::new(),
+        }
+    }
+
+    /// The process-wide shared cache. Every figure binary and the default
+    /// sweep engine route through this instance, so shapes repeated across
+    /// figures within one process are optimized once.
+    pub fn global() -> &'static DataflowCache {
+        static GLOBAL: OnceLock<DataflowCache> = OnceLock::new();
+        GLOBAL.get_or_init(DataflowCache::new)
+    }
+
+    /// Memoized [`try_optimize_with`]: the one-shot principle optimizer.
+    pub fn principle(&self, model: &CostModel, mm: MatMul, bs: u64) -> Option<Dataflow> {
+        self.principle
+            .get_or_compute((mm, bs, *model), || try_optimize_with(model, mm, bs))
+    }
+
+    /// Memoized exhaustive-oracle search.
+    pub fn exhaustive(&self, model: &CostModel, mm: MatMul, bs: u64) -> Option<SearchResult> {
+        self.exhaustive.get_or_compute((mm, bs, *model), || {
+            ExhaustiveSearch::new(*model).try_optimize(mm, bs)
+        })
+    }
+
+    /// Memoized genetic (DAT-style) search.
+    pub fn genetic(&self, model: &CostModel, mm: MatMul, bs: u64) -> Option<SearchResult> {
+        self.genetic.get_or_compute((mm, bs, *model), || {
+            GeneticSearch::new(*model).optimize(mm, bs)
+        })
+    }
+
+    /// Aggregated hit/miss counters over the three optimizer maps.
+    pub fn stats(&self) -> CacheStats {
+        let p = self.principle.stats();
+        let e = self.exhaustive.stats();
+        let g = self.genetic.stats();
+        CacheStats {
+            hits: p.hits + e.hits + g.hits,
+            misses: p.misses + e.misses + g.misses,
+        }
+    }
+
+    /// Number of distinct cached points across the three maps.
+    pub fn len(&self) -> usize {
+        self.principle.len() + self.exhaustive.len() + self.genetic.len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and resets the counters. Tests use this to start
+    /// from a cold cache; the figure binaries never need it.
+    pub fn clear(&self) {
+        self.principle.clear();
+        self.exhaustive.clear();
+        self.genetic.clear();
+    }
+}
+
+impl Default for DataflowCache {
+    fn default() -> DataflowCache {
+        DataflowCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn memo_computes_once_and_counts() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let v = cache.get_or_compute(7, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                49
+            });
+            assert_eq!(v, 49);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().lookups(), 0);
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    cache.get_or_compute(42, || {
+                        calls.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        1
+                    })
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "raced key computed twice");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn dataflow_cache_matches_direct_computation() {
+        let cache = DataflowCache::new();
+        let model = CostModel::paper();
+        let mm = MatMul::new(256, 96, 192);
+        let bs = 8_192;
+        let cached = cache.principle(&model, mm, bs).unwrap();
+        let direct = try_optimize_with(&model, mm, bs).unwrap();
+        assert_eq!(cached, direct);
+        let searched = cache.exhaustive(&model, mm, bs).unwrap();
+        assert_eq!(searched, ExhaustiveSearch::new(model).try_optimize(mm, bs).unwrap());
+        let ga = cache.genetic(&model, mm, bs).unwrap();
+        assert_eq!(ga, GeneticSearch::new(model).optimize(mm, bs).unwrap());
+        // Second round: all hits, no recomputation.
+        let before = cache.stats();
+        cache.principle(&model, mm, bs);
+        cache.exhaustive(&model, mm, bs);
+        cache.genetic(&model, mm, bs);
+        let delta = cache.stats().since(before);
+        assert_eq!(delta, CacheStats { hits: 3, misses: 0 });
+    }
+
+    #[test]
+    fn infeasible_points_are_cached_too() {
+        let cache = DataflowCache::new();
+        let model = CostModel::paper();
+        let mm = MatMul::new(4, 4, 4);
+        assert!(cache.exhaustive(&model, mm, 2).is_none());
+        assert!(cache.exhaustive(&model, mm, 2).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn stats_display_is_readable() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(s.to_string(), "3 hits / 1 misses (75.0% hit rate)");
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -6,7 +6,11 @@ use fusecu_ir::MatMul;
 use crate::space::balanced_tiles;
 
 /// The result of a search: the winning dataflow plus search statistics.
-#[derive(Debug, Clone, Copy)]
+///
+/// `PartialEq`/`Eq` compare both the dataflow and the evaluation count, so
+/// equality doubles as a determinism check between serial and parallel
+/// sweep runs (see [`crate::parallel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchResult {
     best: Dataflow,
     evaluations: u64,

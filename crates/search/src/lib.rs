@@ -17,6 +17,12 @@
 //! * [`fused_exhaustive`] — enumeration over the fused-pair nest space,
 //!   validating the closed-form fused optimizer of `fusecu-fusion`.
 //!
+//! Two infrastructure modules drive the figure sweeps that use these
+//! searchers at scale: [`cache`] memoizes optimizer results behind a
+//! concurrent map keyed on `(MatMul, bs, CostModel)`, and [`parallel`]
+//! fans `(shape × buffer × optimizer)` sweep points across scoped threads
+//! with deterministic, serial-identical output ordering.
+//!
 //! ```
 //! use fusecu_ir::MatMul;
 //! use fusecu_dataflow::{principles, CostModel};
@@ -32,13 +38,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod exhaustive;
 pub mod fused_exhaustive;
 pub mod fused_genetic;
 pub mod genetic;
+pub mod parallel;
 pub mod space;
 
+pub use cache::{CacheStats, DataflowCache, MemoCache};
 pub use exhaustive::{ExhaustiveSearch, SearchResult};
 pub use fused_exhaustive::FusedExhaustive;
 pub use fused_genetic::FusedGenetic;
 pub use genetic::{GeneticConfig, GeneticSearch};
+pub use parallel::{par_map, Parallelism, SweepEngine, SweepOutcome};

@@ -1,0 +1,295 @@
+//! Deterministic parallel execution for sweep workloads.
+//!
+//! The figure pipeline is embarrassingly parallel — every `(shape, buffer
+//! size, optimizer)` point is an independent pure computation — yet the
+//! seed ran them strictly serially (the full Fig 9 timing section alone
+//! took minutes). This module fans sweep points across OS threads with
+//! `std::thread::scope` (no external dependencies) while keeping results
+//! **bit-for-bit identical** to a serial run: work items are claimed from
+//! an atomic counter but written back into index-addressed slots, so the
+//! output order never depends on scheduling, and every computation is
+//! deterministic (the genetic searcher runs on a fixed seed).
+//!
+//! [`SweepEngine`] is the high-level entry point used by the figure
+//! binaries: a `(shapes × buffers)` sweep evaluating the principle,
+//! exhaustive, and genetic optimizers per point through a shared
+//! [`DataflowCache`], so repeated points — within a sweep or across
+//! figures in one process — are computed once. [`par_map`] is the
+//! underlying primitive, exported for other fan-out sites (the platform
+//! comparison grids of Fig 10/11).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use fusecu_dataflow::{CostModel, Dataflow};
+use fusecu_ir::MatMul;
+
+use crate::cache::DataflowCache;
+use crate::exhaustive::SearchResult;
+
+/// How a sweep distributes its work items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One item at a time on the calling thread — the `--serial` escape
+    /// hatch, and the reference semantics parallel runs must reproduce.
+    Serial,
+    /// One worker per available hardware thread.
+    Auto,
+    /// An explicit worker count (values of 0 or 1 degenerate to serial).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Parses the conventional command-line override: `--serial` forces
+    /// [`Parallelism::Serial`], `--threads N` pins the worker count, and
+    /// anything else defaults to [`Parallelism::Auto`].
+    pub fn from_args() -> Parallelism {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--serial") {
+            return Parallelism::Serial;
+        }
+        if let Some(i) = args.iter().position(|a| a == "--threads") {
+            if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                return Parallelism::Threads(n);
+            }
+        }
+        Parallelism::Auto
+    }
+
+    /// The worker count this policy resolves to on the current machine.
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+}
+
+/// Applies `f` to every item, fanning across `par.workers()` scoped
+/// threads, and returns the results **in item order** regardless of how
+/// the scheduler interleaved the workers.
+///
+/// `f` receives `(index, &item)` so callers can label work without
+/// capturing mutable state. A panic in any worker propagates to the
+/// caller when the scope joins.
+pub fn par_map<T, R, F>(par: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = par.workers().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                let prev = slots[i].lock().expect("result slot poisoned").replace(result);
+                assert!(prev.is_none(), "work item {i} claimed twice");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("scope joined with item unfinished")
+        })
+        .collect()
+}
+
+/// One fully evaluated sweep point: the three optimizers' answers for one
+/// `(shape, buffer size)` pair.
+///
+/// `Eq` compares every field — including the searchers' evaluation counts
+/// — so sequence equality between a serial and a parallel sweep is a
+/// complete determinism check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// The matmul swept.
+    pub mm: MatMul,
+    /// Buffer size in elements.
+    pub buffer: u64,
+    /// The one-shot principle optimizer's dataflow.
+    pub principle: Dataflow,
+    /// The exhaustive oracle's result.
+    pub exhaustive: SearchResult,
+    /// The genetic (DAT-style) searcher's result.
+    pub genetic: SearchResult,
+}
+
+/// The three per-point optimizers a sweep fans out, as explicit work items
+/// so a single slow searcher never serializes a whole point.
+#[derive(Debug, Clone, Copy)]
+enum Optimizer {
+    Principle,
+    Exhaustive,
+    Genetic,
+}
+
+const OPTIMIZERS: [Optimizer; 3] = [Optimizer::Principle, Optimizer::Exhaustive, Optimizer::Genetic];
+
+/// Per-item result of the fan-out phase; variants mirror [`Optimizer`].
+enum OptimizerResult {
+    Principle(Option<Dataflow>),
+    Search(Option<SearchResult>),
+}
+
+/// The parallel `(shapes × buffers × optimizers)` sweep engine behind the
+/// Fig 9 validation and its timing study.
+pub struct SweepEngine {
+    model: CostModel,
+    parallelism: Parallelism,
+    cache: &'static DataflowCache,
+}
+
+impl SweepEngine {
+    /// An engine over `model` with automatic parallelism and the shared
+    /// process-wide [`DataflowCache`].
+    pub fn new(model: CostModel) -> SweepEngine {
+        SweepEngine {
+            model,
+            parallelism: Parallelism::Auto,
+            cache: DataflowCache::global(),
+        }
+    }
+
+    /// Overrides the work-distribution policy.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> SweepEngine {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Routes lookups through an explicit (leaked, hence `'static`) cache
+    /// instead of the process-global one. Tests use this for cold-cache
+    /// measurements without disturbing other tests' global state.
+    #[must_use]
+    pub fn with_cache(mut self, cache: &'static DataflowCache) -> SweepEngine {
+        self.cache = cache;
+        self
+    }
+
+    /// The cache this engine reads and fills.
+    pub fn cache(&self) -> &'static DataflowCache {
+        self.cache
+    }
+
+    /// The engine's cost model.
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// Evaluates every `(shape, buffer)` pair with all three optimizers,
+    /// returning outcomes in `shapes`-major, `buffers`-minor order —
+    /// identical for serial and parallel runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a buffer size cannot hold any tile of a shape
+    /// (`bs < 3`), matching the serial pipeline's behavior.
+    pub fn sweep(&self, shapes: &[MatMul], buffers: &[u64]) -> Vec<SweepOutcome> {
+        let mut items = Vec::with_capacity(shapes.len() * buffers.len() * OPTIMIZERS.len());
+        for &mm in shapes {
+            for &bs in buffers {
+                for opt in OPTIMIZERS {
+                    items.push((mm, bs, opt));
+                }
+            }
+        }
+        let results = par_map(self.parallelism, &items, |_, &(mm, bs, opt)| match opt {
+            Optimizer::Principle => OptimizerResult::Principle(self.cache.principle(&self.model, mm, bs)),
+            Optimizer::Exhaustive => OptimizerResult::Search(self.cache.exhaustive(&self.model, mm, bs)),
+            Optimizer::Genetic => OptimizerResult::Search(self.cache.genetic(&self.model, mm, bs)),
+        });
+        items
+            .chunks_exact(OPTIMIZERS.len())
+            .zip(results.chunks_exact(OPTIMIZERS.len()))
+            .map(|(point, answers)| {
+                let (mm, bs, _) = point[0];
+                let infeasible = || -> ! {
+                    panic!("buffer of {bs} elements cannot hold any tile of {mm}")
+                };
+                let [OptimizerResult::Principle(p), OptimizerResult::Search(e), OptimizerResult::Search(g)] =
+                    answers
+                else {
+                    unreachable!("fan-out emits the optimizers in a fixed order")
+                };
+                SweepOutcome {
+                    mm,
+                    buffer: bs,
+                    principle: p.unwrap_or_else(|| infeasible()),
+                    exhaustive: e.unwrap_or_else(|| infeasible()),
+                    genetic: g.unwrap_or_else(|| infeasible()),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial = par_map(Parallelism::Serial, &items, |i, &x| (i as u64, x * x));
+        let parallel = par_map(Parallelism::Threads(7), &items, |i, &x| (i as u64, x * x));
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[5], (5, 25));
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u64> = vec![];
+        assert!(par_map(Parallelism::Auto, &empty, |_, &x: &u64| x).is_empty());
+        assert_eq!(par_map(Parallelism::Threads(8), &[3u64], |_, &x| x + 1), vec![4]);
+    }
+
+    #[test]
+    fn workers_resolve_sensibly() {
+        assert_eq!(Parallelism::Serial.workers(), 1);
+        assert_eq!(Parallelism::Threads(0).workers(), 1);
+        assert_eq!(Parallelism::Threads(6).workers(), 6);
+        assert!(Parallelism::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn sweep_matches_direct_optimizer_calls() {
+        let cache = Box::leak(Box::new(DataflowCache::new()));
+        let model = CostModel::paper();
+        let engine = SweepEngine::new(model)
+            .with_parallelism(Parallelism::Threads(4))
+            .with_cache(cache);
+        let shapes = [MatMul::new(64, 48, 80), MatMul::new(17, 90, 33)];
+        let buffers = [64, 1_024, 16_384];
+        let outcomes = engine.sweep(&shapes, &buffers);
+        assert_eq!(outcomes.len(), shapes.len() * buffers.len());
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.mm, shapes[i / buffers.len()]);
+            assert_eq!(o.buffer, buffers[i % buffers.len()]);
+            let direct = crate::ExhaustiveSearch::new(model).optimize(o.mm, o.buffer);
+            assert_eq!(o.exhaustive, direct);
+            assert_eq!(o.principle.total_ma(), direct.best().total_ma());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn sweep_panics_on_infeasible_buffer() {
+        let cache = Box::leak(Box::new(DataflowCache::new()));
+        let engine = SweepEngine::new(CostModel::paper()).with_cache(cache);
+        let _ = engine.sweep(&[MatMul::new(4, 4, 4)], &[2]);
+    }
+}

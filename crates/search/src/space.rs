@@ -30,21 +30,20 @@ pub fn pow2_tiles(d: u64) -> Vec<u64> {
 
 /// Caps a candidate list to at most `max_len` entries by uniform
 /// subsampling, always retaining the first and last.
-pub fn subsample(mut tiles: Vec<u64>, max_len: usize) -> Vec<u64> {
+pub fn subsample(tiles: Vec<u64>, max_len: usize) -> Vec<u64> {
     assert!(max_len >= 2, "need room for at least the endpoints");
     if tiles.len() <= max_len {
         return tiles;
     }
-    let last = *tiles.last().expect("non-empty");
     let step = (tiles.len() - 1) as f64 / (max_len - 1) as f64;
-    let mut out: Vec<u64> = (0..max_len)
+    let mut out: Vec<u64> = (0..max_len - 1)
         .map(|i| tiles[(i as f64 * step).round() as usize])
         .collect();
+    // Pin the final entry by index instead of appending it afterwards:
+    // pushing onto an already-full sample could grow the result to
+    // `max_len + 1` entries whenever the rounded grid missed the end.
+    out.push(*tiles.last().expect("non-empty"));
     out.dedup();
-    if *out.last().expect("non-empty") != last {
-        out.push(last);
-    }
-    tiles.clear();
     out
 }
 
@@ -97,9 +96,22 @@ mod tests {
     #[test]
     fn subsample_keeps_endpoints() {
         let s = subsample((1..=100).collect(), 10);
-        assert!(s.len() <= 11);
+        assert!(s.len() <= 10);
         assert_eq!(s[0], 1);
         assert_eq!(*s.last().unwrap(), 100);
         assert_eq!(subsample(vec![1, 2, 3], 8), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn subsample_never_exceeds_max_len() {
+        for len in 3u64..80 {
+            for max_len in 2usize..13 {
+                let s = subsample((1..=len).collect(), max_len);
+                assert!(s.len() <= max_len, "len={len} max_len={max_len} got {}", s.len());
+                assert_eq!(s[0], 1, "len={len} max_len={max_len}");
+                assert_eq!(*s.last().unwrap(), len, "len={len} max_len={max_len}");
+                assert!(s.windows(2).all(|w| w[0] < w[1]), "len={len} max_len={max_len}");
+            }
+        }
     }
 }

@@ -1,0 +1,82 @@
+//! The parallel sweep engine's two contracts: results bit-identical to a
+//! serial run, and full memoization of repeated points.
+
+use fusecu_dataflow::CostModel;
+use fusecu_ir::MatMul;
+use fusecu_search::cache::DataflowCache;
+use fusecu_search::parallel::{Parallelism, SweepEngine};
+
+fn shapes() -> Vec<MatMul> {
+    vec![
+        MatMul::new(1024, 768, 768),
+        MatMul::new(1024, 64, 1024),
+        MatMul::new(183, 337, 113),
+        MatMul::new(512, 512, 512),
+    ]
+}
+
+fn buffers() -> Vec<u64> {
+    vec![4 * 1024, 20_680, 32 * 1024, 128 * 1024, 512 * 1024]
+}
+
+fn leaked_cache() -> &'static DataflowCache {
+    Box::leak(Box::new(DataflowCache::new()))
+}
+
+/// A serial sweep and a parallel sweep over the same grid must produce
+/// identical result sequences — dataflows, memory access, *and* searcher
+/// evaluation counts. Each engine gets its own cold cache so nothing
+/// couples the two runs.
+#[test]
+fn parallel_sweep_equals_serial_sweep() {
+    let model = CostModel::paper();
+    let serial = SweepEngine::new(model)
+        .with_parallelism(Parallelism::Serial)
+        .with_cache(leaked_cache())
+        .sweep(&shapes(), &buffers());
+    let parallel = SweepEngine::new(model)
+        .with_parallelism(Parallelism::Threads(4))
+        .with_cache(leaked_cache())
+        .sweep(&shapes(), &buffers());
+    assert_eq!(serial.len(), shapes().len() * buffers().len());
+    assert_eq!(serial, parallel);
+}
+
+/// Re-running a sweep must be answered entirely from the cache: every
+/// lookup a hit, no new entries, and — because `SearchResult` equality
+/// includes the evaluation counter — zero additional optimizer
+/// evaluations.
+#[test]
+fn second_sweep_is_all_cache_hits() {
+    let engine = SweepEngine::new(CostModel::paper())
+        .with_parallelism(Parallelism::Threads(4))
+        .with_cache(leaked_cache());
+    let first = engine.sweep(&shapes(), &buffers());
+    let after_first = engine.cache().stats();
+    let entries = engine.cache().len();
+    // Cold cache: every (point, optimizer) lookup was a miss.
+    assert_eq!(after_first.misses, 3 * first.len() as u64);
+
+    let second = engine.sweep(&shapes(), &buffers());
+    let delta = engine.cache().stats().since(after_first);
+    assert_eq!(second, first, "cached results must be the originals");
+    assert_eq!(delta.misses, 0, "second sweep recomputed {} points", delta.misses);
+    assert_eq!(delta.hits, 3 * first.len() as u64, "every lookup must hit");
+    assert_eq!(engine.cache().len(), entries, "no new cache entries");
+}
+
+/// Duplicate shapes within one sweep are also served by the cache — a
+/// repeated shape is never re-enumerated, even on first contact.
+#[test]
+fn duplicate_shapes_within_a_sweep_hit_the_cache() {
+    let engine = SweepEngine::new(CostModel::paper())
+        .with_parallelism(Parallelism::Serial)
+        .with_cache(leaked_cache());
+    let mm = MatMul::new(96, 100, 17);
+    let outcomes = engine.sweep(&[mm, mm, mm], &[8_192]);
+    assert_eq!(outcomes[0], outcomes[1]);
+    assert_eq!(outcomes[1], outcomes[2]);
+    let stats = engine.cache().stats();
+    assert_eq!(stats.misses, 3, "one miss per optimizer for the unique point");
+    assert_eq!(stats.hits, 6, "the two repeats must be pure hits");
+}

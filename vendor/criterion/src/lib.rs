@@ -1,0 +1,137 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships this minimal drop-in. It keeps the `criterion_group!` /
+//! `criterion_main!` / `bench_function` surface compiling and produces
+//! simple wall-clock timings (median of a fixed-iteration loop) instead of
+//! criterion's statistical analysis — good enough to compare orders of
+//! magnitude, which is all the paper reproduction needs from `cargo bench`.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work; mirrors `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-benchmark measurement driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark registry and runner; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample size must be non-zero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints its median per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibrate the iteration count to roughly 10ms per sample.
+        let mut calib = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut calib);
+        let per_iter = calib.elapsed.max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 20) as u64;
+
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed / u32::try_from(iters).unwrap_or(u32::MAX)
+            })
+            .collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        println!("{name:<48} median {median:>12.2?}/iter ({iters} iters x {} samples)", self.sample_size);
+        self
+    }
+}
+
+/// Declares a benchmark group; mirrors `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main`; mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("test/add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+    }
+
+    criterion_group!(
+        name = group;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    );
+
+    #[test]
+    fn group_runs() {
+        group();
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}
