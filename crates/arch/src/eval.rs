@@ -10,7 +10,7 @@
 use std::fmt;
 
 use fusecu_dataflow::CostModel;
-use fusecu_fusion::planner::{plan_chain, ChainStep};
+use fusecu_fusion::planner::{plan_chain_cached, ChainStep};
 use fusecu_ir::OpGraph;
 
 use crate::fused::{FusedMapping, FusedPerf};
@@ -207,7 +207,7 @@ pub fn evaluate_graph(
     let mut steps = Vec::new();
     if platform.supports_fusion() {
         for (_, chain, count) in graph.mm_chains() {
-            let plan = plan_chain(model, &chain, spec.buffer_elems);
+            let plan = plan_chain_cached(model, &chain, spec.buffer_elems);
             for step in plan.steps() {
                 match step {
                     ChainStep::Solo { index, .. } => {

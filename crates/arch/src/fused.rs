@@ -21,7 +21,8 @@
 
 use std::fmt;
 
-use fusecu_fusion::{FusedDataflow, FusedDim};
+use fusecu_dataflow::CostModel;
+use fusecu_fusion::{optimize_pair_cached, FusedDataflow, FusedDim, FusedPair};
 
 use crate::flex::stream_cycles;
 use crate::spec::ArraySpec;
@@ -161,6 +162,25 @@ impl FusedPerf {
         }
     }
 
+    /// Optimizes and scores the fused execution of `pair` within the
+    /// spec's buffer, or `None` when no fused tiling fits
+    /// (`buffer_elems < 3`) — callers fall back to executing the two
+    /// operators unfused. This is the safe entry point; use it instead of
+    /// unwrapping `optimize_pair` before [`FusedPerf::score`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count` is zero.
+    pub fn try_plan(
+        spec: &ArraySpec,
+        model: &CostModel,
+        pair: FusedPair,
+        count: u64,
+    ) -> Option<FusedPerf> {
+        let fused = optimize_pair_cached(model, pair, spec.buffer_elems)?;
+        Some(FusedPerf::score(spec, fused, count))
+    }
+
     /// The fused dataflow.
     pub fn fused(&self) -> &FusedDataflow {
         &self.fused
@@ -224,7 +244,39 @@ mod tests {
 
     fn fused_for(m: u64, k: u64, l: u64, n: u64) -> FusedDataflow {
         let pair = FusedPair::try_new(MatMul::new(m, k, l), MatMul::new(m, l, n)).unwrap();
-        optimize_pair(&MODEL, pair, spec().buffer_elems).unwrap()
+        optimize_pair(&MODEL, pair, spec().buffer_elems)
+            .expect("paper-default 512 KiB buffer admits a fused tiling for every test pair")
+    }
+
+    #[test]
+    fn tiny_buffer_yields_no_fused_plan_instead_of_panicking() {
+        // Regression: scoring used to require unwrapping `optimize_pair`,
+        // which aborts on buffers below the 3-element fused minimum.
+        let pair =
+            FusedPair::try_new(MatMul::new(64, 64, 64), MatMul::new(64, 64, 64)).unwrap();
+        let tiny = ArraySpec {
+            buffer_elems: 2,
+            ..spec()
+        };
+        assert!(FusedPerf::try_plan(&tiny, &MODEL, pair, 4).is_none());
+        // Three elements is the fused minimum: the safe path plans it.
+        let minimal = ArraySpec {
+            buffer_elems: 3,
+            ..spec()
+        };
+        let perf = FusedPerf::try_plan(&minimal, &MODEL, pair, 4)
+            .expect("three elements admit the scalar fused pipeline");
+        assert!(perf.fused().footprint() <= 3);
+        // On a feasible buffer the safe path agrees with direct scoring.
+        let direct = FusedPerf::score(
+            &spec(),
+            optimize_pair(&MODEL, pair, spec().buffer_elems).unwrap(),
+            4,
+        );
+        let planned = FusedPerf::try_plan(&spec(), &MODEL, pair, 4).unwrap();
+        assert_eq!(planned.fused(), direct.fused());
+        assert_eq!(planned.cycles(), direct.cycles());
+        assert_eq!(planned.mapping(), direct.mapping());
     }
 
     #[test]

@@ -157,6 +157,122 @@ impl OpPerf {
     }
 }
 
+/// One per-stationary candidate execution: the expensive,
+/// bandwidth-invariant half of [`optimize_op`].
+///
+/// The buffer-level dataflow and the array mapping depend only on the
+/// shape, the platform, the buffer budget, and the array edge — never on
+/// DRAM bandwidth, CU count, or instance count, which enter only in the
+/// final cycle division. Caching at this granularity lets a bandwidth
+/// ablation or a CU-count sweep reuse every candidate list and re-run only
+/// the arithmetic of [`select_op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCandidate {
+    stationary: Stationary,
+    shape: (u64, u64),
+    dataflow: Dataflow,
+    unit_compute_cycles: u64,
+}
+
+impl OpCandidate {
+    /// Rebuilds a candidate from its parts — the reconstruction entry
+    /// point for the disk persistence layer. Candidate generation always
+    /// goes through [`op_candidates`].
+    pub fn new(
+        stationary: Stationary,
+        shape: (u64, u64),
+        dataflow: Dataflow,
+        unit_compute_cycles: u64,
+    ) -> OpCandidate {
+        OpCandidate {
+            stationary,
+            shape,
+            dataflow,
+            unit_compute_cycles,
+        }
+    }
+
+    /// The PE-level stationary this candidate keeps resident.
+    pub fn stationary(&self) -> Stationary {
+        self.stationary
+    }
+
+    /// The chosen logical array shape per CU.
+    pub fn shape(&self) -> (u64, u64) {
+        self.shape
+    }
+
+    /// The buffer-level dataflow.
+    pub fn dataflow(&self) -> &Dataflow {
+        &self.dataflow
+    }
+
+    /// Compute cycles of a single instance on a single CU.
+    pub fn unit_compute_cycles(&self) -> u64 {
+        self.unit_compute_cycles
+    }
+}
+
+/// The per-stationary candidate executions of one matmul on one platform,
+/// in the platform's stationary order. Empty when the buffer cannot hold
+/// even a unit tiling.
+pub fn op_candidates(
+    spec: &ArraySpec,
+    platform: Platform,
+    model: &CostModel,
+    mm: MatMul,
+) -> Vec<OpCandidate> {
+    let mut out = Vec::new();
+    for &stationary in platform.stationaries() {
+        let operand = stationary.operand();
+        let dataflow = if platform.array_aligned_tiles() {
+            panel_dataflow(model, mm, spec.buffer_elems, operand, spec.pe_dim)
+        } else {
+            stationary_sweep(model, mm, spec.buffer_elems, operand)
+        };
+        let Some(dataflow) = dataflow else { continue };
+        let [d1, d2] = stationary.array_dims().map(|d| mm.dim(d));
+        let d3 = mm.dim(stationary.moving_dim());
+        let (unit_compute_cycles, shape) = best_mapping(platform.tiling_flex(), spec, d1, d2, d3);
+        out.push(OpCandidate {
+            stationary,
+            shape,
+            dataflow,
+            unit_compute_cycles,
+        });
+    }
+    out
+}
+
+/// The cheap, bandwidth-dependent half of [`optimize_op`]: applies the
+/// instance count, CU parallelism, and DRAM bandwidth to each candidate
+/// and keeps the lexicographic `(memory access, cycles)` minimum, in
+/// candidate order. `None` when the candidate list is empty.
+pub fn select_op(spec: &ArraySpec, count: u64, candidates: &[OpCandidate]) -> Option<OpPerf> {
+    let mut best: Option<OpPerf> = None;
+    for c in candidates {
+        let compute_cycles = (c.unit_compute_cycles * count).div_ceil(spec.num_cus);
+        let dram_cycles = (c.dataflow.total_ma() * count).div_ceil(spec.bw_elems_per_cycle);
+        let cand = OpPerf {
+            mm: c.dataflow.mm(),
+            count,
+            stationary: c.stationary,
+            shape: c.shape,
+            dataflow: c.dataflow,
+            compute_cycles,
+            dram_cycles,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => (cand.total_ma(), cand.cycles()) < (b.total_ma(), b.cycles()),
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    best
+}
+
 /// Optimizes one matmul (with `count` identical instances) within a
 /// platform's dataflow space.
 ///
@@ -174,38 +290,7 @@ pub fn optimize_op(
     count: u64,
 ) -> OpPerf {
     assert!(count > 0, "instance count must be non-zero");
-    let mut best: Option<OpPerf> = None;
-    for &stationary in platform.stationaries() {
-        let operand = stationary.operand();
-        let dataflow = if platform.array_aligned_tiles() {
-            panel_dataflow(model, mm, spec.buffer_elems, operand, spec.pe_dim)
-        } else {
-            stationary_sweep(model, mm, spec.buffer_elems, operand)
-        };
-        let Some(dataflow) = dataflow else { continue };
-        let [d1, d2] = stationary.array_dims().map(|d| mm.dim(d));
-        let d3 = mm.dim(stationary.moving_dim());
-        let (per_instance, shape) = best_mapping(platform.tiling_flex(), spec, d1, d2, d3);
-        let compute_cycles = (per_instance * count).div_ceil(spec.num_cus);
-        let dram_cycles = (dataflow.total_ma() * count).div_ceil(spec.bw_elems_per_cycle);
-        let cand = OpPerf {
-            mm,
-            count,
-            stationary,
-            shape,
-            dataflow,
-            compute_cycles,
-            dram_cycles,
-        };
-        let better = match &best {
-            None => true,
-            Some(b) => (cand.total_ma(), cand.cycles()) < (b.total_ma(), b.cycles()),
-        };
-        if better {
-            best = Some(cand);
-        }
-    }
-    best.unwrap_or_else(|| {
+    select_op(spec, count, &op_candidates(spec, platform, model, mm)).unwrap_or_else(|| {
         panic!(
             "buffer of {} elements cannot hold any tile of {mm}",
             spec.buffer_elems
@@ -213,12 +298,20 @@ pub fn optimize_op(
     })
 }
 
-/// Memoization key of one operator-level optimization: every input
-/// [`optimize_op`] depends on.
-type OpKey = (MatMul, u64, Platform, ArraySpec, CostModel);
+/// Memoization key of one candidate-generation problem: every input
+/// [`op_candidates`] depends on. Deliberately *narrower* than `ArraySpec`:
+/// only the array edge and the buffer budget enter candidate generation,
+/// so sweeping bandwidth or CU count reuses the cached list. (Keying on
+/// the full spec was the PR 1 bug that made the ablation bandwidth sweep
+/// miss on every point.)
+pub type TileKey = (MatMul, Platform, u64, u64, CostModel);
 
-fn op_cache() -> &'static MemoCache<OpKey, OpPerf> {
-    static CACHE: OnceLock<MemoCache<OpKey, OpPerf>> = OnceLock::new();
+fn tile_key(spec: &ArraySpec, platform: Platform, model: &CostModel, mm: MatMul) -> TileKey {
+    (mm, platform, spec.pe_dim, spec.buffer_elems, *model)
+}
+
+fn op_cache() -> &'static MemoCache<TileKey, Vec<OpCandidate>> {
+    static CACHE: OnceLock<MemoCache<TileKey, Vec<OpCandidate>>> = OnceLock::new();
     CACHE.get_or_init(MemoCache::new)
 }
 
@@ -227,9 +320,14 @@ fn op_cache() -> &'static MemoCache<OpKey, OpPerf> {
 /// Graph evaluation revisits the same operator many times — transformer
 /// graphs repeat shapes across layers (already aggregated into `count`)
 /// and, more importantly, the figure grids re-evaluate identical
-/// `(shape, platform, spec)` points across models, bandwidth sweeps, and
-/// sequence lengths. `optimize_op` is deterministic, so the memoized
-/// result is indistinguishable from a fresh one.
+/// `(shape, platform)` points across models, bandwidth sweeps, CU counts,
+/// and sequence lengths. The expensive candidate generation is cached on
+/// [`TileKey`]; the per-call [`select_op`] arithmetic applies the
+/// remaining spec fields, so cached and uncached paths select identically.
+///
+/// # Panics
+///
+/// Panics when the buffer cannot hold even a unit tiling (`buffer < 3`).
 pub fn optimize_op_cached(
     spec: &ArraySpec,
     platform: Platform,
@@ -237,8 +335,15 @@ pub fn optimize_op_cached(
     mm: MatMul,
     count: u64,
 ) -> OpPerf {
-    op_cache().get_or_compute((mm, count, platform, *spec, *model), || {
-        optimize_op(spec, platform, model, mm, count)
+    assert!(count > 0, "instance count must be non-zero");
+    let candidates = op_cache().get_or_compute(tile_key(spec, platform, model, mm), || {
+        op_candidates(spec, platform, model, mm)
+    });
+    select_op(spec, count, &candidates).unwrap_or_else(|| {
+        panic!(
+            "buffer of {} elements cannot hold any tile of {mm}",
+            spec.buffer_elems
+        )
     })
 }
 
@@ -246,6 +351,19 @@ pub fn optimize_op_cached(
 /// binaries' cache-effectiveness logging.
 pub fn op_cache_stats() -> CacheStats {
     op_cache().stats()
+}
+
+/// Completed operator-cache entries, for the disk persistence layer.
+pub fn op_cache_snapshot() -> Vec<(TileKey, Vec<OpCandidate>)> {
+    op_cache().snapshot()
+}
+
+/// Preloads operator-cache entries saved by an earlier process; returns
+/// the number inserted. Counters are untouched.
+pub fn op_cache_preload(
+    entries: impl IntoIterator<Item = (TileKey, Vec<OpCandidate>)>,
+) -> usize {
+    op_cache().preload(entries)
 }
 
 #[cfg(test)]
@@ -340,6 +458,58 @@ mod tests {
         let eight = optimize_op(&spec(), Platform::UnfCu, &MODEL, mm, 8);
         assert_eq!(eight.total_ma(), 8 * one.total_ma());
         assert!(eight.compute_cycles() >= 2 * one.compute_cycles());
+    }
+
+    #[test]
+    fn cache_key_ignores_bandwidth_and_cu_count() {
+        // Regression for the PR 1 bug: keying the operator cache on the
+        // full ArraySpec made every bandwidth point of the ablation sweep
+        // a miss. Candidate generation depends only on the array edge and
+        // the buffer budget.
+        let mm = MatMul::new(1024, 64, 1024);
+        let base = spec();
+        let fast = ArraySpec {
+            bw_elems_per_cycle: 4 * base.bw_elems_per_cycle,
+            ..base
+        };
+        let wide = ArraySpec {
+            num_cus: 2 * base.num_cus,
+            ..base
+        };
+        let key = tile_key(&base, Platform::UnfCu, &MODEL, mm);
+        assert_eq!(key, tile_key(&fast, Platform::UnfCu, &MODEL, mm));
+        assert_eq!(key, tile_key(&wide, Platform::UnfCu, &MODEL, mm));
+        // Inputs that do change the candidates still split the key.
+        let bigger = base.with_buffer(2 * base.buffer_elems);
+        assert_ne!(key, tile_key(&bigger, Platform::UnfCu, &MODEL, mm));
+        assert_ne!(key, tile_key(&base, Platform::Tpuv4i, &MODEL, mm));
+    }
+
+    #[test]
+    fn cached_selection_matches_uncached() {
+        // The cached path recombines cached candidates with per-call
+        // selection; it must be indistinguishable from the direct path
+        // across the spec fields excluded from the key.
+        let mm = MatMul::new(1024, 768, 768);
+        let base = spec();
+        for bw in [256u64, 448, 1024] {
+            for cus in [1u64, 4] {
+                let s = ArraySpec {
+                    bw_elems_per_cycle: bw,
+                    num_cus: cus,
+                    ..base
+                };
+                for count in [1u64, 64] {
+                    let direct = optimize_op(&s, Platform::FuseCu, &MODEL, mm, count);
+                    let cached = optimize_op_cached(&s, Platform::FuseCu, &MODEL, mm, count);
+                    assert_eq!(direct.stationary(), cached.stationary());
+                    assert_eq!(direct.shape(), cached.shape());
+                    assert_eq!(direct.dataflow(), cached.dataflow());
+                    assert_eq!(direct.total_ma(), cached.total_ma());
+                    assert_eq!(direct.cycles(), cached.cycles());
+                }
+            }
+        }
     }
 
     #[test]

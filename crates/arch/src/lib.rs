@@ -33,6 +33,7 @@ pub mod flex;
 pub mod fused;
 pub mod intra;
 pub mod mapping;
+pub mod persist;
 pub mod platform;
 pub mod spec;
 pub mod stationary;
@@ -40,7 +41,10 @@ pub mod stationary;
 pub use energy::EnergyModel;
 pub use eval::{evaluate_graph, GraphPerf};
 pub use flex::TilingFlex;
-pub use intra::{op_cache_stats, optimize_op, optimize_op_cached, OpPerf};
+pub use intra::{
+    op_cache_preload, op_cache_snapshot, op_cache_stats, op_candidates, optimize_op,
+    optimize_op_cached, select_op, OpCandidate, OpPerf, TileKey,
+};
 pub use mapping::{classify_intermediate, recommended_mapping, IntermediateShape};
 pub use platform::Platform;
 pub use spec::ArraySpec;

@@ -79,9 +79,16 @@ mod tests {
         partial_sums: fusecu_dataflow::PartialSumPolicy::PerVisit,
     };
 
-    fn fused_for(m: u64, k: u64, l: u64, n: u64, bs: u64) -> FusedDataflow {
+    fn fused_for(m: u64, k: u64, l: u64, n: u64, bs: u64) -> Option<FusedDataflow> {
         let pair = FusedPair::try_new(MatMul::new(m, k, l), MatMul::new(m, l, n)).unwrap();
-        optimize_pair(&MODEL, pair, bs).unwrap()
+        optimize_pair(&MODEL, pair, bs)
+    }
+
+    #[test]
+    fn infeasible_buffer_is_reported_not_fatal() {
+        // Regression: this helper used to unwrap, so probing a sub-minimal
+        // buffer aborted the test binary instead of reporting None.
+        assert!(fused_for(128, 4096, 128, 4096, 2).is_none());
     }
 
     #[test]
@@ -90,7 +97,7 @@ mod tests {
         // C x D(128,1) = E(128,1) — the Single-NRA fused shape with a
         // square 128x128 intermediate. A tiny buffer forces the square
         // stationary tile.
-        let fused = fused_for(128, 4096, 128, 4096, 40_000);
+        let fused = fused_for(128, 4096, 128, 4096, 40_000).expect("40k elems fit a tile");
         assert_eq!(classify_intermediate(&fused), IntermediateShape::TileLike);
         assert_eq!(recommended_mapping(&fused), FusedMapping::Tile);
     }
@@ -99,7 +106,8 @@ mod tests {
     fn paper_fig5_column_example_is_column_like() {
         // Fig 5(b)'s example: A(128,128) x B(128,1) = C(128,1) — the
         // Two-NRA fused shape with a column intermediate.
-        let fused = fused_for(1024, 64, 1024, 64, 512 * 1024);
+        let fused =
+            fused_for(1024, 64, 1024, 64, 512 * 1024).expect("512k elems fit a column tile");
         assert_eq!(classify_intermediate(&fused), IntermediateShape::ColumnLike);
         assert_eq!(recommended_mapping(&fused), FusedMapping::Column);
     }
@@ -108,11 +116,12 @@ mod tests {
     fn cycle_optimal_choice_agrees_on_canonical_shapes() {
         let spec = ArraySpec::paper_default();
         // Batched array-matched tile-fusion shape.
-        let tile = fused_for(128, 4096, 128, 4096, 40_000);
+        let tile = fused_for(128, 4096, 128, 4096, 40_000).expect("40k elems fit a tile");
         let perf = FusedPerf::score(&spec, tile, 8);
         assert_eq!(perf.mapping(), recommended_mapping(&tile));
         // Attention column-fusion shape.
-        let col = fused_for(1024, 64, 1024, 64, spec.buffer_elems);
+        let col = fused_for(1024, 64, 1024, 64, spec.buffer_elems)
+            .expect("paper-default buffer fits a column tile");
         let perf = FusedPerf::score(&spec, col, 192);
         assert_eq!(perf.mapping(), recommended_mapping(&col));
     }

@@ -1,0 +1,442 @@
+//! Disk persistence for the arch- and fusion-level memo caches.
+//!
+//! Reuses the versioned, fingerprinted [`fusecu_search::persist`] file
+//! format for the two caches that live above the intra-operator sweep:
+//!
+//! * the **operator cache** ([`crate::intra`]): per
+//!   `(mm, platform, pe_dim, buffer, model)` key, the bandwidth-independent
+//!   candidate list (stationary, CU shape, panel dataflow, unit compute
+//!   cycles) that [`crate::intra::select_op`] re-scores per bandwidth;
+//! * the **fusion caches** ([`fusecu_fusion`]): the memoized fused-pair
+//!   optima and whole-chain plans.
+//!
+//! As in the search-level format, records store reconstruction inputs
+//! (shapes, loop orders, tile sizes) and re-derive costs through the cost
+//! model on load, except the operator cache's `unit_compute_cycles`, whose
+//! recomputation is exactly the expensive mapping search the cache exists
+//! to skip — it is stored verbatim and guarded by the file checksum.
+//! Loading is all-or-nothing per file and every anomaly is a cold start.
+
+use std::io;
+use std::path::Path;
+
+use fusecu_dataflow::CostModel;
+use fusecu_fusion::planner::{
+    plan_cache_preload, plan_cache_snapshot, ChainPlan, ChainStep, PlanKey,
+};
+use fusecu_fusion::{
+    optimizer::{pair_cache_preload, pair_cache_snapshot},
+    FusedDataflow, FusedDim, FusedNest, FusedPair, FusedTiling, PairKey,
+};
+use fusecu_ir::{MatMul, MmChain};
+use fusecu_search::persist::{
+    decode_dataflow, decode_mm, decode_model, encode_dataflow, encode_mm, encode_model, CacheFile,
+    RecordReader,
+};
+
+use crate::intra::{op_cache_preload, op_cache_snapshot, OpCandidate, TileKey};
+use crate::platform::Platform;
+use crate::stationary::Stationary;
+
+const SECTION_OPERATORS: &str = "operators";
+const SECTION_PAIRS: &str = "pairs";
+const SECTION_PLANS: &str = "plans";
+
+fn encode_stationary(s: Stationary) -> u64 {
+    match s {
+        Stationary::Ws => 0,
+        Stationary::Os => 1,
+        Stationary::Is => 2,
+    }
+}
+
+fn decode_stationary(v: u64) -> Option<Stationary> {
+    match v {
+        0 => Some(Stationary::Ws),
+        1 => Some(Stationary::Os),
+        2 => Some(Stationary::Is),
+        _ => None,
+    }
+}
+
+fn encode_platform(p: Platform) -> u64 {
+    match p {
+        Platform::Tpuv4i => 0,
+        Platform::Gemmini => 1,
+        Platform::Planaria => 2,
+        Platform::UnfCu => 3,
+        Platform::FuseCu => 4,
+    }
+}
+
+fn decode_platform(v: u64) -> Option<Platform> {
+    match v {
+        0 => Some(Platform::Tpuv4i),
+        1 => Some(Platform::Gemmini),
+        2 => Some(Platform::Planaria),
+        3 => Some(Platform::UnfCu),
+        4 => Some(Platform::FuseCu),
+        _ => None,
+    }
+}
+
+/// A fused pair is four dimensions: `M, K, L, N` (the producer is
+/// `M×K×L`, the consumer `M×L×N`; `try_new` re-checks the shared edge).
+fn encode_pair(pair: FusedPair, out: &mut Vec<u64>) {
+    let (p, c) = (pair.producer(), pair.consumer());
+    out.extend([p.m(), p.k(), p.l(), c.l()]);
+}
+
+fn decode_pair(r: &mut RecordReader<'_>) -> Option<FusedPair> {
+    let (m, k, l, n) = (r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+    let producer = MatMul::try_new(m, k, l).ok()?;
+    let consumer = MatMul::try_new(m, l, n).ok()?;
+    FusedPair::try_new(producer, consumer).ok()
+}
+
+/// A fused nest is `outer_is_m` plus four tile sizes (5 tokens); the
+/// dataflow is re-scored through the model on decode.
+fn encode_fused_nest(nest: &FusedNest, out: &mut Vec<u64>) {
+    out.push(u64::from(nest.outer_is_m));
+    for d in [FusedDim::M, FusedDim::K, FusedDim::L, FusedDim::N] {
+        out.push(nest.tiling.tile(d));
+    }
+}
+
+fn decode_fused(
+    model: &CostModel,
+    pair: FusedPair,
+    bs: u64,
+    r: &mut RecordReader<'_>,
+) -> Option<FusedDataflow> {
+    let outer_is_m = r.bool()?;
+    let (t_m, t_k, t_l, t_n) = (r.u64()?, r.u64()?, r.u64()?, r.u64()?);
+    if t_m == 0 || t_k == 0 || t_l == 0 || t_n == 0 {
+        return None; // FusedTiling::new panics on zero tiles
+    }
+    let nest = FusedNest::new(outer_is_m, FusedTiling::new(t_m, t_k, t_l, t_n));
+    let fused = FusedDataflow::score(model, pair, nest);
+    (fused.footprint() <= bs).then_some(fused)
+}
+
+// --- operator cache ------------------------------------------------------
+
+fn encode_op_entry(key: &TileKey, candidates: &[OpCandidate]) -> Vec<u64> {
+    let (mm, platform, pe_dim, buffer_elems, model) = key;
+    let mut out = Vec::with_capacity(8 + 13 * candidates.len());
+    encode_mm(*mm, &mut out);
+    out.push(encode_platform(*platform));
+    out.extend([*pe_dim, *buffer_elems]);
+    encode_model(model, &mut out);
+    out.push(candidates.len() as u64);
+    for c in candidates {
+        out.push(encode_stationary(c.stationary()));
+        out.extend([c.shape().0, c.shape().1]);
+        encode_dataflow(c.dataflow(), &mut out);
+        out.push(c.unit_compute_cycles());
+    }
+    out
+}
+
+fn decode_op_entry(record: &[u64]) -> Option<(TileKey, Vec<OpCandidate>)> {
+    let mut r = RecordReader::new(record);
+    let mm = decode_mm(&mut r)?;
+    let platform = decode_platform(r.u64()?)?;
+    let (pe_dim, buffer_elems) = (r.u64()?, r.u64()?);
+    let model = decode_model(&mut r)?;
+    let count = r.u64()?;
+    let mut candidates = Vec::with_capacity(count.min(16) as usize);
+    for _ in 0..count {
+        let stationary = decode_stationary(r.u64()?)?;
+        let shape = (r.u64()?, r.u64()?);
+        if shape.0 == 0 || shape.1 == 0 {
+            return None;
+        }
+        let dataflow = decode_dataflow(&model, &mut r)?;
+        if dataflow.mm() != mm || dataflow.buffer_elems() > buffer_elems {
+            return None;
+        }
+        candidates.push(OpCandidate::new(stationary, shape, dataflow, r.u64()?));
+    }
+    r.finish()?;
+    Some(((mm, platform, pe_dim, buffer_elems, model), candidates))
+}
+
+/// Serializes the process-wide operator cache to `path`; returns the
+/// number of entries written.
+pub fn save_op_cache(path: &Path) -> io::Result<usize> {
+    let mut file = CacheFile::new();
+    file.push_section(
+        SECTION_OPERATORS,
+        op_cache_snapshot()
+            .iter()
+            .map(|(k, v)| encode_op_entry(k, v))
+            .collect(),
+    );
+    let n = file.records();
+    file.save(path)?;
+    Ok(n)
+}
+
+/// Preloads the operator cache from `path`; all-or-nothing, 0 on any
+/// anomaly.
+pub fn load_op_cache(path: &Path) -> usize {
+    let Some(file) = CacheFile::load(path) else {
+        return 0;
+    };
+    let entries: Option<Vec<_>> = file
+        .section(SECTION_OPERATORS)
+        .iter()
+        .map(|rec| decode_op_entry(rec))
+        .collect();
+    entries.map_or(0, op_cache_preload)
+}
+
+// --- fusion caches -------------------------------------------------------
+
+fn encode_pair_entry(key: &PairKey, value: &Option<FusedDataflow>) -> Vec<u64> {
+    let (pair, bs, model) = key;
+    let mut out = Vec::with_capacity(12);
+    encode_pair(*pair, &mut out);
+    out.push(*bs);
+    encode_model(model, &mut out);
+    match value {
+        None => out.push(0),
+        Some(fused) => {
+            out.push(1);
+            encode_fused_nest(fused.nest(), &mut out);
+        }
+    }
+    out
+}
+
+fn decode_pair_entry(record: &[u64]) -> Option<(PairKey, Option<FusedDataflow>)> {
+    let mut r = RecordReader::new(record);
+    let pair = decode_pair(&mut r)?;
+    let bs = r.u64()?;
+    let model = decode_model(&mut r)?;
+    let value = if r.bool()? {
+        Some(decode_fused(&model, pair, bs, &mut r)?)
+    } else {
+        None
+    };
+    r.finish()?;
+    Some(((pair, bs, model), value))
+}
+
+fn encode_plan_entry(key: &PlanKey, value: &Option<ChainPlan>) -> Vec<u64> {
+    let (chain, bs, model) = key;
+    let mut out = Vec::new();
+    out.push(chain.mms().len() as u64);
+    for &mm in chain.mms() {
+        encode_mm(mm, &mut out);
+    }
+    out.push(*bs);
+    encode_model(model, &mut out);
+    match value {
+        None => out.push(0),
+        Some(plan) => {
+            out.push(1);
+            out.push(plan.steps().len() as u64);
+            for step in plan.steps() {
+                match step {
+                    ChainStep::Solo { dataflow, .. } => {
+                        out.push(0);
+                        encode_dataflow(dataflow, &mut out);
+                    }
+                    ChainStep::Pair { fused, .. } => {
+                        out.push(1);
+                        encode_fused_nest(fused.nest(), &mut out);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn decode_plan_entry(record: &[u64]) -> Option<(PlanKey, Option<ChainPlan>)> {
+    let mut r = RecordReader::new(record);
+    let len = r.u64()?;
+    if len == 0 {
+        return None; // MmChain::try_new asserts non-empty
+    }
+    let mut mms = Vec::with_capacity(len.min(64) as usize);
+    for _ in 0..len {
+        mms.push(decode_mm(&mut r)?);
+    }
+    let chain = MmChain::try_new(mms).ok()?;
+    let bs = r.u64()?;
+    let model = decode_model(&mut r)?;
+    let value = if r.bool()? {
+        let step_count = r.u64()?;
+        let mut steps = Vec::with_capacity(step_count.min(64) as usize);
+        let mut cursor = 0usize;
+        for _ in 0..step_count {
+            let step = match r.u64()? {
+                0 => {
+                    let dataflow = decode_dataflow(&model, &mut r)?;
+                    if dataflow.mm() != chain.mm(cursor) || dataflow.buffer_elems() > bs {
+                        return None;
+                    }
+                    ChainStep::Solo {
+                        index: cursor,
+                        dataflow,
+                    }
+                }
+                1 => {
+                    if cursor + 1 >= chain.mms().len() {
+                        return None;
+                    }
+                    let pair =
+                        FusedPair::try_new(chain.mm(cursor), chain.mm(cursor + 1)).ok()?;
+                    ChainStep::Pair {
+                        index: cursor,
+                        fused: decode_fused(&model, pair, bs, &mut r)?,
+                    }
+                }
+                _ => return None,
+            };
+            cursor += step.width();
+            if cursor > chain.mms().len() {
+                return None;
+            }
+            steps.push(step);
+        }
+        if cursor != chain.mms().len() {
+            return None; // plan must cover the chain exactly
+        }
+        Some(ChainPlan::from_steps(steps, bs))
+    } else {
+        None
+    };
+    r.finish()?;
+    Some(((chain, bs, model), value))
+}
+
+/// Serializes the process-wide fused-pair and chain-plan caches to one
+/// file at `path`; returns the number of entries written.
+pub fn save_fusion_caches(path: &Path) -> io::Result<usize> {
+    let mut file = CacheFile::new();
+    file.push_section(
+        SECTION_PAIRS,
+        pair_cache_snapshot()
+            .iter()
+            .map(|(k, v)| encode_pair_entry(k, v))
+            .collect(),
+    );
+    file.push_section(
+        SECTION_PLANS,
+        plan_cache_snapshot()
+            .iter()
+            .map(|(k, v)| encode_plan_entry(k, v))
+            .collect(),
+    );
+    let n = file.records();
+    file.save(path)?;
+    Ok(n)
+}
+
+/// Preloads the fused-pair and chain-plan caches from `path`;
+/// all-or-nothing, 0 on any anomaly.
+pub fn load_fusion_caches(path: &Path) -> usize {
+    let Some(file) = CacheFile::load(path) else {
+        return 0;
+    };
+    let pairs: Option<Vec<_>> = file
+        .section(SECTION_PAIRS)
+        .iter()
+        .map(|rec| decode_pair_entry(rec))
+        .collect();
+    let plans: Option<Vec<_>> = file
+        .section(SECTION_PLANS)
+        .iter()
+        .map(|rec| decode_plan_entry(rec))
+        .collect();
+    match (pairs, plans) {
+        (Some(pairs), Some(plans)) => pair_cache_preload(pairs) + plan_cache_preload(plans),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusecu_fusion::{optimize_pair, try_plan_chain};
+
+    const MODEL: CostModel = CostModel {
+        partial_sums: fusecu_dataflow::PartialSumPolicy::PerVisit,
+    };
+
+    #[test]
+    fn pair_entry_round_trips() {
+        let pair = FusedPair::try_new(MatMul::new(256, 64, 256), MatMul::new(256, 256, 64))
+            .unwrap();
+        for bs in [2, 40_000] {
+            let value = optimize_pair(&MODEL, pair, bs);
+            let rec = encode_pair_entry(&(pair, bs, MODEL), &value);
+            let (key, back) = decode_pair_entry(&rec).unwrap();
+            assert_eq!(key, (pair, bs, MODEL));
+            assert_eq!(back, value);
+        }
+    }
+
+    #[test]
+    fn plan_entry_round_trips() {
+        let chain = MmChain::try_new(vec![
+            MatMul::new(1024, 64, 1024),
+            MatMul::new(1024, 1024, 64),
+            MatMul::new(1024, 64, 256),
+        ])
+        .unwrap();
+        for bs in [2, 64 * 1024] {
+            let value = try_plan_chain(&MODEL, &chain, bs);
+            let rec = encode_plan_entry(&(chain.clone(), bs, MODEL), &value);
+            let (key, back) = decode_plan_entry(&rec).unwrap();
+            assert_eq!(key.0, chain);
+            assert_eq!(back, value);
+        }
+    }
+
+    #[test]
+    fn op_entry_round_trips() {
+        use crate::intra::op_candidates;
+        use crate::spec::ArraySpec;
+        let spec = ArraySpec::paper_default();
+        let mm = MatMul::new(512, 384, 640);
+        for platform in [Platform::Tpuv4i, Platform::FuseCu] {
+            let key = (mm, platform, spec.pe_dim, spec.buffer_elems, MODEL);
+            let candidates = op_candidates(&spec, platform, &MODEL, mm);
+            let rec = encode_op_entry(&key, &candidates);
+            let (back_key, back) = decode_op_entry(&rec).unwrap();
+            assert_eq!(back_key, key);
+            assert_eq!(back, candidates);
+        }
+    }
+
+    #[test]
+    fn tampered_entries_are_rejected() {
+        let pair = FusedPair::try_new(MatMul::new(128, 64, 128), MatMul::new(128, 128, 64))
+            .unwrap();
+        let value = optimize_pair(&MODEL, pair, 40_000);
+        let rec = encode_pair_entry(&(pair, 40_000, MODEL), &value);
+        // Layout: [m, k, l, n, bs, model, tag, outer_is_m, t_m, t_k, t_l, t_n]
+        // Zero tile (FusedTiling::new would panic; decoder must reject).
+        let mut bad = rec.clone();
+        *bad.last_mut().unwrap() = 0;
+        assert!(decode_pair_entry(&bad).is_none());
+        // Claimed footprint no longer fits the key's buffer.
+        let mut bad = rec.clone();
+        bad[4] = 3; // shrink bs below any fused footprint for this pair
+        assert!(decode_pair_entry(&bad).is_none());
+        // Out-of-range model and tag discriminants.
+        let mut bad = rec.clone();
+        bad[5] = 7;
+        assert!(decode_pair_entry(&bad).is_none());
+        let mut bad = rec.clone();
+        bad[6] = 2;
+        assert!(decode_pair_entry(&bad).is_none());
+        // A truncated record underruns the reader.
+        assert!(decode_pair_entry(&rec[..rec.len() - 1]).is_none());
+    }
+}

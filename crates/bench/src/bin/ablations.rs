@@ -4,7 +4,8 @@
 //! headline (FuseCU's saving and speedup over TPUv4i) is to each knob.
 //!
 //! Run with `cargo run --release -p fusecu-bench --bin ablations`.
-//! Pass `--serial` to disable the parallel evaluation engine.
+//! Pass `--serial` to disable the parallel evaluation engine and
+//! `--no-disk-cache` to skip the persistent cache in `target/fusecu-cache/`.
 
 use fusecu::pipeline::{compare_suite_with, suite_means, PlatformRow};
 use fusecu::prelude::*;
@@ -81,8 +82,15 @@ fn fused_mapping_ablation() {
     let spec = ArraySpec::paper_default();
     let pair = FusedPair::try_new(MatMul::new(1024, 64, 1024), MatMul::new(1024, 1024, 64))
         .expect("attention shapes");
-    let fused = fusecu::fusion::optimize_pair(&CostModel::read_write(), pair, spec.buffer_elems)
-        .expect("fits");
+    let Some(fused) =
+        fusecu::fusion::optimize_pair(&CostModel::read_write(), pair, spec.buffer_elems)
+    else {
+        println!(
+            "(buffer of {} elements cannot hold any fused tile; ablation skipped)",
+            spec.buffer_elems
+        );
+        return;
+    };
     println!(
         "{:>22} {:>14} {:>14}",
         "mapping x CU group", "cycles/head", "note"
@@ -105,6 +113,7 @@ fn fused_mapping_ablation() {
 }
 
 fn main() {
+    let cache = DiskCacheSession::from_args();
     buffer_sweep();
     bandwidth_sweep();
     policy_ablation();
@@ -113,4 +122,5 @@ fn main() {
         "\noperator cache: {} (grid points shared across ablation axes)",
         fusecu::arch::op_cache_stats()
     );
+    println!("{}", cache.summary());
 }

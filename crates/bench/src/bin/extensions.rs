@@ -2,7 +2,8 @@
 //! reproduction adds — autoregressive decode, the two-level memory
 //! hierarchy with the §IV-B un-tiling bound, and convolution lowering.
 //!
-//! Run with `cargo run --release -p fusecu-bench --bin extensions`.
+//! Run with `cargo run --release -p fusecu-bench --bin extensions`. Pass
+//! `--no-disk-cache` to skip the persistent cache in `target/fusecu-cache/`.
 
 use fusecu::dataflow::hierarchy::{optimize_two_level, untiling_bound};
 use fusecu::dataflow::principles::try_optimize_with;
@@ -107,6 +108,7 @@ fn conv_regimes() {
 }
 
 fn main() {
+    let cache = DiskCacheSession::from_args();
     decode_sweep();
     hierarchy_bound();
     conv_regimes();
@@ -114,4 +116,5 @@ fn main() {
         "\noperator cache: {}",
         fusecu::arch::op_cache_stats()
     );
+    println!("{}", cache.summary());
 }

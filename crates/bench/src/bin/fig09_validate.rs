@@ -9,6 +9,8 @@
 //! Run with `cargo run --release -p fusecu-bench --bin fig09_validate`.
 //! Pass `--serial` to disable the parallel sweep engine (output is
 //! byte-identical either way) or `--threads N` to pin the worker count.
+//! Results persist across runs in `target/fusecu-cache/`; pass
+//! `--no-disk-cache` for a cold run.
 
 use std::time::Instant;
 
@@ -111,6 +113,7 @@ fn timing(mm: MatMul) {
 }
 
 fn main() {
+    let cache = DiskCacheSession::from_args();
     let parallelism = Parallelism::from_args();
     // Representative matmuls drawn from the evaluated models: a BERT
     // projection, a per-head attention score matmul, and an XLM FFN slab.
@@ -118,4 +121,5 @@ fn main() {
     sweep("attention QK^T", MatMul::new(1024, 64, 1024), parallelism);
     sweep("XLM FFN", MatMul::new(16384, 2048, 8192), parallelism);
     timing(MatMul::new(1024, 768, 768));
+    println!("\n{}", cache.summary());
 }

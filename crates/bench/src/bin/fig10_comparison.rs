@@ -2,13 +2,15 @@
 //! five platforms across the seven Table II models.
 //!
 //! Run with `cargo run --release -p fusecu-bench --bin fig10_comparison`.
-//! Pass `--serial` to disable the parallel evaluation engine.
+//! Pass `--serial` to disable the parallel evaluation engine and
+//! `--no-disk-cache` to skip the persistent cache in `target/fusecu-cache/`.
 
 use fusecu::pipeline::{compare_suite_with, suite_means, PlatformRow};
 use fusecu::prelude::*;
 use fusecu_bench::{header, pct, write_csv};
 
 fn main() {
+    let cache = DiskCacheSession::from_args();
     let parallelism = Parallelism::from_args();
     header("Fig 10: normalized memory access | utilization, per model");
     print!("{:<12}", "model");
@@ -126,4 +128,5 @@ fn main() {
         "\noperator cache: {} (shapes repeated across layers and models are optimized once)",
         fusecu::arch::op_cache_stats()
     );
+    println!("{}", cache.summary());
 }

@@ -1,13 +1,15 @@
 //! Fig 11: LLaMA2 under different sequence lengths (256 – 16 K).
 //!
 //! Run with `cargo run --release -p fusecu-bench --bin fig11_seqlen`.
-//! Pass `--serial` to disable the parallel evaluation engine.
+//! Pass `--serial` to disable the parallel evaluation engine and
+//! `--no-disk-cache` to skip the persistent cache in `target/fusecu-cache/`.
 
 use fusecu::pipeline::sequence_sweep_with;
 use fusecu::prelude::*;
 use fusecu_bench::{header, write_csv};
 
 fn main() {
+    let cache = DiskCacheSession::from_args();
     let parallelism = Parallelism::from_args();
     header("Fig 11: LLaMA2 normalized memory access | utilization vs sequence length");
     print!("{:<10}", "seq len");
@@ -56,4 +58,5 @@ fn main() {
         "operator cache: {} (attention shapes recur across sequence lengths)",
         fusecu::arch::op_cache_stats()
     );
+    println!("{}", cache.summary());
 }

@@ -1,6 +1,7 @@
 //! Regenerates Tables I–III of the paper.
 //!
-//! Run with `cargo run -p fusecu-bench --bin tables`.
+//! Run with `cargo run -p fusecu-bench --bin tables`. Pass
+//! `--no-disk-cache` to skip the persistent cache in `target/fusecu-cache/`.
 
 use fusecu::prelude::*;
 use fusecu_bench::header;
@@ -99,9 +100,11 @@ fn table_ii_dataflows(parallelism: Parallelism) {
 }
 
 fn main() {
+    let cache = DiskCacheSession::from_args();
     let parallelism = Parallelism::from_args();
     table_i();
     table_ii();
     table_iii();
     table_ii_dataflows(parallelism);
+    println!("{}", cache.summary());
 }

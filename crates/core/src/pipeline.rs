@@ -16,12 +16,19 @@
 //! `fusecu-search`'s parallel engine and shared memo caches; the `_with`
 //! variants take an explicit [`Parallelism`] (the binaries' `--serial`
 //! escape hatch), and serial/parallel runs produce identical results.
+//! [`DiskCacheSession`] extends the sharing across *processes*: the figure
+//! binaries preload every memo cache from `target/fusecu-cache/` on
+//! startup and write the completed entries back on exit, so a warm rerun
+//! answers every repeated point from disk (`--no-disk-cache` opts out).
+
+use std::io;
+use std::path::PathBuf;
 
 use fusecu_arch::{evaluate_graph, ArraySpec, GraphPerf, Platform};
 use fusecu_dataflow::CostModel;
 use fusecu_ir::MatMul;
 use fusecu_models::TransformerConfig;
-use fusecu_search::{par_map, Parallelism, SweepEngine};
+use fusecu_search::{par_map, CacheStats, DataflowCache, Parallelism, SweepEngine};
 
 /// The cost model used for architecture evaluation (Fig 10/11).
 pub fn evaluation_model() -> CostModel {
@@ -252,6 +259,124 @@ pub fn sequence_sweep_with(
         .collect();
     let rows = compare_suite_with(&configs, &ArraySpec::paper_default(), parallelism);
     seq_lengths.iter().copied().zip(rows).collect()
+}
+
+/// One process's view of the disk-backed memo caches.
+///
+/// Construct it first thing in `main` (usually via
+/// [`DiskCacheSession::from_args`]); it preloads the dataflow, operator,
+/// fused-pair, and chain-plan caches from its directory, and writes the
+/// completed entries back when dropped (or on an explicit
+/// [`DiskCacheSession::save`]). A missing, corrupt, or stale-fingerprint
+/// file is a cold start, never an error. Print
+/// [`DiskCacheSession::summary`] at the end of a run for the aggregate
+/// hit/miss line.
+#[derive(Debug)]
+pub struct DiskCacheSession {
+    dir: Option<PathBuf>,
+    loaded: usize,
+    saved: bool,
+}
+
+impl DiskCacheSession {
+    /// Cache file for the intra-operator sweep caches (`fusecu-search`).
+    const DATAFLOW_FILE: &'static str = "dataflow.cache";
+    /// Cache file for the per-platform operator-candidate cache.
+    const OPERATORS_FILE: &'static str = "operators.cache";
+    /// Cache file for the fused-pair and chain-plan caches.
+    const PLANS_FILE: &'static str = "plans.cache";
+
+    /// A session over the default cache directory (`$FUSECU_CACHE_DIR` if
+    /// set, else `target/fusecu-cache`), disabled when the process was
+    /// invoked with `--no-disk-cache`.
+    pub fn from_args() -> DiskCacheSession {
+        if std::env::args().any(|a| a == "--no-disk-cache") {
+            DiskCacheSession::disabled()
+        } else {
+            DiskCacheSession::at(fusecu_search::persist::default_cache_dir())
+        }
+    }
+
+    /// A session that never touches the disk: nothing is preloaded and
+    /// [`DiskCacheSession::save`] (and drop) are no-ops. The in-process
+    /// memo caches still work.
+    pub fn disabled() -> DiskCacheSession {
+        DiskCacheSession {
+            dir: None,
+            loaded: 0,
+            saved: false,
+        }
+    }
+
+    /// A session over an explicit directory, preloading every cache file
+    /// found there.
+    pub fn at(dir: PathBuf) -> DiskCacheSession {
+        let loaded = DataflowCache::global().load_from(&dir.join(Self::DATAFLOW_FILE))
+            + fusecu_arch::persist::load_op_cache(&dir.join(Self::OPERATORS_FILE))
+            + fusecu_arch::persist::load_fusion_caches(&dir.join(Self::PLANS_FILE));
+        DiskCacheSession {
+            dir: Some(dir),
+            loaded,
+            saved: false,
+        }
+    }
+
+    /// Number of entries preloaded from disk at construction.
+    pub fn loaded(&self) -> usize {
+        self.loaded
+    }
+
+    /// Writes every completed cache entry back to the session directory;
+    /// returns the number of entries written, or 0 for a disabled session.
+    /// Called automatically on drop (best-effort, errors swallowed).
+    pub fn save(&mut self) -> io::Result<usize> {
+        let Some(dir) = &self.dir else {
+            return Ok(0);
+        };
+        let n = DataflowCache::global().save_to(&dir.join(Self::DATAFLOW_FILE))?
+            + fusecu_arch::persist::save_op_cache(&dir.join(Self::OPERATORS_FILE))?
+            + fusecu_arch::persist::save_fusion_caches(&dir.join(Self::PLANS_FILE))?;
+        self.saved = true;
+        Ok(n)
+    }
+
+    /// Aggregate hit/miss counters of every memo cache the session
+    /// persists.
+    pub fn stats(&self) -> CacheStats {
+        DataflowCache::global()
+            .stats()
+            .plus(fusecu_arch::op_cache_stats())
+            .plus(fusecu_fusion::optimizer::pair_cache_stats())
+            .plus(fusecu_fusion::planner::plan_cache_stats())
+    }
+
+    /// One summary line for the end of a figure run. Ends with the
+    /// greppable `overall hit rate` token CI keys on:
+    ///
+    /// ```text
+    /// disk cache [target/fusecu-cache]: 1182 entries preloaded; 3540 hits / 0 misses (100.0% overall hit rate)
+    /// ```
+    pub fn summary(&self) -> String {
+        let s = self.stats();
+        let origin = match &self.dir {
+            Some(dir) => format!("disk cache [{}]: {} entries preloaded", dir.display(), self.loaded),
+            None => "disk cache disabled (--no-disk-cache)".to_string(),
+        };
+        format!(
+            "{origin}; {} hits / {} misses ({:.1}% overall hit rate)",
+            s.hits,
+            s.misses,
+            100.0 * s.hit_rate()
+        )
+    }
+}
+
+impl Drop for DiskCacheSession {
+    fn drop(&mut self) {
+        if !self.saved {
+            let _ = self.save();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -19,4 +19,7 @@ pub use fusecu_search::{
     SweepEngine,
 };
 
-pub use crate::pipeline::{compare_platforms, compare_platforms_decode, sequence_sweep, validate_buffer_sweep};
+pub use crate::pipeline::{
+    compare_platforms, compare_platforms_decode, sequence_sweep, validate_buffer_sweep,
+    DiskCacheSession,
+};

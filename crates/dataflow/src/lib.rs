@@ -33,6 +33,7 @@
 pub mod einsum;
 pub mod hierarchy;
 pub mod loopnest;
+pub mod memo;
 pub mod principles;
 pub mod regime;
 pub mod reuse;
@@ -41,5 +42,6 @@ pub mod tiling;
 pub use einsum::{EinsumNest, EinsumSpec, EinsumTensor};
 pub use hierarchy::{optimize_two_level, TwoLevelDataflow, TwoLevelNest};
 pub use loopnest::{CostModel, Dataflow, LoopNest, MemoryAccess, NraClass, PartialSumPolicy};
+pub use memo::{CacheStats, MemoCache};
 pub use regime::BufferRegime;
 pub use tiling::Tiling;

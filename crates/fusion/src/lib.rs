@@ -40,6 +40,11 @@ pub mod pair;
 pub mod planner;
 
 pub use nest::{FusedDataflow, FusedMa, FusedNest, FusedTiling};
-pub use optimizer::{decide, optimize_pair, FusionDecision};
+pub use optimizer::{
+    decide, optimize_pair, optimize_pair_cached, try_decide, FusionDecision, PairKey,
+};
 pub use pair::{ExtTensor, FusedDim, FusedPair, PairError};
-pub use planner::{plan_chain, plan_graph, ChainPlan, ChainStep, GraphPlan};
+pub use planner::{
+    plan_chain, plan_chain_cached, plan_graph, try_plan_chain, ChainPlan, ChainStep, GraphPlan,
+    PlanKey,
+};

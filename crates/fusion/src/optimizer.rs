@@ -14,6 +14,9 @@
 //! optima and reports **Principle 4**'s prediction: fusion is profitable
 //! exactly when both operators' optimal intra-dataflows share an NRA class.
 
+use std::sync::OnceLock;
+
+use fusecu_dataflow::memo::{CacheStats, MemoCache};
 use fusecu_dataflow::principles::try_optimize_with;
 use fusecu_dataflow::{CostModel, NraClass};
 
@@ -109,6 +112,40 @@ pub fn optimize_pair(model: &CostModel, pair: FusedPair, bs: u64) -> Option<Fuse
     })
 }
 
+/// The memoization key of one fused-pair optimization: everything the
+/// answer depends on, and nothing else.
+pub type PairKey = (FusedPair, u64, CostModel);
+
+fn pair_cache() -> &'static MemoCache<PairKey, Option<FusedDataflow>> {
+    static CACHE: OnceLock<MemoCache<PairKey, Option<FusedDataflow>>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
+
+/// Memoized [`optimize_pair`]: the ablation grids re-optimize identical
+/// pairs across every spec that shares a buffer size, and the chain
+/// planner revisits the same adjacent pairs across chains.
+pub fn optimize_pair_cached(model: &CostModel, pair: FusedPair, bs: u64) -> Option<FusedDataflow> {
+    pair_cache().get_or_compute((pair, bs, *model), || optimize_pair(model, pair, bs))
+}
+
+/// Hit/miss counters of the process-wide fused-pair cache.
+pub fn pair_cache_stats() -> CacheStats {
+    pair_cache().stats()
+}
+
+/// Completed fused-pair cache entries, for the disk persistence layer.
+pub fn pair_cache_snapshot() -> Vec<(PairKey, Option<FusedDataflow>)> {
+    pair_cache().snapshot()
+}
+
+/// Preloads fused-pair entries saved by an earlier process; returns the
+/// number inserted. Counters are untouched.
+pub fn pair_cache_preload(
+    entries: impl IntoIterator<Item = (PairKey, Option<FusedDataflow>)>,
+) -> usize {
+    pair_cache().preload(entries)
+}
+
 /// The outcome of applying Principle 4 to one producer/consumer pair.
 #[derive(Debug, Clone, Copy)]
 pub struct FusionDecision {
@@ -180,25 +217,33 @@ impl FusionDecision {
 }
 
 /// Applies Principle 4 to a pair: computes per-operator optima, the fused
+/// optimum, and the profitability verdict. Returns `None` when `bs` is too
+/// small to hold even a unit tile per operand (`bs < 3`), since then
+/// neither fused nor unfused execution is definable — callers fall back to
+/// whatever plan the surrounding level has, typically unfused.
+pub fn try_decide(model: &CostModel, pair: FusedPair, bs: u64) -> Option<FusionDecision> {
+    let p_opt = try_optimize_with(model, pair.producer(), bs)?;
+    let c_opt = try_optimize_with(model, pair.consumer(), bs)?;
+    Some(FusionDecision {
+        pair,
+        buffer: bs,
+        fused: optimize_pair_cached(model, pair, bs),
+        unfused_ma: p_opt.total_ma() + c_opt.total_ma(),
+        producer_class: p_opt.class(),
+        consumer_class: c_opt.class(),
+    })
+}
+
+/// Applies Principle 4 to a pair: computes per-operator optima, the fused
 /// optimum, and the profitability verdict.
 ///
 /// # Panics
 ///
 /// Panics when `bs` is too small to hold even a unit tile per operand
-/// (`bs < 3`), since then neither fused nor unfused execution is definable.
+/// (`bs < 3`); use [`try_decide`] to handle that case gracefully.
 pub fn decide(model: &CostModel, pair: FusedPair, bs: u64) -> FusionDecision {
-    let p_opt = try_optimize_with(model, pair.producer(), bs)
-        .unwrap_or_else(|| panic!("buffer of {bs} elements cannot hold any tile"));
-    let c_opt = try_optimize_with(model, pair.consumer(), bs)
-        .unwrap_or_else(|| panic!("buffer of {bs} elements cannot hold any tile"));
-    FusionDecision {
-        pair,
-        buffer: bs,
-        fused: optimize_pair(model, pair, bs),
-        unfused_ma: p_opt.total_ma() + c_opt.total_ma(),
-        producer_class: p_opt.class(),
-        consumer_class: c_opt.class(),
-    }
+    try_decide(model, pair, bs)
+        .unwrap_or_else(|| panic!("buffer of {bs} elements cannot hold any tile"))
 }
 
 #[cfg(test)]
@@ -258,6 +303,29 @@ mod tests {
         let bs = 10_000_000;
         let f = optimize_pair(&MODEL, p, bs).unwrap();
         assert_eq!(f.total_ma(), p.external_ideal_ma());
+    }
+
+    #[test]
+    fn try_decide_degrades_gracefully_on_tiny_buffers() {
+        // Regression: the panicking `decide` used to be the only entry
+        // point, so any caller probing a sub-minimal buffer aborted. Two
+        // elements cannot hold a tile per operand; three can.
+        let p = pair(64, 64, 64, 64);
+        assert!(try_decide(&MODEL, p, 2).is_none());
+        let d = try_decide(&MODEL, p, 3).expect("three elements admit unit tiles");
+        assert!(d.fused().is_some());
+    }
+
+    #[test]
+    fn cached_pair_optimum_matches_direct() {
+        let p = pair(100, 30, 50, 70);
+        for bs in [2u64, 64, 65_536] {
+            assert_eq!(
+                optimize_pair_cached(&MODEL, p, bs),
+                optimize_pair(&MODEL, p, bs),
+                "bs={bs}"
+            );
+        }
     }
 
     #[test]

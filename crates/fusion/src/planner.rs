@@ -7,17 +7,19 @@
 //! found by dynamic programming over the chain.
 
 use std::fmt;
+use std::sync::OnceLock;
 
+use fusecu_dataflow::memo::{CacheStats, MemoCache};
 use fusecu_dataflow::principles::try_optimize_with;
 use fusecu_dataflow::{CostModel, Dataflow};
 use fusecu_ir::{MmChain, NodeId, OpGraph};
 
 use crate::nest::FusedDataflow;
-use crate::optimizer::decide;
+use crate::optimizer::{try_decide, FusionDecision};
 use crate::pair::FusedPair;
 
 /// One step of a chain plan.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChainStep {
     /// Matmul `index` executes alone with its optimal intra-dataflow.
     Solo {
@@ -54,7 +56,7 @@ impl ChainStep {
 }
 
 /// A minimum-memory-access execution plan for one matmul chain.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChainPlan {
     steps: Vec<ChainStep>,
     total_ma: u64,
@@ -62,6 +64,19 @@ pub struct ChainPlan {
 }
 
 impl ChainPlan {
+    /// Rebuilds a plan from its steps, recomputing the total from them.
+    /// This is the reconstruction entry point for the disk persistence
+    /// layer, which stores only the steps; planning always goes through
+    /// [`plan_chain`].
+    pub fn from_steps(steps: Vec<ChainStep>, buffer: u64) -> ChainPlan {
+        let total_ma = steps.iter().map(ChainStep::ma).sum();
+        ChainPlan {
+            steps,
+            total_ma,
+            buffer,
+        }
+    }
+
     /// The steps, producer-first.
     pub fn steps(&self) -> &[ChainStep] {
         &self.steps
@@ -109,29 +124,23 @@ impl fmt::Display for ChainPlan {
 
 /// Plans one chain by dynamic programming: each matmul either runs solo at
 /// its principle-optimal dataflow or joins its neighbor in a fused pair —
-/// whichever partition minimizes total memory access.
-///
-/// # Panics
-///
-/// Panics when `bs < 3` (no dataflow fits at all).
-pub fn plan_chain(model: &CostModel, chain: &MmChain, bs: u64) -> ChainPlan {
+/// whichever partition minimizes total memory access. Returns `None` when
+/// `bs` cannot hold any solo dataflow (`bs < 3`), in which case no
+/// execution of the chain is definable at all.
+pub fn try_plan_chain(model: &CostModel, chain: &MmChain, bs: u64) -> Option<ChainPlan> {
     let n = chain.len();
     let solo: Vec<Dataflow> = (0..n)
-        .map(|i| {
-            try_optimize_with(model, chain.mm(i), bs)
-                .unwrap_or_else(|| panic!("buffer of {bs} elements cannot hold any tile"))
-        })
-        .collect();
+        .map(|i| try_optimize_with(model, chain.mm(i), bs))
+        .collect::<Option<_>>()?;
     let fused: Vec<Option<FusedDataflow>> = (0..n.saturating_sub(1))
         .map(|i| {
             let pair = FusedPair::try_new(chain.mm(i), chain.mm(i + 1))
                 .expect("chain invariant guarantees pair shapes");
-            let d = decide(model, pair, bs);
-            if d.profitable() {
-                d.fused().copied()
-            } else {
-                None
-            }
+            // An undecidable or unprofitable pair simply never fuses; the
+            // DP below falls back to the solo plans.
+            try_decide(model, pair, bs)
+                .filter(FusionDecision::profitable)
+                .and_then(|d| d.fused().copied())
         })
         .collect();
 
@@ -171,11 +180,67 @@ pub fn plan_chain(model: &CostModel, chain: &MmChain, bs: u64) -> ChainPlan {
         }
     }
     steps.reverse();
-    ChainPlan {
+    Some(ChainPlan {
         steps,
         total_ma: dp[n],
         buffer: bs,
-    }
+    })
+}
+
+/// Panicking form of [`try_plan_chain`], for callers that have already
+/// validated the buffer (e.g. via `ArraySpec::validate`).
+///
+/// # Panics
+///
+/// Panics when `bs < 3` (no dataflow fits at all).
+pub fn plan_chain(model: &CostModel, chain: &MmChain, bs: u64) -> ChainPlan {
+    try_plan_chain(model, chain, bs)
+        .unwrap_or_else(|| panic!("buffer of {bs} elements cannot hold any tile"))
+}
+
+/// The memoization key of one chain-planning problem.
+pub type PlanKey = (MmChain, u64, CostModel);
+
+fn plan_cache() -> &'static MemoCache<PlanKey, Option<ChainPlan>> {
+    static CACHE: OnceLock<MemoCache<PlanKey, Option<ChainPlan>>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
+
+/// Memoized [`try_plan_chain`]: the evaluation pipeline re-plans identical
+/// chains for every `ArraySpec` in an ablation grid, even though the plan
+/// depends only on `(chain, bs, model)`.
+pub fn try_plan_chain_cached(model: &CostModel, chain: &MmChain, bs: u64) -> Option<ChainPlan> {
+    plan_cache().get_or_compute((chain.clone(), bs, *model), || {
+        try_plan_chain(model, chain, bs)
+    })
+}
+
+/// Memoized [`plan_chain`].
+///
+/// # Panics
+///
+/// Panics when `bs < 3` (no dataflow fits at all).
+pub fn plan_chain_cached(model: &CostModel, chain: &MmChain, bs: u64) -> ChainPlan {
+    try_plan_chain_cached(model, chain, bs)
+        .unwrap_or_else(|| panic!("buffer of {bs} elements cannot hold any tile"))
+}
+
+/// Hit/miss counters of the process-wide chain-plan cache.
+pub fn plan_cache_stats() -> CacheStats {
+    plan_cache().stats()
+}
+
+/// Completed chain-plan cache entries, for the disk persistence layer.
+pub fn plan_cache_snapshot() -> Vec<(PlanKey, Option<ChainPlan>)> {
+    plan_cache().snapshot()
+}
+
+/// Preloads chain-plan entries saved by an earlier process; returns the
+/// number inserted. Counters are untouched.
+pub fn plan_cache_preload(
+    entries: impl IntoIterator<Item = (PlanKey, Option<ChainPlan>)>,
+) -> usize {
+    plan_cache().preload(entries)
 }
 
 /// A fusion plan for a whole operator graph.
@@ -212,7 +277,7 @@ pub fn plan_graph(model: &CostModel, graph: &OpGraph, bs: u64) -> GraphPlan {
     let mut chains = Vec::new();
     let mut total = 0u64;
     for (ids, chain, count) in graph.mm_chains() {
-        let plan = plan_chain(model, &chain, bs);
+        let plan = plan_chain_cached(model, &chain, bs);
         total += plan.total_ma() * count;
         chains.push((ids, count, plan));
     }
@@ -325,6 +390,44 @@ mod tests {
         assert_eq!(*count, 192);
         assert_eq!(plan.total_ma(), chain_plan.total_ma() * 192);
         assert_eq!(plan.fused_pair_count(), 1);
+    }
+
+    #[test]
+    fn tiny_buffer_returns_none_instead_of_panicking() {
+        // Regression: probing a sub-minimal buffer used to abort inside
+        // `plan_chain`'s unwrap; the fallible entry point reports it.
+        assert!(try_plan_chain(&MODEL, &attention_chain(), 2).is_none());
+        // Three elements is the minimum footprint of any dataflow, solo or
+        // fused — the smallest buffer with a definable plan.
+        let plan = try_plan_chain(&MODEL, &attention_chain(), 3).unwrap();
+        assert_eq!(
+            plan.steps().iter().map(ChainStep::width).sum::<usize>(),
+            attention_chain().len()
+        );
+    }
+
+    #[test]
+    fn cached_plan_matches_direct() {
+        let chain = attention_chain();
+        for bs in [2u64, 512, 64 * 1024] {
+            assert_eq!(
+                try_plan_chain_cached(&MODEL, &chain, bs),
+                try_plan_chain(&MODEL, &chain, bs),
+                "bs={bs}"
+            );
+        }
+        // Second lookup of a cached key is a hit.
+        let before = plan_cache_stats();
+        let _ = try_plan_chain_cached(&MODEL, &chain, 64 * 1024);
+        let delta = plan_cache_stats().since(before);
+        assert_eq!((delta.hits, delta.misses), (1, 0));
+    }
+
+    #[test]
+    fn from_steps_round_trips_a_plan() {
+        let plan = plan_chain(&MODEL, &attention_chain(), 64 * 1024);
+        let rebuilt = ChainPlan::from_steps(plan.steps().to_vec(), plan.buffer());
+        assert_eq!(rebuilt, plan);
     }
 
     #[test]

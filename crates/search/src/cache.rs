@@ -8,167 +8,29 @@
 //! does not depend on). [`DataflowCache`] memoizes each optimizer's result
 //! behind a sharded concurrent map so a repeated point is computed exactly
 //! once per process — including under the parallel sweep engine
-//! ([`crate::parallel`]), where per-key [`OnceLock`] cells guarantee a key
+//! ([`crate::parallel`]), where per-key `OnceLock` cells guarantee a key
 //! raced by two workers is still evaluated by only one of them.
 //!
-//! The generic [`MemoCache`] is exported for downstream layers (the arch
-//! crate memoizes per-platform operator plans with it); [`DataflowCache`]
-//! is the concrete instance keyed on `(MatMul, bs, CostModel)` for the
-//! three intra-operator optimizers this crate owns.
+//! The generic machinery ([`MemoCache`], [`CacheStats`]) now lives in
+//! [`fusecu_dataflow::memo`] so the fusion planner can memoize without a
+//! dependency cycle; this module re-exports it, so the historical
+//! `fusecu_search::cache::MemoCache` import path keeps working.
+//!
+//! Results also survive across *processes*: [`DataflowCache::save_to`] and
+//! [`DataflowCache::load_from`] round-trip the completed entries through
+//! the versioned disk format of [`crate::persist`].
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::fmt;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::path::Path;
+use std::sync::OnceLock;
 
 use fusecu_dataflow::principles::try_optimize_with;
 use fusecu_dataflow::{CostModel, Dataflow};
 use fusecu_ir::MatMul;
 
+pub use fusecu_dataflow::memo::{CacheStats, MemoCache};
+
 use crate::exhaustive::{ExhaustiveSearch, SearchResult};
 use crate::genetic::GeneticSearch;
-
-/// Hit/miss counters of a cache, taken at one instant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
-    /// Lookups answered from the cache (including waits on a concurrent
-    /// computation of the same key).
-    pub hits: u64,
-    /// Lookups that ran the underlying computation.
-    pub misses: u64,
-}
-
-impl CacheStats {
-    /// Total lookups.
-    pub fn lookups(&self) -> u64 {
-        self.hits + self.misses
-    }
-
-    /// Fraction of lookups served from the cache (0 when never queried).
-    pub fn hit_rate(&self) -> f64 {
-        if self.lookups() == 0 {
-            0.0
-        } else {
-            self.hits as f64 / self.lookups() as f64
-        }
-    }
-
-    /// Counter-wise difference, for measuring one phase of a run.
-    pub fn since(&self, earlier: CacheStats) -> CacheStats {
-        CacheStats {
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-        }
-    }
-}
-
-impl fmt::Display for CacheStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} hits / {} misses ({:.1}% hit rate)",
-            self.hits,
-            self.misses,
-            100.0 * self.hit_rate()
-        )
-    }
-}
-
-/// Number of independently locked shards; a small power of two is plenty
-/// for the worker counts `std::thread::scope` sweeps run with.
-const SHARDS: usize = 16;
-
-/// A sharded, thread-safe memoization map.
-///
-/// Each key owns a [`OnceLock`] cell, so concurrent lookups of the same
-/// key serialize on that cell alone: exactly one caller computes, the rest
-/// block and then read — the shard lock is never held during computation.
-/// Values are cloned out, so `V` should be cheap to clone (the dataflow
-/// results cached here are all `Copy`).
-pub struct MemoCache<K, V> {
-    shards: Vec<Mutex<HashMap<K, Arc<OnceLock<V>>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
-    /// An empty cache.
-    pub fn new() -> MemoCache<K, V> {
-        MemoCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
-    }
-
-    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<OnceLock<V>>>> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
-    }
-
-    /// Returns the cached value for `key`, computing it with `f` on a miss.
-    ///
-    /// A key being computed by another thread counts as a hit: the caller
-    /// waits for that computation instead of duplicating it.
-    pub fn get_or_compute(&self, key: K, f: impl FnOnce() -> V) -> V {
-        let cell = {
-            let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
-            Arc::clone(shard.entry(key).or_default())
-        };
-        let mut computed = false;
-        let value = cell
-            .get_or_init(|| {
-                computed = true;
-                f()
-            })
-            .clone();
-        if computed {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        }
-        value
-    }
-
-    /// Number of cached entries.
-    pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
-            .sum()
-    }
-
-    /// Whether the cache holds no entries.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Drops all entries and resets the counters.
-    pub fn clear(&self) {
-        for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").clear();
-        }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-    }
-
-    /// Current hit/miss counters.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
-    }
-}
-
-impl<K: Eq + Hash, V: Clone> Default for MemoCache<K, V> {
-    fn default() -> MemoCache<K, V> {
-        MemoCache::new()
-    }
-}
 
 /// The memoization key of one intra-operator optimization problem: the
 /// shape, the buffer budget in elements, and the cost model. Everything an
@@ -184,11 +46,11 @@ pub type SweepKey = (MatMul, u64, CostModel);
 /// deterministic (the genetic searcher runs on a fixed seed), so cached
 /// and freshly computed results are indistinguishable — which is what lets
 /// the parallel sweep engine promise byte-identical output to a serial
-/// run.
+/// run, and what makes the disk cache safe to reload.
 pub struct DataflowCache {
-    principle: MemoCache<SweepKey, Option<Dataflow>>,
-    exhaustive: MemoCache<SweepKey, Option<SearchResult>>,
-    genetic: MemoCache<SweepKey, Option<SearchResult>>,
+    pub(crate) principle: MemoCache<SweepKey, Option<Dataflow>>,
+    pub(crate) exhaustive: MemoCache<SweepKey, Option<SearchResult>>,
+    pub(crate) genetic: MemoCache<SweepKey, Option<SearchResult>>,
 }
 
 impl DataflowCache {
@@ -231,13 +93,10 @@ impl DataflowCache {
 
     /// Aggregated hit/miss counters over the three optimizer maps.
     pub fn stats(&self) -> CacheStats {
-        let p = self.principle.stats();
-        let e = self.exhaustive.stats();
-        let g = self.genetic.stats();
-        CacheStats {
-            hits: p.hits + e.hits + g.hits,
-            misses: p.misses + e.misses + g.misses,
-        }
+        self.principle
+            .stats()
+            .plus(self.exhaustive.stats())
+            .plus(self.genetic.stats())
     }
 
     /// Number of distinct cached points across the three maps.
@@ -257,6 +116,21 @@ impl DataflowCache {
         self.exhaustive.clear();
         self.genetic.clear();
     }
+
+    /// Writes every completed entry to `path` in the versioned format of
+    /// [`crate::persist`], atomically (write-then-rename). Returns the
+    /// number of entries written.
+    pub fn save_to(&self, path: &Path) -> std::io::Result<usize> {
+        crate::persist::save_dataflow_cache(self, path)
+    }
+
+    /// Preloads entries from a file previously written by
+    /// [`DataflowCache::save_to`]. A missing, corrupt, or stale-fingerprint
+    /// file is a cold start: the method returns 0 and the cache is left
+    /// unchanged. Returns the number of entries preloaded.
+    pub fn load_from(&self, path: &Path) -> usize {
+        crate::persist::load_dataflow_cache(self, path)
+    }
 }
 
 impl Default for DataflowCache {
@@ -268,47 +142,6 @@ impl Default for DataflowCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
-
-    #[test]
-    fn memo_computes_once_and_counts() {
-        let cache: MemoCache<u64, u64> = MemoCache::new();
-        let calls = AtomicUsize::new(0);
-        for _ in 0..3 {
-            let v = cache.get_or_compute(7, || {
-                calls.fetch_add(1, Ordering::Relaxed);
-                49
-            });
-            assert_eq!(v, 49);
-        }
-        assert_eq!(calls.load(Ordering::Relaxed), 1);
-        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
-        assert_eq!(cache.len(), 1);
-        cache.clear();
-        assert!(cache.is_empty());
-        assert_eq!(cache.stats().lookups(), 0);
-    }
-
-    #[test]
-    fn concurrent_same_key_computes_once() {
-        let cache: MemoCache<u64, u64> = MemoCache::new();
-        let calls = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..8 {
-                s.spawn(|| {
-                    cache.get_or_compute(42, || {
-                        calls.fetch_add(1, Ordering::Relaxed);
-                        std::thread::sleep(std::time::Duration::from_millis(5));
-                        1
-                    })
-                });
-            }
-        });
-        assert_eq!(calls.load(Ordering::Relaxed), 1, "raced key computed twice");
-        let stats = cache.stats();
-        assert_eq!(stats.misses, 1);
-        assert_eq!(stats.hits, 7);
-    }
 
     #[test]
     fn dataflow_cache_matches_direct_computation() {
@@ -341,12 +174,5 @@ mod tests {
         assert!(cache.exhaustive(&model, mm, 2).is_none());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
-    }
-
-    #[test]
-    fn stats_display_is_readable() {
-        let s = CacheStats { hits: 3, misses: 1 };
-        assert_eq!(s.to_string(), "3 hits / 1 misses (75.0% hit rate)");
-        assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 }

@@ -17,6 +17,7 @@ use fusecu_dataflow::{CostModel, LoopNest, Tiling};
 use fusecu_ir::{MatMul, MmDim};
 
 use crate::exhaustive::SearchResult;
+use crate::parallel::{par_map, Parallelism};
 use crate::space::balanced_tiles;
 
 /// Hyper-parameters of the genetic searcher.
@@ -60,14 +61,22 @@ struct Genome {
 pub struct GeneticSearch {
     model: CostModel,
     config: GeneticConfig,
+    parallelism: Parallelism,
 }
 
 impl GeneticSearch {
     /// Creates a searcher with default hyper-parameters.
+    ///
+    /// Population scoring defaults to serial: a single fitness evaluation
+    /// is a handful of arithmetic, so forked scoring only pays off for the
+    /// standalone timing harness — and the sweep engine already saturates
+    /// cores *across* GA calls. Opt in with
+    /// [`GeneticSearch::with_parallelism`].
     pub fn new(model: CostModel) -> GeneticSearch {
         GeneticSearch {
             model,
             config: GeneticConfig::default(),
+            parallelism: Parallelism::Serial,
         }
     }
 
@@ -80,7 +89,22 @@ impl GeneticSearch {
     pub fn with_config(model: CostModel, config: GeneticConfig) -> GeneticSearch {
         assert!(config.population >= 2, "population must hold two parents");
         assert!(config.tournament >= 1, "tournament size must be positive");
-        GeneticSearch { model, config }
+        GeneticSearch {
+            model,
+            config,
+            parallelism: Parallelism::Serial,
+        }
+    }
+
+    /// Scores each generation's population through
+    /// [`par_map`] with the given parallelism. The result is identical to
+    /// a serial run: fitness evaluation is pure, scored populations keep
+    /// their generation order (the sort is stable), and all randomness —
+    /// seeding, selection, crossover, mutation — stays on the single
+    /// caller-side RNG stream.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> GeneticSearch {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Runs the GA; `None` when even the unit tiling does not fit.
@@ -94,8 +118,8 @@ impl GeneticSearch {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut evaluations = 0u64;
 
-        let mut fitness = |g: &Genome| -> u64 {
-            evaluations += 1;
+        // Pure, so a population can be scored from any worker thread.
+        let fitness = |g: &Genome| -> u64 {
             let tiling = Tiling::new(
                 candidates[0][g.tiles[0]],
                 candidates[1][g.tiles[1]],
@@ -110,6 +134,12 @@ impl GeneticSearch {
             self.model
                 .evaluate(mm, &LoopNest::new(orders[g.order], tiling))
                 .total()
+        };
+        // Every genome is scored exactly once per round, so counting by
+        // round keeps `evaluations` identical to per-call counting — and
+        // independent of how scoring is parallelized.
+        let score = |pop: &[Genome]| -> Vec<(u64, Genome)> {
+            par_map(self.parallelism, pop, |_, g| (fitness(g), *g))
         };
 
         // Seed with the always-feasible unit tiling plus random genomes.
@@ -129,8 +159,8 @@ impl GeneticSearch {
             });
         }
 
-        let mut scored: Vec<(u64, Genome)> =
-            population.iter().map(|g| (fitness(g), *g)).collect();
+        let mut scored = score(&population);
+        evaluations += population.len() as u64;
         scored.sort_by_key(|(f, _)| *f);
 
         for _ in 0..self.config.generations {
@@ -174,7 +204,8 @@ impl GeneticSearch {
                 }
                 next.push(child);
             }
-            scored = next.iter().map(|g| (fitness(g), *g)).collect();
+            scored = score(&next);
+            evaluations += next.len() as u64;
             scored.sort_by_key(|(f, _)| *f);
         }
 
@@ -244,6 +275,26 @@ mod tests {
         assert!(GeneticSearch::new(MODEL)
             .optimize(MatMul::new(8, 8, 8), 2)
             .is_none());
+    }
+
+    #[test]
+    fn parallel_scoring_matches_serial_exactly() {
+        // The acceptance bar for ROADMAP item 1: same seed, same answer,
+        // same evaluation count, regardless of worker count.
+        let mm = MatMul::new(384, 96, 256);
+        for bs in [512u64, 8_192, 131_072] {
+            let serial = GeneticSearch::new(MODEL)
+                .with_parallelism(Parallelism::Serial)
+                .optimize(mm, bs)
+                .unwrap();
+            for par in [Parallelism::Auto, Parallelism::Threads(4)] {
+                let parallel = GeneticSearch::new(MODEL)
+                    .with_parallelism(par)
+                    .optimize(mm, bs)
+                    .unwrap();
+                assert_eq!(parallel, serial, "bs={bs} par={par:?}");
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod fused_exhaustive;
 pub mod fused_genetic;
 pub mod genetic;
 pub mod parallel;
+pub mod persist;
 pub mod space;
 
 pub use cache::{CacheStats, DataflowCache, MemoCache};

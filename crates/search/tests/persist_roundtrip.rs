@@ -1,0 +1,107 @@
+//! Cross-process persistence, simulated with independent `DataflowCache`
+//! instances: a cold cache runs the Fig 9 sweep, saves to disk, and a
+//! fresh cache preloaded from that file must reproduce the sweep exactly
+//! — same dataflows, same search-evaluation counts (so any CSV derived
+//! from the outcomes is byte-identical) — without recomputing anything.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fusecu_dataflow::CostModel;
+use fusecu_ir::MatMul;
+use fusecu_search::cache::DataflowCache;
+use fusecu_search::{Parallelism, SweepEngine};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("persist-roundtrip");
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn leaked() -> &'static DataflowCache {
+    Box::leak(Box::new(DataflowCache::new()))
+}
+
+fn engine(cache: &'static DataflowCache) -> SweepEngine {
+    SweepEngine::new(CostModel::paper())
+        .with_parallelism(Parallelism::Serial)
+        .with_cache(cache)
+}
+
+fn shapes() -> [MatMul; 2] {
+    [MatMul::new(256, 192, 192), MatMul::new(256, 64, 256)]
+}
+
+const BUFFERS: [u64; 3] = [8 * 1024, 64 * 1024, 512 * 1024];
+
+#[test]
+fn warm_reload_reproduces_the_sweep_without_recomputation() {
+    let path = tmp("roundtrip.cache");
+
+    let cold = leaked();
+    let first = engine(cold).sweep(&shapes(), &BUFFERS);
+    let saved = cold.save_to(&path).unwrap();
+    // principle + exhaustive + genetic per (shape, buffer) point.
+    assert_eq!(saved, 3 * shapes().len() * BUFFERS.len());
+
+    let warm = leaked();
+    assert_eq!(warm.load_from(&path), saved);
+    let second = engine(warm).sweep(&shapes(), &BUFFERS);
+    // `SweepOutcome: Eq` covers dataflows and evaluation counts, so the
+    // figure CSVs rendered from the two runs are byte-identical.
+    assert_eq!(second, first);
+    // Every lookup of the warm run was served from the preloaded cache.
+    let stats = warm.stats();
+    assert_eq!(stats.misses, 0, "warm run recomputed a point");
+    assert_eq!(stats.hits, saved as u64);
+
+    // Saving the reloaded cache reproduces the file byte for byte.
+    let path2 = tmp("roundtrip-resave.cache");
+    assert_eq!(warm.save_to(&path2).unwrap(), saved);
+    assert_eq!(fs::read(&path).unwrap(), fs::read(&path2).unwrap());
+}
+
+#[test]
+fn stale_fingerprint_is_a_cold_start() {
+    let path = tmp("stale.cache");
+    let cache = leaked();
+    engine(cache).sweep(&shapes()[..1], &BUFFERS[..1]);
+    assert!(cache.save_to(&path).unwrap() > 0);
+
+    // A file from a different crate version / cost-model schema carries a
+    // different fingerprint; the loader must ignore it entirely.
+    let text = fs::read_to_string(&path).unwrap();
+    let stale = text.replacen("fingerprint ", "fingerprint 0.0.0-", 1);
+    fs::write(&path, stale).unwrap();
+    assert_eq!(leaked().load_from(&path), 0);
+}
+
+#[test]
+fn corrupt_files_are_a_cold_start() {
+    let path = tmp("corrupt.cache");
+    let cache = leaked();
+    engine(cache).sweep(&shapes()[..1], &BUFFERS[..1]);
+    assert!(cache.save_to(&path).unwrap() > 0);
+    let good = fs::read_to_string(&path).unwrap();
+
+    // Flipped record content (checksum catches it), truncation, and raw
+    // garbage must all load as empty, never panic or half-load.
+    let flipped = {
+        let mut lines: Vec<String> = good.lines().map(str::to_string).collect();
+        let last = lines.last_mut().unwrap();
+        *last = format!("{last}9");
+        lines.join("\n") + "\n"
+    };
+    for bad in [
+        flipped,
+        good[..good.len() / 2].to_string(),
+        "not a cache file at all\n".to_string(),
+        String::new(),
+    ] {
+        fs::write(&path, &bad).unwrap();
+        assert_eq!(leaked().load_from(&path), 0, "accepted corrupt file: {bad:?}");
+    }
+
+    // And a missing file is simply cold.
+    assert_eq!(leaked().load_from(&tmp("never-written.cache")), 0);
+}
