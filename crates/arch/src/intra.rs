@@ -23,7 +23,7 @@ use std::sync::OnceLock;
 use fusecu_dataflow::principles::stationary_sweep;
 use fusecu_dataflow::{CostModel, Dataflow, LoopNest, Tiling};
 use fusecu_ir::{MatMul, Operand};
-use fusecu_search::cache::{CacheStats, MemoCache};
+use fusecu_dataflow::memo::{CacheStats, MemoCache};
 
 use crate::flex::best_mapping;
 use crate::platform::Platform;

@@ -1,6 +1,6 @@
 //! Disk persistence for the arch- and fusion-level memo caches.
 //!
-//! Reuses the versioned, fingerprinted [`fusecu_search::persist`] file
+//! Reuses the versioned, fingerprinted [`fusecu_dataflow::persist`] file
 //! format for the two caches that live above the intra-operator sweep:
 //!
 //! * the **operator cache** ([`crate::intra`]): per
@@ -15,11 +15,24 @@
 //! model on load, except the operator cache's `unit_compute_cycles`, whose
 //! recomputation is exactly the expensive mapping search the cache exists
 //! to skip — it is stored verbatim and guarded by the file checksum.
+//! Because those verbatim cycles come out of the mapping/cycle model, the
+//! arch files are stamped with [`arch_fingerprint`]: the base fingerprint
+//! extended with a behavioral digest of [`best_mapping`] over a probe
+//! grid. If the mapping or cycle equations change — even without a crate
+//! version bump — the digest changes and every arch cache file becomes a
+//! cold start instead of serving stale cycle counts.
 //! Loading is all-or-nothing per file and every anomaly is a cold start.
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::io;
 use std::path::Path;
+use std::sync::OnceLock;
 
+use fusecu_dataflow::persist::{
+    decode_dataflow, decode_mm, decode_model, encode_dataflow, encode_mm, encode_model,
+    fingerprint_with, CacheFile, RecordReader,
+};
 use fusecu_dataflow::CostModel;
 use fusecu_fusion::planner::{
     plan_cache_preload, plan_cache_snapshot, ChainPlan, ChainStep, PlanKey,
@@ -29,18 +42,44 @@ use fusecu_fusion::{
     FusedDataflow, FusedDim, FusedNest, FusedPair, FusedTiling, PairKey,
 };
 use fusecu_ir::{MatMul, MmChain};
-use fusecu_search::persist::{
-    decode_dataflow, decode_mm, decode_model, encode_dataflow, encode_mm, encode_model, CacheFile,
-    RecordReader,
-};
 
+use crate::flex::{best_mapping, TilingFlex};
 use crate::intra::{op_cache_preload, op_cache_snapshot, OpCandidate, TileKey};
 use crate::platform::Platform;
+use crate::spec::ArraySpec;
 use crate::stationary::Stationary;
 
 const SECTION_OPERATORS: &str = "operators";
 const SECTION_PAIRS: &str = "pairs";
 const SECTION_PLANS: &str = "plans";
+
+/// A behavioral digest of the mapping/cycle model: [`best_mapping`]'s
+/// chosen `(cycles, shape)` over every flexibility grade on a fixed probe
+/// grid of workload extents, at the paper's architecture point. Any change
+/// to the stream-cycle equations or the shape menus changes this value.
+pub fn mapping_model_digest() -> String {
+    static DIGEST: OnceLock<String> = OnceLock::new();
+    DIGEST
+        .get_or_init(|| {
+            let spec = ArraySpec::paper_default();
+            let mut h = DefaultHasher::new();
+            for flex in [TilingFlex::Low, TilingFlex::Middle, TilingFlex::High] {
+                // Extents exercising under-filled, exact, and ragged tiles.
+                for (d1, d2, d3) in [(1u64, 1, 1), (96, 128, 64), (128, 128, 1024), (200, 40, 7)] {
+                    best_mapping(flex, &spec, d1, d2, d3).hash(&mut h);
+                }
+            }
+            format!("mapping-{:016x}", h.finish())
+        })
+        .clone()
+}
+
+/// The fingerprint stamped on arch-level cache files: the base format
+/// fingerprint (crate/format version + cost-model digest) extended with
+/// [`mapping_model_digest`].
+pub fn arch_fingerprint() -> String {
+    fingerprint_with(&mapping_model_digest())
+}
 
 fn encode_stationary(s: Stationary) -> u64 {
     match s {
@@ -174,14 +213,14 @@ pub fn save_op_cache(path: &Path) -> io::Result<usize> {
             .collect(),
     );
     let n = file.records();
-    file.save(path)?;
+    file.save_with(path, &arch_fingerprint())?;
     Ok(n)
 }
 
 /// Preloads the operator cache from `path`; all-or-nothing, 0 on any
-/// anomaly.
+/// anomaly (including a stale mapping-model digest in the fingerprint).
 pub fn load_op_cache(path: &Path) -> usize {
-    let Some(file) = CacheFile::load(path) else {
+    let Some(file) = CacheFile::load_with(path, &arch_fingerprint()) else {
         return 0;
     };
     let entries: Option<Vec<_>> = file
@@ -333,14 +372,15 @@ pub fn save_fusion_caches(path: &Path) -> io::Result<usize> {
             .collect(),
     );
     let n = file.records();
-    file.save(path)?;
+    file.save_with(path, &arch_fingerprint())?;
     Ok(n)
 }
 
 /// Preloads the fused-pair and chain-plan caches from `path`;
-/// all-or-nothing, 0 on any anomaly.
+/// all-or-nothing, 0 on any anomaly (including a stale mapping-model
+/// digest in the fingerprint).
 pub fn load_fusion_caches(path: &Path) -> usize {
-    let Some(file) = CacheFile::load(path) else {
+    let Some(file) = CacheFile::load_with(path, &arch_fingerprint()) else {
         return 0;
     };
     let pairs: Option<Vec<_>> = file
@@ -438,5 +478,48 @@ mod tests {
         assert!(decode_pair_entry(&bad).is_none());
         // A truncated record underruns the reader.
         assert!(decode_pair_entry(&rec[..rec.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn mapping_digest_is_stable_and_extends_the_fingerprint() {
+        // Deterministic within a process (OnceLock) and distinct from the
+        // base fingerprint: arch files must not be readable as sweep files.
+        assert_eq!(mapping_model_digest(), mapping_model_digest());
+        let fp = arch_fingerprint();
+        assert_ne!(fp, fusecu_dataflow::persist::fingerprint());
+        assert!(fp.starts_with(&fusecu_dataflow::persist::fingerprint()));
+    }
+
+    #[test]
+    fn mapping_digest_change_forces_a_cold_start() {
+        let dir = std::env::temp_dir().join(format!("fusecu-arch-digest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ops.cache");
+
+        // Warm the operator cache with one real entry and persist it.
+        use crate::intra::{op_candidates, op_cache_preload};
+        let spec = ArraySpec::paper_default();
+        let mm = MatMul::new(320, 96, 448);
+        let key = (mm, Platform::Tpuv4i, spec.pe_dim, spec.buffer_elems, MODEL);
+        let candidates = op_candidates(&spec, Platform::Tpuv4i, &MODEL, mm);
+        op_cache_preload(vec![(key, candidates)]);
+        assert!(save_op_cache(&path).unwrap() >= 1);
+
+        // Same digest: the file is readable and carries the entry. (The
+        // preload count is 0 here only because the process-wide cache
+        // already holds the key we just warmed it with.)
+        let file = CacheFile::load_with(&path, &arch_fingerprint()).unwrap();
+        assert!(file.records() >= 1);
+
+        // Re-stamp the same body under a *different* mapping digest, as a
+        // changed mapping/cycle model would have: the load must cold-start.
+        file.save_with(&path, &fingerprint_with("mapping-models-changed"))
+            .unwrap();
+        assert!(CacheFile::load_with(&path, &arch_fingerprint()).is_none());
+        assert_eq!(load_op_cache(&path), 0);
+        // And the stale file is also invisible to the base-fingerprint loader.
+        assert!(CacheFile::load(&path).is_none());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

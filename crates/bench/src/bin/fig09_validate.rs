@@ -14,7 +14,7 @@
 
 use std::time::Instant;
 
-use fusecu::pipeline::{fig9_buffer_sizes, validate_buffer_sweep_with};
+use fusecu::pipeline::{fig9_buffer_sizes, scaling_curve, validate_buffer_sweep_with};
 use fusecu::prelude::*;
 use fusecu_bench::{header, write_csv};
 
@@ -112,6 +112,45 @@ fn timing(mm: MatMul) {
     );
 }
 
+fn scaling(mm: MatMul) {
+    header("Parallel sweep scaling: Fig 9 sweep wall-clock vs worker count");
+    // Each worker count reruns the whole sweep from a cold per-run cache,
+    // so the curve measures compute, not hits left by the previous point.
+    let worker_counts = [1usize, 2, 4, 8];
+    let points = scaling_curve(mm, &fig9_buffer_sizes(), &worker_counts);
+    println!(
+        "{:>8} {:>12} {:>10} {:>18}",
+        "workers", "wall-clock", "speedup", "outcome digest"
+    );
+    let base = points[0].seconds;
+    for p in &points {
+        println!(
+            "{:>8} {:>11.3}s {:>9.2}x {:>18}",
+            p.workers,
+            p.seconds,
+            base / p.seconds,
+            format!("{:016x}", p.digest),
+        );
+    }
+    assert!(
+        points.iter().all(|p| p.digest == points[0].digest),
+        "scaling runs diverged: every worker count must compute identical outcomes"
+    );
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.workers.to_string(),
+                format!("{:.6}", p.seconds),
+                format!("{:016x}", p.digest),
+            ]
+        })
+        .collect();
+    if let Ok(path) = write_csv("fig09_scaling", &["workers", "seconds", "digest"], &rows) {
+        println!("data written to {}", path.display());
+    }
+}
+
 fn main() {
     let cache = DiskCacheSession::from_args();
     let parallelism = Parallelism::from_args();
@@ -121,5 +160,6 @@ fn main() {
     sweep("attention QK^T", MatMul::new(1024, 64, 1024), parallelism);
     sweep("XLM FFN", MatMul::new(16384, 2048, 8192), parallelism);
     timing(MatMul::new(1024, 768, 768));
+    scaling(MatMul::new(1024, 768, 768));
     println!("\n{}", cache.summary());
 }

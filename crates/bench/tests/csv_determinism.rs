@@ -1,7 +1,7 @@
 //! The Fig 9 CSV contract: the parallel sweep engine and the `--serial`
 //! escape hatch must emit byte-identical data files.
 
-use fusecu::pipeline::{fig9_buffer_sizes, validate_buffer_sweep_with, SweepPoint};
+use fusecu::pipeline::{fig9_buffer_sizes, scaling_curve, validate_buffer_sweep_with, SweepPoint};
 use fusecu::prelude::*;
 use fusecu_bench::write_csv;
 
@@ -44,4 +44,20 @@ fn fig09_csv_is_byte_identical_serial_vs_parallel() {
     );
     let _ = std::fs::remove_file(serial_path);
     let _ = std::fs::remove_file(parallel_path);
+}
+
+#[test]
+fn scaling_csv_digest_column_is_deterministic() {
+    // The fig09_scaling.csv contract: the `seconds` column is a timing and
+    // may vary, but `workers` and `digest` must be byte-identical across
+    // runs — and the digest identical across worker counts within a run.
+    let mm = MatMul::new(128, 96, 64);
+    let buffers = [256u64, 4_096, 65_536];
+    let stable = |points: &[ScalingPoint]| -> Vec<(usize, u64)> {
+        points.iter().map(|p| (p.workers, p.digest)).collect()
+    };
+    let a = scaling_curve(mm, &buffers, &[1, 2, 4, 8]);
+    assert!(a.iter().all(|p| p.digest == a[0].digest), "{a:?}");
+    let b = scaling_curve(mm, &buffers, &[1, 2, 4, 8]);
+    assert_eq!(stable(&a), stable(&b), "rerun must reproduce the digest column");
 }

@@ -21,14 +21,17 @@
 //! startup and write the completed entries back on exit, so a warm rerun
 //! answers every repeated point from disk (`--no-disk-cache` opts out).
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::io;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use fusecu_arch::{evaluate_graph, ArraySpec, GraphPerf, Platform};
 use fusecu_dataflow::CostModel;
 use fusecu_ir::MatMul;
 use fusecu_models::TransformerConfig;
-use fusecu_search::{par_map, CacheStats, DataflowCache, Parallelism, SweepEngine};
+use fusecu_search::{par_map, CacheStats, DataflowCache, Parallelism, SweepEngine, SweepOutcome};
 
 /// The cost model used for architecture evaluation (Fig 10/11).
 pub fn evaluation_model() -> CostModel {
@@ -96,6 +99,65 @@ pub fn validate_buffer_sweep_with(
             principle_ma: o.principle.total_ma(),
             exhaustive: (o.exhaustive.best().total_ma(), o.exhaustive.evaluations()),
             genetic: (o.genetic.best().total_ma(), o.genetic.evaluations()),
+        })
+        .collect()
+}
+
+/// One point of the worker-scaling study: the full Fig 9 sweep timed at a
+/// fixed worker count, from a cold cache.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Worker threads the sweep ran on.
+    pub workers: usize,
+    /// Wall-clock time of the sweep (timing only; excluded from the
+    /// determinism digest).
+    pub seconds: f64,
+    /// Deterministic digest over every outcome's answers — identical
+    /// across worker counts and across runs, the proof the scaling study
+    /// timed the *same* computation at every point.
+    pub digest: u64,
+}
+
+/// Digest of a sweep's outcomes: every answer and evaluation count, no
+/// timing. Two runs computing the same sweep hash identically.
+fn sweep_digest(outcomes: &[SweepOutcome]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for o in outcomes {
+        o.buffer.hash(&mut h);
+        o.principle.total_ma().hash(&mut h);
+        o.exhaustive.best().total_ma().hash(&mut h);
+        o.exhaustive.evaluations().hash(&mut h);
+        o.genetic.best().total_ma().hash(&mut h);
+        o.genetic.evaluations().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Times the Fig 9 `(mm × buffers)` sweep at each worker count, each run
+/// from its own cold [`DataflowCache`] so every point measures compute
+/// rather than hits left behind by the previous point. The per-run caches
+/// are leaked (the engine requires `'static`); callers run this a handful
+/// of times per process at most.
+///
+/// # Panics
+///
+/// Panics if a buffer size is below the 3-element minimum.
+pub fn scaling_curve(mm: MatMul, buffers: &[u64], worker_counts: &[usize]) -> Vec<ScalingPoint> {
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let cache = Box::leak(Box::new(DataflowCache::new()));
+            let engine = SweepEngine::new(validation_model())
+                .with_parallelism(Parallelism::Threads(workers))
+                .with_cache(cache);
+            let t0 = Instant::now();
+            let outcomes = engine.sweep(&[mm], buffers);
+            let seconds = t0.elapsed().as_secs_f64();
+            ScalingPoint {
+                workers,
+                seconds,
+                digest: sweep_digest(&outcomes),
+            }
         })
         .collect()
 }
@@ -407,6 +469,20 @@ mod tests {
         let sizes = fig9_buffer_sizes();
         assert_eq!(*sizes.first().unwrap(), 32 * 1024);
         assert_eq!(*sizes.last().unwrap(), 32 * 1024 * 1024);
+    }
+
+    #[test]
+    fn scaling_curve_is_deterministic_across_worker_counts() {
+        // Small sweep: the digest column must be constant across worker
+        // counts (same computation) and across repeat runs (deterministic).
+        let mm = MatMul::new(96, 64, 80);
+        let buffers = [128u64, 2_048, 32_768];
+        let a = scaling_curve(mm, &buffers, &[1, 2, 4]);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|p| p.digest == a[0].digest), "{a:?}");
+        assert!(a.iter().all(|p| p.seconds >= 0.0));
+        let b = scaling_curve(mm, &buffers, &[2]);
+        assert_eq!(b[0].digest, a[0].digest);
     }
 
     #[test]

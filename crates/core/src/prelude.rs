@@ -15,11 +15,11 @@ pub use fusecu_fusion::{FusedDataflow, FusedPair, FusionDecision};
 pub use fusecu_ir::{Conv2d, MatMul, MmChain, MmDim, OpGraph, Operand};
 pub use fusecu_models::{zoo, TransformerConfig};
 pub use fusecu_search::{
-    DataflowCache, ExhaustiveSearch, FusedExhaustive, FusedGenetic, GeneticSearch, Parallelism,
-    SweepEngine,
+    DataflowCache, ExhaustiveSearch, Fitness, FusedExhaustive, FusedGenetic, GeneticSearch,
+    Parallelism, SweepEngine,
 };
 
 pub use crate::pipeline::{
-    compare_platforms, compare_platforms_decode, sequence_sweep, validate_buffer_sweep,
-    DiskCacheSession,
+    compare_platforms, compare_platforms_decode, scaling_curve, sequence_sweep,
+    validate_buffer_sweep, DiskCacheSession, ScalingPoint,
 };

@@ -34,6 +34,7 @@ pub mod einsum;
 pub mod hierarchy;
 pub mod loopnest;
 pub mod memo;
+pub mod persist;
 pub mod principles;
 pub mod regime;
 pub mod reuse;

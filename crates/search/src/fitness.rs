@@ -1,0 +1,199 @@
+//! Search fitness backends: analytical scoring vs simulator-in-the-loop.
+//!
+//! Every searcher in this crate ranks candidates by a scalar cost. This
+//! module abstracts where that scalar comes from:
+//!
+//! * [`Fitness::Analytical`] — the closed-form loop-nest memory-access
+//!   model ([`CostModel::evaluate`]), thousands of evaluations per
+//!   millisecond. This is the default and what the paper's DAT baseline
+//!   uses.
+//! * [`Fitness::Simulated`] — each candidate nest is *replayed* on the
+//!   cycle-level fabric drivers ([`execute_nest`] /
+//!   [`execute_fused_nest`]) against fixed pseudo-random operands, and the
+//!   candidate is scored by the traffic the replay actually measures.
+//!   Orders of magnitude slower per genome — which is exactly the workload
+//!   that justifies parallel population scoring — but closes the loop:
+//!   the searcher can no longer be fooled by a modeling bug, because its
+//!   objective *is* the machine.
+//!
+//! The operand values are irrelevant to the score (traffic counting never
+//! looks at the data), so the matrices are seeded deterministically per
+//! shape and shared read-only across scoring threads. For
+//! [`CostModel::paper`] accounting the two backends agree exactly on every
+//! feasible nest (the driver tests prove measured == evaluated), so they
+//! induce the same ranking; the simulated backend exists to *keep* that
+//! true as the model evolves, and to catch it the moment it breaks.
+
+use fusecu_dataflow::{CostModel, LoopNest};
+use fusecu_fusion::{FusedNest, FusedPair};
+use fusecu_ir::MatMul;
+use fusecu_sim::driver::{execute_fused_nest, execute_nest};
+use fusecu_sim::Matrix;
+
+/// Which objective a searcher ranks candidates by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Fitness {
+    /// Score by the analytical loop-nest model (fast; the default).
+    #[default]
+    Analytical,
+    /// Score by traffic measured while replaying the nest on the
+    /// simulated fabric (slow; parallel scoring pays for itself).
+    Simulated,
+}
+
+impl Fitness {
+    /// Whether a single evaluation is heavy enough that population
+    /// scoring should fan out across cores by default.
+    pub fn prefers_parallel_scoring(self) -> bool {
+        matches!(self, Fitness::Simulated)
+    }
+}
+
+/// Seed base for the deterministic operand matrices. The seeds only pick
+/// matrix *values*, which the traffic accounting never reads — any fixed
+/// constants give identical scores.
+const OPERAND_SEED: u64 = 0x00F1_7E55;
+
+/// A per-`optimize()` scorer for single-operator loop nests.
+///
+/// Construction is cheap for [`Fitness::Analytical`]; for
+/// [`Fitness::Simulated`] it materializes the `A`/`B` operands once so
+/// every genome replays against the same read-only data (safe to share
+/// across [`crate::parallel::par_map`] workers).
+#[derive(Debug)]
+pub struct NestScorer {
+    model: CostModel,
+    mm: MatMul,
+    operands: Option<(Matrix, Matrix)>,
+}
+
+impl NestScorer {
+    /// Builds a scorer for `mm` under `model` with the given backend.
+    pub fn new(fitness: Fitness, model: CostModel, mm: MatMul) -> NestScorer {
+        let operands = fitness.prefers_parallel_scoring().then(|| {
+            (
+                Matrix::pseudo_random(mm.m() as usize, mm.k() as usize, OPERAND_SEED),
+                Matrix::pseudo_random(mm.k() as usize, mm.l() as usize, OPERAND_SEED + 1),
+            )
+        });
+        NestScorer {
+            model,
+            mm,
+            operands,
+        }
+    }
+
+    /// Total memory-access cost of `nest` under the selected backend.
+    /// Feasibility (buffer fit) is the caller's concern; this only scores.
+    pub fn score(&self, nest: &LoopNest) -> u64 {
+        match &self.operands {
+            None => self.model.evaluate(self.mm, nest).total(),
+            Some((a, b)) => execute_nest(a, b, self.mm, nest).measured.total(),
+        }
+    }
+}
+
+/// A per-`optimize()` scorer for fused-pair nests; the fused analogue of
+/// [`NestScorer`].
+#[derive(Debug)]
+pub struct FusedScorer {
+    model: CostModel,
+    pair: FusedPair,
+    operands: Option<(Matrix, Matrix, Matrix)>,
+}
+
+impl FusedScorer {
+    /// Builds a scorer for `pair` under `model` with the given backend.
+    pub fn new(fitness: Fitness, model: CostModel, pair: FusedPair) -> FusedScorer {
+        use fusecu_fusion::FusedDim::{K, L, M, N};
+        let operands = fitness.prefers_parallel_scoring().then(|| {
+            let d = |t| pair.dim(t) as usize;
+            (
+                Matrix::pseudo_random(d(M), d(K), OPERAND_SEED + 2),
+                Matrix::pseudo_random(d(K), d(L), OPERAND_SEED + 3),
+                Matrix::pseudo_random(d(L), d(N), OPERAND_SEED + 4),
+            )
+        });
+        FusedScorer {
+            model,
+            pair,
+            operands,
+        }
+    }
+
+    /// Total external-tensor traffic of `nest` under the selected backend.
+    pub fn score(&self, nest: &FusedNest) -> u64 {
+        match &self.operands {
+            None => nest.evaluate(&self.model, &self.pair).total(),
+            Some((a, b, d)) => execute_fused_nest(a, b, d, &self.pair, nest)
+                .measured
+                .iter()
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusecu_dataflow::Tiling;
+    use fusecu_fusion::FusedTiling;
+    use fusecu_ir::MmDim;
+
+    const MODEL: CostModel = CostModel {
+        partial_sums: fusecu_dataflow::PartialSumPolicy::PerVisit,
+    };
+
+    #[test]
+    fn backends_agree_on_paper_accounting() {
+        let mm = MatMul::new(14, 9, 11);
+        let analytical = NestScorer::new(Fitness::Analytical, MODEL, mm);
+        let simulated = NestScorer::new(Fitness::Simulated, MODEL, mm);
+        for order in LoopNest::orders() {
+            for tiling in [Tiling::new(1, 1, 1), Tiling::new(4, 3, 5), Tiling::new(14, 9, 11)] {
+                let nest = LoopNest::new(order, tiling);
+                assert_eq!(
+                    analytical.score(&nest),
+                    simulated.score(&nest),
+                    "order {order:?} tiling {tiling}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_backends_agree_on_paper_accounting() {
+        let pair =
+            FusedPair::try_new(MatMul::new(12, 5, 10), MatMul::new(12, 10, 7)).unwrap();
+        let analytical = FusedScorer::new(Fitness::Analytical, MODEL, pair);
+        let simulated = FusedScorer::new(Fitness::Simulated, MODEL, pair);
+        for outer_is_m in [true, false] {
+            for (tm, tk, tl, tn) in [(1u64, 1, 1, 1), (4, 2, 5, 3), (12, 5, 10, 7)] {
+                let nest = FusedNest::new(outer_is_m, FusedTiling::new(tm, tk, tl, tn));
+                assert_eq!(analytical.score(&nest), simulated.score(&nest), "{nest}");
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_scorer_is_shareable_across_threads() {
+        // The GA scores populations through scoped threads; the scorer
+        // must give identical answers from any of them.
+        let mm = MatMul::new(10, 8, 6);
+        let scorer = NestScorer::new(Fitness::Simulated, MODEL, mm);
+        let nest = LoopNest::new([MmDim::M, MmDim::K, MmDim::L], Tiling::new(3, 4, 2));
+        let expected = scorer.score(&nest);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| assert_eq!(scorer.score(&nest), expected));
+            }
+        });
+    }
+
+    #[test]
+    fn default_backend_is_analytical() {
+        assert_eq!(Fitness::default(), Fitness::Analytical);
+        assert!(!Fitness::Analytical.prefers_parallel_scoring());
+        assert!(Fitness::Simulated.prefers_parallel_scoring());
+    }
+}

@@ -10,12 +10,14 @@
 use fusecu_dataflow::CostModel;
 use fusecu_fusion::{FusedDataflow, FusedNest, FusedPair, FusedTiling};
 
+use crate::fitness::{Fitness, FusedScorer};
 use crate::space::{balanced_tiles, subsample};
 
 /// Exhaustive fused-dataflow searcher.
 #[derive(Debug, Clone, Copy)]
 pub struct FusedExhaustive {
     model: CostModel,
+    fitness: Fitness,
     max_reps: Option<usize>,
 }
 
@@ -24,6 +26,7 @@ impl FusedExhaustive {
     pub fn new(model: CostModel) -> FusedExhaustive {
         FusedExhaustive {
             model,
+            fitness: Fitness::Analytical,
             max_reps: None,
         }
     }
@@ -38,8 +41,17 @@ impl FusedExhaustive {
         assert!(max_reps >= 2, "cap must retain the endpoints");
         FusedExhaustive {
             model,
+            fitness: Fitness::Analytical,
             max_reps: Some(max_reps),
         }
+    }
+
+    /// Selects the fitness backend (see [`crate::fitness::Fitness`]): the
+    /// simulated backend ranks every fused nest by the traffic its replay
+    /// on the fabric actually measures.
+    pub fn with_fitness(mut self, fitness: Fitness) -> FusedExhaustive {
+        self.fitness = fitness;
+        self
     }
 
     fn tiles_for(&self, d: u64) -> Vec<u64> {
@@ -60,7 +72,8 @@ impl FusedExhaustive {
             self.tiles_for(pair.dim(L)),
             self.tiles_for(pair.dim(N)),
         ];
-        let mut best: Option<FusedDataflow> = None;
+        let scorer = FusedScorer::new(self.fitness, self.model, pair);
+        let mut best: Option<(u64, u64, FusedNest)> = None;
         let mut evaluations = 0u64;
         for outer_is_m in [true, false] {
             for &tm in &tiles[0] {
@@ -83,19 +96,16 @@ impl FusedExhaustive {
                                 break;
                             }
                             evaluations += 1;
-                            let df = FusedDataflow::score(&self.model, pair, nest);
-                            if best.is_none_or(|b| {
-                                (df.total_ma(), df.footprint())
-                                    < (b.total_ma(), b.footprint())
-                            }) {
-                                best = Some(df);
+                            let key = (scorer.score(&nest), nest.footprint(&pair));
+                            if best.is_none_or(|(c, f, _)| key < (c, f)) {
+                                best = Some((key.0, key.1, nest));
                             }
                         }
                     }
                 }
             }
         }
-        best.map(|b| (b, evaluations))
+        best.map(|(_, _, nest)| (FusedDataflow::score(&self.model, pair, nest), evaluations))
     }
 }
 
@@ -154,5 +164,17 @@ mod tests {
         assert!(FusedExhaustive::new(MODEL)
             .optimize(pair(8, 8, 8, 8), 2)
             .is_none());
+    }
+
+    #[test]
+    fn simulated_fitness_finds_the_same_fused_optimum() {
+        let oracle = FusedExhaustive::new(MODEL);
+        let simulated = oracle.with_fitness(crate::fitness::Fitness::Simulated);
+        let p = pair(16, 12, 20, 10);
+        for bs in [16u64, 300, 4_000] {
+            let a = oracle.optimize(p, bs);
+            let s = simulated.optimize(p, bs);
+            assert_eq!(s, a, "bs={bs}");
+        }
     }
 }

@@ -15,7 +15,9 @@ use fusecu_dataflow::tiling::balanced_tiles;
 use fusecu_dataflow::CostModel;
 use fusecu_fusion::{FusedDataflow, FusedDim, FusedNest, FusedPair, FusedTiling};
 
+use crate::fitness::{Fitness, FusedScorer};
 use crate::genetic::GeneticConfig;
+use crate::parallel::{par_map, Parallelism};
 
 #[derive(Debug, Clone, Copy)]
 struct Genome {
@@ -28,6 +30,8 @@ struct Genome {
 pub struct FusedGenetic {
     model: CostModel,
     config: GeneticConfig,
+    fitness: Fitness,
+    parallelism: Option<Parallelism>,
 }
 
 impl FusedGenetic {
@@ -36,6 +40,8 @@ impl FusedGenetic {
         FusedGenetic {
             model,
             config: GeneticConfig::default(),
+            fitness: Fitness::Analytical,
+            parallelism: None,
         }
     }
 
@@ -47,7 +53,40 @@ impl FusedGenetic {
     pub fn with_config(model: CostModel, config: GeneticConfig) -> FusedGenetic {
         assert!(config.population >= 2, "population must hold two parents");
         assert!(config.tournament >= 1, "tournament size must be positive");
-        FusedGenetic { model, config }
+        FusedGenetic {
+            model,
+            config,
+            fitness: Fitness::Analytical,
+            parallelism: None,
+        }
+    }
+
+    /// Selects the fitness backend (see [`crate::fitness::Fitness`]).
+    /// [`Fitness::Simulated`] replays every genome's fused nest through
+    /// the fabric driver and flips population scoring to
+    /// [`Parallelism::Auto`] by default.
+    pub fn with_fitness(mut self, fitness: Fitness) -> FusedGenetic {
+        self.fitness = fitness;
+        self
+    }
+
+    /// Overrides the population-scoring parallelism. As in
+    /// [`crate::genetic::GeneticSearch`], results are identical to a
+    /// serial run: scoring is pure and all randomness stays on the single
+    /// caller-side RNG stream.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> FusedGenetic {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
+    /// The parallelism population scoring actually runs with (explicit
+    /// setting, else per-backend default).
+    pub fn effective_parallelism(&self) -> Parallelism {
+        self.parallelism.unwrap_or(if self.fitness.prefers_parallel_scoring() {
+            Parallelism::Auto
+        } else {
+            Parallelism::Serial
+        })
     }
 
     /// Runs the GA; `None` when even the unit fused tiling does not fit.
@@ -60,9 +99,11 @@ impl FusedGenetic {
             .map(|d| balanced_tiles(pair.dim(d)));
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut evaluations = 0u64;
+        let scorer = FusedScorer::new(self.fitness, self.model, pair);
+        let parallelism = self.effective_parallelism();
 
-        let mut fitness = |g: &Genome| -> u64 {
-            evaluations += 1;
+        // Pure, so a population can be scored from any worker thread.
+        let fitness = |g: &Genome| -> u64 {
             let nest = FusedNest::new(
                 g.outer_is_m,
                 FusedTiling::new(
@@ -76,7 +117,12 @@ impl FusedGenetic {
             if footprint > bs {
                 return u64::MAX / 2 + (footprint - bs).min(u64::MAX / 4);
             }
-            nest.evaluate(&self.model, &pair).total()
+            scorer.score(&nest)
+        };
+        // Per-round counting keeps `evaluations` independent of how
+        // scoring is parallelized (every genome scores exactly once).
+        let score = |pop: &[Genome]| -> Vec<(u64, Genome)> {
+            par_map(parallelism, pop, |_, g| (fitness(g), *g))
         };
 
         let mut population = vec![Genome {
@@ -94,8 +140,8 @@ impl FusedGenetic {
                 ],
             });
         }
-        let mut scored: Vec<(u64, Genome)> =
-            population.iter().map(|g| (fitness(g), *g)).collect();
+        let mut scored = score(&population);
+        evaluations += population.len() as u64;
         scored.sort_by_key(|(f, _)| *f);
 
         for _ in 0..self.config.generations {
@@ -139,7 +185,8 @@ impl FusedGenetic {
                 }
                 next.push(child);
             }
-            scored = next.iter().map(|g| (fitness(g), *g)).collect();
+            scored = score(&next);
+            evaluations += next.len() as u64;
             scored.sort_by_key(|(f, _)| *f);
         }
 
@@ -211,5 +258,32 @@ mod tests {
     #[test]
     fn infeasible_buffer_returns_none() {
         assert!(FusedGenetic::new(MODEL).optimize(pair(8, 8, 8, 8), 2).is_none());
+    }
+
+    #[test]
+    fn simulated_fitness_serial_and_parallel_agree_exactly() {
+        let p = pair(24, 10, 20, 12);
+        let sim = Fitness::Simulated;
+        for bs in [64u64, 2_000] {
+            let analytical = FusedGenetic::new(MODEL).optimize(p, bs).unwrap();
+            let serial = FusedGenetic::new(MODEL)
+                .with_fitness(sim)
+                .with_parallelism(Parallelism::Serial)
+                .optimize(p, bs)
+                .unwrap();
+            // Paper accounting: the backends agree on every score, so the
+            // winner and evaluation count match the analytical run too.
+            assert_eq!(serial.0.total_ma(), analytical.0.total_ma(), "bs={bs}");
+            assert_eq!(serial.1, analytical.1, "bs={bs}");
+            for par in [Parallelism::Auto, Parallelism::Threads(4)] {
+                let parallel = FusedGenetic::new(MODEL)
+                    .with_fitness(sim)
+                    .with_parallelism(par)
+                    .optimize(p, bs)
+                    .unwrap();
+                assert_eq!(parallel.0, serial.0, "bs={bs} par={par:?}");
+                assert_eq!(parallel.1, serial.1, "bs={bs} par={par:?}");
+            }
+        }
     }
 }

@@ -17,6 +17,7 @@ use fusecu_dataflow::{CostModel, LoopNest, Tiling};
 use fusecu_ir::{MatMul, MmDim};
 
 use crate::exhaustive::SearchResult;
+use crate::fitness::{Fitness, NestScorer};
 use crate::parallel::{par_map, Parallelism};
 use crate::space::balanced_tiles;
 
@@ -61,22 +62,26 @@ struct Genome {
 pub struct GeneticSearch {
     model: CostModel,
     config: GeneticConfig,
-    parallelism: Parallelism,
+    fitness: Fitness,
+    parallelism: Option<Parallelism>,
 }
 
 impl GeneticSearch {
     /// Creates a searcher with default hyper-parameters.
     ///
-    /// Population scoring defaults to serial: a single fitness evaluation
-    /// is a handful of arithmetic, so forked scoring only pays off for the
-    /// standalone timing harness — and the sweep engine already saturates
-    /// cores *across* GA calls. Opt in with
-    /// [`GeneticSearch::with_parallelism`].
+    /// With the default [`Fitness::Analytical`] backend population scoring
+    /// defaults to serial: a single fitness evaluation is a handful of
+    /// arithmetic, so forked scoring only pays off for the standalone
+    /// timing harness — and the sweep engine already saturates cores
+    /// *across* GA calls. [`Fitness::Simulated`] flips the default to
+    /// [`Parallelism::Auto`], since each evaluation replays a full matmul.
+    /// [`GeneticSearch::with_parallelism`] overrides either default.
     pub fn new(model: CostModel) -> GeneticSearch {
         GeneticSearch {
             model,
             config: GeneticConfig::default(),
-            parallelism: Parallelism::Serial,
+            fitness: Fitness::Analytical,
+            parallelism: None,
         }
     }
 
@@ -92,8 +97,18 @@ impl GeneticSearch {
         GeneticSearch {
             model,
             config,
-            parallelism: Parallelism::Serial,
+            fitness: Fitness::Analytical,
+            parallelism: None,
         }
+    }
+
+    /// Selects the fitness backend (see [`Fitness`]). The winner and the
+    /// evaluation count are byte-identical across backends for paper
+    /// accounting; the simulated backend re-derives the objective from the
+    /// fabric instead of trusting the model.
+    pub fn with_fitness(mut self, fitness: Fitness) -> GeneticSearch {
+        self.fitness = fitness;
+        self
     }
 
     /// Scores each generation's population through
@@ -103,8 +118,19 @@ impl GeneticSearch {
     /// seeding, selection, crossover, mutation — stays on the single
     /// caller-side RNG stream.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> GeneticSearch {
-        self.parallelism = parallelism;
+        self.parallelism = Some(parallelism);
         self
+    }
+
+    /// The parallelism population scoring actually runs with: an explicit
+    /// [`GeneticSearch::with_parallelism`] choice, else serial for cheap
+    /// analytical fitness and [`Parallelism::Auto`] for simulated fitness.
+    pub fn effective_parallelism(&self) -> Parallelism {
+        self.parallelism.unwrap_or(if self.fitness.prefers_parallel_scoring() {
+            Parallelism::Auto
+        } else {
+            Parallelism::Serial
+        })
     }
 
     /// Runs the GA; `None` when even the unit tiling does not fit.
@@ -117,6 +143,8 @@ impl GeneticSearch {
         let orders = LoopNest::orders();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut evaluations = 0u64;
+        let scorer = NestScorer::new(self.fitness, self.model, mm);
+        let parallelism = self.effective_parallelism();
 
         // Pure, so a population can be scored from any worker thread.
         let fitness = |g: &Genome| -> u64 {
@@ -128,18 +156,17 @@ impl GeneticSearch {
             let footprint = tiling.buffer_elems(mm);
             if footprint > bs {
                 // Infeasible: heavily penalized, but graded so the GA can
-                // climb back toward feasibility.
+                // climb back toward feasibility. Never simulated — an
+                // infeasible nest has no buffer schedule to replay.
                 return u64::MAX / 2 + (footprint - bs).min(u64::MAX / 4);
             }
-            self.model
-                .evaluate(mm, &LoopNest::new(orders[g.order], tiling))
-                .total()
+            scorer.score(&LoopNest::new(orders[g.order], tiling))
         };
         // Every genome is scored exactly once per round, so counting by
         // round keeps `evaluations` identical to per-call counting — and
         // independent of how scoring is parallelized.
         let score = |pop: &[Genome]| -> Vec<(u64, Genome)> {
-            par_map(self.parallelism, pop, |_, g| (fitness(g), *g))
+            par_map(parallelism, pop, |_, g| (fitness(g), *g))
         };
 
         // Seed with the always-feasible unit tiling plus random genomes.
@@ -295,6 +322,56 @@ mod tests {
                 assert_eq!(parallel, serial, "bs={bs} par={par:?}");
             }
         }
+    }
+
+    #[test]
+    fn simulated_fitness_matches_analytical_winner() {
+        // Under paper accounting measured traffic equals the model
+        // exactly, so the two backends must pick byte-identical winners
+        // with byte-identical evaluation counts.
+        let mm = MatMul::new(48, 24, 36);
+        for bs in [96u64, 1_024, 20_000] {
+            let analytical = GeneticSearch::new(MODEL).optimize(mm, bs).unwrap();
+            let simulated = GeneticSearch::new(MODEL)
+                .with_fitness(crate::fitness::Fitness::Simulated)
+                .optimize(mm, bs)
+                .unwrap();
+            assert_eq!(simulated, analytical, "bs={bs}");
+        }
+    }
+
+    #[test]
+    fn simulated_fitness_serial_and_parallel_agree_exactly() {
+        // The tentpole acceptance bar: a serial simulated run and a
+        // parallel simulated run at the same seed are byte-identical.
+        let mm = MatMul::new(48, 24, 36);
+        let sim = crate::fitness::Fitness::Simulated;
+        for bs in [96u64, 1_024, 20_000] {
+            let serial = GeneticSearch::new(MODEL)
+                .with_fitness(sim)
+                .with_parallelism(Parallelism::Serial)
+                .optimize(mm, bs)
+                .unwrap();
+            for par in [Parallelism::Auto, Parallelism::Threads(4)] {
+                let parallel = GeneticSearch::new(MODEL)
+                    .with_fitness(sim)
+                    .with_parallelism(par)
+                    .optimize(mm, bs)
+                    .unwrap();
+                assert_eq!(parallel, serial, "bs={bs} par={par:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_fitness_defaults_to_parallel_scoring() {
+        let ga = GeneticSearch::new(MODEL);
+        assert_eq!(ga.effective_parallelism(), Parallelism::Serial);
+        let sim = ga.clone().with_fitness(crate::fitness::Fitness::Simulated);
+        assert_eq!(sim.effective_parallelism(), Parallelism::Auto);
+        // An explicit choice wins over either backend default.
+        let pinned = sim.with_parallelism(Parallelism::Threads(2));
+        assert_eq!(pinned.effective_parallelism(), Parallelism::Threads(2));
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! * [`fused_exhaustive`] — enumeration over the fused-pair nest space,
 //!   validating the closed-form fused optimizer of `fusecu-fusion`.
 //!
+//! Every searcher ranks candidates through a pluggable [`fitness`]
+//! backend: the analytical loop-nest model by default, or
+//! [`Fitness::Simulated`], which replays each candidate nest on the
+//! cycle-level fabric of `fusecu-sim` and scores by *measured* traffic —
+//! the searcher's objective becomes the machine itself.
+//!
 //! Two infrastructure modules drive the figure sweeps that use these
 //! searchers at scale: [`cache`] memoizes optimizer results behind a
 //! concurrent map keyed on `(MatMul, bs, CostModel)`, and [`parallel`]
@@ -40,6 +46,7 @@
 
 pub mod cache;
 pub mod exhaustive;
+pub mod fitness;
 pub mod fused_exhaustive;
 pub mod fused_genetic;
 pub mod genetic;
@@ -49,6 +56,7 @@ pub mod space;
 
 pub use cache::{CacheStats, DataflowCache, MemoCache};
 pub use exhaustive::{ExhaustiveSearch, SearchResult};
+pub use fitness::{Fitness, FusedScorer, NestScorer};
 pub use fused_exhaustive::FusedExhaustive;
 pub use fused_genetic::FusedGenetic;
 pub use genetic::{GeneticConfig, GeneticSearch};

@@ -68,9 +68,24 @@ impl Parallelism {
     }
 }
 
+/// The block of indices one atomic claim hands a worker:
+/// `len / (workers * 4)` rounded up, never below one. Four blocks per
+/// worker keeps the tail balanced (a straggler holds at most a quarter of
+/// its fair share) while cutting the claim traffic on very cheap items —
+/// a 1M-item cheap-map fans out with dozens of claims instead of a
+/// million.
+fn claim_chunk(len: usize, workers: usize) -> usize {
+    len.div_ceil(workers * 4).max(1)
+}
+
 /// Applies `f` to every item, fanning across `par.workers()` scoped
 /// threads, and returns the results **in item order** regardless of how
 /// the scheduler interleaved the workers.
+///
+/// Workers claim contiguous blocks of [`claim_chunk`] indices from one
+/// atomic counter (not one item at a time), but every result still lands
+/// in its own index-addressed slot, so the output is bit-identical to a
+/// serial run no matter how blocks interleave.
 ///
 /// `f` receives `(index, &item)` so callers can label work without
 /// capturing mutable state. A panic in any worker propagates to the
@@ -85,16 +100,21 @@ where
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    let chunk = claim_chunk(items.len(), workers);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let result = f(i, item);
-                let prev = slots[i].lock().expect("result slot poisoned").replace(result);
-                assert!(prev.is_none(), "work item {i} claimed twice");
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= items.len() {
+                    break;
+                }
+                for i in start..(start + chunk).min(items.len()) {
+                    let result = f(i, &items[i]);
+                    let prev = slots[i].lock().expect("result slot poisoned").replace(result);
+                    assert!(prev.is_none(), "work item {i} claimed twice");
+                }
             });
         }
     });
@@ -248,6 +268,29 @@ mod tests {
         let parallel = par_map(Parallelism::Threads(7), &items, |i, &x| (i as u64, x * x));
         assert_eq!(serial, parallel);
         assert_eq!(parallel[5], (5, 25));
+    }
+
+    #[test]
+    fn claim_chunks_cover_without_starving() {
+        // Chunks divide the work into at least one block per worker (no
+        // worker-count collapse) and at most ~4 blocks per worker.
+        for (len, workers) in [(1usize, 2usize), (7, 8), (97, 7), (10_000, 8), (33, 4)] {
+            let chunk = claim_chunk(len, workers);
+            assert!(chunk >= 1, "len={len} workers={workers}");
+            let blocks = len.div_ceil(chunk);
+            assert!(blocks <= workers * 4, "len={len} workers={workers} blocks={blocks}");
+            // Every index is covered exactly once by the block walk.
+            let mut seen = vec![false; len];
+            let mut start = 0;
+            while start < len {
+                for slot in &mut seen[start..(start + chunk).min(len)] {
+                    assert!(!*slot);
+                    *slot = true;
+                }
+                start += chunk;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
     }
 
     #[test]

@@ -1,315 +1,28 @@
-//! Disk persistence for the memo caches: versioned, fingerprinted,
-//! corruption-tolerant.
+//! Disk persistence for the intra-operator sweep caches.
 //!
-//! The paper's pitch is that principle-based optimization is cheap enough
-//! to rerun everywhere; the figure harness undermined that by recomputing
-//! every dataflow from scratch on each *process* launch even though the
-//! in-process [`crate::cache::DataflowCache`] already deduplicated within
-//! a run. This module gives every memo cache a disk representation under
-//! `target/fusecu-cache/` (override with `FUSECU_CACHE_DIR`), in the
-//! spirit of LoopTree's persistent mapping databases: the first run of a
-//! figure binary writes its completed entries, later runs preload them and
-//! answer every repeated point from the cache.
-//!
-//! ## Format
-//!
-//! A cache file is line-oriented UTF-8 so it diffs and greps cleanly:
-//!
-//! ```text
-//! fusecu-cache v1
-//! fingerprint 0.1.0-f1-03ab…   (crate version, format version, CostModel schema)
-//! checksum 79b2…               (hash of everything below this line)
-//! section principle 33
-//! 1024 768 768 32768 0 1 …     (one record per line, u64 tokens)
-//! section exhaustive 33
-//! …
-//! ```
-//!
-//! Records hold only *reconstruction inputs* (shapes, loop orders, tile
-//! sizes); derived quantities (memory accesses, NRA classes) are recomputed
-//! through the cost model on load, so a loaded entry is bit-identical to a
-//! freshly computed one by construction. Serialization is hand-rolled —
-//! the workspace vendors dependency stubs and has no serde.
-//!
-//! ## Invalidation and robustness
-//!
-//! Every anomaly is a cold start, never an error: a missing file, a magic
-//! or fingerprint mismatch (crate version bump, [`FORMAT_VERSION`] bump,
-//! or a `CostModel` schema change), a checksum mismatch, a malformed
-//! token, or a record that fails semantic validation all make the loader
-//! return nothing and leave the cache untouched. Loading is
-//! all-or-nothing per file: one bad record discards the whole file, since
-//! a file that fails validation anywhere is not trusted anywhere. Saving
-//! writes to a temporary sibling and renames, so a crashed writer can at
-//! worst leave a stale `.tmp`, never a torn cache file.
+//! The generic file format — versioned, fingerprinted, checksummed,
+//! all-or-nothing — lives in [`fusecu_dataflow::persist`] so every layer
+//! of the stack can persist without dependency cycles; this module
+//! re-exports it (the historical `fusecu_search::persist` import paths
+//! keep working) and adds the codecs for [`DataflowCache`]'s three
+//! optimizer maps. See the format notes there for the fingerprint and
+//! invalidation rules; the sweep caches are stamped with the base
+//! [`fingerprint`], whose behavioral cost-model digest already covers
+//! everything a sweep entry's value depends on.
 
-use std::collections::hash_map::DefaultHasher;
-use std::fmt::Write as _;
-use std::fs;
-use std::hash::{Hash, Hasher};
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-use fusecu_dataflow::{CostModel, Dataflow, LoopNest, PartialSumPolicy, Tiling};
-use fusecu_ir::{MatMul, MmDim};
+use fusecu_dataflow::Dataflow;
+
+pub use fusecu_dataflow::persist::{
+    cost_model_digest, decode_dataflow, decode_mm, decode_model, default_cache_dir,
+    encode_dataflow, encode_mm, encode_model, fingerprint, fingerprint_with, CacheFile,
+    RecordReader, FORMAT_VERSION,
+};
 
 use crate::cache::DataflowCache;
 use crate::exhaustive::SearchResult;
-
-/// Bumped whenever the record layout changes; part of the fingerprint, so
-/// old files become cold starts instead of misparses.
-pub const FORMAT_VERSION: u32 = 1;
-
-const MAGIC: &str = "fusecu-cache v1";
-
-/// The fingerprint every cache file is stamped with: crate version,
-/// format version, and a digest of the `CostModel` schema (its `Debug`
-/// rendering covers every field, so adding a field or variant changes the
-/// digest). A file whose fingerprint differs from the running binary's is
-/// treated as stale and ignored.
-pub fn fingerprint() -> String {
-    let mut h = DefaultHasher::new();
-    FORMAT_VERSION.hash(&mut h);
-    format!(
-        "{:?}|{:?}",
-        CostModel::paper(),
-        CostModel::read_write()
-    )
-    .hash(&mut h);
-    format!(
-        "{}-f{}-{:016x}",
-        env!("CARGO_PKG_VERSION"),
-        FORMAT_VERSION,
-        h.finish()
-    )
-}
-
-/// Where cache files live: `$FUSECU_CACHE_DIR` if set, else
-/// `target/fusecu-cache` relative to the working directory (the figure
-/// binaries run from the workspace root, so this lands next to the build
-/// artifacts and is cleaned by `cargo clean`).
-pub fn default_cache_dir() -> PathBuf {
-    match std::env::var_os("FUSECU_CACHE_DIR") {
-        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
-        _ => Path::new("target").join("fusecu-cache"),
-    }
-}
-
-/// An in-memory cache file: named sections of fixed-width-free u64
-/// records. The codec layer above decides what the tokens mean.
-#[derive(Debug, Default)]
-pub struct CacheFile {
-    sections: Vec<(String, Vec<Vec<u64>>)>,
-}
-
-impl CacheFile {
-    /// An empty file.
-    pub fn new() -> CacheFile {
-        CacheFile::default()
-    }
-
-    /// Appends a section. Records are sorted so the on-disk bytes are
-    /// deterministic regardless of cache iteration order.
-    pub fn push_section(&mut self, name: &str, mut records: Vec<Vec<u64>>) {
-        records.sort_unstable();
-        self.sections.push((name.to_string(), records));
-    }
-
-    /// The records of `name`, or an empty slice if the section is absent.
-    pub fn section(&self, name: &str) -> &[Vec<u64>] {
-        self.sections
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, recs)| recs.as_slice())
-            .unwrap_or(&[])
-    }
-
-    /// Total number of records across all sections.
-    pub fn records(&self) -> usize {
-        self.sections.iter().map(|(_, r)| r.len()).sum()
-    }
-
-    fn body(&self) -> String {
-        let mut body = String::new();
-        for (name, records) in &self.sections {
-            let _ = writeln!(body, "section {} {}", name, records.len());
-            for record in records {
-                let tokens: Vec<String> = record.iter().map(u64::to_string).collect();
-                let _ = writeln!(body, "{}", tokens.join(" "));
-            }
-        }
-        body
-    }
-
-    /// Writes the file atomically: serialize to `<path>.tmp`, then rename
-    /// over `path`. Creates the parent directory if needed.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                fs::create_dir_all(parent)?;
-            }
-        }
-        let body = self.body();
-        let mut h = DefaultHasher::new();
-        body.hash(&mut h);
-        let text = format!(
-            "{MAGIC}\nfingerprint {}\nchecksum {:016x}\n{body}",
-            fingerprint(),
-            h.finish()
-        );
-        let tmp = path.with_extension("tmp");
-        fs::write(&tmp, text)?;
-        fs::rename(&tmp, path)
-    }
-
-    /// Parses a file previously written by [`CacheFile::save`]. Returns
-    /// `None` — a cold start — on a missing file, wrong magic, stale
-    /// fingerprint, checksum mismatch, or any malformed line.
-    pub fn load(path: &Path) -> Option<CacheFile> {
-        let text = fs::read_to_string(path).ok()?;
-        let mut lines = text.lines();
-        if lines.next()? != MAGIC {
-            return None;
-        }
-        let fp = lines.next()?.strip_prefix("fingerprint ")?;
-        if fp != fingerprint() {
-            return None;
-        }
-        let want: u64 = u64::from_str_radix(lines.next()?.strip_prefix("checksum ")?, 16).ok()?;
-        let body_start = text.match_indices('\n').nth(2)?.0 + 1;
-        let mut h = DefaultHasher::new();
-        text[body_start..].hash(&mut h);
-        if h.finish() != want {
-            return None;
-        }
-
-        let mut file = CacheFile::new();
-        let mut lines = lines.peekable();
-        while let Some(header) = lines.next() {
-            let rest = header.strip_prefix("section ")?;
-            let (name, count) = rest.split_once(' ')?;
-            let count: usize = count.parse().ok()?;
-            let mut records = Vec::with_capacity(count);
-            for _ in 0..count {
-                let line = lines.next()?;
-                let record: Option<Vec<u64>> =
-                    line.split(' ').map(|tok| tok.parse().ok()).collect();
-                records.push(record?);
-            }
-            file.sections.push((name.to_string(), records));
-        }
-        Some(file)
-    }
-}
-
-/// Cursor over one record's tokens; decoding fails (`None`) on underrun,
-/// and [`RecordReader::finish`] fails on leftover tokens, so a record with
-/// the wrong shape is rejected rather than misread.
-pub struct RecordReader<'a> {
-    fields: &'a [u64],
-    pos: usize,
-}
-
-impl<'a> RecordReader<'a> {
-    /// A reader over `fields`.
-    pub fn new(fields: &'a [u64]) -> RecordReader<'a> {
-        RecordReader { fields, pos: 0 }
-    }
-
-    /// The next token.
-    pub fn u64(&mut self) -> Option<u64> {
-        let v = *self.fields.get(self.pos)?;
-        self.pos += 1;
-        Some(v)
-    }
-
-    /// The next token as a strict boolean (only 0 or 1 accepted).
-    pub fn bool(&mut self) -> Option<bool> {
-        match self.u64()? {
-            0 => Some(false),
-            1 => Some(true),
-            _ => None,
-        }
-    }
-
-    /// Succeeds only if every token was consumed.
-    pub fn finish(self) -> Option<()> {
-        (self.pos == self.fields.len()).then_some(())
-    }
-}
-
-/// Appends a matmul shape (3 tokens).
-pub fn encode_mm(mm: MatMul, out: &mut Vec<u64>) {
-    out.extend([mm.m(), mm.k(), mm.l()]);
-}
-
-/// Decodes a matmul shape; rejects zero dimensions.
-pub fn decode_mm(r: &mut RecordReader<'_>) -> Option<MatMul> {
-    let (m, k, l) = (r.u64()?, r.u64()?, r.u64()?);
-    MatMul::try_new(m, k, l).ok()
-}
-
-/// Appends a cost model (1 token: the partial-sum policy discriminant).
-pub fn encode_model(model: &CostModel, out: &mut Vec<u64>) {
-    out.push(match model.partial_sums {
-        PartialSumPolicy::PerVisit => 0,
-        PartialSumPolicy::ReadWrite => 1,
-    });
-}
-
-/// Decodes a cost model.
-pub fn decode_model(r: &mut RecordReader<'_>) -> Option<CostModel> {
-    let partial_sums = match r.u64()? {
-        0 => PartialSumPolicy::PerVisit,
-        1 => PartialSumPolicy::ReadWrite,
-        _ => return None,
-    };
-    Some(CostModel { partial_sums })
-}
-
-fn encode_dim(d: MmDim) -> u64 {
-    match d {
-        MmDim::M => 0,
-        MmDim::K => 1,
-        MmDim::L => 2,
-    }
-}
-
-fn decode_dim(v: u64) -> Option<MmDim> {
-    match v {
-        0 => Some(MmDim::M),
-        1 => Some(MmDim::K),
-        2 => Some(MmDim::L),
-        _ => None,
-    }
-}
-
-/// Appends a dataflow's reconstruction inputs (9 tokens: shape, loop
-/// order, tile sizes). Derived costs are recomputed on decode.
-pub fn encode_dataflow(df: &Dataflow, out: &mut Vec<u64>) {
-    encode_mm(df.mm(), out);
-    out.extend(df.nest().order.map(encode_dim));
-    out.extend(MmDim::ALL.map(|d| df.tiling().tile(d)));
-}
-
-/// Decodes and re-scores a dataflow under `model`. Rejects non-permutation
-/// orders and tiles outside `[1, dim]`, so a tampered record can never
-/// reach the panicking constructors.
-pub fn decode_dataflow(model: &CostModel, r: &mut RecordReader<'_>) -> Option<Dataflow> {
-    let mm = decode_mm(r)?;
-    let order = [decode_dim(r.u64()?)?, decode_dim(r.u64()?)?, decode_dim(r.u64()?)?];
-    if order[0] == order[1] || order[0] == order[2] || order[1] == order[2] {
-        return None;
-    }
-    let tiles = [r.u64()?, r.u64()?, r.u64()?];
-    for (d, t) in MmDim::ALL.into_iter().zip(tiles) {
-        if t == 0 || t > mm.dim(d) {
-            return None;
-        }
-    }
-    let nest = LoopNest::new(order, Tiling::new(tiles[0], tiles[1], tiles[2]));
-    Some(model.dataflow(mm, nest))
-}
 
 const SECTION_PRINCIPLE: &str = "principle";
 const SECTION_EXHAUSTIVE: &str = "exhaustive";
@@ -456,101 +169,41 @@ pub(crate) fn load_dataflow_cache(cache: &DataflowCache, path: &Path) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fusecu_dataflow::CostModel;
+    use fusecu_ir::MatMul;
 
-    fn test_dir(name: &str) -> PathBuf {
-        Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../../target/test-tmp")
-            .join(name)
+    #[test]
+    fn reexported_format_layer_is_usable() {
+        // The historical import path must keep working for downstream
+        // crates that persisted through `fusecu_search::persist`.
+        assert!(fingerprint().contains(&format!("-f{FORMAT_VERSION}-")));
+        assert_ne!(fingerprint_with("x"), fingerprint());
     }
 
     #[test]
-    fn fingerprint_is_stable_within_a_build() {
-        assert_eq!(fingerprint(), fingerprint());
-        assert!(fingerprint().contains("-f1-"));
-    }
-
-    #[test]
-    fn dataflow_codec_round_trips() {
-        let model = CostModel::read_write();
-        let mm = MatMul::new(64, 32, 48);
-        let df = model.dataflow(
-            mm,
-            LoopNest::new([MmDim::K, MmDim::M, MmDim::L], Tiling::new(8, 32, 6)),
-        );
-        let mut rec = Vec::new();
-        encode_dataflow(&df, &mut rec);
-        let mut r = RecordReader::new(&rec);
-        let back = decode_dataflow(&model, &mut r).unwrap();
-        r.finish().unwrap();
-        assert_eq!(back, df);
-    }
-
-    #[test]
-    fn dataflow_codec_rejects_tampered_records() {
+    fn search_entry_round_trips_with_evaluations() {
         let model = CostModel::paper();
-        let mm = MatMul::new(64, 32, 48);
-        let df = model.dataflow(
-            mm,
-            LoopNest::new([MmDim::M, MmDim::K, MmDim::L], Tiling::new(8, 32, 6)),
-        );
-        let mut rec = Vec::new();
-        encode_dataflow(&df, &mut rec);
-        for (idx, bad) in [
-            (0usize, 0u64),    // zero dimension
-            (3, 1),            // repeated loop dim (order becomes [K, K, L])
-            (6, 0),            // zero tile
-            (6, 65),           // tile exceeds its dimension
-            (5, 9),            // out-of-range dim discriminant
-        ] {
-            let mut tampered = rec.clone();
-            tampered[idx] = bad;
-            let mut r = RecordReader::new(&tampered);
-            assert!(
-                decode_dataflow(&model, &mut r).is_none(),
-                "token {idx} <- {bad} accepted"
-            );
-        }
+        let mm = MatMul::new(96, 48, 64);
+        let key = (mm, 4_096u64, model);
+        let res = crate::ExhaustiveSearch::new(model).try_optimize(mm, 4_096);
+        let rec = encode_search(&key, &res);
+        let (back_key, back) = decode_search(&rec).unwrap();
+        assert_eq!(back_key, key);
+        assert_eq!(back, res);
+        // Infeasible entries round-trip as explicit `None`s.
+        let none_key = (MatMul::new(4, 4, 4), 2u64, model);
+        let rec = encode_search(&none_key, &None);
+        assert_eq!(decode_search(&rec).unwrap(), (none_key, None));
     }
 
     #[test]
-    fn cache_file_round_trips_and_sorts() {
-        let dir = test_dir("persist-unit");
-        let path = dir.join("file.cache");
-        let mut file = CacheFile::new();
-        file.push_section("alpha", vec![vec![9, 9], vec![1, 2], vec![3]]);
-        file.push_section("beta", vec![]);
-        file.save(&path).unwrap();
-        let loaded = CacheFile::load(&path).unwrap();
-        assert_eq!(loaded.section("alpha"), &[vec![1, 2], vec![3], vec![9, 9]]);
-        assert!(loaded.section("beta").is_empty());
-        assert!(loaded.section("missing").is_empty());
-        assert_eq!(loaded.records(), 3);
-        // Saving twice produces identical bytes (deterministic format).
-        let first = fs::read(&path).unwrap();
-        file.save(&path).unwrap();
-        assert_eq!(fs::read(&path).unwrap(), first);
-    }
-
-    #[test]
-    fn cache_file_rejects_anomalies() {
-        let dir = test_dir("persist-unit");
-        let path = dir.join("anomalies.cache");
-        let mut file = CacheFile::new();
-        file.push_section("s", vec![vec![1, 2, 3]]);
-        file.save(&path).unwrap();
-        let good = fs::read_to_string(&path).unwrap();
-
-        assert!(CacheFile::load(&dir.join("missing.cache")).is_none());
-        for bad in [
-            good.replacen("fusecu-cache v1", "fusecu-cache v0", 1),
-            good.replacen("fingerprint ", "fingerprint stale-", 1),
-            good.replacen("1 2 3", "1 2 4", 1), // checksum catches content flips
-            good.replacen("1 2 3", "1 x 3", 1), // non-numeric token
-            good.replacen("section s 1", "section s 2", 1), // count overrun
-            format!("{good}trailing garbage\n"),
-        ] {
-            fs::write(&path, &bad).unwrap();
-            assert!(CacheFile::load(&path).is_none(), "accepted: {bad:?}");
-        }
+    fn entries_that_violate_their_key_are_rejected() {
+        let model = CostModel::paper();
+        let mm = MatMul::new(96, 48, 64);
+        let res = crate::ExhaustiveSearch::new(model).try_optimize(mm, 4_096);
+        let mut rec = encode_search(&(mm, 4_096, model), &res);
+        // Shrink the claimed buffer below the stored dataflow's footprint.
+        rec[3] = 1;
+        assert!(decode_search(&rec).is_none());
     }
 }

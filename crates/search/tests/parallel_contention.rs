@@ -1,0 +1,56 @@
+//! Work-stealing overhead measurement for `par_map`.
+//!
+//! Run with `cargo test --release -p fusecu-search --test
+//! parallel_contention -- --ignored --nocapture` to print the wall-clock
+//! of fanning very cheap items across workers. The ROADMAP flagged the
+//! one-item-at-a-time atomic claim as a contention risk for cheap items
+//! (platform grids); this harness is the before/after evidence for the
+//! chunked claiming that replaced it.
+
+use std::time::Instant;
+
+use fusecu_search::{par_map, Parallelism};
+
+fn run(items: usize, workers: usize, reps: u32) -> std::time::Duration {
+    let data: Vec<u64> = (0..items as u64).collect();
+    // Warm-up to populate allocator caches before timing.
+    let warm = par_map(Parallelism::Threads(workers), &data, |_, &x| x ^ 1);
+    assert_eq!(warm.len(), items);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let out = par_map(Parallelism::Threads(workers), &data, |i, &x| {
+            // A handful of arithmetic: the "platform grid" regime where
+            // claim overhead dominates the item itself.
+            x.wrapping_mul(x) ^ i as u64
+        });
+        assert_eq!(out.len(), items);
+    }
+    t0.elapsed() / reps
+}
+
+#[test]
+#[ignore = "measurement harness, run manually with --nocapture"]
+fn cheap_item_fanout_overhead() {
+    for &items in &[1_000usize, 100_000, 1_000_000] {
+        for &workers in &[2usize, 4, 8] {
+            let per_call = run(items, workers, 5);
+            println!(
+                "par_map {items:>9} cheap items x {workers} workers: {per_call:?} per call"
+            );
+        }
+    }
+}
+
+#[test]
+fn cheap_item_fanout_stays_correct() {
+    // The non-ignored twin: whatever the claiming granularity, the fan-out
+    // must stay deterministic and complete on cheap-item workloads.
+    let data: Vec<u64> = (0..10_007).collect();
+    let serial = par_map(Parallelism::Serial, &data, |i, &x| x.wrapping_mul(31) ^ i as u64);
+    for workers in [2, 3, 8, 64] {
+        let par = par_map(Parallelism::Threads(workers), &data, |i, &x| {
+            x.wrapping_mul(31) ^ i as u64
+        });
+        assert_eq!(par, serial, "workers={workers}");
+    }
+}
