@@ -1,0 +1,482 @@
+//! Simulator-throughput benchmark: cells/s of the cycle-level array core
+//! and genomes/s of simulated-fitness scoring, at a fixed seed.
+//!
+//! Writes `BENCH_sim.json` (repo root by default, `--out <path>` to
+//! override) with three sections measured in one process on one machine:
+//!
+//! * `baseline` — the frozen pre-refactor replay engine (verbatim copies
+//!   of the old allocating drivers, preserved in [`legacy`] below), scored
+//!   the way the old `Fitness::Simulated` backend did: operands
+//!   materialized, a fresh output matrix and fresh tiles per genome.
+//! * `full` — the live engine in `SimMode::Full`: same data movement,
+//!   shared scratch arenas across genome replays.
+//! * `current` — the live engine at its default `SimMode::TrafficOnly`:
+//!   counters only, no data movement at all.
+//!
+//! Every section scores the *same* fixed genome populations, and the
+//! score digests are asserted byte-identical across all three engines —
+//! the before/after is honest and self-checking. `--quick` shrinks the
+//! repetition counts for CI.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fusecu_arch::Stationary;
+use fusecu_dataflow::{CostModel, LoopNest, Tiling};
+use fusecu_fusion::{FusedNest, FusedPair, FusedTiling};
+use fusecu_ir::MatMul;
+use fusecu_search::space::balanced_tiles;
+use fusecu_search::{par_map, Fitness, FusedScorer, NestScorer, Parallelism};
+use fusecu_sim::{CuArray, Matrix, SimMode};
+
+/// The paper's per-visit accounting, as used by the simulated fitness.
+const MODEL: CostModel = CostModel {
+    partial_sums: fusecu_dataflow::PartialSumPolicy::PerVisit,
+};
+
+/// Operand seed base — the same constants the search crate's scorers use,
+/// so the legacy engine scores the exact pre-refactor workload.
+const OPERAND_SEED: u64 = 0x00F1_7E55;
+
+/// The single-operator shape scored: the heavy-GA conformance workload.
+fn nest_mm() -> MatMul {
+    MatMul::new(48, 40, 32)
+}
+
+/// The fused pair scored.
+fn fused_pair() -> FusedPair {
+    FusedPair::try_new(MatMul::new(32, 24, 40), MatMul::new(32, 40, 16)).unwrap()
+}
+
+/// The frozen pre-refactor engine, preserved verbatim from the seed's
+/// `driver.rs` (modulo the public `Matrix` API it already used). This is
+/// the "before" in every before/after pair this benchmark records: a
+/// fresh output allocation per replay, fresh `tile()`/`matmul()`
+/// allocations per innermost iteration.
+mod legacy {
+    use fusecu_dataflow::{LoopNest, MemoryAccess};
+    use fusecu_fusion::{ExtTensor, FusedDim, FusedNest, FusedPair};
+    use fusecu_ir::{MatMul, MmDim, Operand};
+    use fusecu_sim::Matrix;
+
+    pub fn execute_nest(a: &Matrix, b: &Matrix, mm: MatMul, nest: &LoopNest) -> MemoryAccess {
+        assert_eq!((a.rows() as u64, a.cols() as u64), (mm.m(), mm.k()));
+        assert_eq!((b.rows() as u64, b.cols() as u64), (mm.k(), mm.l()));
+        let n_of = |d: MmDim| nest.tiling.iterations(mm, d) as usize;
+        let t_of = |d: MmDim| nest.tiling.tile(d).min(mm.dim(d)) as usize;
+        let span = |d: MmDim, i: usize| {
+            let t = t_of(d);
+            t.min(mm.dim(d) as usize - i * t)
+        };
+        let counts = nest.order.map(n_of);
+
+        let mut out = Matrix::zero(mm.m() as usize, mm.l() as usize);
+        let mut traffic = [0u64; 3]; // A, B, C
+        let mut resident: [Option<(usize, usize)>; 3] = [None; 3];
+
+        for i0 in 0..counts[0] {
+            for i1 in 0..counts[1] {
+                for i2 in 0..counts[2] {
+                    let iter = [i0, i1, i2];
+                    let at =
+                        |d: MmDim| iter[nest.order.iter().position(|x| *x == d).unwrap()];
+                    let (im, ik, il) = (at(MmDim::M), at(MmDim::K), at(MmDim::L));
+                    for (slot, op) in Operand::ALL.iter().enumerate() {
+                        let [da, db] = op.dims();
+                        let key = (at(da), at(db));
+                        if resident[slot] != Some(key) {
+                            traffic[slot] += (span(da, key.0) * span(db, key.1)) as u64;
+                            resident[slot] = Some(key);
+                        }
+                    }
+                    let a_tile = a.tile(
+                        im * t_of(MmDim::M),
+                        ik * t_of(MmDim::K),
+                        t_of(MmDim::M),
+                        t_of(MmDim::K),
+                    );
+                    let b_tile = b.tile(
+                        ik * t_of(MmDim::K),
+                        il * t_of(MmDim::L),
+                        t_of(MmDim::K),
+                        t_of(MmDim::L),
+                    );
+                    out.add_tile(
+                        im * t_of(MmDim::M),
+                        il * t_of(MmDim::L),
+                        &a_tile.matmul(&b_tile),
+                    );
+                }
+            }
+        }
+        MemoryAccess::new(traffic[0], traffic[1], traffic[2])
+    }
+
+    pub fn execute_fused_nest(
+        a: &Matrix,
+        b: &Matrix,
+        d: &Matrix,
+        pair: &FusedPair,
+        nest: &FusedNest,
+    ) -> [u64; 4] {
+        let dims = |t: FusedDim| pair.dim(t) as usize;
+        assert_eq!((a.rows(), a.cols()), (dims(FusedDim::M), dims(FusedDim::K)));
+        assert_eq!((b.rows(), b.cols()), (dims(FusedDim::K), dims(FusedDim::L)));
+        assert_eq!((d.rows(), d.cols()), (dims(FusedDim::L), dims(FusedDim::N)));
+        let tile = |t: FusedDim| nest.tiling.clamped_tile(pair, t) as usize;
+        let iters = |t: FusedDim| nest.tiling.iterations(pair, t) as usize;
+        let span = |t: FusedDim, i: usize| tile(t).min(dims(t) - i * tile(t));
+
+        let [s0, s1] = nest.shared_order();
+        let mut out = Matrix::zero(dims(FusedDim::M), dims(FusedDim::N));
+        let mut traffic = [0u64; 4];
+        let mut resident: [Option<(usize, usize)>; 4] = [None; 4];
+        let mut touch = |slot: usize, t: ExtTensor, key: (usize, usize)| {
+            if resident[slot] != Some(key) {
+                let [da, db] = t.dims();
+                let sa = tile(da).min(dims(da) - key.0 * tile(da));
+                let sb = tile(db).min(dims(db) - key.1 * tile(db));
+                traffic[slot] += (sa * sb) as u64;
+                resident[slot] = Some(key);
+            }
+        };
+
+        for i0 in 0..iters(s0) {
+            for i1 in 0..iters(s1) {
+                let (im, il) = if s0 == FusedDim::M { (i0, i1) } else { (i1, i0) };
+                let mut c_tile = Matrix::zero(span(FusedDim::M, im), span(FusedDim::L, il));
+                for ik in 0..iters(FusedDim::K) {
+                    touch(0, ExtTensor::A, (im, ik));
+                    touch(1, ExtTensor::B, (ik, il));
+                    let a_t = a.tile(
+                        im * tile(FusedDim::M),
+                        ik * tile(FusedDim::K),
+                        tile(FusedDim::M),
+                        tile(FusedDim::K),
+                    );
+                    let b_t = b.tile(
+                        ik * tile(FusedDim::K),
+                        il * tile(FusedDim::L),
+                        tile(FusedDim::K),
+                        tile(FusedDim::L),
+                    );
+                    c_tile.add_tile(0, 0, &a_t.matmul(&b_t));
+                }
+                for inn in 0..iters(FusedDim::N) {
+                    touch(2, ExtTensor::D, (il, inn));
+                    touch(3, ExtTensor::E, (im, inn));
+                    let d_t = d.tile(
+                        il * tile(FusedDim::L),
+                        inn * tile(FusedDim::N),
+                        tile(FusedDim::L),
+                        tile(FusedDim::N),
+                    );
+                    out.add_tile(
+                        im * tile(FusedDim::M),
+                        inn * tile(FusedDim::N),
+                        &c_tile.matmul(&d_t),
+                    );
+                }
+            }
+        }
+        traffic
+    }
+}
+
+/// Deterministic xorshift64* stream for genome picking.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A fixed population of single-operator genomes (loop nests), the same on
+/// every run: what one GA generation scores.
+fn nest_genomes(count: usize) -> Vec<LoopNest> {
+    let orders = LoopNest::orders();
+    let pools: [Vec<u64>; 3] =
+        [nest_mm().m(), nest_mm().k(), nest_mm().l()].map(balanced_tiles);
+    let mut rng = Rng(0xBEEF_CAFE);
+    (0..count)
+        .map(|_| {
+            let order = orders[rng.pick(orders.len())];
+            let tiling = Tiling::new(
+                pools[0][rng.pick(pools[0].len())],
+                pools[1][rng.pick(pools[1].len())],
+                pools[2][rng.pick(pools[2].len())],
+            );
+            LoopNest::new(order, tiling)
+        })
+        .collect()
+}
+
+fn fused_genomes(count: usize) -> Vec<FusedNest> {
+    use fusecu_fusion::FusedDim::{K, L, M, N};
+    let pair = fused_pair();
+    let pools: [Vec<u64>; 4] = [M, K, L, N].map(|d| balanced_tiles(pair.dim(d)));
+    let mut rng = Rng(0xFEED_F00D);
+    (0..count)
+        .map(|_| {
+            FusedNest::new(
+                rng.next().is_multiple_of(2),
+                FusedTiling::new(
+                    pools[0][rng.pick(pools[0].len())],
+                    pools[1][rng.pick(pools[1].len())],
+                    pools[2][rng.pick(pools[2].len())],
+                    pools[3][rng.pick(pools[3].len())],
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Cells/s of the raw systolic core: PE updates per wall-clock second
+/// while streaming WS tiles through one 16×16 CU. With `alloc_per_cycle`
+/// the stream goes through the allocating `step()` wrapper and per-cycle
+/// `collect`s — the pre-refactor per-cycle allocation pattern — otherwise
+/// through the hoisted allocation-free `step_into` path (`run_ws`).
+fn bench_cells_per_s(reps: usize, alloc_per_cycle: bool) -> f64 {
+    let n = 16usize;
+    let (m, k, l) = (64usize, n, n);
+    let a = Matrix::pseudo_random(m, k, 1);
+    let b = Matrix::pseudo_random(k, l, 2);
+    let mut cu = CuArray::new(n, Stationary::Ws);
+
+    let run_alloc = |cu: &mut CuArray| -> (Matrix, u64) {
+        cu.clear();
+        cu.load_stationary(&b);
+        let mut out = Matrix::zero(m, l);
+        let total = m + n + n + 2;
+        for t in 0..total {
+            let west: Vec<i64> = (0..n)
+                .map(|row_k| {
+                    let mi = t as i64 - row_k as i64;
+                    if row_k < k && mi >= 0 && (mi as usize) < m {
+                        a[(mi as usize, row_k)]
+                    } else {
+                        0
+                    }
+                })
+                .collect();
+            let (_, south) = cu.step(&west, &vec![0; n]);
+            for (col_l, v) in south.iter().enumerate() {
+                let mi = t as i64 - (n - 1) as i64 - col_l as i64;
+                if col_l < l && mi >= 0 && (mi as usize) < m {
+                    out[(mi as usize, col_l)] = *v;
+                }
+            }
+        }
+        (out, total as u64)
+    };
+
+    // Warm-up pass (buffers sized, caches hot) and reference output.
+    let (warm_out, cycles) = if alloc_per_cycle {
+        run_alloc(&mut cu)
+    } else {
+        let r = cu.run_ws(&a, &b);
+        (r.out, r.cycles)
+    };
+    assert_eq!(warm_out, a.matmul(&b));
+    let cells_per_rep = cycles * (n * n) as u64;
+    let t0 = Instant::now();
+    let mut checksum = 0i64;
+    for _ in 0..reps {
+        let c00 = if alloc_per_cycle {
+            run_alloc(&mut cu).0[(0, 0)]
+        } else {
+            cu.run_ws(&a, &b).out[(0, 0)]
+        };
+        checksum = checksum.wrapping_add(c00);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(checksum, warm_out[(0, 0)].wrapping_mul(reps as i64));
+    (cells_per_rep * reps as u64) as f64 / dt
+}
+
+/// Genomes/s of a scoring closure over the fixed population, fanned over
+/// `workers` threads exactly as GA population scoring does.
+fn bench_genomes_per_s<T: Sync>(
+    genomes: &[T],
+    reps: usize,
+    workers: usize,
+    score: impl Fn(&T) -> u64 + Sync,
+) -> (f64, u64) {
+    // Warm-up round (shared scratch arenas size themselves here).
+    let warm: u64 = par_map(Parallelism::Threads(workers), genomes, |_, g| score(g))
+        .iter()
+        .sum();
+    let t0 = Instant::now();
+    let mut digest = 0u64;
+    for _ in 0..reps {
+        let scores = par_map(Parallelism::Threads(workers), genomes, |_, g| score(g));
+        digest = digest.wrapping_add(scores.iter().sum::<u64>());
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    assert_eq!(digest, warm.wrapping_mul(reps as u64), "scores drifted across reps");
+    ((genomes.len() * reps) as f64 / dt, warm)
+}
+
+/// One engine's worth of measurements.
+struct EngineRun {
+    label: &'static str,
+    cells_per_s: f64,
+    /// (workers, nest genomes/s, fused genomes/s) rows.
+    rows: Vec<(usize, f64, f64)>,
+    nest_digest: u64,
+    fused_digest: u64,
+}
+
+/// Which replay engine a measurement section runs.
+enum Engine {
+    /// Frozen pre-refactor drivers with per-genome operand replay.
+    Legacy,
+    /// Live engine, `SimMode::Full` (data movement via shared scratch).
+    Full,
+    /// Live engine, default `SimMode::TrafficOnly`.
+    TrafficOnly,
+}
+
+fn measure(engine: &Engine, quick: bool, workers: &[usize]) -> EngineRun {
+    let (cell_reps, reps, pop) = if quick { (50, 2, 64) } else { (400, 8, 128) };
+    let nests = nest_genomes(pop);
+    let fused = fused_genomes(pop);
+
+    let mm = nest_mm();
+    let pair = fused_pair();
+    // Operands for the legacy engine (the live scorers own theirs).
+    let a = Matrix::pseudo_random(mm.m() as usize, mm.k() as usize, OPERAND_SEED);
+    let b = Matrix::pseudo_random(mm.k() as usize, mm.l() as usize, OPERAND_SEED + 1);
+    let fd = |t| pair.dim(t) as usize;
+    use fusecu_fusion::FusedDim::{K, L, M, N};
+    let fa = Matrix::pseudo_random(fd(M), fd(K), OPERAND_SEED + 2);
+    let fb = Matrix::pseudo_random(fd(K), fd(L), OPERAND_SEED + 3);
+    let fdm = Matrix::pseudo_random(fd(L), fd(N), OPERAND_SEED + 4);
+
+    let mode = match engine {
+        Engine::Legacy => SimMode::Full, // unused; legacy scores directly
+        Engine::Full => SimMode::Full,
+        Engine::TrafficOnly => SimMode::TrafficOnly,
+    };
+    let nest_scorer = NestScorer::new(Fitness::Simulated, MODEL, mm).with_sim_mode(mode);
+    let fused_scorer = FusedScorer::new(Fitness::Simulated, MODEL, pair).with_sim_mode(mode);
+
+    let score_nest = |n: &LoopNest| -> u64 {
+        match engine {
+            Engine::Legacy => legacy::execute_nest(&a, &b, mm, n).total(),
+            _ => nest_scorer.score(n),
+        }
+    };
+    let score_fused = |n: &FusedNest| -> u64 {
+        match engine {
+            Engine::Legacy => legacy::execute_fused_nest(&fa, &fb, &fdm, &pair, n)
+                .iter()
+                .sum(),
+            _ => fused_scorer.score(n),
+        }
+    };
+
+    let (label, alloc_cells) = match engine {
+        Engine::Legacy => ("baseline", true),
+        Engine::Full => ("full", false),
+        Engine::TrafficOnly => ("current", false),
+    };
+    let cells_per_s = bench_cells_per_s(cell_reps, alloc_cells);
+    let mut rows = Vec::new();
+    let mut nest_digest = 0;
+    let mut fused_digest = 0;
+    for &w in workers {
+        let (nps, nd) = bench_genomes_per_s(&nests, reps, w, score_nest);
+        let (fps, fd2) = bench_genomes_per_s(&fused, reps, w, score_fused);
+        nest_digest = nd;
+        fused_digest = fd2;
+        rows.push((w, nps, fps));
+    }
+    EngineRun {
+        label,
+        cells_per_s,
+        rows,
+        nest_digest,
+        fused_digest,
+    }
+}
+
+fn json_for(run: &EngineRun) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\n    \"cells_per_s\": {:.0},\n    \"score_digest\": {{ \"nest\": {}, \"fused\": {} }},\n    \"genomes_per_s\": [",
+        run.cells_per_s, run.nest_digest, run.fused_digest
+    );
+    for (i, (w, nps, fps)) in run.rows.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            s,
+            "{sep}\n      {{ \"workers\": {w}, \"nest\": {nps:.1}, \"fused\": {fps:.1} }}"
+        );
+    }
+    s.push_str("\n    ]\n  }");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let workers = [1usize, 2, 4, 8];
+
+    let baseline = measure(&Engine::Legacy, quick, &workers);
+    let full = measure(&Engine::Full, quick, &workers);
+    let current = measure(&Engine::TrafficOnly, quick, &workers);
+
+    // The three engines must score every genome identically — the digest
+    // is the self-check that the before/after compares like with like.
+    for run in [&full, &current] {
+        assert_eq!(
+            (run.nest_digest, run.fused_digest),
+            (baseline.nest_digest, baseline.fused_digest),
+            "engine '{}' scores diverged from the frozen baseline",
+            run.label
+        );
+    }
+
+    for run in [&baseline, &full, &current] {
+        eprintln!("[{}] cells/s: {:.3e}", run.label, run.cells_per_s);
+        for (w, nps, fps) in &run.rows {
+            eprintln!(
+                "[{}] workers={w}: nest genomes/s {nps:.1}, fused genomes/s {fps:.1}",
+                run.label
+            );
+        }
+    }
+
+    // Headline speedup: single-worker genomes/s, live default engine vs
+    // the frozen baseline.
+    let speedup_nest = current.rows[0].1 / baseline.rows[0].1;
+    let speedup_fused = current.rows[0].2 / baseline.rows[0].2;
+    eprintln!("speedup (1 worker, TrafficOnly vs pre-refactor): nest {speedup_nest:.1}x, fused {speedup_fused:.1}x");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sim_throughput\",\n  \"quick\": {quick},\n  \"available_parallelism\": {},\n  \"baseline\": {},\n  \"full\": {},\n  \"current\": {},\n  \"speedup_vs_baseline\": {{ \"nest\": {:.2}, \"fused\": {:.2} }}\n}}\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        json_for(&baseline),
+        json_for(&full),
+        json_for(&current),
+        speedup_nest,
+        speedup_fused,
+    );
+    std::fs::write(&out, &json).expect("write benchmark output");
+    println!("wrote {out}");
+}

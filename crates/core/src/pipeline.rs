@@ -135,9 +135,9 @@ fn sweep_digest(outcomes: &[SweepOutcome]) -> u64 {
 
 /// Times the Fig 9 `(mm × buffers)` sweep at each worker count, each run
 /// from its own cold [`DataflowCache`] so every point measures compute
-/// rather than hits left behind by the previous point. The per-run caches
-/// are leaked (the engine requires `'static`); callers run this a handful
-/// of times per process at most.
+/// rather than hits left behind by the previous point. Each per-run cache
+/// is dropped with its engine when the point finishes — repeated curves
+/// no longer grow the process.
 ///
 /// # Panics
 ///
@@ -146,7 +146,7 @@ pub fn scaling_curve(mm: MatMul, buffers: &[u64], worker_counts: &[usize]) -> Ve
     worker_counts
         .iter()
         .map(|&workers| {
-            let cache = Box::leak(Box::new(DataflowCache::new()));
+            let cache = std::sync::Arc::new(DataflowCache::new());
             let engine = SweepEngine::new(validation_model())
                 .with_parallelism(Parallelism::Threads(workers))
                 .with_cache(cache);

@@ -21,7 +21,7 @@
 //! the versioned disk format of [`crate::persist`].
 
 use std::path::Path;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use fusecu_dataflow::principles::try_optimize_with;
 use fusecu_dataflow::{CostModel, Dataflow};
@@ -67,8 +67,19 @@ impl DataflowCache {
     /// sweep engine route through this instance, so shapes repeated across
     /// figures within one process are optimized once.
     pub fn global() -> &'static DataflowCache {
-        static GLOBAL: OnceLock<DataflowCache> = OnceLock::new();
-        GLOBAL.get_or_init(DataflowCache::new)
+        Self::global_arc_ref()
+    }
+
+    /// A clone of the [`Arc`] behind [`DataflowCache::global`], for callers
+    /// (e.g. [`crate::parallel::SweepEngine`]) that hold the cache by
+    /// shared ownership instead of a `'static` borrow — no `Box::leak`.
+    pub fn global_arc() -> Arc<DataflowCache> {
+        Arc::clone(Self::global_arc_ref())
+    }
+
+    fn global_arc_ref() -> &'static Arc<DataflowCache> {
+        static GLOBAL: OnceLock<Arc<DataflowCache>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(DataflowCache::new()))
     }
 
     /// Memoized [`try_optimize_with`]: the one-shot principle optimizer.

@@ -8,18 +8,31 @@
 //!   millisecond. This is the default and what the paper's DAT baseline
 //!   uses.
 //! * [`Fitness::Simulated`] — each candidate nest is *replayed* on the
-//!   cycle-level fabric drivers ([`execute_nest`] /
-//!   [`execute_fused_nest`]) against fixed pseudo-random operands, and the
-//!   candidate is scored by the traffic the replay actually measures.
-//!   Orders of magnitude slower per genome — which is exactly the workload
-//!   that justifies parallel population scoring — but closes the loop:
-//!   the searcher can no longer be fooled by a modeling bug, because its
-//!   objective *is* the machine.
+//!   cycle-level fabric drivers and scored by the traffic the replay
+//!   actually measures. Orders of magnitude slower per genome — which is
+//!   exactly the workload that justifies parallel population scoring —
+//!   but closes the loop: the searcher can no longer be fooled by a
+//!   modeling bug, because its objective *is* the machine.
+//!
+//! The simulated backend itself has two modes ([`SimMode`]):
+//!
+//! * [`SimMode::TrafficOnly`] (the default for `Fitness::Simulated`) runs
+//!   the *identical* replay schedule through [`measure_nest`] /
+//!   [`measure_fused_nest`] but skips all value movement — no operands are
+//!   materialized and scoring allocates nothing. The counters are
+//!   byte-identical to the full replay by construction (both modes share
+//!   one accounting walk), and the sim crate's differential tests prove it.
+//! * [`SimMode::Full`] additionally moves real tile data through a shared
+//!   [`SimScratch`] arena ([`execute_nest_with`] /
+//!   [`execute_fused_nest_with`]), so every genome replay also recomputes
+//!   the product. Scorers keep a [`ScratchPool`] alive across genome
+//!   replays, so steady-state scoring is allocation-free here too: each
+//!   scoring thread checks an arena out, replays into it, and returns it.
 //!
 //! The operand values are irrelevant to the score (traffic counting never
 //! looks at the data), so the matrices are seeded deterministically per
 //! shape and shared read-only across scoring threads. For
-//! [`CostModel::paper`] accounting the two backends agree exactly on every
+//! [`CostModel::paper`] accounting the backends agree exactly on every
 //! feasible nest (the driver tests prove measured == evaluated), so they
 //! induce the same ranking; the simulated backend exists to *keep* that
 //! true as the model evolves, and to catch it the moment it breaks.
@@ -27,8 +40,10 @@
 use fusecu_dataflow::{CostModel, LoopNest};
 use fusecu_fusion::{FusedNest, FusedPair};
 use fusecu_ir::MatMul;
-use fusecu_sim::driver::{execute_fused_nest, execute_nest};
-use fusecu_sim::Matrix;
+use fusecu_sim::driver::{
+    execute_fused_nest_with, execute_nest_with, measure_fused_nest, measure_nest,
+};
+use fusecu_sim::{Matrix, ScratchPool, SimMode};
 
 /// Which objective a searcher ranks candidates by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -54,41 +69,73 @@ impl Fitness {
 /// constants give identical scores.
 const OPERAND_SEED: u64 = 0x00F1_7E55;
 
+/// The simulator-side state of a scorer: which replay mode to run, the
+/// read-only operands ([`SimMode::Full`] only), and a pool of scratch
+/// arenas reused across genome replays and shared across scoring threads.
+#[derive(Debug)]
+struct SimBackend<Ops> {
+    mode: SimMode,
+    /// `Some` only in [`SimMode::Full`]; `TrafficOnly` never touches data.
+    operands: Option<Ops>,
+    pool: ScratchPool,
+}
+
 /// A per-`optimize()` scorer for single-operator loop nests.
 ///
-/// Construction is cheap for [`Fitness::Analytical`]; for
-/// [`Fitness::Simulated`] it materializes the `A`/`B` operands once so
-/// every genome replays against the same read-only data (safe to share
-/// across [`crate::parallel::par_map`] workers).
+/// Construction is cheap for [`Fitness::Analytical`] and for the default
+/// [`SimMode::TrafficOnly`] simulated backend; opting into
+/// [`SimMode::Full`] via [`NestScorer::with_sim_mode`] materializes the
+/// `A`/`B` operands once so every genome replays against the same
+/// read-only data (safe to share across [`crate::parallel::par_map`]
+/// workers — each thread checks a scratch arena out of the pool).
 #[derive(Debug)]
 pub struct NestScorer {
     model: CostModel,
     mm: MatMul,
-    operands: Option<(Matrix, Matrix)>,
+    sim: Option<SimBackend<(Matrix, Matrix)>>,
 }
 
 impl NestScorer {
     /// Builds a scorer for `mm` under `model` with the given backend.
+    /// [`Fitness::Simulated`] defaults to [`SimMode::TrafficOnly`].
     pub fn new(fitness: Fitness, model: CostModel, mm: MatMul) -> NestScorer {
-        let operands = fitness.prefers_parallel_scoring().then(|| {
-            (
-                Matrix::pseudo_random(mm.m() as usize, mm.k() as usize, OPERAND_SEED),
-                Matrix::pseudo_random(mm.k() as usize, mm.l() as usize, OPERAND_SEED + 1),
-            )
+        let sim = fitness.prefers_parallel_scoring().then(|| SimBackend {
+            mode: SimMode::TrafficOnly,
+            operands: None,
+            pool: ScratchPool::new(),
         });
-        NestScorer {
-            model,
-            mm,
-            operands,
+        NestScorer { model, mm, sim }
+    }
+
+    /// Selects the simulated replay mode; [`SimMode::Full`] materializes
+    /// the operand matrices. No-op for an analytical scorer.
+    #[must_use]
+    pub fn with_sim_mode(mut self, mode: SimMode) -> NestScorer {
+        if let Some(sim) = &mut self.sim {
+            sim.mode = mode;
+            sim.operands = (mode == SimMode::Full).then(|| {
+                let mm = self.mm;
+                (
+                    Matrix::pseudo_random(mm.m() as usize, mm.k() as usize, OPERAND_SEED),
+                    Matrix::pseudo_random(mm.k() as usize, mm.l() as usize, OPERAND_SEED + 1),
+                )
+            });
         }
+        self
     }
 
     /// Total memory-access cost of `nest` under the selected backend.
     /// Feasibility (buffer fit) is the caller's concern; this only scores.
     pub fn score(&self, nest: &LoopNest) -> u64 {
-        match &self.operands {
+        match &self.sim {
             None => self.model.evaluate(self.mm, nest).total(),
-            Some((a, b)) => execute_nest(a, b, self.mm, nest).measured.total(),
+            Some(sim) => match &sim.operands {
+                None => measure_nest(self.mm, nest).total(),
+                Some((a, b)) => sim
+                    .pool
+                    .with(|scratch| execute_nest_with(a, b, self.mm, nest, scratch))
+                    .total(),
+            },
         }
     }
 }
@@ -99,36 +146,54 @@ impl NestScorer {
 pub struct FusedScorer {
     model: CostModel,
     pair: FusedPair,
-    operands: Option<(Matrix, Matrix, Matrix)>,
+    sim: Option<SimBackend<(Matrix, Matrix, Matrix)>>,
 }
 
 impl FusedScorer {
     /// Builds a scorer for `pair` under `model` with the given backend.
+    /// [`Fitness::Simulated`] defaults to [`SimMode::TrafficOnly`].
     pub fn new(fitness: Fitness, model: CostModel, pair: FusedPair) -> FusedScorer {
-        use fusecu_fusion::FusedDim::{K, L, M, N};
-        let operands = fitness.prefers_parallel_scoring().then(|| {
-            let d = |t| pair.dim(t) as usize;
-            (
-                Matrix::pseudo_random(d(M), d(K), OPERAND_SEED + 2),
-                Matrix::pseudo_random(d(K), d(L), OPERAND_SEED + 3),
-                Matrix::pseudo_random(d(L), d(N), OPERAND_SEED + 4),
-            )
+        let sim = fitness.prefers_parallel_scoring().then(|| SimBackend {
+            mode: SimMode::TrafficOnly,
+            operands: None,
+            pool: ScratchPool::new(),
         });
-        FusedScorer {
-            model,
-            pair,
-            operands,
+        FusedScorer { model, pair, sim }
+    }
+
+    /// Selects the simulated replay mode; [`SimMode::Full`] materializes
+    /// the operand matrices. No-op for an analytical scorer.
+    #[must_use]
+    pub fn with_sim_mode(mut self, mode: SimMode) -> FusedScorer {
+        use fusecu_fusion::FusedDim::{K, L, M, N};
+        if let Some(sim) = &mut self.sim {
+            sim.mode = mode;
+            sim.operands = (mode == SimMode::Full).then(|| {
+                let d = |t| self.pair.dim(t) as usize;
+                (
+                    Matrix::pseudo_random(d(M), d(K), OPERAND_SEED + 2),
+                    Matrix::pseudo_random(d(K), d(L), OPERAND_SEED + 3),
+                    Matrix::pseudo_random(d(L), d(N), OPERAND_SEED + 4),
+                )
+            });
         }
+        self
     }
 
     /// Total external-tensor traffic of `nest` under the selected backend.
     pub fn score(&self, nest: &FusedNest) -> u64 {
-        match &self.operands {
+        match &self.sim {
             None => nest.evaluate(&self.model, &self.pair).total(),
-            Some((a, b, d)) => execute_fused_nest(a, b, d, &self.pair, nest)
-                .measured
-                .iter()
-                .sum(),
+            Some(sim) => match &sim.operands {
+                None => measure_fused_nest(&self.pair, nest).iter().sum(),
+                Some((a, b, d)) => sim
+                    .pool
+                    .with(|scratch| {
+                        execute_fused_nest_with(a, b, d, &self.pair, nest, scratch)
+                    })
+                    .iter()
+                    .sum(),
+            },
         }
     }
 }
@@ -148,14 +213,21 @@ mod tests {
     fn backends_agree_on_paper_accounting() {
         let mm = MatMul::new(14, 9, 11);
         let analytical = NestScorer::new(Fitness::Analytical, MODEL, mm);
-        let simulated = NestScorer::new(Fitness::Simulated, MODEL, mm);
+        let traffic_only = NestScorer::new(Fitness::Simulated, MODEL, mm);
+        let full = NestScorer::new(Fitness::Simulated, MODEL, mm).with_sim_mode(SimMode::Full);
         for order in LoopNest::orders() {
             for tiling in [Tiling::new(1, 1, 1), Tiling::new(4, 3, 5), Tiling::new(14, 9, 11)] {
                 let nest = LoopNest::new(order, tiling);
+                let reference = analytical.score(&nest);
                 assert_eq!(
-                    analytical.score(&nest),
-                    simulated.score(&nest),
-                    "order {order:?} tiling {tiling}"
+                    traffic_only.score(&nest),
+                    reference,
+                    "traffic-only, order {order:?} tiling {tiling}"
+                );
+                assert_eq!(
+                    full.score(&nest),
+                    reference,
+                    "full, order {order:?} tiling {tiling}"
                 );
             }
         }
@@ -166,11 +238,15 @@ mod tests {
         let pair =
             FusedPair::try_new(MatMul::new(12, 5, 10), MatMul::new(12, 10, 7)).unwrap();
         let analytical = FusedScorer::new(Fitness::Analytical, MODEL, pair);
-        let simulated = FusedScorer::new(Fitness::Simulated, MODEL, pair);
+        let traffic_only = FusedScorer::new(Fitness::Simulated, MODEL, pair);
+        let full =
+            FusedScorer::new(Fitness::Simulated, MODEL, pair).with_sim_mode(SimMode::Full);
         for outer_is_m in [true, false] {
             for (tm, tk, tl, tn) in [(1u64, 1, 1, 1), (4, 2, 5, 3), (12, 5, 10, 7)] {
                 let nest = FusedNest::new(outer_is_m, FusedTiling::new(tm, tk, tl, tn));
-                assert_eq!(analytical.score(&nest), simulated.score(&nest), "{nest}");
+                let reference = analytical.score(&nest);
+                assert_eq!(traffic_only.score(&nest), reference, "traffic-only {nest}");
+                assert_eq!(full.score(&nest), reference, "full {nest}");
             }
         }
     }
@@ -178,16 +254,18 @@ mod tests {
     #[test]
     fn simulated_scorer_is_shareable_across_threads() {
         // The GA scores populations through scoped threads; the scorer
-        // must give identical answers from any of them.
+        // must give identical answers from any of them, in both modes.
         let mm = MatMul::new(10, 8, 6);
-        let scorer = NestScorer::new(Fitness::Simulated, MODEL, mm);
         let nest = LoopNest::new([MmDim::M, MmDim::K, MmDim::L], Tiling::new(3, 4, 2));
-        let expected = scorer.score(&nest);
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                s.spawn(|| assert_eq!(scorer.score(&nest), expected));
-            }
-        });
+        for mode in [SimMode::TrafficOnly, SimMode::Full] {
+            let scorer = NestScorer::new(Fitness::Simulated, MODEL, mm).with_sim_mode(mode);
+            let expected = scorer.score(&nest);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| assert_eq!(scorer.score(&nest), expected));
+                }
+            });
+        }
     }
 
     #[test]
@@ -195,5 +273,15 @@ mod tests {
         assert_eq!(Fitness::default(), Fitness::Analytical);
         assert!(!Fitness::Analytical.prefers_parallel_scoring());
         assert!(Fitness::Simulated.prefers_parallel_scoring());
+    }
+
+    #[test]
+    fn simulated_default_mode_is_traffic_only() {
+        // TrafficOnly is the default sim mode: no operands materialize.
+        let scorer = NestScorer::new(Fitness::Simulated, MODEL, MatMul::new(6, 6, 6));
+        let sim = scorer.sim.as_ref().expect("simulated backend present");
+        assert_eq!(sim.mode, SimMode::TrafficOnly);
+        assert!(sim.operands.is_none());
+        assert!(scorer.sim.as_ref().unwrap().pool.idle() == 0);
     }
 }

@@ -16,6 +16,7 @@ use fusecu_dataflow::CostModel;
 use fusecu_fusion::{FusedDataflow, FusedDim, FusedNest, FusedPair, FusedTiling};
 
 use crate::fitness::{Fitness, FusedScorer};
+use fusecu_sim::SimMode;
 use crate::genetic::GeneticConfig;
 use crate::parallel::{par_map, Parallelism};
 
@@ -31,6 +32,7 @@ pub struct FusedGenetic {
     model: CostModel,
     config: GeneticConfig,
     fitness: Fitness,
+    sim_mode: SimMode,
     parallelism: Option<Parallelism>,
 }
 
@@ -41,6 +43,7 @@ impl FusedGenetic {
             model,
             config: GeneticConfig::default(),
             fitness: Fitness::Analytical,
+            sim_mode: SimMode::TrafficOnly,
             parallelism: None,
         }
     }
@@ -57,6 +60,7 @@ impl FusedGenetic {
             model,
             config,
             fitness: Fitness::Analytical,
+            sim_mode: SimMode::TrafficOnly,
             parallelism: None,
         }
     }
@@ -67,6 +71,13 @@ impl FusedGenetic {
     /// [`Parallelism::Auto`] by default.
     pub fn with_fitness(mut self, fitness: Fitness) -> FusedGenetic {
         self.fitness = fitness;
+        self
+    }
+
+    /// Selects the simulated replay mode (ignored by the analytical
+    /// backend); see [`crate::GeneticSearch::with_sim_mode`].
+    pub fn with_sim_mode(mut self, mode: SimMode) -> FusedGenetic {
+        self.sim_mode = mode;
         self
     }
 
@@ -99,7 +110,7 @@ impl FusedGenetic {
             .map(|d| balanced_tiles(pair.dim(d)));
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut evaluations = 0u64;
-        let scorer = FusedScorer::new(self.fitness, self.model, pair);
+        let scorer = FusedScorer::new(self.fitness, self.model, pair).with_sim_mode(self.sim_mode);
         let parallelism = self.effective_parallelism();
 
         // Pure, so a population can be scored from any worker thread.

@@ -18,6 +18,7 @@ use fusecu_ir::{MatMul, MmDim};
 
 use crate::exhaustive::SearchResult;
 use crate::fitness::{Fitness, NestScorer};
+use fusecu_sim::SimMode;
 use crate::parallel::{par_map, Parallelism};
 use crate::space::balanced_tiles;
 
@@ -63,6 +64,7 @@ pub struct GeneticSearch {
     model: CostModel,
     config: GeneticConfig,
     fitness: Fitness,
+    sim_mode: SimMode,
     parallelism: Option<Parallelism>,
 }
 
@@ -81,6 +83,7 @@ impl GeneticSearch {
             model,
             config: GeneticConfig::default(),
             fitness: Fitness::Analytical,
+            sim_mode: SimMode::TrafficOnly,
             parallelism: None,
         }
     }
@@ -98,6 +101,7 @@ impl GeneticSearch {
             model,
             config,
             fitness: Fitness::Analytical,
+            sim_mode: SimMode::TrafficOnly,
             parallelism: None,
         }
     }
@@ -108,6 +112,15 @@ impl GeneticSearch {
     /// fabric instead of trusting the model.
     pub fn with_fitness(mut self, fitness: Fitness) -> GeneticSearch {
         self.fitness = fitness;
+        self
+    }
+
+    /// Selects the simulated replay mode (ignored by the analytical
+    /// backend). The default [`SimMode::TrafficOnly`] scores through the
+    /// counters-only walk; [`SimMode::Full`] replays real operand data
+    /// through shared scratch arenas. Scores are identical either way.
+    pub fn with_sim_mode(mut self, mode: SimMode) -> GeneticSearch {
+        self.sim_mode = mode;
         self
     }
 
@@ -143,7 +156,7 @@ impl GeneticSearch {
         let orders = LoopNest::orders();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut evaluations = 0u64;
-        let scorer = NestScorer::new(self.fitness, self.model, mm);
+        let scorer = NestScorer::new(self.fitness, self.model, mm).with_sim_mode(self.sim_mode);
         let parallelism = self.effective_parallelism();
 
         // Pure, so a population can be scored from any worker thread.

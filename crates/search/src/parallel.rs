@@ -19,7 +19,7 @@
 //! comparison grids of Fig 10/11).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use fusecu_dataflow::{CostModel, Dataflow};
 use fusecu_ir::MatMul;
@@ -170,7 +170,7 @@ enum OptimizerResult {
 pub struct SweepEngine {
     model: CostModel,
     parallelism: Parallelism,
-    cache: &'static DataflowCache,
+    cache: Arc<DataflowCache>,
 }
 
 impl SweepEngine {
@@ -180,7 +180,7 @@ impl SweepEngine {
         SweepEngine {
             model,
             parallelism: Parallelism::Auto,
-            cache: DataflowCache::global(),
+            cache: DataflowCache::global_arc(),
         }
     }
 
@@ -191,18 +191,19 @@ impl SweepEngine {
         self
     }
 
-    /// Routes lookups through an explicit (leaked, hence `'static`) cache
-    /// instead of the process-global one. Tests use this for cold-cache
-    /// measurements without disturbing other tests' global state.
+    /// Routes lookups through an explicit shared cache instead of the
+    /// process-global one. Cold-cache measurements (the Fig 9 timing
+    /// study, tests) hand each engine a fresh `Arc::new(...)`, which is
+    /// dropped with the engine — no leak.
     #[must_use]
-    pub fn with_cache(mut self, cache: &'static DataflowCache) -> SweepEngine {
+    pub fn with_cache(mut self, cache: Arc<DataflowCache>) -> SweepEngine {
         self.cache = cache;
         self
     }
 
     /// The cache this engine reads and fills.
-    pub fn cache(&self) -> &'static DataflowCache {
-        self.cache
+    pub fn cache(&self) -> &DataflowCache {
+        &self.cache
     }
 
     /// The engine's cost model.
@@ -310,7 +311,7 @@ mod tests {
 
     #[test]
     fn sweep_matches_direct_optimizer_calls() {
-        let cache = Box::leak(Box::new(DataflowCache::new()));
+        let cache = Arc::new(DataflowCache::new());
         let model = CostModel::paper();
         let engine = SweepEngine::new(model)
             .with_parallelism(Parallelism::Threads(4))
@@ -331,7 +332,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot hold")]
     fn sweep_panics_on_infeasible_buffer() {
-        let cache = Box::leak(Box::new(DataflowCache::new()));
+        let cache = Arc::new(DataflowCache::new());
         let engine = SweepEngine::new(CostModel::paper()).with_cache(cache);
         let _ = engine.sweep(&[MatMul::new(4, 4, 4)], &[2]);
     }

@@ -5,6 +5,7 @@ use fusecu_dataflow::CostModel;
 use fusecu_ir::MatMul;
 use fusecu_search::cache::DataflowCache;
 use fusecu_search::parallel::{Parallelism, SweepEngine};
+use std::sync::Arc;
 
 fn shapes() -> Vec<MatMul> {
     vec![
@@ -19,8 +20,8 @@ fn buffers() -> Vec<u64> {
     vec![4 * 1024, 20_680, 32 * 1024, 128 * 1024, 512 * 1024]
 }
 
-fn leaked_cache() -> &'static DataflowCache {
-    Box::leak(Box::new(DataflowCache::new()))
+fn cold_cache() -> Arc<DataflowCache> {
+    Arc::new(DataflowCache::new())
 }
 
 /// A serial sweep and a parallel sweep over the same grid must produce
@@ -32,11 +33,11 @@ fn parallel_sweep_equals_serial_sweep() {
     let model = CostModel::paper();
     let serial = SweepEngine::new(model)
         .with_parallelism(Parallelism::Serial)
-        .with_cache(leaked_cache())
+        .with_cache(cold_cache())
         .sweep(&shapes(), &buffers());
     let parallel = SweepEngine::new(model)
         .with_parallelism(Parallelism::Threads(4))
-        .with_cache(leaked_cache())
+        .with_cache(cold_cache())
         .sweep(&shapes(), &buffers());
     assert_eq!(serial.len(), shapes().len() * buffers().len());
     assert_eq!(serial, parallel);
@@ -50,7 +51,7 @@ fn parallel_sweep_equals_serial_sweep() {
 fn second_sweep_is_all_cache_hits() {
     let engine = SweepEngine::new(CostModel::paper())
         .with_parallelism(Parallelism::Threads(4))
-        .with_cache(leaked_cache());
+        .with_cache(cold_cache());
     let first = engine.sweep(&shapes(), &buffers());
     let after_first = engine.cache().stats();
     let entries = engine.cache().len();
@@ -71,7 +72,7 @@ fn second_sweep_is_all_cache_hits() {
 fn duplicate_shapes_within_a_sweep_hit_the_cache() {
     let engine = SweepEngine::new(CostModel::paper())
         .with_parallelism(Parallelism::Serial)
-        .with_cache(leaked_cache());
+        .with_cache(cold_cache());
     let mm = MatMul::new(96, 100, 17);
     let outcomes = engine.sweep(&[mm, mm, mm], &[8_192]);
     assert_eq!(outcomes[0], outcomes[1]);

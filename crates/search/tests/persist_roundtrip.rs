@@ -6,6 +6,7 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use fusecu_dataflow::CostModel;
 use fusecu_ir::MatMul;
@@ -18,11 +19,11 @@ fn tmp(name: &str) -> PathBuf {
     dir.join(name)
 }
 
-fn leaked() -> &'static DataflowCache {
-    Box::leak(Box::new(DataflowCache::new()))
+fn cold() -> Arc<DataflowCache> {
+    Arc::new(DataflowCache::new())
 }
 
-fn engine(cache: &'static DataflowCache) -> SweepEngine {
+fn engine(cache: Arc<DataflowCache>) -> SweepEngine {
     SweepEngine::new(CostModel::paper())
         .with_parallelism(Parallelism::Serial)
         .with_cache(cache)
@@ -38,15 +39,15 @@ const BUFFERS: [u64; 3] = [8 * 1024, 64 * 1024, 512 * 1024];
 fn warm_reload_reproduces_the_sweep_without_recomputation() {
     let path = tmp("roundtrip.cache");
 
-    let cold = leaked();
-    let first = engine(cold).sweep(&shapes(), &BUFFERS);
-    let saved = cold.save_to(&path).unwrap();
+    let cold_cache = cold();
+    let first = engine(Arc::clone(&cold_cache)).sweep(&shapes(), &BUFFERS);
+    let saved = cold_cache.save_to(&path).unwrap();
     // principle + exhaustive + genetic per (shape, buffer) point.
     assert_eq!(saved, 3 * shapes().len() * BUFFERS.len());
 
-    let warm = leaked();
+    let warm = cold();
     assert_eq!(warm.load_from(&path), saved);
-    let second = engine(warm).sweep(&shapes(), &BUFFERS);
+    let second = engine(Arc::clone(&warm)).sweep(&shapes(), &BUFFERS);
     // `SweepOutcome: Eq` covers dataflows and evaluation counts, so the
     // figure CSVs rendered from the two runs are byte-identical.
     assert_eq!(second, first);
@@ -64,8 +65,8 @@ fn warm_reload_reproduces_the_sweep_without_recomputation() {
 #[test]
 fn stale_fingerprint_is_a_cold_start() {
     let path = tmp("stale.cache");
-    let cache = leaked();
-    engine(cache).sweep(&shapes()[..1], &BUFFERS[..1]);
+    let cache = cold();
+    engine(Arc::clone(&cache)).sweep(&shapes()[..1], &BUFFERS[..1]);
     assert!(cache.save_to(&path).unwrap() > 0);
 
     // A file from a different crate version / cost-model schema carries a
@@ -73,14 +74,14 @@ fn stale_fingerprint_is_a_cold_start() {
     let text = fs::read_to_string(&path).unwrap();
     let stale = text.replacen("fingerprint ", "fingerprint 0.0.0-", 1);
     fs::write(&path, stale).unwrap();
-    assert_eq!(leaked().load_from(&path), 0);
+    assert_eq!(cold().load_from(&path), 0);
 }
 
 #[test]
 fn corrupt_files_are_a_cold_start() {
     let path = tmp("corrupt.cache");
-    let cache = leaked();
-    engine(cache).sweep(&shapes()[..1], &BUFFERS[..1]);
+    let cache = cold();
+    engine(Arc::clone(&cache)).sweep(&shapes()[..1], &BUFFERS[..1]);
     assert!(cache.save_to(&path).unwrap() > 0);
     let good = fs::read_to_string(&path).unwrap();
 
@@ -99,9 +100,9 @@ fn corrupt_files_are_a_cold_start() {
         String::new(),
     ] {
         fs::write(&path, &bad).unwrap();
-        assert_eq!(leaked().load_from(&path), 0, "accepted corrupt file: {bad:?}");
+        assert_eq!(cold().load_from(&path), 0, "accepted corrupt file: {bad:?}");
     }
 
     // And a missing file is simply cold.
-    assert_eq!(leaked().load_from(&tmp("never-written.cache")), 0);
+    assert_eq!(cold().load_from(&tmp("never-written.cache")), 0);
 }

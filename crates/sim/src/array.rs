@@ -15,6 +15,11 @@ use crate::pe::XsPe;
 pub struct CuArray {
     n: usize,
     pes: Vec<XsPe>,
+    /// Persistent wire scratch: while stepping row `r`, slot `c` holds the
+    /// pre-step south output of PE `(r - 1, c)` (row 0 reads the injected
+    /// stream). Lets [`CuArray::step_into`] run the two-phase update with
+    /// O(n) state and no per-cycle allocation.
+    north_wires: Vec<i64>,
 }
 
 /// The result of a single-tile systolic run: the output tile and the cycle
@@ -38,6 +43,7 @@ impl CuArray {
         CuArray {
             n,
             pes: vec![XsPe::new(mode); n * n],
+            north_wires: vec![0; n],
         }
     }
 
@@ -85,10 +91,13 @@ impl CuArray {
         }
     }
 
-    /// Clears every accumulator and forwarding register.
+    /// Clears every accumulator and forwarding register (in place — no
+    /// reallocation).
     pub fn clear(&mut self) {
         let mode = self.pe(0, 0).mode();
-        self.pes = vec![XsPe::new(mode); self.n * self.n];
+        for pe in &mut self.pes {
+            *pe = XsPe::new(mode);
+        }
     }
 
     /// Clears moving state (forwarding registers and accumulators) while
@@ -103,47 +112,101 @@ impl CuArray {
     /// stepping — used by the multi-CU fabric to wire CU boundaries with
     /// monolithic-array timing.
     pub fn east_edge(&self) -> Vec<i64> {
-        (0..self.n).map(|r| self.pe(r, self.n - 1).east()).collect()
+        let mut out = vec![0; self.n];
+        self.east_edge_into(&mut out);
+        out
+    }
+
+    /// Writes the current east-edge outputs into `out` (allocation-free
+    /// form of [`CuArray::east_edge`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not exactly `n` long.
+    pub fn east_edge_into(&self, out: &mut [i64]) {
+        assert_eq!(out.len(), self.n);
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.pe(r, self.n - 1).east();
+        }
     }
 
     /// Current registered south-edge outputs (column-indexed), without
     /// stepping.
     pub fn south_edge(&self) -> Vec<i64> {
-        (0..self.n).map(|c| self.pe(self.n - 1, c).south()).collect()
+        let mut out = vec![0; self.n];
+        self.south_edge_into(&mut out);
+        out
+    }
+
+    /// Writes the current south-edge outputs into `out` (allocation-free
+    /// form of [`CuArray::south_edge`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not exactly `n` long.
+    pub fn south_edge_into(&self, out: &mut [i64]) {
+        assert_eq!(out.len(), self.n);
+        for (c, o) in out.iter_mut().enumerate() {
+            *o = self.pe(self.n - 1, c).south();
+        }
     }
 
     /// One synchronous step. `west_in[r]` feeds row `r`'s west edge,
     /// `north_in[c]` feeds column `c`'s north edge. Returns the east-edge
     /// and south-edge registered outputs *after* the step.
+    ///
+    /// Convenience wrapper over [`CuArray::step_into`]; allocates the two
+    /// output vectors, so hot loops should call `step_into` directly.
     pub fn step(&mut self, west_in: &[i64], north_in: &[i64]) -> (Vec<i64>, Vec<i64>) {
-        assert_eq!(west_in.len(), self.n);
-        assert_eq!(north_in.len(), self.n);
-        // Two-phase update: gather current neighbor outputs first.
-        let mut west_wires = vec![0i64; self.n * self.n];
-        let mut north_wires = vec![0i64; self.n * self.n];
-        for r in 0..self.n {
-            for c in 0..self.n {
-                west_wires[r * self.n + c] = if c == 0 {
-                    west_in[r]
-                } else {
-                    self.pe(r, c - 1).east()
-                };
-                north_wires[r * self.n + c] = if r == 0 {
-                    north_in[c]
-                } else {
-                    self.pe(r - 1, c).south()
-                };
-            }
-        }
-        for r in 0..self.n {
-            for c in 0..self.n {
-                let idx = r * self.n + c;
-                self.pes[idx].step(west_wires[idx], north_wires[idx]);
-            }
-        }
-        let east: Vec<i64> = (0..self.n).map(|r| self.pe(r, self.n - 1).east()).collect();
-        let south: Vec<i64> = (0..self.n).map(|c| self.pe(self.n - 1, c).south()).collect();
+        let mut east = vec![0; self.n];
+        let mut south = vec![0; self.n];
+        self.step_into(west_in, north_in, &mut east, &mut south);
         (east, south)
+    }
+
+    /// One synchronous step, allocation-free: identical two-phase
+    /// semantics to [`CuArray::step`] (every PE consumes its neighbors'
+    /// *pre-step* registered outputs), but the post-step east/south edges
+    /// are written through out-slices and the pre-step wires are carried
+    /// in O(n) persistent scratch instead of two `n²` gathers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all four slices are exactly `n` long.
+    pub fn step_into(
+        &mut self,
+        west_in: &[i64],
+        north_in: &[i64],
+        east_out: &mut [i64],
+        south_out: &mut [i64],
+    ) {
+        let n = self.n;
+        assert_eq!(west_in.len(), n);
+        assert_eq!(north_in.len(), n);
+        assert_eq!(east_out.len(), n);
+        assert_eq!(south_out.len(), n);
+        let CuArray {
+            pes, north_wires, ..
+        } = self;
+        // Raster order with pre-step values carried forward: the scalar
+        // `west_wire` holds the pre-step east of the PE just stepped, and
+        // `north_wires[c]` holds the pre-step south of the PE one row up
+        // (swapped in just before each PE steps).
+        north_wires.copy_from_slice(north_in);
+        for r in 0..n {
+            let mut west_wire = west_in[r];
+            for c in 0..n {
+                let pe = &mut pes[r * n + c];
+                let east_pre = pe.east();
+                let north_wire = std::mem::replace(&mut north_wires[c], pe.south());
+                pe.step(west_wire, north_wire);
+                west_wire = east_pre;
+            }
+            east_out[r] = pes[r * n + (n - 1)].east();
+        }
+        for (c, o) in south_out.iter_mut().enumerate() {
+            *o = pes[(n - 1) * n + c].south();
+        }
     }
 
     /// Weight-stationary matmul of one tile: rows map `K`, columns map `L`,
@@ -158,23 +221,24 @@ impl CuArray {
         assert_eq!(k, b.rows(), "inner dimensions must agree");
         self.set_mode(Stationary::Ws);
         self.clear();
-        self.set_mode(Stationary::Ws);
         self.load_stationary(b);
         let mut out = Matrix::zero(m, l);
         let total = m + self.n + self.n + 2;
+        let zeros = vec![0i64; self.n];
+        let mut west = vec![0i64; self.n];
+        let mut east = vec![0i64; self.n];
+        let mut south = vec![0i64; self.n];
         for t in 0..total {
-            let west: Vec<i64> = (0..self.n)
-                .map(|row_k| {
-                    // A[m'][k] enters row k at cycle m' + k.
-                    let mi = t as i64 - row_k as i64;
-                    if row_k < k && mi >= 0 && (mi as usize) < m {
-                        a[(mi as usize, row_k)]
-                    } else {
-                        0
-                    }
-                })
-                .collect();
-            let (_, south) = self.step(&west, &vec![0; self.n]);
+            for (row_k, w) in west.iter_mut().enumerate() {
+                // A[m'][k] enters row k at cycle m' + k.
+                let mi = t as i64 - row_k as i64;
+                *w = if row_k < k && mi >= 0 && (mi as usize) < m {
+                    a[(mi as usize, row_k)]
+                } else {
+                    0
+                };
+            }
+            self.step_into(&west, &zeros, &mut east, &mut south);
             // C[m'][l'] leaves the bottom of column l' after the step at
             // cycle m' + (n - 1) + l'.
             for (col_l, v) in south.iter().enumerate() {
@@ -202,23 +266,24 @@ impl CuArray {
         assert_eq!(k, b.rows(), "inner dimensions must agree");
         self.set_mode(Stationary::Is);
         self.clear();
-        self.set_mode(Stationary::Is);
         self.load_stationary(a);
         let mut out = Matrix::zero(m, l);
         let total = l + self.n + self.n + 2;
+        let zeros = vec![0i64; self.n];
+        let mut north = vec![0i64; self.n];
+        let mut east = vec![0i64; self.n];
+        let mut south = vec![0i64; self.n];
         for t in 0..total {
-            let north: Vec<i64> = (0..self.n)
-                .map(|col_k| {
-                    // B[k][l'] enters column k at cycle l' + k.
-                    let li = t as i64 - col_k as i64;
-                    if col_k < k && li >= 0 && (li as usize) < l {
-                        b[(col_k, li as usize)]
-                    } else {
-                        0
-                    }
-                })
-                .collect();
-            let (east, _) = self.step(&vec![0; self.n], &north);
+            for (col_k, w) in north.iter_mut().enumerate() {
+                // B[k][l'] enters column k at cycle l' + k.
+                let li = t as i64 - col_k as i64;
+                *w = if col_k < k && li >= 0 && (li as usize) < l {
+                    b[(col_k, li as usize)]
+                } else {
+                    0
+                };
+            }
+            self.step_into(&zeros, &north, &mut east, &mut south);
             // C[m'][l'] leaves the east edge of row m' after the step at
             // cycle l' + (n - 1) + m'.
             for (row_m, v) in east.iter().enumerate() {
@@ -253,18 +318,20 @@ impl CuArray {
         }
         let mut out = Matrix::zero(m, l);
         let total = l + self.n + self.n + 2;
+        let zeros = vec![0i64; self.n];
+        let mut north = vec![0i64; self.n];
+        let mut east = vec![0i64; self.n];
+        let mut south = vec![0i64; self.n];
         for t in 0..total {
-            let north: Vec<i64> = (0..self.n)
-                .map(|col_k| {
-                    let li = t as i64 - col_k as i64;
-                    if col_k < k && li >= 0 && (li as usize) < l {
-                        b[(col_k, li as usize)]
-                    } else {
-                        0
-                    }
-                })
-                .collect();
-            let (east, _) = self.step(&vec![0; self.n], &north);
+            for (col_k, w) in north.iter_mut().enumerate() {
+                let li = t as i64 - col_k as i64;
+                *w = if col_k < k && li >= 0 && (li as usize) < l {
+                    b[(col_k, li as usize)]
+                } else {
+                    0
+                };
+            }
+            self.step_into(&zeros, &north, &mut east, &mut south);
             for (row_m, v) in east.iter().enumerate() {
                 let li = t as i64 - (self.n - 1) as i64 - row_m as i64;
                 if row_m < m && li >= 0 && (li as usize) < l {
@@ -299,32 +366,31 @@ impl CuArray {
         assert!(m <= self.n && l <= self.n, "output tile exceeds the array");
         self.set_mode(Stationary::Os);
         self.clear();
-        self.set_mode(Stationary::Os);
         let total = k + self.n + self.n + 2;
+        let mut west = vec![0i64; self.n];
+        let mut north = vec![0i64; self.n];
+        let mut east = vec![0i64; self.n];
+        let mut south = vec![0i64; self.n];
         for t in 0..total {
-            let west: Vec<i64> = (0..self.n)
-                .map(|row_m| {
-                    // A[m'][k'] enters row m' at cycle k' + m'.
-                    let ki = t as i64 - row_m as i64;
-                    if row_m < m && ki >= 0 && (ki as usize) < k {
-                        a[(row_m, ki as usize)]
-                    } else {
-                        0
-                    }
-                })
-                .collect();
-            let north: Vec<i64> = (0..self.n)
-                .map(|col_l| {
-                    // B[k'][l'] enters column l' at cycle k' + l'.
-                    let ki = t as i64 - col_l as i64;
-                    if col_l < l && ki >= 0 && (ki as usize) < k {
-                        b[(ki as usize, col_l)]
-                    } else {
-                        0
-                    }
-                })
-                .collect();
-            self.step(&west, &north);
+            for (row_m, w) in west.iter_mut().enumerate() {
+                // A[m'][k'] enters row m' at cycle k' + m'.
+                let ki = t as i64 - row_m as i64;
+                *w = if row_m < m && ki >= 0 && (ki as usize) < k {
+                    a[(row_m, ki as usize)]
+                } else {
+                    0
+                };
+            }
+            for (col_l, w) in north.iter_mut().enumerate() {
+                // B[k'][l'] enters column l' at cycle k' + l'.
+                let ki = t as i64 - col_l as i64;
+                *w = if col_l < l && ki >= 0 && (ki as usize) < k {
+                    b[(ki as usize, col_l)]
+                } else {
+                    0
+                };
+            }
+            self.step_into(&west, &north, &mut east, &mut south);
         }
         let out = Matrix::from_fn(m, l, |r, c| self.pe(r, c).acc());
         RunResult {

@@ -15,10 +15,12 @@
 
 use fusecu_arch::Stationary;
 use fusecu_dataflow::{LoopNest, MemoryAccess};
+use fusecu_fusion::{FusedNest, FusedPair};
 use fusecu_ir::{MatMul, MmDim, Operand};
 
 use crate::array::CuArray;
 use crate::matrix::Matrix;
+use crate::scratch::SimScratch;
 
 /// The result of replaying a loop nest: the product and the measured
 /// per-tensor buffer↔memory traffic.
@@ -31,17 +33,16 @@ pub struct NestRun {
     pub measured: MemoryAccess,
 }
 
-/// Replays `nest` over `a × b`, fetching one tile per operand into a
-/// modeled buffer and charging a full (edge-clamped) tile of traffic on
-/// every tile switch; the output tile is charged per residency visit,
-/// matching the paper's accounting.
-///
-/// # Panics
-///
-/// Panics when the matrices do not match the nest's matmul dimensions.
-pub fn execute_nest(a: &Matrix, b: &Matrix, mm: MatMul, nest: &LoopNest) -> NestRun {
-    assert_eq!((a.rows() as u64, a.cols() as u64), (mm.m(), mm.k()));
-    assert_eq!((b.rows() as u64, b.cols() as u64), (mm.k(), mm.l()));
+/// The single source of truth for nest-replay traffic accounting: walks
+/// the loop nest charging residency switches and calls `visit(im, ik, il)`
+/// once per innermost tile iteration. [`execute_nest_with`] computes
+/// values in `visit`; [`measure_nest`] passes a no-op — so the two modes'
+/// counters are identical by construction.
+fn nest_traffic(
+    mm: MatMul,
+    nest: &LoopNest,
+    mut visit: impl FnMut(usize, usize, usize),
+) -> MemoryAccess {
     let n_of = |d: MmDim| nest.tiling.iterations(mm, d) as usize;
     let t_of = |d: MmDim| nest.tiling.tile(d).min(mm.dim(d)) as usize;
     let span = |d: MmDim, i: usize| {
@@ -49,8 +50,9 @@ pub fn execute_nest(a: &Matrix, b: &Matrix, mm: MatMul, nest: &LoopNest) -> Nest
         t.min(mm.dim(d) as usize - i * t)
     };
     let counts = nest.order.map(n_of);
+    let pos = |d: MmDim| nest.order.iter().position(|x| *x == d).unwrap();
+    let (pm, pk, pl) = (pos(MmDim::M), pos(MmDim::K), pos(MmDim::L));
 
-    let mut out = Matrix::zero(mm.m() as usize, mm.l() as usize);
     let mut traffic = [0u64; 3]; // A, B, C
     let mut resident: [Option<(usize, usize)>; 3] = [None; 3];
 
@@ -58,8 +60,11 @@ pub fn execute_nest(a: &Matrix, b: &Matrix, mm: MatMul, nest: &LoopNest) -> Nest
         for i1 in 0..counts[1] {
             for i2 in 0..counts[2] {
                 let iter = [i0, i1, i2];
-                let at = |d: MmDim| iter[nest.order.iter().position(|x| *x == d).unwrap()];
-                let (im, ik, il) = (at(MmDim::M), at(MmDim::K), at(MmDim::L));
+                let at = |d: MmDim| match d {
+                    MmDim::M => iter[pm],
+                    MmDim::K => iter[pk],
+                    MmDim::L => iter[pl],
+                };
                 for (slot, op) in Operand::ALL.iter().enumerate() {
                     let [da, db] = op.dims();
                     let key = (at(da), at(db));
@@ -68,21 +73,77 @@ pub fn execute_nest(a: &Matrix, b: &Matrix, mm: MatMul, nest: &LoopNest) -> Nest
                         resident[slot] = Some(key);
                     }
                 }
-                // Compute this tile's contribution (golden arithmetic; the
-                // systolic path is validated by `execute_on_cu`).
-                let a_tile = a.tile(im * t_of(MmDim::M), ik * t_of(MmDim::K), t_of(MmDim::M), t_of(MmDim::K));
-                let b_tile = b.tile(ik * t_of(MmDim::K), il * t_of(MmDim::L), t_of(MmDim::K), t_of(MmDim::L));
-                out.add_tile(
-                    im * t_of(MmDim::M),
-                    il * t_of(MmDim::L),
-                    &a_tile.matmul(&b_tile),
-                );
+                visit(iter[pm], iter[pk], iter[pl]);
             }
         }
     }
-    NestRun {
+    MemoryAccess::new(traffic[0], traffic[1], traffic[2])
+}
+
+/// Counters-only nest replay ([`crate::SimMode::TrafficOnly`]): walks the
+/// identical accounting loop as [`execute_nest_with`] but skips all value
+/// movement — no operand matrices, no tile copies, no arithmetic, and no
+/// heap allocation at all. The measured traffic is byte-identical to a
+/// full replay's (the values never influence the counters).
+pub fn measure_nest(mm: MatMul, nest: &LoopNest) -> MemoryAccess {
+    nest_traffic(mm, nest, |_, _, _| {})
+}
+
+/// Full nest replay through a caller-provided [`SimScratch`]: identical
+/// semantics to [`execute_nest`], but every tile buffer and the output
+/// accumulation live in `scratch`, so replaying many nests of one shape
+/// (the simulated-fitness hot path) allocates only on the first call.
+/// The product is left in `scratch.out()`; the measured traffic returns.
+///
+/// # Panics
+///
+/// Panics when the matrices do not match the nest's matmul dimensions.
+pub fn execute_nest_with(
+    a: &Matrix,
+    b: &Matrix,
+    mm: MatMul,
+    nest: &LoopNest,
+    scratch: &mut SimScratch,
+) -> MemoryAccess {
+    assert_eq!((a.rows() as u64, a.cols() as u64), (mm.m(), mm.k()));
+    assert_eq!((b.rows() as u64, b.cols() as u64), (mm.k(), mm.l()));
+    let t_of = |d: MmDim| nest.tiling.tile(d).min(mm.dim(d)) as usize;
+    let (tm, tk, tl) = (t_of(MmDim::M), t_of(MmDim::K), t_of(MmDim::L));
+    let SimScratch {
+        a_tile,
+        b_tile,
+        prod,
         out,
-        measured: MemoryAccess::new(traffic[0], traffic[1], traffic[2]),
+        ..
+    } = scratch;
+    out.reset_zeroed(mm.m() as usize, mm.l() as usize);
+    nest_traffic(mm, nest, |im, ik, il| {
+        // Compute this tile's contribution (golden arithmetic; the
+        // systolic path is validated by `execute_on_cu`).
+        a.tile_into(im * tm, ik * tk, tm, tk, a_tile);
+        b.tile_into(ik * tk, il * tl, tk, tl, b_tile);
+        a_tile.matmul_into(b_tile, prod);
+        out.add_tile(im * tm, il * tl, prod);
+    })
+}
+
+/// Replays `nest` over `a × b`, fetching one tile per operand into a
+/// modeled buffer and charging a full (edge-clamped) tile of traffic on
+/// every tile switch; the output tile is charged per residency visit,
+/// matching the paper's accounting.
+///
+/// Convenience wrapper over [`execute_nest_with`] with a fresh scratch;
+/// replay loops should hold a [`SimScratch`] and call that directly.
+///
+/// # Panics
+///
+/// Panics when the matrices do not match the nest's matmul dimensions.
+pub fn execute_nest(a: &Matrix, b: &Matrix, mm: MatMul, nest: &LoopNest) -> NestRun {
+    let mut scratch = SimScratch::new();
+    let measured = execute_nest_with(a, b, mm, nest, &mut scratch);
+    NestRun {
+        out: scratch.take_out(),
+        measured,
     }
 }
 
@@ -97,33 +158,31 @@ pub struct FusedNestRun {
     pub measured: [u64; 4],
 }
 
-/// Replays a fused nest over real matrices: shared tile loops over the
-/// intermediate's dimensions, a producer phase accumulating each `C` tile
-/// in a modeled register file, and a consumer phase draining it into `E` —
-/// the intermediate never counts as traffic. External tensors charge one
-/// (edge-clamped) tile on every residency switch, output per visit.
-///
-/// # Panics
-///
-/// Panics when the matrices do not match the pair's dimensions.
-pub fn execute_fused_nest(
-    a: &Matrix,
-    b: &Matrix,
-    d: &Matrix,
-    pair: &fusecu_fusion::FusedPair,
-    nest: &fusecu_fusion::FusedNest,
-) -> FusedNestRun {
+/// One step of the fused replay schedule, as visited by [`fused_traffic`].
+enum FusedStep {
+    /// A new shared tile begins with the given clamped `(M, L)` spans.
+    Begin(usize, usize),
+    /// One producer reduction step `ik` inside shared tile `(im, il)`.
+    Producer(usize, usize, usize),
+    /// One consumer drain step `inn` inside shared tile `(im, il)`.
+    Consumer(usize, usize, usize),
+}
+
+/// The fused analogue of [`nest_traffic`]: one accounting walk shared by
+/// [`execute_fused_nest_with`] and [`measure_fused_nest`]. `visit` receives
+/// every schedule step in order; traffic accounting is independent of it.
+fn fused_traffic(
+    pair: &FusedPair,
+    nest: &FusedNest,
+    mut visit: impl FnMut(FusedStep),
+) -> [u64; 4] {
     use fusecu_fusion::{ExtTensor, FusedDim};
     let dims = |t: FusedDim| pair.dim(t) as usize;
-    assert_eq!((a.rows(), a.cols()), (dims(FusedDim::M), dims(FusedDim::K)));
-    assert_eq!((b.rows(), b.cols()), (dims(FusedDim::K), dims(FusedDim::L)));
-    assert_eq!((d.rows(), d.cols()), (dims(FusedDim::L), dims(FusedDim::N)));
     let tile = |t: FusedDim| nest.tiling.clamped_tile(pair, t) as usize;
     let iters = |t: FusedDim| nest.tiling.iterations(pair, t) as usize;
     let span = |t: FusedDim, i: usize| tile(t).min(dims(t) - i * tile(t));
 
     let [s0, s1] = nest.shared_order();
-    let mut out = Matrix::zero(dims(FusedDim::M), dims(FusedDim::N));
     let mut traffic = [0u64; 4];
     let mut resident: [Option<(usize, usize)>; 4] = [None; 4];
     let mut touch = |slot: usize, t: ExtTensor, key: (usize, usize)| {
@@ -139,46 +198,112 @@ pub fn execute_fused_nest(
     for i0 in 0..iters(s0) {
         for i1 in 0..iters(s1) {
             let (im, il) = if s0 == FusedDim::M { (i0, i1) } else { (i1, i0) };
+            visit(FusedStep::Begin(
+                span(FusedDim::M, im),
+                span(FusedDim::L, il),
+            ));
             // Producer phase: accumulate the C tile in "registers".
-            let mut c_tile = Matrix::zero(span(FusedDim::M, im), span(FusedDim::L, il));
             for ik in 0..iters(FusedDim::K) {
                 touch(0, ExtTensor::A, (im, ik));
                 touch(1, ExtTensor::B, (ik, il));
-                let a_t = a.tile(
-                    im * tile(FusedDim::M),
-                    ik * tile(FusedDim::K),
-                    tile(FusedDim::M),
-                    tile(FusedDim::K),
-                );
-                let b_t = b.tile(
-                    ik * tile(FusedDim::K),
-                    il * tile(FusedDim::L),
-                    tile(FusedDim::K),
-                    tile(FusedDim::L),
-                );
-                c_tile.add_tile(0, 0, &a_t.matmul(&b_t));
+                visit(FusedStep::Producer(im, il, ik));
             }
             // Consumer phase: drain the C tile through D into E.
             for inn in 0..iters(FusedDim::N) {
                 touch(2, ExtTensor::D, (il, inn));
                 touch(3, ExtTensor::E, (im, inn));
-                let d_t = d.tile(
-                    il * tile(FusedDim::L),
-                    inn * tile(FusedDim::N),
-                    tile(FusedDim::L),
-                    tile(FusedDim::N),
-                );
-                out.add_tile(
-                    im * tile(FusedDim::M),
-                    inn * tile(FusedDim::N),
-                    &c_tile.matmul(&d_t),
-                );
+                visit(FusedStep::Consumer(im, il, inn));
             }
         }
     }
-    FusedNestRun {
+    traffic
+}
+
+/// Counters-only fused replay ([`crate::SimMode::TrafficOnly`]): the
+/// identical accounting walk as [`execute_fused_nest_with`] with all value
+/// movement skipped — no operands and no heap allocation. Traffic is in
+/// `ExtTensor::ALL` order (`A, B, D, E`).
+pub fn measure_fused_nest(pair: &FusedPair, nest: &FusedNest) -> [u64; 4] {
+    fused_traffic(pair, nest, |_| {})
+}
+
+/// Full fused replay through a caller-provided [`SimScratch`]: identical
+/// semantics to [`execute_fused_nest`], with every tile buffer (including
+/// the modeled `C` register file) and the output accumulation living in
+/// `scratch`. The chain output is left in `scratch.out()`; the measured
+/// per-tensor traffic returns.
+///
+/// # Panics
+///
+/// Panics when the matrices do not match the pair's dimensions.
+pub fn execute_fused_nest_with(
+    a: &Matrix,
+    b: &Matrix,
+    d: &Matrix,
+    pair: &FusedPair,
+    nest: &FusedNest,
+    scratch: &mut SimScratch,
+) -> [u64; 4] {
+    use fusecu_fusion::FusedDim;
+    let dims = |t: FusedDim| pair.dim(t) as usize;
+    assert_eq!((a.rows(), a.cols()), (dims(FusedDim::M), dims(FusedDim::K)));
+    assert_eq!((b.rows(), b.cols()), (dims(FusedDim::K), dims(FusedDim::L)));
+    assert_eq!((d.rows(), d.cols()), (dims(FusedDim::L), dims(FusedDim::N)));
+    let tile = |t: FusedDim| nest.tiling.clamped_tile(pair, t) as usize;
+    let (tm, tk, tl, tn) = (
+        tile(FusedDim::M),
+        tile(FusedDim::K),
+        tile(FusedDim::L),
+        tile(FusedDim::N),
+    );
+    let SimScratch {
+        a_tile,
+        b_tile,
+        prod,
+        c_tile,
         out,
-        measured: traffic,
+    } = scratch;
+    out.reset_zeroed(dims(FusedDim::M), dims(FusedDim::N));
+    fused_traffic(pair, nest, |step| match step {
+        FusedStep::Begin(sm, sl) => c_tile.reset_zeroed(sm, sl),
+        FusedStep::Producer(im, il, ik) => {
+            a.tile_into(im * tm, ik * tk, tm, tk, a_tile);
+            b.tile_into(ik * tk, il * tl, tk, tl, b_tile);
+            a_tile.matmul_into(b_tile, prod);
+            c_tile.add_tile(0, 0, prod);
+        }
+        FusedStep::Consumer(im, il, inn) => {
+            d.tile_into(il * tl, inn * tn, tl, tn, b_tile);
+            c_tile.matmul_into(b_tile, prod);
+            out.add_tile(im * tm, inn * tn, prod);
+        }
+    })
+}
+
+/// Replays a fused nest over real matrices: shared tile loops over the
+/// intermediate's dimensions, a producer phase accumulating each `C` tile
+/// in a modeled register file, and a consumer phase draining it into `E` —
+/// the intermediate never counts as traffic. External tensors charge one
+/// (edge-clamped) tile on every residency switch, output per visit.
+///
+/// Convenience wrapper over [`execute_fused_nest_with`] with a fresh
+/// scratch.
+///
+/// # Panics
+///
+/// Panics when the matrices do not match the pair's dimensions.
+pub fn execute_fused_nest(
+    a: &Matrix,
+    b: &Matrix,
+    d: &Matrix,
+    pair: &FusedPair,
+    nest: &FusedNest,
+) -> FusedNestRun {
+    let mut scratch = SimScratch::new();
+    let measured = execute_fused_nest_with(a, b, d, pair, nest, &mut scratch);
+    FusedNestRun {
+        out: scratch.take_out(),
+        measured,
     }
 }
 
@@ -275,6 +400,66 @@ mod tests {
                 );
                 assert_eq!(run.out, a.matmul(&b));
             }
+        }
+    }
+
+    #[test]
+    fn traffic_only_nest_counters_match_full_mode() {
+        // SimMode::TrafficOnly must be byte-identical to the full replay's
+        // counters across orders and tilings — it is the same walk.
+        let mm = MatMul::new(12, 10, 8);
+        let a = Matrix::pseudo_random(12, 10, 41);
+        let b = Matrix::pseudo_random(10, 8, 42);
+        let mut scratch = SimScratch::new();
+        for order in LoopNest::orders() {
+            for tiling in [
+                Tiling::new(1, 1, 1),
+                Tiling::new(3, 2, 4),
+                Tiling::new(5, 10, 3),
+                Tiling::new(12, 1, 8),
+            ] {
+                let nest = LoopNest::new(order, tiling);
+                let full = execute_nest_with(&a, &b, mm, &nest, &mut scratch);
+                assert_eq!(
+                    measure_nest(mm, &nest),
+                    full,
+                    "order {order:?} tiling {tiling}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_only_fused_counters_match_full_mode() {
+        use fusecu_fusion::{FusedNest, FusedPair, FusedTiling};
+        use fusecu_ir::MatMul;
+        let pair = FusedPair::try_new(MatMul::new(10, 6, 12), MatMul::new(10, 12, 8)).unwrap();
+        let a = Matrix::pseudo_random(10, 6, 81);
+        let b = Matrix::pseudo_random(6, 12, 82);
+        let d = Matrix::pseudo_random(12, 8, 83);
+        let mut scratch = SimScratch::new();
+        for outer_is_m in [true, false] {
+            for (tm, tk, tl, tn) in [(1u64, 1u64, 1u64, 1u64), (5, 2, 4, 3), (4, 6, 12, 2)] {
+                let nest = FusedNest::new(outer_is_m, FusedTiling::new(tm, tk, tl, tn));
+                let full = execute_fused_nest_with(&a, &b, &d, &pair, &nest, &mut scratch);
+                assert_eq!(measure_fused_nest(&pair, &nest), full, "{nest}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_scratch_replays_are_identical_to_fresh_runs() {
+        // One scratch reused across many nests must never bleed state.
+        let mm = MatMul::new(9, 11, 7);
+        let a = Matrix::pseudo_random(9, 11, 51);
+        let b = Matrix::pseudo_random(11, 7, 52);
+        let mut scratch = SimScratch::new();
+        for order in LoopNest::orders() {
+            let nest = LoopNest::new(order, Tiling::new(4, 3, 5));
+            let reused = execute_nest_with(&a, &b, mm, &nest, &mut scratch);
+            let fresh = execute_nest(&a, &b, mm, &nest);
+            assert_eq!(reused, fresh.measured, "order {order:?}");
+            assert_eq!(scratch.out(), &fresh.out, "order {order:?}");
         }
     }
 

@@ -52,6 +52,16 @@ pub struct FuseCuFabric {
     n: usize,
     shape: FabricShape,
     cus: Vec<CuArray>, // row-major over the CU grid
+    // Persistent per-cycle scratch (the registered inter-CU wires): flat
+    // arenas with CU `i`'s edge at `i*n..(i+1)*n`, captured pre-step, plus
+    // per-CU post-step out buffers and the logical-edge registers. Sized
+    // once in `new`, reused every cycle — no steady-state allocation.
+    east_snap: Vec<i64>,
+    south_snap: Vec<i64>,
+    east_buf: Vec<i64>,
+    south_buf: Vec<i64>,
+    logical_east: Vec<i64>,
+    logical_south: Vec<i64>,
 }
 
 impl FuseCuFabric {
@@ -62,6 +72,12 @@ impl FuseCuFabric {
             n,
             shape,
             cus: vec![CuArray::new(n, mode); gr * gc],
+            east_snap: vec![0; gr * gc * n],
+            south_snap: vec![0; gr * gc * n],
+            east_buf: vec![0; n],
+            south_buf: vec![0; n],
+            logical_east: vec![0; gr * n],
+            logical_south: vec![0; gc * n],
         }
     }
 
@@ -104,41 +120,78 @@ impl FuseCuFabric {
         }
     }
 
+    /// Steps every CU once (two-phase, registered inter-CU wires) and
+    /// refreshes the logical east/south edge registers — the shared,
+    /// allocation-free core of [`FuseCuFabric::step`] and
+    /// [`FuseCuFabric::step_east`].
+    fn step_edges(&mut self, west_in: &[i64], north_in: &[i64]) {
+        let (rows, cols) = self.logical();
+        assert_eq!(west_in.len(), rows);
+        assert_eq!(north_in.len(), cols);
+        let (gr, gc) = self.shape.grid();
+        let n = self.n;
+        let FuseCuFabric {
+            cus,
+            east_snap,
+            south_snap,
+            east_buf,
+            south_buf,
+            logical_east,
+            logical_south,
+            ..
+        } = self;
+        // Capture all pre-step edges first (registered inter-CU wires).
+        for (i, cu) in cus.iter().enumerate() {
+            cu.east_edge_into(&mut east_snap[i * n..(i + 1) * n]);
+            cu.south_edge_into(&mut south_snap[i * n..(i + 1) * n]);
+        }
+        for r in 0..gr {
+            for c in 0..gc {
+                let idx = r * gc + c;
+                let west: &[i64] = if c == 0 {
+                    &west_in[r * n..(r + 1) * n]
+                } else {
+                    &east_snap[(idx - 1) * n..idx * n]
+                };
+                let north: &[i64] = if r == 0 {
+                    &north_in[c * n..(c + 1) * n]
+                } else {
+                    &south_snap[(idx - gc) * n..(idx - gc + 1) * n]
+                };
+                cus[idx].step_into(west, north, east_buf, south_buf);
+                if r == gr - 1 {
+                    logical_south[c * n..(c + 1) * n].copy_from_slice(south_buf);
+                }
+                if c == gc - 1 {
+                    logical_east[r * n..(r + 1) * n].copy_from_slice(east_buf);
+                }
+            }
+        }
+    }
+
     /// One synchronous fabric step with logical-edge inputs. Returns the
     /// logical south-edge outputs after the step.
     ///
     /// Boundary muxes: interior CU edges receive the neighboring CU's
     /// pre-step edge registers; exterior edges receive the injected
     /// streams — same timing as a monolithic array.
+    ///
+    /// Convenience wrapper over [`FuseCuFabric::step_into`]; hot loops
+    /// should use the out-slice form to avoid the per-cycle allocation.
     pub fn step(&mut self, west_in: &[i64], north_in: &[i64]) -> Vec<i64> {
-        let (rows, cols) = self.logical();
-        assert_eq!(west_in.len(), rows);
-        assert_eq!(north_in.len(), cols);
-        let (gr, gc) = self.shape.grid();
-        // Capture all pre-step edges first (registered inter-CU wires).
-        let east_edges: Vec<Vec<i64>> = self.cus.iter().map(CuArray::east_edge).collect();
-        let south_edges: Vec<Vec<i64>> = self.cus.iter().map(CuArray::south_edge).collect();
-        let mut south_out = vec![0i64; cols];
-        for r in 0..gr {
-            for c in 0..gc {
-                let idx = self.cu_index(r, c);
-                let west: Vec<i64> = if c == 0 {
-                    west_in[r * self.n..(r + 1) * self.n].to_vec()
-                } else {
-                    east_edges[self.cu_index(r, c - 1)].clone()
-                };
-                let north: Vec<i64> = if r == 0 {
-                    north_in[c * self.n..(c + 1) * self.n].to_vec()
-                } else {
-                    south_edges[self.cu_index(r - 1, c)].clone()
-                };
-                let (_, south) = self.cus[idx].step(&west, &north);
-                if r == gr - 1 {
-                    south_out[c * self.n..(c + 1) * self.n].copy_from_slice(&south);
-                }
-            }
-        }
-        south_out
+        self.step_edges(west_in, north_in);
+        self.logical_south.clone()
+    }
+
+    /// Allocation-free form of [`FuseCuFabric::step`]: writes the logical
+    /// south edge into `south_out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `south_out` spans the logical column count.
+    pub fn step_into(&mut self, west_in: &[i64], north_in: &[i64], south_out: &mut [i64]) {
+        self.step_edges(west_in, north_in);
+        south_out.copy_from_slice(&self.logical_south);
     }
 
     /// Weight-stationary matmul on the reshaped fabric: `b` (`K × L`) is
@@ -161,18 +214,19 @@ impl FuseCuFabric {
         self.load_stationary(b);
         let mut out = Matrix::zero(m, l);
         let total = m + rows + cols + 2;
+        let zeros = vec![0i64; cols];
+        let mut west = vec![0i64; rows];
+        let mut south = vec![0i64; cols];
         for t in 0..total {
-            let west: Vec<i64> = (0..rows)
-                .map(|row_k| {
-                    let mi = t as i64 - row_k as i64;
-                    if row_k < k && mi >= 0 && (mi as usize) < m {
-                        a[(mi as usize, row_k)]
-                    } else {
-                        0
-                    }
-                })
-                .collect();
-            let south = self.step(&west, &vec![0; cols]);
+            for (row_k, w) in west.iter_mut().enumerate() {
+                let mi = t as i64 - row_k as i64;
+                *w = if row_k < k && mi >= 0 && (mi as usize) < m {
+                    a[(mi as usize, row_k)]
+                } else {
+                    0
+                };
+            }
+            self.step_into(&west, &zeros, &mut south);
             for (col_l, v) in south.iter().enumerate() {
                 let mi = t as i64 - (rows - 1) as i64 - col_l as i64;
                 if col_l < l && mi >= 0 && (mi as usize) < m {
@@ -206,28 +260,26 @@ impl FuseCuFabric {
             cu.set_mode(Stationary::Os);
         }
         let total = k + rows + cols + 2;
+        let mut west = vec![0i64; rows];
+        let mut north = vec![0i64; cols];
         for t in 0..total {
-            let west: Vec<i64> = (0..rows)
-                .map(|row_m| {
-                    let ki = t as i64 - row_m as i64;
-                    if row_m < m && ki >= 0 && (ki as usize) < k {
-                        a[(row_m, ki as usize)]
-                    } else {
-                        0
-                    }
-                })
-                .collect();
-            let north: Vec<i64> = (0..cols)
-                .map(|col_l| {
-                    let ki = t as i64 - col_l as i64;
-                    if col_l < l && ki >= 0 && (ki as usize) < k {
-                        b[(ki as usize, col_l)]
-                    } else {
-                        0
-                    }
-                })
-                .collect();
-            self.step(&west, &north);
+            for (row_m, w) in west.iter_mut().enumerate() {
+                let ki = t as i64 - row_m as i64;
+                *w = if row_m < m && ki >= 0 && (ki as usize) < k {
+                    a[(row_m, ki as usize)]
+                } else {
+                    0
+                };
+            }
+            for (col_l, w) in north.iter_mut().enumerate() {
+                let ki = t as i64 - col_l as i64;
+                *w = if col_l < l && ki >= 0 && (ki as usize) < k {
+                    b[(ki as usize, col_l)]
+                } else {
+                    0
+                };
+            }
+            self.step_edges(&west, &north);
         }
         let out = Matrix::from_fn(m, l, |r, c| self.acc(r, c));
         RunResult {
@@ -269,18 +321,19 @@ impl FuseCuFabric {
         }
         let mut out = Matrix::zero(m, l);
         let total = l + rows + cols + 2;
+        let zeros = vec![0i64; rows];
+        let mut north = vec![0i64; cols];
+        let mut east = vec![0i64; rows];
         for t in 0..total {
-            let north: Vec<i64> = (0..cols)
-                .map(|col_k| {
-                    let li = t as i64 - col_k as i64;
-                    if col_k < k && li >= 0 && (li as usize) < l {
-                        b[(col_k, li as usize)]
-                    } else {
-                        0
-                    }
-                })
-                .collect();
-            let east = self.step_east(&vec![0; rows], &north);
+            for (col_k, w) in north.iter_mut().enumerate() {
+                let li = t as i64 - col_k as i64;
+                *w = if col_k < k && li >= 0 && (li as usize) < l {
+                    b[(col_k, li as usize)]
+                } else {
+                    0
+                };
+            }
+            self.step_east_into(&zeros, &north, &mut east);
             for (row_m, v) in east.iter().enumerate() {
                 let li = t as i64 - (cols - 1) as i64 - row_m as i64;
                 if row_m < m && li >= 0 && (li as usize) < l {
@@ -297,33 +350,19 @@ impl FuseCuFabric {
     /// Like [`FuseCuFabric::step`], returning the logical *east* edge
     /// (needed by IS drains).
     pub fn step_east(&mut self, west_in: &[i64], north_in: &[i64]) -> Vec<i64> {
-        let (rows, cols) = self.logical();
-        assert_eq!(west_in.len(), rows);
-        assert_eq!(north_in.len(), cols);
-        let (gr, gc) = self.shape.grid();
-        let east_edges: Vec<Vec<i64>> = self.cus.iter().map(CuArray::east_edge).collect();
-        let south_edges: Vec<Vec<i64>> = self.cus.iter().map(CuArray::south_edge).collect();
-        let mut east_out = vec![0i64; rows];
-        for r in 0..gr {
-            for c in 0..gc {
-                let idx = self.cu_index(r, c);
-                let west: Vec<i64> = if c == 0 {
-                    west_in[r * self.n..(r + 1) * self.n].to_vec()
-                } else {
-                    east_edges[self.cu_index(r, c - 1)].clone()
-                };
-                let north: Vec<i64> = if r == 0 {
-                    north_in[c * self.n..(c + 1) * self.n].to_vec()
-                } else {
-                    south_edges[self.cu_index(r - 1, c)].clone()
-                };
-                let (east, _) = self.cus[idx].step(&west, &north);
-                if c == gc - 1 {
-                    east_out[r * self.n..(r + 1) * self.n].copy_from_slice(&east);
-                }
-            }
-        }
-        east_out
+        self.step_edges(west_in, north_in);
+        self.logical_east.clone()
+    }
+
+    /// Allocation-free form of [`FuseCuFabric::step_east`]: writes the
+    /// logical east edge into `east_out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `east_out` spans the logical row count.
+    pub fn step_east_into(&mut self, west_in: &[i64], north_in: &[i64], east_out: &mut [i64]) {
+        self.step_edges(west_in, north_in);
+        east_out.copy_from_slice(&self.logical_east);
     }
 }
 
@@ -363,6 +402,10 @@ pub fn fabric_tile_fusion(
 pub struct CuRow {
     n: usize,
     cus: Vec<CuArray>,
+    // Persistent per-cycle scratch: pre-step east edges of every CU (flat,
+    // CU `c` at `c*n..(c+1)*n`) and one post-step east out buffer.
+    east_snap: Vec<i64>,
+    east_buf: Vec<i64>,
 }
 
 impl CuRow {
@@ -372,6 +415,8 @@ impl CuRow {
         CuRow {
             n,
             cus: vec![CuArray::new(n, mode); len],
+            east_snap: vec![0; len * n],
+            east_buf: vec![0; n],
         }
     }
 
@@ -406,28 +451,63 @@ impl CuRow {
 
     /// One synchronous step: `west_in` feeds the leftmost CU, `north_in`
     /// spans all CUs. Returns `(east_edge, south_edge)` of the whole row.
+    ///
+    /// Convenience wrapper over [`CuRow::step_into`].
     pub fn step(&mut self, west_in: &[i64], north_in: &[i64]) -> (Vec<i64>, Vec<i64>) {
+        let (rows, cols) = self.logical();
+        let mut east_out = vec![0i64; rows];
+        let mut south_out = vec![0i64; cols];
+        self.step_into(west_in, north_in, &mut east_out, &mut south_out);
+        (east_out, south_out)
+    }
+
+    /// Allocation-free form of [`CuRow::step`]: the row's east edge lands
+    /// in `east_out` (`n` long) and its south edge in `south_out`
+    /// (spanning all CUs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any slice-length mismatch with the logical extent.
+    pub fn step_into(
+        &mut self,
+        west_in: &[i64],
+        north_in: &[i64],
+        east_out: &mut [i64],
+        south_out: &mut [i64],
+    ) {
         let (rows, cols) = self.logical();
         assert_eq!(west_in.len(), rows);
         assert_eq!(north_in.len(), cols);
+        assert_eq!(east_out.len(), rows);
+        assert_eq!(south_out.len(), cols);
+        let n = self.n;
+        let CuRow {
+            cus,
+            east_snap,
+            east_buf,
+            ..
+        } = self;
         // Registered inter-CU wires: capture pre-step east edges first.
-        let east_edges: Vec<Vec<i64>> = self.cus.iter().map(CuArray::east_edge).collect();
-        let mut south_out = vec![0i64; cols];
-        let mut east_out = vec![0i64; rows];
-        let len = self.cus.len();
-        for (c, cu) in self.cus.iter_mut().enumerate() {
-            let west = if c == 0 {
-                west_in.to_vec()
+        for (i, cu) in cus.iter().enumerate() {
+            cu.east_edge_into(&mut east_snap[i * n..(i + 1) * n]);
+        }
+        let len = cus.len();
+        for (c, cu) in cus.iter_mut().enumerate() {
+            let west: &[i64] = if c == 0 {
+                west_in
             } else {
-                east_edges[c - 1].clone()
+                &east_snap[(c - 1) * n..c * n]
             };
-            let (east, south) = cu.step(&west, &north_in[c * self.n..(c + 1) * self.n]);
-            south_out[c * self.n..(c + 1) * self.n].copy_from_slice(&south);
+            cu.step_into(
+                west,
+                &north_in[c * n..(c + 1) * n],
+                east_buf,
+                &mut south_out[c * n..(c + 1) * n],
+            );
             if c == len - 1 {
-                east_out = east;
+                east_out.copy_from_slice(east_buf);
             }
         }
-        (east_out, south_out)
     }
 
     /// Accumulator readout across the row (for OS use).
@@ -443,6 +523,9 @@ impl CuRow {
 pub struct CuCol {
     n: usize,
     cus: Vec<CuArray>,
+    // Persistent per-cycle scratch, mirroring `CuRow`.
+    south_snap: Vec<i64>,
+    south_buf: Vec<i64>,
 }
 
 impl CuCol {
@@ -452,6 +535,8 @@ impl CuCol {
         CuCol {
             n,
             cus: vec![CuArray::new(n, mode); len],
+            south_snap: vec![0; len * n],
+            south_buf: vec![0; n],
         }
     }
 
@@ -486,27 +571,62 @@ impl CuCol {
 
     /// One synchronous step: `west_in` spans all CUs' rows, `north_in`
     /// feeds the topmost CU. Returns `(east_edge, south_edge)`.
+    ///
+    /// Convenience wrapper over [`CuCol::step_into`].
     pub fn step(&mut self, west_in: &[i64], north_in: &[i64]) -> (Vec<i64>, Vec<i64>) {
+        let (rows, cols) = self.logical();
+        let mut east_out = vec![0i64; rows];
+        let mut south_out = vec![0i64; cols];
+        self.step_into(west_in, north_in, &mut east_out, &mut south_out);
+        (east_out, south_out)
+    }
+
+    /// Allocation-free form of [`CuCol::step`]: the column's east edge
+    /// (spanning all CUs) lands in `east_out` and its south edge in
+    /// `south_out` (`n` long).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any slice-length mismatch with the logical extent.
+    pub fn step_into(
+        &mut self,
+        west_in: &[i64],
+        north_in: &[i64],
+        east_out: &mut [i64],
+        south_out: &mut [i64],
+    ) {
         let (rows, cols) = self.logical();
         assert_eq!(west_in.len(), rows);
         assert_eq!(north_in.len(), cols);
-        let south_edges: Vec<Vec<i64>> = self.cus.iter().map(CuArray::south_edge).collect();
-        let mut east_out = vec![0i64; rows];
-        let mut south_out = vec![0i64; cols];
-        let len = self.cus.len();
-        for (r, cu) in self.cus.iter_mut().enumerate() {
-            let north = if r == 0 {
-                north_in.to_vec()
+        assert_eq!(east_out.len(), rows);
+        assert_eq!(south_out.len(), cols);
+        let n = self.n;
+        let CuCol {
+            cus,
+            south_snap,
+            south_buf,
+            ..
+        } = self;
+        for (i, cu) in cus.iter().enumerate() {
+            cu.south_edge_into(&mut south_snap[i * n..(i + 1) * n]);
+        }
+        let len = cus.len();
+        for (r, cu) in cus.iter_mut().enumerate() {
+            let north: &[i64] = if r == 0 {
+                north_in
             } else {
-                south_edges[r - 1].clone()
+                &south_snap[(r - 1) * n..r * n]
             };
-            let (east, south) = cu.step(&west_in[r * self.n..(r + 1) * self.n], &north);
-            east_out[r * self.n..(r + 1) * self.n].copy_from_slice(&east);
+            cu.step_into(
+                &west_in[r * n..(r + 1) * n],
+                north,
+                &mut east_out[r * n..(r + 1) * n],
+                south_buf,
+            );
             if r == len - 1 {
-                south_out = south;
+                south_out.copy_from_slice(south_buf);
             }
         }
-        (east_out, south_out)
     }
 
     /// Accumulator readout at a logical coordinate.
@@ -549,30 +669,31 @@ pub fn narrow_column_fusion(
     let offset = n - 1;
     let total = l + 6 * n + 4;
     let zeros = vec![0i64; 2 * n];
+    let mut north_p = vec![0i64; n];
+    let mut north_c = vec![0i64; n];
+    let mut east_p = vec![0i64; 2 * n];
+    let mut east_c = vec![0i64; 2 * n];
+    let mut south = vec![0i64; n];
     for t in 0..total {
-        let north_p: Vec<i64> = (0..n)
-            .map(|col_k| {
-                let li = t as i64 - col_k as i64;
-                if col_k < k && li >= 0 && (li as usize) < l {
-                    b[(col_k, li as usize)]
-                } else {
-                    0
-                }
-            })
-            .collect();
-        let (east_p, _) = producer.step(&zeros, &north_p);
+        for (col_k, w) in north_p.iter_mut().enumerate() {
+            let li = t as i64 - col_k as i64;
+            *w = if col_k < k && li >= 0 && (li as usize) < l {
+                b[(col_k, li as usize)]
+            } else {
+                0
+            };
+        }
+        producer.step_into(&zeros, &north_p, &mut east_p, &mut south);
         let tc = t as i64 - offset as i64;
-        let north_c: Vec<i64> = (0..n)
-            .map(|col_j| {
-                let li = tc - col_j as i64;
-                if col_j < nn && li >= 0 && (li as usize) < l {
-                    d[(li as usize, col_j)]
-                } else {
-                    0
-                }
-            })
-            .collect();
-        consumer.step(&east_p, &north_c);
+        for (col_j, w) in north_c.iter_mut().enumerate() {
+            let li = tc - col_j as i64;
+            *w = if col_j < nn && li >= 0 && (li as usize) < l {
+                d[(li as usize, col_j)]
+            } else {
+                0
+            };
+        }
+        consumer.step_into(&east_p, &north_c, &mut east_c, &mut south);
     }
     let out = Matrix::from_fn(m, nn, |r, c| consumer.acc(r, c));
     crate::fusion::FusedRunResult {
@@ -617,30 +738,31 @@ pub fn wide_column_fusion(
     let offset = 2 * n - 1;
     let total = l + 6 * n + 4;
     let zeros = vec![0i64; n];
+    let mut north_p = vec![0i64; 2 * n];
+    let mut north_c = vec![0i64; 2 * n];
+    let mut east_p = vec![0i64; n];
+    let mut east_c = vec![0i64; n];
+    let mut south = vec![0i64; 2 * n];
     for t in 0..total {
-        let north_p: Vec<i64> = (0..2 * n)
-            .map(|col_k| {
-                let li = t as i64 - col_k as i64;
-                if col_k < k && li >= 0 && (li as usize) < l {
-                    b[(col_k, li as usize)]
-                } else {
-                    0
-                }
-            })
-            .collect();
-        let (east_p, _) = producer.step(&zeros, &north_p);
+        for (col_k, w) in north_p.iter_mut().enumerate() {
+            let li = t as i64 - col_k as i64;
+            *w = if col_k < k && li >= 0 && (li as usize) < l {
+                b[(col_k, li as usize)]
+            } else {
+                0
+            };
+        }
+        producer.step_into(&zeros, &north_p, &mut east_p, &mut south);
         let tc = t as i64 - offset as i64;
-        let north_c: Vec<i64> = (0..2 * n)
-            .map(|col_j| {
-                let li = tc - col_j as i64;
-                if col_j < nn && li >= 0 && (li as usize) < l {
-                    d[(li as usize, col_j)]
-                } else {
-                    0
-                }
-            })
-            .collect();
-        consumer.step(&east_p, &north_c);
+        for (col_j, w) in north_c.iter_mut().enumerate() {
+            let li = tc - col_j as i64;
+            *w = if col_j < nn && li >= 0 && (li as usize) < l {
+                d[(li as usize, col_j)]
+            } else {
+                0
+            };
+        }
+        consumer.step_into(&east_p, &north_c, &mut east_c, &mut south);
     }
     let out = Matrix::from_fn(m, nn, |r, c| consumer.acc(r, c));
     crate::fusion::FusedRunResult {

@@ -81,30 +81,31 @@ pub fn column_fusion(n: usize, a: &Matrix, b: &Matrix, d: &Matrix) -> FusedRunRe
     let offset = n - 1;
     let total = l + 3 * n + 4;
     let zeros = vec![0i64; n];
+    let mut north_p = vec![0i64; n];
+    let mut north_c = vec![0i64; n];
+    let mut east_p = vec![0i64; n];
+    let mut east_c = vec![0i64; n];
+    let mut south = vec![0i64; n];
     for t in 0..total {
-        let north_p: Vec<i64> = (0..n)
-            .map(|col_k| {
-                let li = t as i64 - col_k as i64;
-                if col_k < k && li >= 0 && (li as usize) < l {
-                    b[(col_k, li as usize)]
-                } else {
-                    0
-                }
-            })
-            .collect();
-        let (east_p, _) = producer.step(&zeros, &north_p);
+        for (col_k, w) in north_p.iter_mut().enumerate() {
+            let li = t as i64 - col_k as i64;
+            *w = if col_k < k && li >= 0 && (li as usize) < l {
+                b[(col_k, li as usize)]
+            } else {
+                0
+            };
+        }
+        producer.step_into(&zeros, &north_p, &mut east_p, &mut south);
         let tc = t as i64 - offset as i64;
-        let north_c: Vec<i64> = (0..n)
-            .map(|col_j| {
-                let li = tc - col_j as i64;
-                if col_j < nn && li >= 0 && (li as usize) < l {
-                    d[(li as usize, col_j)]
-                } else {
-                    0
-                }
-            })
-            .collect();
-        consumer.step(&east_p, &north_c);
+        for (col_j, w) in north_c.iter_mut().enumerate() {
+            let li = tc - col_j as i64;
+            *w = if col_j < nn && li >= 0 && (li as usize) < l {
+                d[(li as usize, col_j)]
+            } else {
+                0
+            };
+        }
+        consumer.step_into(&east_p, &north_c, &mut east_c, &mut south);
     }
     let out = Matrix::from_fn(m, nn, |r, c| consumer.pe(r, c).acc());
     FusedRunResult {

@@ -34,7 +34,9 @@ pub mod fabric;
 pub mod fusion;
 pub mod matrix;
 pub mod pe;
+pub mod scratch;
 
 pub use array::CuArray;
 pub use fabric::{FabricShape, FuseCuFabric};
 pub use matrix::Matrix;
+pub use scratch::{ScratchPool, SimMode, SimScratch};

@@ -116,6 +116,71 @@ impl Matrix {
     pub fn elems(&self) -> u64 {
         (self.rows * self.cols) as u64
     }
+
+    /// Reshapes this matrix to `rows × cols` with every element zero,
+    /// reusing the existing allocation when it is large enough. The
+    /// scratch-buffer primitive behind the allocation-free drivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        self.data.clear();
+        self.data.resize(rows * cols, 0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Copies the clamped tile (rows `r0..r0+h`, cols `c0..c0+w`) into
+    /// `dst`, reshaping it in place — the allocation-free counterpart of
+    /// [`Matrix::tile`].
+    pub fn tile_into(&self, r0: usize, c0: usize, h: usize, w: usize, dst: &mut Matrix) {
+        let h = h.min(self.rows - r0);
+        let w = w.min(self.cols - c0);
+        dst.reset_zeroed(h, w);
+        for r in 0..h {
+            let src = (r0 + r) * self.cols + c0;
+            dst.data[r * w..(r + 1) * w].copy_from_slice(&self.data[src..src + w]);
+        }
+    }
+
+    /// Writes `self × rhs` into `dst`, reshaping it in place — the
+    /// allocation-free counterpart of [`Matrix::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, rhs: &Matrix, dst: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        dst.reset_zeroed(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut dst.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0 × 0` placeholder — the unsized state of a scratch
+    /// buffer before its first `reset_zeroed`/`tile_into`/`matmul_into`.
+    /// Every public constructor still requires non-zero dimensions.
+    fn default() -> Matrix {
+        Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
 }
 
 impl Index<(usize, usize)> for Matrix {
@@ -201,5 +266,26 @@ mod tests {
     #[should_panic(expected = "inner dimensions")]
     fn mismatched_matmul_panics() {
         let _ = Matrix::zero(2, 3).matmul(&Matrix::zero(2, 3));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let a = Matrix::pseudo_random(7, 5, 17);
+        let b = Matrix::pseudo_random(5, 6, 18);
+        let mut dst = Matrix::zero(1, 1);
+        a.matmul_into(&b, &mut dst);
+        assert_eq!(dst, a.matmul(&b));
+        // Reuse the same dst for a clamped edge tile.
+        a.tile_into(4, 2, 4, 4, &mut dst);
+        assert_eq!(dst, a.tile(4, 2, 4, 4));
+        assert_eq!((dst.rows(), dst.cols()), (3, 3));
+    }
+
+    #[test]
+    fn reset_zeroed_reshapes_and_clears() {
+        let mut m = Matrix::pseudo_random(3, 3, 19);
+        m.reset_zeroed(2, 5);
+        assert_eq!((m.rows(), m.cols()), (2, 5));
+        assert!((0..2).all(|r| (0..5).all(|c| m[(r, c)] == 0)));
     }
 }

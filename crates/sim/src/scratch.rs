@@ -1,0 +1,142 @@
+//! Reusable simulation scratch: preallocated tile buffers shared across
+//! driver replays, and the [`SimMode`] switch between full value replay
+//! and counters-only measurement.
+//!
+//! The tiled drivers ([`crate::driver`]) walk a loop nest and, per
+//! innermost iteration, copy out two operand tiles and multiply them. Done
+//! naively that is three heap allocations per tile visit — the dominant
+//! cost of simulated-fitness scoring, where a genetic searcher replays
+//! thousands of genomes against the same shape. [`SimScratch`] owns those
+//! buffers and lets every replay reuse them: after the first genome sizes
+//! the arenas, steady-state replay allocates nothing.
+//!
+//! [`ScratchPool`] makes the reuse thread-safe for parallel population
+//! scoring: each worker checks a scratch out, replays with it, and returns
+//! it, so a generation needs at most one arena per worker rather than one
+//! per genome.
+
+use std::sync::Mutex;
+
+use crate::matrix::Matrix;
+
+/// How much of the machine a driver replay actually simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimMode {
+    /// Move every value: compute the product tile by tile and measure
+    /// traffic. The complete replay; the default.
+    #[default]
+    Full,
+    /// Skip value movement entirely and compute only the traffic/cycle
+    /// counters a fitness scores. Byte-identical counters to [`SimMode::Full`]
+    /// by construction (both modes share one accounting walk — and the
+    /// differential tests prove it on the conformance grid).
+    TrafficOnly,
+}
+
+/// Preallocated tile/stream/accumulator buffers for the tiled drivers,
+/// sized lazily by the first replay and reused by every one after it.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Producer left-operand tile (`A`).
+    pub(crate) a_tile: Matrix,
+    /// Producer right-operand tile (`B`, or the consumer stream `D`).
+    pub(crate) b_tile: Matrix,
+    /// Product-tile accumulator written by `matmul_into`.
+    pub(crate) prod: Matrix,
+    /// Fused-pair intermediate tile (`C`), the modeled register file.
+    pub(crate) c_tile: Matrix,
+    /// Full output accumulation (`C` for single nests, `E` for fused).
+    pub(crate) out: Matrix,
+}
+
+impl SimScratch {
+    /// A fresh, unsized scratch; the first replay sizes the buffers.
+    pub fn new() -> SimScratch {
+        SimScratch::default()
+    }
+
+    /// The output matrix of the most recent full replay threaded through
+    /// this scratch.
+    pub fn out(&self) -> &Matrix {
+        &self.out
+    }
+
+    /// Moves the output matrix out of the scratch (leaving an empty one),
+    /// for callers that need an owned product.
+    pub fn take_out(&mut self) -> Matrix {
+        std::mem::take(&mut self.out)
+    }
+}
+
+/// A lock-guarded free list of [`SimScratch`] arenas for parallel scoring:
+/// holds at most as many arenas as threads ever replayed concurrently.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<SimScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> ScratchPool {
+        ScratchPool::default()
+    }
+
+    /// Runs `f` with a pooled scratch, returning the scratch to the pool
+    /// afterwards (even a fresh one, so its sized buffers are kept).
+    pub fn with<R>(&self, f: impl FnOnce(&mut SimScratch) -> R) -> R {
+        let mut scratch = self
+            .free
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        let result = f(&mut scratch);
+        self.free
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+        result
+    }
+
+    /// Number of arenas currently checked in.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reuses_returned_arenas() {
+        let pool = ScratchPool::new();
+        assert_eq!(pool.idle(), 0);
+        pool.with(|s| s.out.reset_zeroed(4, 4));
+        assert_eq!(pool.idle(), 1);
+        // The returned arena keeps its sizing.
+        pool.with(|s| assert_eq!((s.out.rows(), s.out.cols()), (4, 4)));
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn pool_grows_under_concurrent_checkout() {
+        let pool = ScratchPool::new();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    pool.with(|s| {
+                        s.prod.reset_zeroed(2, 2);
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    })
+                });
+            }
+        });
+        assert!(pool.idle() >= 1 && pool.idle() <= 3);
+    }
+
+    #[test]
+    fn default_mode_is_full() {
+        assert_eq!(SimMode::default(), SimMode::Full);
+    }
+}

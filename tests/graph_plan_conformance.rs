@@ -1,0 +1,181 @@
+//! Whole-graph fusion-plan conformance: replay `plan_chain` winners
+//! end-to-end on the simulator drivers.
+//!
+//! `search_conformance` proves each *individual* winner (solo nest or
+//! fused pair) replays exactly. This suite closes the remaining gap: a
+//! whole [`ChainPlan`] — the DP partition of a real model's matmul chain
+//! into solo and fused steps — is executed step by step, threading each
+//! step's output matrix into the next step's left operand, and must
+//! (a) produce the exact chain product and (b) measure, step by step and
+//! in total, exactly the traffic the planner reported as the plan's cost.
+//!
+//! The light tests cover synthetic chains in the default CI run; the
+//! `#[ignore]`d release gate replays the attention chains of two Table II
+//! zoo models (Blenderbot and BERT) at their real prefill shapes.
+
+use fusecu_dataflow::{CostModel, PartialSumPolicy};
+use fusecu_fusion::{plan_chain, ChainPlan, ChainStep};
+use fusecu_ir::{MatMul, MmChain};
+use fusecu_models::zoo;
+use fusecu_sim::driver::{execute_fused_nest, execute_nest};
+use fusecu_sim::Matrix;
+
+/// The paper's per-visit accounting — the one the drivers reproduce
+/// exactly, making "measured == reported" an equality, not a bound.
+const MODEL: CostModel = CostModel {
+    partial_sums: PartialSumPolicy::PerVisit,
+};
+
+const SEED: u64 = 0x9A7_F1A9;
+
+/// Replays every step of `plan` over pseudo-random operands, threading the
+/// intermediates through, and asserts the exact chain product plus exact
+/// per-step and total traffic agreement with the planner's report.
+fn assert_plan_replays_exactly(chain: &MmChain, plan: &ChainPlan, label: &str) {
+    let x0 = Matrix::pseudo_random(
+        chain.mm(0).m() as usize,
+        chain.mm(0).k() as usize,
+        SEED,
+    );
+    let weights: Vec<Matrix> = (0..chain.len())
+        .map(|i| {
+            let mm = chain.mm(i);
+            Matrix::pseudo_random(mm.k() as usize, mm.l() as usize, SEED + 1 + i as u64)
+        })
+        .collect();
+    let mut golden = x0.clone();
+    for w in &weights {
+        golden = golden.matmul(w);
+    }
+
+    let covered: usize = plan.steps().iter().map(ChainStep::width).sum();
+    assert_eq!(covered, chain.len(), "{label}: plan must cover the chain");
+
+    let mut current = x0;
+    let mut measured_total = 0u64;
+    for step in plan.steps() {
+        match step {
+            ChainStep::Solo { index, dataflow } => {
+                let run = execute_nest(&current, &weights[*index], chain.mm(*index), dataflow.nest());
+                assert_eq!(
+                    run.measured,
+                    dataflow.ma(),
+                    "{label}: solo step mm{index} measured traffic disagrees"
+                );
+                measured_total += run.measured.total();
+                current = run.out;
+            }
+            ChainStep::Pair { index, fused } => {
+                let pair = fused.pair();
+                let run = execute_fused_nest(
+                    &current,
+                    &weights[*index],
+                    &weights[*index + 1],
+                    &pair,
+                    fused.nest(),
+                );
+                let total: u64 = run.measured.iter().sum();
+                assert_eq!(
+                    total,
+                    fused.total_ma(),
+                    "{label}: fused step mm{index}+mm{} measured traffic disagrees",
+                    *index + 1
+                );
+                measured_total += total;
+                current = run.out;
+            }
+        }
+    }
+    assert_eq!(current, golden, "{label}: end-to-end chain product is wrong");
+    assert_eq!(
+        measured_total,
+        plan.total_ma(),
+        "{label}: summed step traffic disagrees with the plan's reported total"
+    );
+}
+
+fn plan_and_replay(chain: &MmChain, bs: u64, label: &str) -> ChainPlan {
+    let plan = plan_chain(&MODEL, chain, bs);
+    assert_plan_replays_exactly(chain, &plan, &format!("{label} bs={bs}"));
+    plan
+}
+
+/// The attention chain (`qk^T → pv`) of a zoo model's prefill graph: the
+/// chain with the fewest MACs (the FFN chain dwarfs it at every Table II
+/// shape).
+fn attention_chain(config: &fusecu_models::TransformerConfig) -> MmChain {
+    let graph = config.build_graph();
+    let macs = |c: &MmChain| -> u64 { (0..c.len()).map(|i| c.mm(i).macs()).sum() };
+    graph
+        .mm_chains()
+        .into_iter()
+        .map(|(_, chain, _)| chain)
+        .filter(|c| c.len() == 2)
+        .min_by_key(macs)
+        .expect("prefill graph always has the attention chain")
+}
+
+#[test]
+fn synthetic_chain_plans_replay_exactly() {
+    // A 3-matmul chain where, depending on the buffer, the plan mixes
+    // fused pairs and solo tails — both step kinds replay through.
+    let chain = MmChain::try_new(vec![
+        MatMul::new(24, 8, 48),  // big intermediate: fusion candidate
+        MatMul::new(24, 48, 8),
+        MatMul::new(24, 8, 6),
+    ])
+    .unwrap();
+    let mut solo_steps = 0;
+    let mut fused_steps = 0;
+    for bs in [16u64, 256, 4_096, 65_536] {
+        let plan = plan_and_replay(&chain, bs, "synthetic");
+        for step in plan.steps() {
+            match step {
+                ChainStep::Solo { .. } => solo_steps += 1,
+                ChainStep::Pair { .. } => fused_steps += 1,
+            }
+        }
+    }
+    assert!(solo_steps > 0, "grid never exercised a solo step");
+    assert!(fused_steps > 0, "grid never exercised a fused step");
+}
+
+#[test]
+fn two_matmul_attention_shape_plan_replays_exactly() {
+    // A miniature attention chain (seq 32, head dim 8) — the same shape
+    // family as the zoo gate below, small enough for debug-mode CI.
+    let chain = MmChain::try_new(vec![MatMul::new(32, 8, 32), MatMul::new(32, 32, 8)]).unwrap();
+    for bs in [32u64, 512, 8_192] {
+        plan_and_replay(&chain, bs, "mini-attention");
+    }
+}
+
+// --- release gate: real Table II attention chains (`cargo test -- --ignored`) ---
+
+#[test]
+#[ignore = "heavy: release-mode CI whole-graph conformance gate"]
+fn blenderbot_attention_plan_replays_exactly() {
+    // Blenderbot prefill attention: qk^T (256×64×256) → pv (256×256×64).
+    let chain = attention_chain(&zoo::blenderbot());
+    assert_eq!(chain.len(), 2);
+    let plan = plan_and_replay(&chain, 64 * 1024, "Blenderbot attention");
+    assert_eq!(
+        plan.fused_pair_count(),
+        1,
+        "the attention pair must fuse at a 64K buffer"
+    );
+}
+
+#[test]
+#[ignore = "heavy: release-mode CI whole-graph conformance gate"]
+fn bert_attention_plan_replays_exactly() {
+    // BERT prefill attention: qk^T (1024×64×1024) → pv (1024×1024×64).
+    let chain = attention_chain(&zoo::bert());
+    assert_eq!(chain.len(), 2);
+    let plan = plan_and_replay(&chain, 64 * 1024, "BERT attention");
+    assert_eq!(
+        plan.fused_pair_count(),
+        1,
+        "the attention pair must fuse at a 64K buffer"
+    );
+}
