@@ -1,0 +1,220 @@
+//! Closed-form latency model for buffer-level loop nests: the Fig 8 cycle
+//! template applied per tile.
+//!
+//! [`crate::intra`] prices whole layers *after* choosing a spatial mapping;
+//! this module prices a **given** loop nest, so a searcher can rank nests
+//! by cycles instead of traffic — a genuinely different objective. The
+//! template is the one [`crate::intra::select_op`] uses: every buffer tile
+//! streams its moving dimension through the PE array with systolic
+//! fill/drain ([`stream_cycles`]), compute overlaps the memory port, and
+//! the nest's latency is `max(compute, DRAM)` cycles.
+//!
+//! Like the traffic fast path in `fusecu-sim`, the tile sum is closed-form:
+//! each dimension splits into `count − 1` interior tiles of the full span
+//! plus one (possibly ragged) edge tile, so all `Π countᵢ` tiles price in
+//! `2^dims` products — no loop over tiles.
+//!
+//! The model is deliberately single-CU: a nest describes one compute
+//! unit's buffer schedule, and a scalar fitness only needs relative cost.
+//! DRAM cycles divide the nest's *analytical* memory access by the spec's
+//! effective bandwidth, so the objective stays consistent with the MA
+//! model the rest of the reproduction is built on.
+
+use fusecu_dataflow::{CostModel, LoopNest};
+use fusecu_fusion::{FusedNest, FusedPair};
+use fusecu_ir::{MatMul, MmDim};
+
+use crate::flex::stream_cycles;
+use crate::spec::ArraySpec;
+
+/// `(count, span)` classes of one tiled dimension: `count − 1` interior
+/// tiles of the full (clamped) span plus one edge tile.
+fn classes(dim: u64, tile: u64) -> [(u64, u64); 2] {
+    let full = tile.min(dim);
+    let count = dim.div_ceil(full);
+    [(count - 1, full), (1, dim - (count - 1) * full)]
+}
+
+/// Compute cycles to stream one `sm × sk × sl` matmul tile through a
+/// single `pe_dim × pe_dim` CU: `K × L` spatial, `M` moving (the WS
+/// template), fill/drain included.
+fn tile_cycles(spec: &ArraySpec, sm: u64, sk: u64, sl: u64) -> u64 {
+    stream_cycles(sk, sl, sm, spec.pe_dim, spec.pe_dim, 1)
+}
+
+/// Total compute cycles of replaying `nest` on one CU: every buffer tile
+/// streams once; the interior/edge decomposition prices all
+/// `count_m · count_k · count_l` tiles in eight closed-form terms.
+pub fn nest_compute_cycles(spec: &ArraySpec, mm: MatMul, nest: &LoopNest) -> u64 {
+    let cm = classes(mm.m(), nest.tiling.tile(MmDim::M));
+    let ck = classes(mm.k(), nest.tiling.tile(MmDim::K));
+    let cl = classes(mm.l(), nest.tiling.tile(MmDim::L));
+    let mut cycles = 0u64;
+    for (nm, sm) in cm {
+        for (nk, sk) in ck {
+            for (nl, sl) in cl {
+                cycles += nm * nk * nl * tile_cycles(spec, sm, sk, sl);
+            }
+        }
+    }
+    cycles
+}
+
+/// Latency of `nest` in cycles: compute overlapped with the memory port
+/// (`max(compute, DRAM)`), DRAM cycles from the analytical MA model under
+/// `model`'s accounting.
+pub fn nest_latency(spec: &ArraySpec, model: &CostModel, mm: MatMul, nest: &LoopNest) -> u64 {
+    let dram = model
+        .evaluate(mm, nest)
+        .total()
+        .div_ceil(spec.bw_elems_per_cycle);
+    nest_compute_cycles(spec, mm, nest).max(dram)
+}
+
+/// Total compute cycles of replaying a fused nest on one CU: every shared
+/// tile runs its full producer phase (`sm × sk × sl` tiles) and consumer
+/// phase (`sm × sl × sn` tiles, the resident `C` tile against `D`).
+pub fn fused_compute_cycles(spec: &ArraySpec, pair: &FusedPair, nest: &FusedNest) -> u64 {
+    use fusecu_fusion::FusedDim;
+    let cls = |d: FusedDim| classes(pair.dim(d), nest.tiling.clamped_tile(pair, d));
+    let cm = cls(FusedDim::M);
+    let ck = cls(FusedDim::K);
+    let cl = cls(FusedDim::L);
+    let cn = cls(FusedDim::N);
+    let mut cycles = 0u64;
+    for (nm, sm) in cm {
+        for (nl, sl) in cl {
+            for (nk, sk) in ck {
+                cycles += nm * nl * nk * tile_cycles(spec, sm, sk, sl);
+            }
+            for (nn, sn) in cn {
+                cycles += nm * nl * nn * tile_cycles(spec, sm, sl, sn);
+            }
+        }
+    }
+    cycles
+}
+
+/// Latency of a fused nest in cycles: `max(compute, DRAM)` with DRAM from
+/// the fused MA model (external tensors only — the intermediate stays
+/// on-chip, which is exactly what this objective should reward).
+pub fn fused_latency(
+    spec: &ArraySpec,
+    model: &CostModel,
+    pair: &FusedPair,
+    nest: &FusedNest,
+) -> u64 {
+    let dram = nest
+        .evaluate(model, pair)
+        .total()
+        .div_ceil(spec.bw_elems_per_cycle);
+    fused_compute_cycles(spec, pair, nest).max(dram)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusecu_dataflow::Tiling;
+    use fusecu_fusion::FusedTiling;
+    use fusecu_ir::MmDim::{K, L, M};
+
+    fn model() -> CostModel {
+        CostModel::paper()
+    }
+
+    /// Brute-force reference: walk every tile and sum `tile_cycles`.
+    fn nest_cycles_by_walk(spec: &ArraySpec, mm: MatMul, nest: &LoopNest) -> u64 {
+        let geom = |d: MmDim| {
+            let dim = mm.dim(d);
+            let t = nest.tiling.tile(d).min(dim);
+            (dim.div_ceil(t), t, dim)
+        };
+        let span = |(count, t, dim): (u64, u64, u64), i: u64| {
+            if i + 1 == count {
+                dim - (count - 1) * t
+            } else {
+                t
+            }
+        };
+        let (gm, gk, gl) = (geom(M), geom(K), geom(L));
+        let mut cycles = 0u64;
+        for im in 0..gm.0 {
+            for ik in 0..gk.0 {
+                for il in 0..gl.0 {
+                    cycles +=
+                        tile_cycles(spec, span(gm, im), span(gk, ik), span(gl, il));
+                }
+            }
+        }
+        cycles
+    }
+
+    #[test]
+    fn closed_form_matches_per_tile_walk() {
+        let spec = ArraySpec::paper_default();
+        let mm = MatMul::new(300, 130, 257);
+        for order in LoopNest::orders() {
+            for tiling in [
+                Tiling::new(128, 128, 128), // ragged everywhere
+                Tiling::new(300, 130, 257), // single tile
+                Tiling::new(1, 130, 64),    // unit M, untiled K
+                Tiling::new(7, 11, 13),
+            ] {
+                let nest = LoopNest::new(order, tiling);
+                assert_eq!(
+                    nest_compute_cycles(&spec, mm, &nest),
+                    nest_cycles_by_walk(&spec, mm, &nest),
+                    "order {order:?} tiling {tiling}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_fuller_tiles_cost_fewer_compute_cycles() {
+        // Fill/drain is paid per tile, so shredding a dimension into unit
+        // tiles must cost strictly more compute than streaming it whole.
+        let spec = ArraySpec::paper_default();
+        let mm = MatMul::new(48, 40, 32);
+        let order = [M, K, L];
+        let whole = LoopNest::new(order, Tiling::new(48, 40, 32));
+        let shredded = LoopNest::new(order, Tiling::new(48, 40, 1));
+        assert!(
+            nest_compute_cycles(&spec, mm, &whole)
+                < nest_compute_cycles(&spec, mm, &shredded)
+        );
+    }
+
+    #[test]
+    fn latency_switches_to_dram_bound_under_starved_bandwidth() {
+        let mm = MatMul::new(48, 40, 32);
+        let nest = LoopNest::new([M, K, L], Tiling::new(24, 20, 32));
+        let fast_port = ArraySpec::paper_default();
+        let starved = ArraySpec {
+            bw_elems_per_cycle: 1,
+            ..fast_port
+        };
+        let compute = nest_compute_cycles(&fast_port, mm, &nest);
+        assert_eq!(nest_latency(&fast_port, &model(), mm, &nest), compute);
+        let ma = model().evaluate(mm, &nest).total();
+        assert_eq!(nest_latency(&starved, &model(), mm, &nest), ma.max(compute));
+        assert!(ma > compute, "starved port must be DRAM-bound");
+    }
+
+    #[test]
+    fn fused_latency_is_positive_and_monotone_in_tile_count() {
+        let spec = ArraySpec::paper_default();
+        let pair = FusedPair::try_new(MatMul::new(32, 24, 40), MatMul::new(32, 40, 16))
+            .unwrap();
+        let whole = FusedNest::new(true, FusedTiling::new(32, 24, 40, 16));
+        let shredded = FusedNest::new(true, FusedTiling::new(1, 24, 40, 16));
+        let lw = fused_latency(&spec, &model(), &pair, &whole);
+        let ls = fused_latency(&spec, &model(), &pair, &shredded);
+        assert!(lw > 0);
+        assert!(
+            fused_compute_cycles(&spec, &pair, &whole)
+                < fused_compute_cycles(&spec, &pair, &shredded)
+        );
+        let _ = (lw, ls);
+    }
+}

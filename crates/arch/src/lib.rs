@@ -32,6 +32,7 @@ pub mod eval;
 pub mod flex;
 pub mod fused;
 pub mod intra;
+pub mod latency;
 pub mod mapping;
 pub mod persist;
 pub mod platform;
@@ -45,6 +46,7 @@ pub use intra::{
     op_cache_preload, op_cache_snapshot, op_cache_stats, op_candidates, optimize_op,
     optimize_op_cached, select_op, OpCandidate, OpPerf, TileKey,
 };
+pub use latency::{fused_compute_cycles, fused_latency, nest_compute_cycles, nest_latency};
 pub use mapping::{classify_intermediate, recommended_mapping, IntermediateShape};
 pub use platform::Platform;
 pub use spec::ArraySpec;

@@ -2,7 +2,7 @@
 //! and genomes/s of simulated-fitness scoring, at a fixed seed.
 //!
 //! Writes `BENCH_sim.json` (repo root by default, `--out <path>` to
-//! override) with three sections measured in one process on one machine:
+//! override) with five sections measured in one process on one machine:
 //!
 //! * `baseline` — the frozen pre-refactor replay engine (verbatim copies
 //!   of the old allocating drivers, preserved in [`legacy`] below), scored
@@ -10,11 +10,18 @@
 //!   materialized, a fresh output matrix and fresh tiles per genome.
 //! * `full` — the live engine in `SimMode::Full`: same data movement,
 //!   shared scratch arenas across genome replays.
-//! * `current` — the live engine at its default `SimMode::TrafficOnly`:
-//!   counters only, no data movement at all.
+//! * `naive` — the frozen naive counters-only walk
+//!   (`driver::oracle`): one residency check per slot per innermost body.
+//!   This was the `TrafficOnly` engine before strength reduction.
+//! * `walk` — the hoisted accounting walk (`measure_nest_walk` /
+//!   `measure_fused_nest_walk`): residency checks moved to the loop
+//!   levels where residency can change.
+//! * `fast` — the live default: `SimMode::TrafficOnly` through the
+//!   scorers, which now resolve to the closed-form `measure_nest` /
+//!   `measure_fused_nest` (no tile loops at all).
 //!
 //! Every section scores the *same* fixed genome populations, and the
-//! score digests are asserted byte-identical across all three engines —
+//! score digests are asserted byte-identical across all five engines —
 //! the before/after is honest and self-checking. `--quick` shrinks the
 //! repetition counts for CI.
 
@@ -27,6 +34,7 @@ use fusecu_fusion::{FusedNest, FusedPair, FusedTiling};
 use fusecu_ir::MatMul;
 use fusecu_search::space::balanced_tiles;
 use fusecu_search::{par_map, Fitness, FusedScorer, NestScorer, Parallelism};
+use fusecu_sim::driver::{measure_fused_nest_walk, measure_nest_walk, oracle};
 use fusecu_sim::{CuArray, Matrix, SimMode};
 
 /// The paper's per-visit accounting, as used by the simulated fitness.
@@ -341,7 +349,13 @@ enum Engine {
     Legacy,
     /// Live engine, `SimMode::Full` (data movement via shared scratch).
     Full,
-    /// Live engine, default `SimMode::TrafficOnly`.
+    /// Frozen naive counters-only walk (`driver::oracle`): a residency
+    /// check per slot per innermost body.
+    Naive,
+    /// Hoisted accounting walk: residency charges strength-reduced to
+    /// loop boundaries, bare visit loop innermost.
+    Walk,
+    /// Live engine, default `SimMode::TrafficOnly` — the closed form.
     TrafficOnly,
 }
 
@@ -362,9 +376,9 @@ fn measure(engine: &Engine, quick: bool, workers: &[usize]) -> EngineRun {
     let fdm = Matrix::pseudo_random(fd(L), fd(N), OPERAND_SEED + 4);
 
     let mode = match engine {
-        Engine::Legacy => SimMode::Full, // unused; legacy scores directly
-        Engine::Full => SimMode::Full,
         Engine::TrafficOnly => SimMode::TrafficOnly,
+        // Unused for Legacy/Naive/Walk (they score directly below).
+        _ => SimMode::Full,
     };
     let nest_scorer = NestScorer::new(Fitness::Simulated, MODEL, mm).with_sim_mode(mode);
     let fused_scorer = FusedScorer::new(Fitness::Simulated, MODEL, pair).with_sim_mode(mode);
@@ -372,6 +386,8 @@ fn measure(engine: &Engine, quick: bool, workers: &[usize]) -> EngineRun {
     let score_nest = |n: &LoopNest| -> u64 {
         match engine {
             Engine::Legacy => legacy::execute_nest(&a, &b, mm, n).total(),
+            Engine::Naive => oracle::measure_nest(mm, n).total(),
+            Engine::Walk => measure_nest_walk(mm, n).total(),
             _ => nest_scorer.score(n),
         }
     };
@@ -380,6 +396,8 @@ fn measure(engine: &Engine, quick: bool, workers: &[usize]) -> EngineRun {
             Engine::Legacy => legacy::execute_fused_nest(&fa, &fb, &fdm, &pair, n)
                 .iter()
                 .sum(),
+            Engine::Naive => oracle::measure_fused_nest(&pair, n).iter().sum(),
+            Engine::Walk => measure_fused_nest_walk(&pair, n).iter().sum(),
             _ => fused_scorer.score(n),
         }
     };
@@ -387,7 +405,9 @@ fn measure(engine: &Engine, quick: bool, workers: &[usize]) -> EngineRun {
     let (label, alloc_cells) = match engine {
         Engine::Legacy => ("baseline", true),
         Engine::Full => ("full", false),
-        Engine::TrafficOnly => ("current", false),
+        Engine::Naive => ("naive", false),
+        Engine::Walk => ("walk", false),
+        Engine::TrafficOnly => ("fast", false),
     };
     let cells_per_s = bench_cells_per_s(cell_reps, alloc_cells);
     let mut rows = Vec::new();
@@ -439,11 +459,13 @@ fn main() {
 
     let baseline = measure(&Engine::Legacy, quick, &workers);
     let full = measure(&Engine::Full, quick, &workers);
-    let current = measure(&Engine::TrafficOnly, quick, &workers);
+    let naive = measure(&Engine::Naive, quick, &workers);
+    let walk = measure(&Engine::Walk, quick, &workers);
+    let fast = measure(&Engine::TrafficOnly, quick, &workers);
 
-    // The three engines must score every genome identically — the digest
+    // All five engines must score every genome identically — the digest
     // is the self-check that the before/after compares like with like.
-    for run in [&full, &current] {
+    for run in [&full, &naive, &walk, &fast] {
         assert_eq!(
             (run.nest_digest, run.fused_digest),
             (baseline.nest_digest, baseline.fused_digest),
@@ -452,7 +474,7 @@ fn main() {
         );
     }
 
-    for run in [&baseline, &full, &current] {
+    for run in [&baseline, &full, &naive, &walk, &fast] {
         eprintln!("[{}] cells/s: {:.3e}", run.label, run.cells_per_s);
         for (w, nps, fps) in &run.rows {
             eprintln!(
@@ -462,20 +484,28 @@ fn main() {
         }
     }
 
-    // Headline speedup: single-worker genomes/s, live default engine vs
-    // the frozen baseline.
-    let speedup_nest = current.rows[0].1 / baseline.rows[0].1;
-    let speedup_fused = current.rows[0].2 / baseline.rows[0].2;
-    eprintln!("speedup (1 worker, TrafficOnly vs pre-refactor): nest {speedup_nest:.1}x, fused {speedup_fused:.1}x");
+    // Headline speedups: single-worker genomes/s, closed-form fast path
+    // vs the frozen full replay and vs the naive counters-only walk it
+    // strength-reduces.
+    let speedup_nest = fast.rows[0].1 / baseline.rows[0].1;
+    let speedup_fused = fast.rows[0].2 / baseline.rows[0].2;
+    let vs_naive_nest = fast.rows[0].1 / naive.rows[0].1;
+    let vs_naive_fused = fast.rows[0].2 / naive.rows[0].2;
+    eprintln!("speedup (1 worker, closed form vs pre-refactor replay): nest {speedup_nest:.1}x, fused {speedup_fused:.1}x");
+    eprintln!("speedup (1 worker, closed form vs naive walk): nest {vs_naive_nest:.1}x, fused {vs_naive_fused:.1}x");
 
     let json = format!(
-        "{{\n  \"benchmark\": \"sim_throughput\",\n  \"quick\": {quick},\n  \"available_parallelism\": {},\n  \"baseline\": {},\n  \"full\": {},\n  \"current\": {},\n  \"speedup_vs_baseline\": {{ \"nest\": {:.2}, \"fused\": {:.2} }}\n}}\n",
+        "{{\n  \"benchmark\": \"sim_throughput\",\n  \"quick\": {quick},\n  \"available_parallelism\": {},\n  \"baseline\": {},\n  \"full\": {},\n  \"naive\": {},\n  \"walk\": {},\n  \"fast\": {},\n  \"speedup_vs_baseline\": {{ \"nest\": {:.2}, \"fused\": {:.2} }},\n  \"speedup_vs_naive\": {{ \"nest\": {:.2}, \"fused\": {:.2} }}\n}}\n",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         json_for(&baseline),
         json_for(&full),
-        json_for(&current),
+        json_for(&naive),
+        json_for(&walk),
+        json_for(&fast),
         speedup_nest,
         speedup_fused,
+        vs_naive_nest,
+        vs_naive_fused,
     );
     std::fs::write(&out, &json).expect("write benchmark output");
     println!("wrote {out}");

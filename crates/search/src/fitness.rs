@@ -9,10 +9,19 @@
 //!   uses.
 //! * [`Fitness::Simulated`] — each candidate nest is *replayed* on the
 //!   cycle-level fabric drivers and scored by the traffic the replay
-//!   actually measures. Orders of magnitude slower per genome — which is
-//!   exactly the workload that justifies parallel population scoring —
-//!   but closes the loop: the searcher can no longer be fooled by a
-//!   modeling bug, because its objective *is* the machine.
+//!   actually measures. With the default [`SimMode::TrafficOnly`] this now
+//!   runs through the driver's closed-form fast path — near-analytical
+//!   speed — while [`SimMode::Full`] keeps the orders-of-magnitude-heavier
+//!   data-moving replay that justifies parallel population scoring. Either
+//!   way it closes the loop: the searcher can no longer be fooled by a
+//!   modeling bug, because its objective *is* the machine (the closed form
+//!   is differentially pinned against the frozen naive walk).
+//! * [`Fitness::Latency`] — score by the arch cycle model instead of
+//!   traffic: `max(compute, DRAM)` cycles of the nest on a given
+//!   [`ArraySpec`] (see `fusecu_arch::latency`). A genuinely different
+//!   objective — per-tile systolic fill/drain makes many small tiles
+//!   expensive in cycles even when they are cheap in traffic, so latency
+//!   and traffic rank some genome pairs in opposite orders.
 //!
 //! The simulated backend itself has two modes ([`SimMode`]):
 //!
@@ -37,6 +46,7 @@
 //! induce the same ranking; the simulated backend exists to *keep* that
 //! true as the model evolves, and to catch it the moment it breaks.
 
+use fusecu_arch::{fused_latency, nest_latency, ArraySpec};
 use fusecu_dataflow::{CostModel, LoopNest};
 use fusecu_fusion::{FusedNest, FusedPair};
 use fusecu_ir::MatMul;
@@ -52,8 +62,15 @@ pub enum Fitness {
     #[default]
     Analytical,
     /// Score by traffic measured while replaying the nest on the
-    /// simulated fabric (slow; parallel scoring pays for itself).
+    /// simulated fabric. The default [`SimMode::TrafficOnly`] replay is
+    /// closed-form and cheap; [`SimMode::Full`] moves real data and is
+    /// where parallel scoring pays for itself.
     Simulated,
+    /// Score by the arch cycle model: `max(compute, DRAM)` cycles of the
+    /// nest on the given array (`fusecu_arch::latency`). Cheap and
+    /// closed-form, but a *different* objective from traffic: a nest that
+    /// moves more data with fewer, fuller tiles can win.
+    Latency(ArraySpec),
 }
 
 impl Fitness {
@@ -92,6 +109,7 @@ struct SimBackend<Ops> {
 pub struct NestScorer {
     model: CostModel,
     mm: MatMul,
+    latency: Option<ArraySpec>,
     sim: Option<SimBackend<(Matrix, Matrix)>>,
 }
 
@@ -99,12 +117,21 @@ impl NestScorer {
     /// Builds a scorer for `mm` under `model` with the given backend.
     /// [`Fitness::Simulated`] defaults to [`SimMode::TrafficOnly`].
     pub fn new(fitness: Fitness, model: CostModel, mm: MatMul) -> NestScorer {
-        let sim = fitness.prefers_parallel_scoring().then(|| SimBackend {
+        let sim = matches!(fitness, Fitness::Simulated).then(|| SimBackend {
             mode: SimMode::TrafficOnly,
             operands: None,
             pool: ScratchPool::new(),
         });
-        NestScorer { model, mm, sim }
+        let latency = match fitness {
+            Fitness::Latency(spec) => Some(spec),
+            _ => None,
+        };
+        NestScorer {
+            model,
+            mm,
+            latency,
+            sim,
+        }
     }
 
     /// Selects the simulated replay mode; [`SimMode::Full`] materializes
@@ -124,9 +151,13 @@ impl NestScorer {
         self
     }
 
-    /// Total memory-access cost of `nest` under the selected backend.
+    /// Scalar cost of `nest` under the selected backend — total memory
+    /// access for the traffic backends, cycles for [`Fitness::Latency`].
     /// Feasibility (buffer fit) is the caller's concern; this only scores.
     pub fn score(&self, nest: &LoopNest) -> u64 {
+        if let Some(spec) = &self.latency {
+            return nest_latency(spec, &self.model, self.mm, nest);
+        }
         match &self.sim {
             None => self.model.evaluate(self.mm, nest).total(),
             Some(sim) => match &sim.operands {
@@ -146,6 +177,7 @@ impl NestScorer {
 pub struct FusedScorer {
     model: CostModel,
     pair: FusedPair,
+    latency: Option<ArraySpec>,
     sim: Option<SimBackend<(Matrix, Matrix, Matrix)>>,
 }
 
@@ -153,12 +185,21 @@ impl FusedScorer {
     /// Builds a scorer for `pair` under `model` with the given backend.
     /// [`Fitness::Simulated`] defaults to [`SimMode::TrafficOnly`].
     pub fn new(fitness: Fitness, model: CostModel, pair: FusedPair) -> FusedScorer {
-        let sim = fitness.prefers_parallel_scoring().then(|| SimBackend {
+        let sim = matches!(fitness, Fitness::Simulated).then(|| SimBackend {
             mode: SimMode::TrafficOnly,
             operands: None,
             pool: ScratchPool::new(),
         });
-        FusedScorer { model, pair, sim }
+        let latency = match fitness {
+            Fitness::Latency(spec) => Some(spec),
+            _ => None,
+        };
+        FusedScorer {
+            model,
+            pair,
+            latency,
+            sim,
+        }
     }
 
     /// Selects the simulated replay mode; [`SimMode::Full`] materializes
@@ -180,8 +221,12 @@ impl FusedScorer {
         self
     }
 
-    /// Total external-tensor traffic of `nest` under the selected backend.
+    /// Scalar cost of `nest` under the selected backend — total
+    /// external-tensor traffic, or cycles for [`Fitness::Latency`].
     pub fn score(&self, nest: &FusedNest) -> u64 {
+        if let Some(spec) = &self.latency {
+            return fused_latency(spec, &self.model, &self.pair, nest);
+        }
         match &self.sim {
             None => nest.evaluate(&self.model, &self.pair).total(),
             Some(sim) => match &sim.operands {
@@ -273,6 +318,63 @@ mod tests {
         assert_eq!(Fitness::default(), Fitness::Analytical);
         assert!(!Fitness::Analytical.prefers_parallel_scoring());
         assert!(Fitness::Simulated.prefers_parallel_scoring());
+        // Latency is closed-form and cheap — serial scoring by default.
+        assert!(!Fitness::Latency(ArraySpec::paper_default()).prefers_parallel_scoring());
+    }
+
+    #[test]
+    fn latency_fitness_ranks_a_genome_pair_differently_than_traffic() {
+        // The satellite objective test: latency is a *genuinely different*
+        // objective, not a rescaled traffic. Shredding L into unit tiles
+        // minimizes MA on this shape (4 736 vs 6 016 elements) but pays
+        // systolic fill/drain on every one of its 32 tiles (9 728 vs 1 120
+        // compute cycles on the paper's 128×128 array, where both nests
+        // are compute-bound) — so the two backends order the pair in
+        // opposite directions.
+        let mm = MatMul::new(48, 40, 32);
+        let order = [MmDim::M, MmDim::K, MmDim::L];
+        let low_traffic = LoopNest::new(order, Tiling::new(48, 40, 1));
+        let low_latency = LoopNest::new(order, Tiling::new(24, 20, 32));
+        let traffic = NestScorer::new(Fitness::Analytical, MODEL, mm);
+        let latency =
+            NestScorer::new(Fitness::Latency(ArraySpec::paper_default()), MODEL, mm);
+        assert!(
+            traffic.score(&low_traffic) < traffic.score(&low_latency),
+            "traffic must prefer the shredded nest: {} vs {}",
+            traffic.score(&low_traffic),
+            traffic.score(&low_latency)
+        );
+        assert!(
+            latency.score(&low_traffic) > latency.score(&low_latency),
+            "latency must prefer the fuller tiles: {} vs {}",
+            latency.score(&low_traffic),
+            latency.score(&low_latency)
+        );
+    }
+
+    #[test]
+    fn latency_fitness_scores_fused_nests() {
+        // Fused plumbing: the latency backend flows through FusedScorer
+        // and ranks the all-unit tiling strictly worse than whole tiles.
+        let pair =
+            FusedPair::try_new(MatMul::new(12, 5, 10), MatMul::new(12, 10, 7)).unwrap();
+        let scorer =
+            FusedScorer::new(Fitness::Latency(ArraySpec::paper_default()), MODEL, pair);
+        let whole = FusedNest::new(true, FusedTiling::new(12, 5, 10, 7));
+        let unit = FusedNest::new(true, FusedTiling::new(1, 1, 1, 1));
+        assert!(scorer.score(&whole) > 0);
+        assert!(scorer.score(&whole) < scorer.score(&unit));
+    }
+
+    #[test]
+    fn latency_scorer_builds_no_sim_backend() {
+        let scorer =
+            NestScorer::new(Fitness::Latency(ArraySpec::paper_default()), MODEL, MatMul::new(6, 6, 6));
+        assert!(scorer.sim.is_none());
+        assert!(scorer.latency.is_some());
+        // with_sim_mode is a no-op without a simulated backend.
+        let scorer = scorer.with_sim_mode(SimMode::Full);
+        assert!(scorer.sim.is_none());
     }
 
     #[test]

@@ -68,7 +68,9 @@ impl FusedGenetic {
     /// Selects the fitness backend (see [`crate::fitness::Fitness`]).
     /// [`Fitness::Simulated`] replays every genome's fused nest through
     /// the fabric driver and flips population scoring to
-    /// [`Parallelism::Auto`] by default.
+    /// [`Parallelism::Auto`] by default. [`Fitness::Latency`] ranks by
+    /// the arch cycle model (`max(compute, DRAM)`), so the winning fused
+    /// nest may legitimately differ from the minimum-traffic one.
     pub fn with_fitness(mut self, fitness: Fitness) -> FusedGenetic {
         self.fitness = fitness;
         self

@@ -107,18 +107,21 @@ impl GeneticSearch {
     }
 
     /// Selects the fitness backend (see [`Fitness`]). The winner and the
-    /// evaluation count are byte-identical across backends for paper
-    /// accounting; the simulated backend re-derives the objective from the
-    /// fabric instead of trusting the model.
+    /// evaluation count are byte-identical across the traffic backends for
+    /// paper accounting; the simulated backend re-derives the objective
+    /// from the fabric instead of trusting the model, and
+    /// [`Fitness::Latency`] optimizes cycles instead of traffic (so its
+    /// winner may legitimately differ).
     pub fn with_fitness(mut self, fitness: Fitness) -> GeneticSearch {
         self.fitness = fitness;
         self
     }
 
-    /// Selects the simulated replay mode (ignored by the analytical
-    /// backend). The default [`SimMode::TrafficOnly`] scores through the
-    /// counters-only walk; [`SimMode::Full`] replays real operand data
-    /// through shared scratch arenas. Scores are identical either way.
+    /// Selects the simulated replay mode (ignored by the analytical and
+    /// latency backends). The default [`SimMode::TrafficOnly`] scores
+    /// through the driver's closed-form fast path; [`SimMode::Full`]
+    /// replays real operand data through shared scratch arenas. Scores are
+    /// identical either way.
     pub fn with_sim_mode(mut self, mode: SimMode) -> GeneticSearch {
         self.sim_mode = mode;
         self
@@ -373,6 +376,27 @@ mod tests {
                     .unwrap();
                 assert_eq!(parallel, serial, "bs={bs} par={par:?}");
             }
+        }
+    }
+
+    #[test]
+    fn latency_fitness_finds_feasible_nests_deterministically() {
+        // The latency backend is a genuinely different objective, but it
+        // still has to respect buffer feasibility and the single-RNG
+        // determinism contract of the GA.
+        let fit = crate::fitness::Fitness::Latency(fusecu_arch::ArraySpec::paper_default());
+        let mm = MatMul::new(256, 96, 192);
+        for bs in [512u64, 8_192, 100_000] {
+            let a = GeneticSearch::new(MODEL)
+                .with_fitness(fit)
+                .optimize(mm, bs)
+                .unwrap();
+            assert!(a.best().buffer_elems() <= bs, "bs={bs}");
+            let b = GeneticSearch::new(MODEL)
+                .with_fitness(fit)
+                .optimize(mm, bs)
+                .unwrap();
+            assert_eq!(a, b, "bs={bs}: latency GA must be deterministic");
         }
     }
 

@@ -18,10 +18,13 @@
 //!   validating the closed-form fused optimizer of `fusecu-fusion`.
 //!
 //! Every searcher ranks candidates through a pluggable [`fitness`]
-//! backend: the analytical loop-nest model by default, or
+//! backend: the analytical loop-nest model by default;
 //! [`Fitness::Simulated`], which replays each candidate nest on the
 //! cycle-level fabric of `fusecu-sim` and scores by *measured* traffic —
-//! the searcher's objective becomes the machine itself.
+//! the searcher's objective becomes the machine itself; or
+//! [`Fitness::Latency`], which scores by the arch cycle model
+//! (`max(compute, DRAM)` on a given array) — a genuinely different
+//! objective that can rank genome pairs opposite to traffic.
 //!
 //! Two infrastructure modules drive the figure sweeps that use these
 //! searchers at scale: [`cache`] memoizes optimizer results behind a

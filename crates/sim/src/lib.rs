@@ -22,6 +22,12 @@
 //! * a tiling [`driver`] that executes arbitrarily large matmuls tile by
 //!   tile and *measures* buffer↔array traffic, cross-checking the
 //!   analytical memory-access model of `fusecu-dataflow` in execution.
+//!   Traffic accounting comes in three byte-identical tiers — a frozen
+//!   naive walk ([`driver::oracle`]), a hoisted walk with residency
+//!   checks strength-reduced to loop boundaries, and a closed form with
+//!   no tile loops at all ([`driver::measure_nest`] /
+//!   [`driver::measure_fused_nest`], the [`SimMode::TrafficOnly`]
+//!   scoring path).
 //!
 //! All simulations are exact over `i64`, so every check is bit-precise.
 

@@ -27,9 +27,12 @@ pub enum SimMode {
     #[default]
     Full,
     /// Skip value movement entirely and compute only the traffic/cycle
-    /// counters a fitness scores. Byte-identical counters to [`SimMode::Full`]
-    /// by construction (both modes share one accounting walk — and the
-    /// differential tests prove it on the conformance grid).
+    /// counters a fitness scores. Resolves to the closed-form
+    /// `measure_nest`/`measure_fused_nest` in the driver: no loops over
+    /// tiles, interior tiles priced analytically and the ragged edge
+    /// fringe folded into edge-clamped span sums. Byte-identical counters
+    /// to [`SimMode::Full`] — proven against the hoisted accounting walk
+    /// and the frozen naive oracle by the `traffic_differential` suite.
     TrafficOnly,
 }
 

@@ -18,7 +18,10 @@ use std::cell::Cell;
 use fusecu_arch::Stationary;
 use fusecu_dataflow::{LoopNest, Tiling};
 use fusecu_ir::{MatMul, MmDim};
-use fusecu_sim::driver::{execute_nest_with, measure_fused_nest, measure_nest};
+use fusecu_sim::driver::{
+    execute_nest_with, measure_fused_nest, measure_fused_nest_walk, measure_nest,
+    measure_nest_walk,
+};
 use fusecu_sim::{CuArray, FabricShape, FuseCuFabric, Matrix, SimScratch};
 
 struct CountingAlloc;
@@ -122,6 +125,47 @@ fn traffic_only_replay_never_allocates() {
     let (count, (ma, ft)) = allocations(|| (measure_nest(mm, &nest), measure_fused_nest(&pair, &fused)));
     assert!(ma.total() > 0 && ft.iter().sum::<u64>() > 0);
     assert_eq!(count, 0, "counters-only replay allocated {count} times");
+}
+
+#[test]
+fn closed_form_scoring_population_never_allocates() {
+    // The closed-form TrafficOnly fast path and the hoisted accounting
+    // walk must stay zero-allocation across a whole scoring population,
+    // not just one call — this is what lets the search loop replay
+    // thousands of genomes per second with no allocator traffic at all.
+    // Genomes are built outside the counted region; only scoring counts.
+    let mm = MatMul::new(96, 80, 64);
+    let nests: Vec<LoopNest> = LoopNest::orders()
+        .into_iter()
+        .flat_map(|order| {
+            [(8, 10, 4), (96, 80, 64), (7, 7, 7), (1, 1, 1)]
+                .map(|(tm, tk, tl)| LoopNest::new(order, Tiling::new(tm, tk, tl)))
+        })
+        .collect();
+    let pair = fusecu_fusion::FusedPair::try_new(MatMul::new(32, 24, 40), MatMul::new(32, 40, 16))
+        .unwrap();
+    let fused: Vec<fusecu_fusion::FusedNest> = [true, false]
+        .into_iter()
+        .flat_map(|outer_is_m| {
+            [(8, 6, 10, 4), (32, 24, 40, 16), (5, 5, 5, 5)].map(|(tm, tk, tl, tn)| {
+                fusecu_fusion::FusedNest::new(outer_is_m, fusecu_fusion::FusedTiling::new(tm, tk, tl, tn))
+            })
+        })
+        .collect();
+    let (count, total) = allocations(|| {
+        let mut total = 0u64;
+        for nest in &nests {
+            total += measure_nest(mm, nest).total();
+            total += measure_nest_walk(mm, nest).total();
+        }
+        for nest in &fused {
+            total += measure_fused_nest(&pair, nest).iter().sum::<u64>();
+            total += measure_fused_nest_walk(&pair, nest).iter().sum::<u64>();
+        }
+        total
+    });
+    assert!(total > 0);
+    assert_eq!(count, 0, "closed-form/walk scoring allocated {count} times");
 }
 
 #[test]

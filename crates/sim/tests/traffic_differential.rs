@@ -1,0 +1,158 @@
+//! Differential proof that the three traffic-accounting tiers agree.
+//!
+//! The driver now prices a nest three ways: the frozen naive walk
+//! ([`fusecu_sim::driver::oracle`], one residency check per slot per
+//! innermost body), the hoisted walk (residency checks strength-reduced
+//! to the loop levels where they can change), and the closed form (no
+//! tile loops at all). Correctness rests on all three producing
+//! byte-identical counters, and on those counters equalling the
+//! analytical model — this suite is that proof, over randomized orders
+//! and tilings plus pinned boundary shapes (unit tiles, full-dimension
+//! tiles, untiled axes, ragged edges, single-iteration loops).
+//!
+//! Tile ranges deliberately exceed the dimension ranges: every tier and
+//! the analytical model clamp oversized tiles, so `tile > dim` must be
+//! exercised, not filtered out.
+
+use proptest::prelude::*;
+
+use fusecu_dataflow::{CostModel, LoopNest, MemoryAccess, Tiling};
+use fusecu_fusion::{ExtTensor, FusedNest, FusedPair, FusedTiling};
+use fusecu_ir::MatMul;
+use fusecu_sim::driver::{
+    measure_fused_nest, measure_fused_nest_walk, measure_nest, measure_nest_walk, oracle,
+};
+
+fn model() -> CostModel {
+    CostModel::paper()
+}
+
+/// Asserts naive == hoisted == closed-form == analytical for one nest.
+fn assert_nest_paths_agree(mm: MatMul, nest: &LoopNest) -> MemoryAccess {
+    let naive = oracle::measure_nest(mm, nest);
+    let walk = measure_nest_walk(mm, nest);
+    let closed = measure_nest(mm, nest);
+    let predicted = model().evaluate(mm, nest);
+    assert_eq!(walk, naive, "hoisted walk vs naive oracle: {mm} {nest:?}");
+    assert_eq!(closed, naive, "closed form vs naive oracle: {mm} {nest:?}");
+    assert_eq!(closed, predicted, "closed form vs model: {mm} {nest:?}");
+    closed
+}
+
+/// Asserts the fused tiers agree and match `FusedNest::evaluate`.
+fn assert_fused_paths_agree(pair: &FusedPair, nest: &FusedNest) -> [u64; 4] {
+    let naive = oracle::measure_fused_nest(pair, nest);
+    let walk = measure_fused_nest_walk(pair, nest);
+    let closed = measure_fused_nest(pair, nest);
+    assert_eq!(walk, naive, "hoisted walk vs naive oracle: {pair} {nest}");
+    assert_eq!(closed, naive, "closed form vs naive oracle: {pair} {nest}");
+    let predicted = nest.evaluate(&model(), pair);
+    for (slot, t) in ExtTensor::ALL.iter().enumerate() {
+        assert_eq!(
+            closed[slot],
+            predicted.of(*t),
+            "closed form vs model for {t:?}: {pair} {nest}"
+        );
+    }
+    closed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random shape × order × (possibly oversized, ragged) tiling.
+    #[test]
+    fn nest_tiers_agree_on_random_genomes(
+        m in 1u64..24,
+        k in 1u64..24,
+        l in 1u64..24,
+        order_ix in 0usize..6,
+        tm in 1u64..32,
+        tk in 1u64..32,
+        tl in 1u64..32,
+    ) {
+        let mm = MatMul::new(m, k, l);
+        let nest = LoopNest::new(LoopNest::orders()[order_ix], Tiling::new(tm, tk, tl));
+        assert_nest_paths_agree(mm, &nest);
+    }
+
+    /// Random fused pair × shared-loop order × ragged four-way tiling.
+    #[test]
+    fn fused_tiers_agree_on_random_genomes(
+        m in 1u64..16,
+        k in 1u64..16,
+        l in 1u64..16,
+        n in 1u64..16,
+        outer in 0u8..2,
+        tm in 1u64..20,
+        tk in 1u64..20,
+        tl in 1u64..20,
+        tn in 1u64..20,
+    ) {
+        let pair = FusedPair::try_new(MatMul::new(m, k, l), MatMul::new(m, l, n)).unwrap();
+        let nest = FusedNest::new(outer == 0, FusedTiling::new(tm, tk, tl, tn));
+        assert_fused_paths_agree(&pair, &nest);
+    }
+}
+
+/// Boundary tilings pinned deterministically so a failure prints the
+/// concrete nest rather than a shrunken proptest case.
+#[test]
+fn nest_tiers_agree_on_boundary_tilings() {
+    let mm = MatMul::new(12, 10, 8);
+    let tilings = [
+        Tiling::new(1, 1, 1),    // unit tiles: one run per body everywhere
+        Tiling::new(12, 10, 8),  // full-dim: every loop single-iteration
+        Tiling::new(64, 64, 64), // oversized: must clamp to full-dim
+        Tiling::new(5, 10, 3),   // ragged M and L edges, untiled K
+        Tiling::new(12, 3, 8),   // only K iterates
+        Tiling::new(5, 4, 3),    // ragged on every axis
+        Tiling::new(12, 10, 3),  // single non-trivial innermost-capable axis
+        Tiling::new(7, 7, 7),    // ragged, no axis divides evenly
+    ];
+    for order in LoopNest::orders() {
+        for tiling in tilings {
+            let nest = LoopNest::new(order, tiling);
+            assert_nest_paths_agree(mm, &nest);
+        }
+    }
+}
+
+/// Degenerate shapes: vectors and scalars exercise `count == 1` and
+/// `edge == full` simultaneously.
+#[test]
+fn nest_tiers_agree_on_degenerate_shapes() {
+    for mm in [
+        MatMul::new(1, 1, 1),
+        MatMul::new(1, 9, 1),
+        MatMul::new(16, 1, 4),
+        MatMul::new(2, 2, 2),
+    ] {
+        for order in LoopNest::orders() {
+            for t in [1u64, 2, 3, 16] {
+                let nest = LoopNest::new(order, Tiling::new(t, t, t));
+                assert_nest_paths_agree(mm, &nest);
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_tiers_agree_on_boundary_tilings() {
+    let pair = FusedPair::try_new(MatMul::new(10, 6, 12), MatMul::new(10, 12, 8)).unwrap();
+    let tilings = [
+        FusedTiling::new(1, 1, 1, 1),     // unit tiles
+        FusedTiling::new(10, 6, 12, 8),   // full-dim everywhere
+        FusedTiling::new(32, 32, 32, 32), // oversized: clamps to full-dim
+        FusedTiling::new(4, 6, 5, 8),     // ragged shared dims, whole phases
+        FusedTiling::new(10, 4, 12, 3),   // whole shared dims, ragged phases
+        FusedTiling::new(3, 4, 5, 6),     // ragged everywhere
+        FusedTiling::new(10, 6, 5, 8),    // only L iterates among shared dims
+    ];
+    for outer_is_m in [true, false] {
+        for tiling in tilings {
+            let nest = FusedNest::new(outer_is_m, tiling);
+            assert_fused_paths_agree(&pair, &nest);
+        }
+    }
+}
