@@ -77,6 +77,9 @@ impl ExhaustiveSearch {
         let tiles_k = balanced_tiles(mm.k());
         let tiles_l = balanced_tiles(mm.l());
         let scorer = NestScorer::new(self.fitness, self.model, mm);
+        // One scoring session for the whole scan: any backend scratch is
+        // checked out once, not once per candidate.
+        let mut session = scorer.session();
         let mut best: Option<(u64, LoopNest)> = None;
         let mut evaluations = 0u64;
         for &tm in &tiles_m {
@@ -94,7 +97,7 @@ impl ExhaustiveSearch {
                     for order in LoopNest::orders() {
                         evaluations += 1;
                         let nest = LoopNest::new(order, tiling);
-                        let cost = scorer.score(&nest);
+                        let cost = session.score(&nest);
                         if best.is_none_or(|(b, _)| cost < b) {
                             best = Some((cost, nest));
                         }

@@ -53,7 +53,7 @@ use fusecu_ir::MatMul;
 use fusecu_sim::driver::{
     execute_fused_nest_with, execute_nest_with, measure_fused_nest, measure_nest,
 };
-use fusecu_sim::{Matrix, ScratchPool, SimMode};
+use fusecu_sim::{Matrix, ScratchLease, ScratchPool, SimMode};
 
 /// Which objective a searcher ranks candidates by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -75,9 +75,19 @@ pub enum Fitness {
 
 impl Fitness {
     /// Whether a single evaluation is heavy enough that population
-    /// scoring should fan out across cores by default.
-    pub fn prefers_parallel_scoring(self) -> bool {
-        matches!(self, Fitness::Simulated)
+    /// scoring should fan out across cores by default, given the replay
+    /// mode the backend actually resolves to.
+    ///
+    /// The decision is **cost-aware**: only `Simulated` in
+    /// [`SimMode::Full`] moves real data and costs enough per genome to
+    /// amortize a thread handoff. `Analytical`, `Latency`, and —
+    /// crucially — `Simulated` in the default [`SimMode::TrafficOnly`]
+    /// are closed-form, ~tens of nanoseconds per score: cheaper than the
+    /// handoff itself, so fanning them out *inverts* into a slowdown
+    /// (the 56× parallel-scaling cliff `BENCH_sim.json` recorded).
+    /// `mode` is ignored by the non-simulated backends.
+    pub fn prefers_parallel_scoring(self, mode: SimMode) -> bool {
+        matches!(self, Fitness::Simulated) && mode == SimMode::Full
     }
 }
 
@@ -154,18 +164,64 @@ impl NestScorer {
     /// Scalar cost of `nest` under the selected backend — total memory
     /// access for the traffic backends, cycles for [`Fitness::Latency`].
     /// Feasibility (buffer fit) is the caller's concern; this only scores.
+    ///
+    /// One-shot convenience: pays a [`ScratchPool`] checkout per call in
+    /// [`SimMode::Full`]. Batch callers (a GA generation, an exhaustive
+    /// scan) should open a [`NestScorer::session`] and score through it.
     pub fn score(&self, nest: &LoopNest) -> u64 {
-        if let Some(spec) = &self.latency {
-            return nest_latency(spec, &self.model, self.mm, nest);
+        self.session().score(nest)
+    }
+
+    /// Opens a batch-scoring session: in [`SimMode::Full`] this leases
+    /// one scratch arena from the pool and holds it for the session's
+    /// lifetime, so a worker scoring a whole sub-population pays the
+    /// pool lock once per batch instead of once per genome. For the
+    /// closed-form backends the session is stateless and free.
+    ///
+    /// Sessions are per-thread (they hold the leased arena mutably);
+    /// the scorer itself stays shareable, so each `par_map_batched`
+    /// worker opens its own session off the same `&NestScorer`.
+    pub fn session(&self) -> NestSession<'_> {
+        NestSession {
+            scorer: self,
+            scratch: self
+                .sim
+                .as_ref()
+                .filter(|sim| sim.operands.is_some())
+                .map(|sim| sim.pool.lease()),
         }
-        match &self.sim {
-            None => self.model.evaluate(self.mm, nest).total(),
+    }
+}
+
+/// A per-worker batch-scoring handle for [`NestScorer`]: holds the
+/// [`SimMode::Full`] scratch lease across every score in the batch.
+#[derive(Debug)]
+pub struct NestSession<'s> {
+    scorer: &'s NestScorer,
+    /// `Some` only when the backend replays real data ([`SimMode::Full`]).
+    scratch: Option<ScratchLease<'s>>,
+}
+
+impl NestSession<'_> {
+    /// Scalar cost of `nest`; identical to [`NestScorer::score`] — the
+    /// session only changes *where* the scratch checkout happens, never
+    /// the score.
+    pub fn score(&mut self, nest: &LoopNest) -> u64 {
+        let scorer = self.scorer;
+        if let Some(spec) = &scorer.latency {
+            return nest_latency(spec, &scorer.model, scorer.mm, nest);
+        }
+        match &scorer.sim {
+            None => scorer.model.evaluate(scorer.mm, nest).total(),
             Some(sim) => match &sim.operands {
-                None => measure_nest(self.mm, nest).total(),
-                Some((a, b)) => sim
-                    .pool
-                    .with(|scratch| execute_nest_with(a, b, self.mm, nest, scratch))
-                    .total(),
+                None => measure_nest(scorer.mm, nest).total(),
+                Some((a, b)) => {
+                    let scratch = self
+                        .scratch
+                        .as_mut()
+                        .expect("full-mode session holds a scratch lease");
+                    execute_nest_with(a, b, scorer.mm, nest, scratch).total()
+                }
             },
         }
     }
@@ -223,21 +279,57 @@ impl FusedScorer {
 
     /// Scalar cost of `nest` under the selected backend — total
     /// external-tensor traffic, or cycles for [`Fitness::Latency`].
+    ///
+    /// One-shot convenience; batch callers should open a
+    /// [`FusedScorer::session`] (see [`NestScorer::session`]).
     pub fn score(&self, nest: &FusedNest) -> u64 {
-        if let Some(spec) = &self.latency {
-            return fused_latency(spec, &self.model, &self.pair, nest);
+        self.session().score(nest)
+    }
+
+    /// Opens a batch-scoring session holding one scratch lease for
+    /// [`SimMode::Full`]; stateless and free for the closed-form
+    /// backends. See [`NestScorer::session`].
+    pub fn session(&self) -> FusedSession<'_> {
+        FusedSession {
+            scorer: self,
+            scratch: self
+                .sim
+                .as_ref()
+                .filter(|sim| sim.operands.is_some())
+                .map(|sim| sim.pool.lease()),
         }
-        match &self.sim {
-            None => nest.evaluate(&self.model, &self.pair).total(),
+    }
+}
+
+/// A per-worker batch-scoring handle for [`FusedScorer`]; the fused
+/// analogue of [`NestSession`].
+#[derive(Debug)]
+pub struct FusedSession<'s> {
+    scorer: &'s FusedScorer,
+    /// `Some` only when the backend replays real data ([`SimMode::Full`]).
+    scratch: Option<ScratchLease<'s>>,
+}
+
+impl FusedSession<'_> {
+    /// Scalar cost of `nest`; identical to [`FusedScorer::score`].
+    pub fn score(&mut self, nest: &FusedNest) -> u64 {
+        let scorer = self.scorer;
+        if let Some(spec) = &scorer.latency {
+            return fused_latency(spec, &scorer.model, &scorer.pair, nest);
+        }
+        match &scorer.sim {
+            None => nest.evaluate(&scorer.model, &scorer.pair).total(),
             Some(sim) => match &sim.operands {
-                None => measure_fused_nest(&self.pair, nest).iter().sum(),
-                Some((a, b, d)) => sim
-                    .pool
-                    .with(|scratch| {
-                        execute_fused_nest_with(a, b, d, &self.pair, nest, scratch)
-                    })
-                    .iter()
-                    .sum(),
+                None => measure_fused_nest(&scorer.pair, nest).iter().sum(),
+                Some((a, b, d)) => {
+                    let scratch = self
+                        .scratch
+                        .as_mut()
+                        .expect("full-mode session holds a scratch lease");
+                    execute_fused_nest_with(a, b, d, &scorer.pair, nest, scratch)
+                        .iter()
+                        .sum()
+                }
             },
         }
     }
@@ -316,10 +408,60 @@ mod tests {
     #[test]
     fn default_backend_is_analytical() {
         assert_eq!(Fitness::default(), Fitness::Analytical);
-        assert!(!Fitness::Analytical.prefers_parallel_scoring());
-        assert!(Fitness::Simulated.prefers_parallel_scoring());
-        // Latency is closed-form and cheap — serial scoring by default.
-        assert!(!Fitness::Latency(ArraySpec::paper_default()).prefers_parallel_scoring());
+    }
+
+    #[test]
+    fn parallel_preference_is_cost_aware() {
+        // Only the one genuinely heavy backend — Simulated moving real
+        // data — prefers fan-out. Every closed-form score (analytical,
+        // latency, and the default TrafficOnly replay) is cheaper than a
+        // thread handoff and must default to serial.
+        assert!(Fitness::Simulated.prefers_parallel_scoring(SimMode::Full));
+        assert!(!Fitness::Simulated.prefers_parallel_scoring(SimMode::TrafficOnly));
+        for mode in [SimMode::Full, SimMode::TrafficOnly] {
+            assert!(!Fitness::Analytical.prefers_parallel_scoring(mode));
+            assert!(!Fitness::Latency(ArraySpec::paper_default()).prefers_parallel_scoring(mode));
+        }
+    }
+
+    #[test]
+    fn sessions_score_identically_to_one_shot_calls() {
+        let mm = MatMul::new(14, 9, 11);
+        let nests: Vec<LoopNest> = LoopNest::orders()
+            .iter()
+            .map(|&o| LoopNest::new(o, Tiling::new(4, 3, 5)))
+            .collect();
+        for scorer in [
+            NestScorer::new(Fitness::Analytical, MODEL, mm),
+            NestScorer::new(Fitness::Simulated, MODEL, mm),
+            NestScorer::new(Fitness::Simulated, MODEL, mm).with_sim_mode(SimMode::Full),
+            NestScorer::new(Fitness::Latency(ArraySpec::paper_default()), MODEL, mm),
+        ] {
+            let mut session = scorer.session();
+            for nest in &nests {
+                assert_eq!(session.score(nest), scorer.score(nest));
+            }
+        }
+    }
+
+    #[test]
+    fn full_mode_session_leases_one_arena_for_the_whole_batch() {
+        let mm = MatMul::new(10, 8, 6);
+        let scorer = NestScorer::new(Fitness::Simulated, MODEL, mm).with_sim_mode(SimMode::Full);
+        let pool_idle = |s: &NestScorer| s.sim.as_ref().unwrap().pool.idle();
+        {
+            let mut session = scorer.session();
+            let nest = LoopNest::new([MmDim::M, MmDim::K, MmDim::L], Tiling::new(3, 4, 2));
+            session.score(&nest);
+            session.score(&nest);
+            // The arena stays checked out across scores within a session.
+            assert_eq!(pool_idle(&scorer), 0);
+        }
+        assert_eq!(pool_idle(&scorer), 1, "drop returns the arena");
+        // TrafficOnly sessions never touch the pool.
+        let cheap = NestScorer::new(Fitness::Simulated, MODEL, mm);
+        let _session = cheap.session();
+        assert_eq!(pool_idle(&cheap), 0);
     }
 
     #[test]

@@ -73,6 +73,9 @@ impl FusedExhaustive {
             self.tiles_for(pair.dim(N)),
         ];
         let scorer = FusedScorer::new(self.fitness, self.model, pair);
+        // One scoring session for the whole scan: any backend scratch is
+        // checked out once, not once per candidate.
+        let mut session = scorer.session();
         let mut best: Option<(u64, u64, FusedNest)> = None;
         let mut evaluations = 0u64;
         for outer_is_m in [true, false] {
@@ -96,7 +99,7 @@ impl FusedExhaustive {
                                 break;
                             }
                             evaluations += 1;
-                            let key = (scorer.score(&nest), nest.footprint(&pair));
+                            let key = (session.score(&nest), nest.footprint(&pair));
                             if best.is_none_or(|(c, f, _)| key < (c, f)) {
                                 best = Some((key.0, key.1, nest));
                             }

@@ -15,10 +15,10 @@ use fusecu_dataflow::tiling::balanced_tiles;
 use fusecu_dataflow::CostModel;
 use fusecu_fusion::{FusedDataflow, FusedDim, FusedNest, FusedPair, FusedTiling};
 
-use crate::fitness::{Fitness, FusedScorer};
+use crate::fitness::{Fitness, FusedScorer, FusedSession};
 use fusecu_sim::SimMode;
 use crate::genetic::GeneticConfig;
-use crate::parallel::{par_map, Parallelism};
+use crate::parallel::{par_map_batched, Parallelism};
 
 #[derive(Debug, Clone, Copy)]
 struct Genome {
@@ -67,10 +67,12 @@ impl FusedGenetic {
 
     /// Selects the fitness backend (see [`crate::fitness::Fitness`]).
     /// [`Fitness::Simulated`] replays every genome's fused nest through
-    /// the fabric driver and flips population scoring to
-    /// [`Parallelism::Auto`] by default. [`Fitness::Latency`] ranks by
-    /// the arch cycle model (`max(compute, DRAM)`), so the winning fused
-    /// nest may legitimately differ from the minimum-traffic one.
+    /// the fabric driver; combined with [`SimMode::Full`] it flips
+    /// population scoring to [`Parallelism::Auto`] by default (the
+    /// default [`SimMode::TrafficOnly`] replay is closed-form and stays
+    /// serial). [`Fitness::Latency`] ranks by the arch cycle model
+    /// (`max(compute, DRAM)`), so the winning fused nest may
+    /// legitimately differ from the minimum-traffic one.
     pub fn with_fitness(mut self, fitness: Fitness) -> FusedGenetic {
         self.fitness = fitness;
         self
@@ -92,10 +94,12 @@ impl FusedGenetic {
         self
     }
 
-    /// The parallelism population scoring actually runs with (explicit
-    /// setting, else per-backend default).
+    /// The parallelism population scoring actually runs with: an
+    /// explicit setting always wins, else the cost-aware default over
+    /// the final resolved `(fitness, sim_mode)` pair — see
+    /// [`crate::GeneticSearch::effective_parallelism`].
     pub fn effective_parallelism(&self) -> Parallelism {
-        self.parallelism.unwrap_or(if self.fitness.prefers_parallel_scoring() {
+        self.parallelism.unwrap_or(if self.fitness.prefers_parallel_scoring(self.sim_mode) {
             Parallelism::Auto
         } else {
             Parallelism::Serial
@@ -115,8 +119,9 @@ impl FusedGenetic {
         let scorer = FusedScorer::new(self.fitness, self.model, pair).with_sim_mode(self.sim_mode);
         let parallelism = self.effective_parallelism();
 
-        // Pure, so a population can be scored from any worker thread.
-        let fitness = |g: &Genome| -> u64 {
+        // Pure, so a population can be scored from any worker thread; the
+        // session only carries reusable scratch, never score state.
+        let fitness = |session: &mut FusedSession, g: &Genome| -> u64 {
             let nest = FusedNest::new(
                 g.outer_is_m,
                 FusedTiling::new(
@@ -130,12 +135,18 @@ impl FusedGenetic {
             if footprint > bs {
                 return u64::MAX / 2 + (footprint - bs).min(u64::MAX / 4);
             }
-            scorer.score(&nest)
+            session.score(&nest)
         };
         // Per-round counting keeps `evaluations` independent of how
         // scoring is parallelized (every genome scores exactly once).
+        // Each worker opens one scoring session per generation.
         let score = |pop: &[Genome]| -> Vec<(u64, Genome)> {
-            par_map(parallelism, pop, |_, g| (fitness(g), *g))
+            par_map_batched(
+                parallelism,
+                pop,
+                || scorer.session(),
+                |session, _, g| (fitness(session, g), *g),
+            )
         };
 
         let mut population = vec![Genome {
@@ -271,6 +282,22 @@ mod tests {
     #[test]
     fn infeasible_buffer_returns_none() {
         assert!(FusedGenetic::new(MODEL).optimize(pair(8, 8, 8, 8), 2).is_none());
+    }
+
+    #[test]
+    fn parallelism_decision_survives_builder_ordering() {
+        // Cost-aware default over the final (fitness, sim_mode) pair,
+        // independent of builder call order; explicit choice still wins.
+        let sim = Fitness::Simulated;
+        let fit_then_mode = FusedGenetic::new(MODEL).with_fitness(sim).with_sim_mode(SimMode::Full);
+        let mode_then_fit = FusedGenetic::new(MODEL).with_sim_mode(SimMode::Full).with_fitness(sim);
+        assert_eq!(fit_then_mode.effective_parallelism(), Parallelism::Auto);
+        assert_eq!(mode_then_fit.effective_parallelism(), Parallelism::Auto);
+        // Default TrafficOnly simulated scoring is closed form: serial.
+        let cheap = FusedGenetic::new(MODEL).with_fitness(sim);
+        assert_eq!(cheap.effective_parallelism(), Parallelism::Serial);
+        let pinned = cheap.with_parallelism(Parallelism::Threads(3));
+        assert_eq!(pinned.effective_parallelism(), Parallelism::Threads(3));
     }
 
     #[test]

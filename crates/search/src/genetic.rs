@@ -17,9 +17,9 @@ use fusecu_dataflow::{CostModel, LoopNest, Tiling};
 use fusecu_ir::{MatMul, MmDim};
 
 use crate::exhaustive::SearchResult;
-use crate::fitness::{Fitness, NestScorer};
+use crate::fitness::{Fitness, NestScorer, NestSession};
 use fusecu_sim::SimMode;
-use crate::parallel::{par_map, Parallelism};
+use crate::parallel::{par_map_batched, Parallelism};
 use crate::space::balanced_tiles;
 
 /// Hyper-parameters of the genetic searcher.
@@ -71,13 +71,14 @@ pub struct GeneticSearch {
 impl GeneticSearch {
     /// Creates a searcher with default hyper-parameters.
     ///
-    /// With the default [`Fitness::Analytical`] backend population scoring
-    /// defaults to serial: a single fitness evaluation is a handful of
-    /// arithmetic, so forked scoring only pays off for the standalone
-    /// timing harness — and the sweep engine already saturates cores
-    /// *across* GA calls. [`Fitness::Simulated`] flips the default to
-    /// [`Parallelism::Auto`], since each evaluation replays a full matmul.
-    /// [`GeneticSearch::with_parallelism`] overrides either default.
+    /// Population scoring defaults to serial for every closed-form
+    /// backend — analytical, latency, and [`Fitness::Simulated`] in its
+    /// default [`SimMode::TrafficOnly`] replay, all of which score a
+    /// genome in nanoseconds, far below the cost of a thread handoff.
+    /// Only `Simulated` + [`SimMode::Full`] (real data movement per
+    /// genome) flips the default to [`Parallelism::Auto`]; the sweep
+    /// engine already saturates cores *across* GA calls either way.
+    /// [`GeneticSearch::with_parallelism`] overrides any default.
     pub fn new(model: CostModel) -> GeneticSearch {
         GeneticSearch {
             model,
@@ -128,21 +129,28 @@ impl GeneticSearch {
     }
 
     /// Scores each generation's population through
-    /// [`par_map`] with the given parallelism. The result is identical to
-    /// a serial run: fitness evaluation is pure, scored populations keep
-    /// their generation order (the sort is stable), and all randomness —
-    /// seeding, selection, crossover, mutation — stays on the single
-    /// caller-side RNG stream.
+    /// [`par_map_batched`] with the given parallelism. The result is
+    /// identical to a serial run: fitness evaluation is pure, scored
+    /// populations keep their generation order (the sort is stable), and
+    /// all randomness — seeding, selection, crossover, mutation — stays
+    /// on the single caller-side RNG stream.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> GeneticSearch {
         self.parallelism = Some(parallelism);
         self
     }
 
     /// The parallelism population scoring actually runs with: an explicit
-    /// [`GeneticSearch::with_parallelism`] choice, else serial for cheap
-    /// analytical fitness and [`Parallelism::Auto`] for simulated fitness.
+    /// [`GeneticSearch::with_parallelism`] choice always wins; otherwise
+    /// the decision is **cost-aware** over the final resolved
+    /// `(fitness, sim_mode)` pair — [`Parallelism::Auto`] only for
+    /// [`Fitness::Simulated`] in [`SimMode::Full`] (the one backend whose
+    /// per-genome cost amortizes a thread handoff), serial for every
+    /// closed-form backend including the default
+    /// [`SimMode::TrafficOnly`]. Evaluated lazily, so
+    /// `with_fitness`/`with_sim_mode` construction order never changes
+    /// the answer.
     pub fn effective_parallelism(&self) -> Parallelism {
-        self.parallelism.unwrap_or(if self.fitness.prefers_parallel_scoring() {
+        self.parallelism.unwrap_or(if self.fitness.prefers_parallel_scoring(self.sim_mode) {
             Parallelism::Auto
         } else {
             Parallelism::Serial
@@ -162,8 +170,9 @@ impl GeneticSearch {
         let scorer = NestScorer::new(self.fitness, self.model, mm).with_sim_mode(self.sim_mode);
         let parallelism = self.effective_parallelism();
 
-        // Pure, so a population can be scored from any worker thread.
-        let fitness = |g: &Genome| -> u64 {
+        // Pure, so a population can be scored from any worker thread; the
+        // session only carries reusable scratch, never score state.
+        let fitness = |session: &mut NestSession, g: &Genome| -> u64 {
             let tiling = Tiling::new(
                 candidates[0][g.tiles[0]],
                 candidates[1][g.tiles[1]],
@@ -176,13 +185,20 @@ impl GeneticSearch {
                 // infeasible nest has no buffer schedule to replay.
                 return u64::MAX / 2 + (footprint - bs).min(u64::MAX / 4);
             }
-            scorer.score(&LoopNest::new(orders[g.order], tiling))
+            session.score(&LoopNest::new(orders[g.order], tiling))
         };
         // Every genome is scored exactly once per round, so counting by
         // round keeps `evaluations` identical to per-call counting — and
-        // independent of how scoring is parallelized.
+        // independent of how scoring is parallelized. Each worker opens
+        // one scoring session per generation (one scratch checkout per
+        // claimed batch, not per genome).
         let score = |pop: &[Genome]| -> Vec<(u64, Genome)> {
-            par_map(parallelism, pop, |_, g| (fitness(g), *g))
+            par_map_batched(
+                parallelism,
+                pop,
+                || scorer.session(),
+                |session, _, g| (fitness(session, g), *g),
+            )
         };
 
         // Seed with the always-feasible unit tiling plus random genomes.
@@ -401,14 +417,40 @@ mod tests {
     }
 
     #[test]
-    fn simulated_fitness_defaults_to_parallel_scoring() {
+    fn parallelism_default_is_cost_aware() {
         let ga = GeneticSearch::new(MODEL);
         assert_eq!(ga.effective_parallelism(), Parallelism::Serial);
+        // Simulated fitness in its default TrafficOnly mode is closed
+        // form — cheaper than a thread handoff, so it must stay serial.
         let sim = ga.clone().with_fitness(crate::fitness::Fitness::Simulated);
-        assert_eq!(sim.effective_parallelism(), Parallelism::Auto);
-        // An explicit choice wins over either backend default.
-        let pinned = sim.with_parallelism(Parallelism::Threads(2));
+        assert_eq!(sim.effective_parallelism(), Parallelism::Serial);
+        // Only full data-moving replay fans out by default.
+        let full = sim.clone().with_sim_mode(SimMode::Full);
+        assert_eq!(full.effective_parallelism(), Parallelism::Auto);
+        // Latency is closed-form too.
+        let lat = ga
+            .clone()
+            .with_fitness(crate::fitness::Fitness::Latency(fusecu_arch::ArraySpec::paper_default()));
+        assert_eq!(lat.effective_parallelism(), Parallelism::Serial);
+        // An explicit choice wins over every backend default.
+        let pinned = full.with_parallelism(Parallelism::Threads(2));
         assert_eq!(pinned.effective_parallelism(), Parallelism::Threads(2));
+        let forced = sim.with_parallelism(Parallelism::Auto);
+        assert_eq!(forced.effective_parallelism(), Parallelism::Auto);
+    }
+
+    #[test]
+    fn parallelism_decision_survives_builder_ordering() {
+        // The decision must read the *final* (fitness, sim_mode) pair:
+        // both builder orderings resolve identically, in both directions.
+        let sim = crate::fitness::Fitness::Simulated;
+        let fit_then_mode = GeneticSearch::new(MODEL).with_fitness(sim).with_sim_mode(SimMode::Full);
+        let mode_then_fit = GeneticSearch::new(MODEL).with_sim_mode(SimMode::Full).with_fitness(sim);
+        assert_eq!(fit_then_mode.effective_parallelism(), Parallelism::Auto);
+        assert_eq!(mode_then_fit.effective_parallelism(), Parallelism::Auto);
+        let back_to_cheap =
+            GeneticSearch::new(MODEL).with_sim_mode(SimMode::Full).with_fitness(sim).with_sim_mode(SimMode::TrafficOnly);
+        assert_eq!(back_to_cheap.effective_parallelism(), Parallelism::Serial);
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub mod space;
 
 pub use cache::{CacheStats, DataflowCache, MemoCache};
 pub use exhaustive::{ExhaustiveSearch, SearchResult};
-pub use fitness::{Fitness, FusedScorer, NestScorer};
+pub use fitness::{Fitness, FusedScorer, FusedSession, NestScorer, NestSession};
 pub use fused_exhaustive::FusedExhaustive;
 pub use fused_genetic::FusedGenetic;
 pub use genetic::{GeneticConfig, GeneticSearch};
-pub use parallel::{par_map, Parallelism, SweepEngine, SweepOutcome};
+pub use parallel::{par_map, par_map_batched, par_sum_indexed, Parallelism, SweepEngine, SweepOutcome};

@@ -5,21 +5,27 @@
 //! seed ran them strictly serially (the full Fig 9 timing section alone
 //! took minutes). This module fans sweep points across OS threads with
 //! `std::thread::scope` (no external dependencies) while keeping results
-//! **bit-for-bit identical** to a serial run: work items are claimed from
-//! an atomic counter but written back into index-addressed slots, so the
-//! output order never depends on scheduling, and every computation is
-//! deterministic (the genetic searcher runs on a fixed seed).
+//! **bit-for-bit identical** to a serial run: workers claim contiguous
+//! index ranges from an atomic counter, collect each range's results
+//! locally, and the ranges are spliced back in index order at join time —
+//! the output never depends on scheduling, no per-item locks exist, and
+//! every computation is deterministic (the genetic searcher runs on a
+//! fixed seed).
 //!
 //! [`SweepEngine`] is the high-level entry point used by the figure
 //! binaries: a `(shapes × buffers)` sweep evaluating the principle,
 //! exhaustive, and genetic optimizers per point through a shared
 //! [`DataflowCache`], so repeated points — within a sweep or across
 //! figures in one process — are computed once. [`par_map`] is the
-//! underlying primitive, exported for other fan-out sites (the platform
-//! comparison grids of Fig 10/11).
+//! underlying primitive for heavy items (the platform comparison grids of
+//! Fig 10/11); [`par_map_batched`] is its population-scoring sibling —
+//! per-worker state built once per fan-out, a min-items-per-worker floor
+//! so tiny or cheap batches never pay a thread handoff — and
+//! [`par_sum_indexed`] is the collect-nothing reduction the throughput
+//! benchmarks measure with.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, OnceLock};
 
 use fusecu_dataflow::{CostModel, Dataflow};
 use fusecu_ir::MatMul;
@@ -57,12 +63,21 @@ impl Parallelism {
     }
 
     /// The worker count this policy resolves to on the current machine.
+    ///
+    /// `Auto` resolves `available_parallelism()` **once per process** (a
+    /// `OnceLock`): the query is a syscall, and population scoring asks
+    /// on every GA generation — tens of thousands of times per search.
     pub fn workers(self) -> usize {
         match self {
             Parallelism::Serial => 1,
-            Parallelism::Auto => std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
+            Parallelism::Auto => {
+                static AUTO_WORKERS: OnceLock<usize> = OnceLock::new();
+                *AUTO_WORKERS.get_or_init(|| {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1)
+                })
+            }
             Parallelism::Threads(n) => n.max(1),
         }
     }
@@ -78,18 +93,115 @@ fn claim_chunk(len: usize, workers: usize) -> usize {
     len.div_ceil(workers * 4).max(1)
 }
 
+/// Batched population scoring refuses to fan out below this many items
+/// per worker: a thread handoff costs tens of microseconds, so a batch
+/// that cannot amortize it over at least a few scores runs faster on the
+/// calling thread. A tiny population (fewer than `2 ×` this) therefore
+/// never spawns threads at all.
+const MIN_BATCH_PER_WORKER: usize = 8;
+
+/// The worker count a batched fan-out actually uses: the requested count
+/// clamped so every worker has at least [`MIN_BATCH_PER_WORKER`] items.
+/// Below two workers the caller runs serially on its own thread.
+fn batched_workers(len: usize, requested: usize) -> usize {
+    requested.min(len / MIN_BATCH_PER_WORKER)
+}
+
+/// Stack size for spawned workers. Scoring closures are shallow (the
+/// simulator keeps its arenas on the heap), so the platform default —
+/// commonly 8 MiB — buys nothing; worse, a fleet of default-sized stacks
+/// overflows the C runtime's thread-stack cache, so every fan-out maps
+/// and faults fresh stacks, a cost (and, under memory pressure, a stall)
+/// charged entirely to the parallel path. Modest stacks stay cached
+/// across fan-outs.
+const WORKER_STACK_BYTES: usize = 2 << 20;
+
+/// The claim loop shared by every parallel primitive here: `workers`
+/// scoped threads claim contiguous index ranges of `chunk` from one
+/// atomic counter and run `work` on each range with a per-worker state
+/// built once by `init`. Returns every `(range start, range result)` in
+/// claim order per worker; a panic in any worker propagates (workers
+/// are joined explicitly, the first panic payload is re-thrown, and the
+/// remaining workers drain the counter normally — no deadlock).
+fn claim_ranges<S, SegR, Init, Work>(
+    workers: usize,
+    len: usize,
+    chunk: usize,
+    init: Init,
+    work: Work,
+) -> Vec<(usize, SegR)>
+where
+    SegR: Send,
+    Init: Fn() -> S + Sync,
+    Work: Fn(&mut S, std::ops::Range<usize>) -> SegR + Sync,
+{
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|slot| {
+                std::thread::Builder::new()
+                    .name(format!("fusecu-worker-{slot}"))
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn_scoped(scope, || {
+                        let mut state = init();
+                        let mut segments: Vec<(usize, SegR)> = Vec::new();
+                        loop {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= len {
+                                break;
+                            }
+                            let range = start..(start + chunk).min(len);
+                            segments.push((start, work(&mut state, range)));
+                        }
+                        segments
+                    })
+                    .expect("spawn scoring worker")
+            })
+            .collect();
+        let mut all = Vec::with_capacity(len.div_ceil(chunk));
+        for handle in handles {
+            match handle.join() {
+                Ok(segments) => all.extend(segments),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        all
+    })
+}
+
+/// Splices range-tagged result segments back into item order and checks
+/// they tile `len` exactly once — the claim scheme hands out disjoint
+/// ranges by construction, and this is the join-time proof.
+fn splice_segments<R>(mut segments: Vec<(usize, Vec<R>)>, len: usize) -> Vec<R> {
+    segments.sort_unstable_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(len);
+    for (start, segment) in segments {
+        assert_eq!(start, out.len(), "claimed ranges must tile the items exactly once");
+        out.extend(segment);
+    }
+    assert_eq!(out.len(), len, "scope joined with items unfinished");
+    out
+}
+
 /// Applies `f` to every item, fanning across `par.workers()` scoped
 /// threads, and returns the results **in item order** regardless of how
 /// the scheduler interleaved the workers.
 ///
 /// Workers claim contiguous blocks of [`claim_chunk`] indices from one
-/// atomic counter (not one item at a time), but every result still lands
-/// in its own index-addressed slot, so the output is bit-identical to a
-/// serial run no matter how blocks interleave.
+/// atomic counter (not one item at a time) and collect each block's
+/// results locally; blocks are spliced back in index order when the
+/// scope joins, so the output is bit-identical to a serial run no matter
+/// how blocks interleave — with **no per-item locks**: the only shared
+/// write during the map is the claim counter's `fetch_add`.
 ///
 /// `f` receives `(index, &item)` so callers can label work without
 /// capturing mutable state. A panic in any worker propagates to the
 /// caller when the scope joins.
+///
+/// This primitive fans out whenever there are at least two items and two
+/// workers — right for *heavy* items (sweep points, platform grids).
+/// Cheap-item population scoring should use [`par_map_batched`], which
+/// adds a min-items-per-worker floor and per-worker state.
 pub fn par_map<T, R, F>(par: Parallelism, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -101,31 +213,90 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let chunk = claim_chunk(items.len(), workers);
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                if start >= items.len() {
-                    break;
-                }
-                for i in start..(start + chunk).min(items.len()) {
-                    let result = f(i, &items[i]);
-                    let prev = slots[i].lock().expect("result slot poisoned").replace(result);
-                    assert!(prev.is_none(), "work item {i} claimed twice");
-                }
-            });
-        }
+    let segments = claim_ranges(
+        workers,
+        items.len(),
+        chunk,
+        || (),
+        |_, range| {
+            let mut out = Vec::with_capacity(range.len());
+            for i in range {
+                out.push(f(i, &items[i]));
+            }
+            out
+        },
+    );
+    splice_segments(segments, items.len())
+}
+
+/// [`par_map`] for population scoring: one atomic claim hands a worker a
+/// whole contiguous sub-population, scored against a per-worker state
+/// built once by `init` when the worker starts (a scratch-arena lease, a
+/// scoring session) and reused for every item the worker ever claims —
+/// the handoff amortizes over the full batch instead of costing per item.
+///
+/// Results come back in item order, bit-identical to a serial run (which
+/// also builds `init()` exactly once, so per-worker state must not leak
+/// into scores — it is reuse, not input). A fan-out needs at least
+/// [`MIN_BATCH_PER_WORKER`] items per worker: tiny populations run on
+/// the calling thread without spawning anything.
+pub fn par_map_batched<T, R, S, Init, F>(par: Parallelism, items: &[T], init: Init, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    Init: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let workers = batched_workers(items.len(), par.workers());
+    if workers <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
+    }
+    let chunk = claim_chunk(items.len(), workers);
+    let segments = claim_ranges(
+        workers,
+        items.len(),
+        chunk,
+        &init,
+        |state, range| {
+            let mut out = Vec::with_capacity(range.len());
+            for i in range {
+                out.push(f(state, i, &items[i]));
+            }
+            out
+        },
+    );
+    splice_segments(segments, items.len())
+}
+
+/// Wrapping sum of `f(state, index)` over `0..len`, fanned out with the
+/// same batched claiming as [`par_map_batched`] but collecting nothing:
+/// each worker folds its claims into one accumulator. Wrapping addition
+/// is commutative, so the digest is identical to a serial fold no matter
+/// how claims interleave. This is the throughput-measurement primitive —
+/// millions of scores, one `u64` out, no result buffers distorting the
+/// measurement.
+pub fn par_sum_indexed<S, Init, F>(par: Parallelism, len: usize, init: Init, f: F) -> u64
+where
+    Init: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> u64 + Sync,
+{
+    let workers = batched_workers(len, par.workers());
+    if workers <= 1 {
+        let mut state = init();
+        return (0..len).fold(0u64, |acc, i| acc.wrapping_add(f(&mut state, i)));
+    }
+    let chunk = claim_chunk(len, workers);
+    let partials = claim_ranges(workers, len, chunk, &init, |state, range| {
+        range.fold(0u64, |acc, i| acc.wrapping_add(f(state, i)))
     });
-    slots
+    partials
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("scope joined with item unfinished")
-        })
-        .collect()
+        .fold(0u64, |acc, (_, partial)| acc.wrapping_add(partial))
 }
 
 /// One fully evaluated sweep point: the three optimizers' answers for one
@@ -299,6 +470,95 @@ mod tests {
         let empty: Vec<u64> = vec![];
         assert!(par_map(Parallelism::Auto, &empty, |_, &x: &u64| x).is_empty());
         assert_eq!(par_map(Parallelism::Threads(8), &[3u64], |_, &x| x + 1), vec![4]);
+    }
+
+    #[test]
+    fn par_map_batched_matches_serial_and_plain_map() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 7).collect();
+        for par in [Parallelism::Serial, Parallelism::Threads(3), Parallelism::Threads(16)] {
+            let batched = par_map_batched(par, &items, || 0u64, |calls, _, &x| {
+                *calls += 1;
+                x.wrapping_mul(x) ^ 7
+            });
+            assert_eq!(batched, serial, "par={par:?}");
+        }
+    }
+
+    #[test]
+    fn batched_state_builds_once_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<u64> = (0..10_000).collect();
+        let inits = AtomicUsize::new(0);
+        let out = par_map_batched(
+            Parallelism::Threads(4),
+            &items,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, _, &x| x,
+        );
+        assert_eq!(out, items);
+        // One state per worker (not per item, not per claim); the serial
+        // path builds exactly one.
+        let spawned = batched_workers(items.len(), 4);
+        assert_eq!(inits.load(Ordering::Relaxed), spawned);
+        assert_eq!(spawned, 4);
+    }
+
+    #[test]
+    fn tiny_populations_never_spawn_threads() {
+        // The min-items-per-worker floor: a 1-item (or any sub-2×floor)
+        // batch runs on the calling thread, no matter how many workers
+        // the caller asked for.
+        let caller = std::thread::current().id();
+        for len in [1usize, 2, 7, 2 * MIN_BATCH_PER_WORKER - 1] {
+            let items: Vec<u64> = (0..len as u64).collect();
+            let out = par_map_batched(Parallelism::Threads(8), &items, || (), |_, _, &x| {
+                assert_eq!(
+                    std::thread::current().id(),
+                    caller,
+                    "a {len}-item population must not fan out"
+                );
+                x + 1
+            });
+            assert_eq!(out, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+        }
+        // And the floor scales: at exactly 2×floor, two workers are allowed.
+        assert_eq!(batched_workers(2 * MIN_BATCH_PER_WORKER, 8), 2);
+        assert_eq!(batched_workers(0, 8), 0);
+        assert_eq!(batched_workers(1_000_000, 8), 8);
+    }
+
+    #[test]
+    fn par_sum_indexed_matches_serial_fold() {
+        let serial = (0..100_000u64).fold(0u64, |a, i| a.wrapping_add(i.wrapping_mul(i)));
+        for par in [Parallelism::Serial, Parallelism::Threads(2), Parallelism::Threads(8)] {
+            let sum = par_sum_indexed(par, 100_000, || (), |_, i| {
+                (i as u64).wrapping_mul(i as u64)
+            });
+            assert_eq!(sum, serial, "par={par:?}");
+        }
+        assert_eq!(par_sum_indexed(Parallelism::Threads(8), 0, || (), |_, _| 1), 0);
+    }
+
+    #[test]
+    fn auto_workers_resolve_once_and_stay_stable() {
+        let first = Parallelism::Auto.workers();
+        for _ in 0..1_000 {
+            assert_eq!(Parallelism::Auto.workers(), first);
+        }
+        assert!(first >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let items: Vec<u64> = (0..500).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(Parallelism::Threads(4), &items, |i, &x| {
+                assert!(i != 250, "intentional test panic");
+                x
+            })
+        });
+        assert!(result.is_err(), "the worker panic must reach the caller");
     }
 
     #[test]

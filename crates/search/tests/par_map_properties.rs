@@ -1,0 +1,169 @@
+//! Property tests for the lock-free parallel scoring primitives: byte-
+//! identical-to-serial output over arbitrary worker and item counts, and
+//! claim-exactly-once discipline even when the scoring closure panics.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use fusecu_search::{par_map, par_map_batched, par_sum_indexed, Parallelism};
+
+/// A cheap but order-sensitive score so reordered or duplicated results
+/// cannot cancel out.
+fn score(i: usize, v: u64) -> u64 {
+    v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left((i % 64) as u32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `par_map` returns exactly the serial map, in item order, for any
+    /// worker count — including 0/1 (serial degenerate), more workers
+    /// than items, and empty inputs.
+    #[test]
+    fn par_map_matches_serial(
+        len in 0usize..300,
+        workers in 0usize..17,
+        seed in any::<u64>(),
+    ) {
+        let items: Vec<u64> = (0..len as u64).map(|i| i ^ seed).collect();
+        let serial: Vec<u64> = items.iter().enumerate().map(|(i, &v)| score(i, v)).collect();
+        let parallel = par_map(Parallelism::Threads(workers), &items, |i, &v| score(i, v));
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// `par_map_batched` agrees with both the serial closure and plain
+    /// `par_map`, no matter how items are carved into per-worker batches,
+    /// and per-worker state never leaks between items in a way that
+    /// changes results (the state here counts items, feeding the score).
+    #[test]
+    fn par_map_batched_matches_serial(
+        len in 0usize..300,
+        workers in 0usize..17,
+        seed in any::<u64>(),
+    ) {
+        let items: Vec<u64> = (0..len as u64).map(|i| i ^ seed).collect();
+        let serial: Vec<u64> = items.iter().enumerate().map(|(i, &v)| score(i, v)).collect();
+        let batched = par_map_batched(
+            Parallelism::Threads(workers),
+            &items,
+            || 0u64, // per-worker scratch: a running count, unused in the score
+            |count, i, &v| {
+                *count += 1;
+                score(i, v)
+            },
+        );
+        prop_assert_eq!(batched, serial);
+    }
+
+    /// `par_sum_indexed` equals the serial fold for any worker count —
+    /// the wrapping sum is claim-order independent, so this holds even
+    /// though workers race for ranges.
+    #[test]
+    fn par_sum_indexed_matches_serial_fold(
+        len in 0usize..2_000,
+        workers in 0usize..17,
+        seed in any::<u64>(),
+    ) {
+        let serial = (0..len).fold(0u64, |acc, i| acc.wrapping_add(score(i, i as u64 ^ seed)));
+        let parallel = par_sum_indexed(
+            Parallelism::Threads(workers),
+            len,
+            || (),
+            |(), i| score(i, i as u64 ^ seed),
+        );
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// A panicking closure: the panic propagates to the caller (no
+    /// deadlock — the scope joins), and no item is ever claimed twice,
+    /// panic or not.
+    #[test]
+    fn panic_propagates_without_double_claim(
+        len in 1usize..200,
+        workers in 2usize..17,
+        bomb_seed in any::<u64>(),
+    ) {
+        let bomb = (bomb_seed % len as u64) as usize;
+        let visits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map(Parallelism::Threads(workers), &(0..len).collect::<Vec<_>>(), |i, _| {
+                visits[i].fetch_add(1, Ordering::Relaxed);
+                assert_ne!(i, bomb, "bomb");
+                i
+            })
+        }));
+        prop_assert!(result.is_err(), "the worker panic must reach the caller");
+        for (i, v) in visits.iter().enumerate() {
+            let n = v.load(Ordering::Relaxed);
+            prop_assert!(n <= 1, "item {} claimed {} times", i, n);
+        }
+        prop_assert_eq!(visits[bomb].load(Ordering::Relaxed), 1);
+    }
+
+    /// Same discipline for the batched primitives: a panic mid-batch
+    /// still propagates and still never double-claims.
+    #[test]
+    fn batched_panic_propagates_without_double_claim(
+        len in 16usize..400,
+        workers in 2usize..17,
+        bomb_seed in any::<u64>(),
+    ) {
+        let bomb = (bomb_seed % len as u64) as usize;
+        let visits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..len).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_batched(Parallelism::Threads(workers), &items, || (), |(), i, _| {
+                visits[i].fetch_add(1, Ordering::Relaxed);
+                assert_ne!(i, bomb, "bomb");
+                i
+            })
+        }));
+        prop_assert!(result.is_err(), "the worker panic must reach the caller");
+        for (i, v) in visits.iter().enumerate() {
+            let n = v.load(Ordering::Relaxed);
+            prop_assert!(n <= 1, "item {} claimed {} times", i, n);
+        }
+    }
+}
+
+/// The explicit edge cases the properties above hit only probabilistically,
+/// pinned so they can never rotate out of coverage.
+#[test]
+fn edge_counts_match_serial() {
+    for (len, workers) in [
+        (0usize, 0usize),
+        (0, 8),
+        (1, 1),
+        (1, 8),
+        (2, 16),
+        (7, 8),   // fewer items than workers
+        (15, 16), // one under the batching floor × 2
+        (16, 16),
+    ] {
+        let items: Vec<u64> = (0..len as u64).collect();
+        let serial: Vec<u64> = items.iter().enumerate().map(|(i, &v)| score(i, v)).collect();
+        assert_eq!(
+            par_map(Parallelism::Threads(workers), &items, |i, &v| score(i, v)),
+            serial,
+            "par_map len={len} workers={workers}"
+        );
+        assert_eq!(
+            par_map_batched(Parallelism::Threads(workers), &items, || (), |(), i, &v| score(
+                i, v
+            )),
+            serial,
+            "par_map_batched len={len} workers={workers}"
+        );
+        let sum = serial.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        assert_eq!(
+            par_sum_indexed(Parallelism::Threads(workers), len, || (), |(), i| score(
+                i,
+                i as u64
+            )),
+            sum,
+            "par_sum_indexed len={len} workers={workers}"
+        );
+    }
+}

@@ -45,4 +45,4 @@ pub mod scratch;
 pub use array::CuArray;
 pub use fabric::{FabricShape, FuseCuFabric};
 pub use matrix::Matrix;
-pub use scratch::{ScratchPool, SimMode, SimScratch};
+pub use scratch::{ScratchLease, ScratchPool, SimMode, SimScratch};

@@ -84,26 +84,70 @@ impl ScratchPool {
         ScratchPool::default()
     }
 
-    /// Runs `f` with a pooled scratch, returning the scratch to the pool
-    /// afterwards (even a fresh one, so its sized buffers are kept).
-    pub fn with<R>(&self, f: impl FnOnce(&mut SimScratch) -> R) -> R {
-        let mut scratch = self
+    /// Checks an arena out of the pool for the lifetime of the returned
+    /// lease; dropping the lease returns the arena (with its sized
+    /// buffers) to the pool. This is the batch-scoring entry point: a
+    /// worker leases once, replays a whole sub-population against the
+    /// same arena, and pays the pool lock twice per batch instead of
+    /// twice per genome.
+    pub fn lease(&self) -> ScratchLease<'_> {
+        let scratch = self
             .free
             .lock()
             .expect("scratch pool poisoned")
             .pop()
             .unwrap_or_default();
-        let result = f(&mut scratch);
-        self.free
-            .lock()
-            .expect("scratch pool poisoned")
-            .push(scratch);
-        result
+        ScratchLease {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
+
+    /// Runs `f` with a pooled scratch, returning the scratch to the pool
+    /// afterwards (even a fresh one, so its sized buffers are kept).
+    pub fn with<R>(&self, f: impl FnOnce(&mut SimScratch) -> R) -> R {
+        let mut lease = self.lease();
+        f(&mut lease)
     }
 
     /// Number of arenas currently checked in.
     pub fn idle(&self) -> usize {
         self.free.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+/// A [`SimScratch`] checked out of a [`ScratchPool`]; derefs to the
+/// arena and checks it back in on drop.
+#[derive(Debug)]
+pub struct ScratchLease<'p> {
+    pool: &'p ScratchPool,
+    /// `Some` until dropped; `Option` only so `drop` can move it out.
+    scratch: Option<SimScratch>,
+}
+
+impl std::ops::Deref for ScratchLease<'_> {
+    type Target = SimScratch;
+
+    fn deref(&self) -> &SimScratch {
+        self.scratch.as_ref().expect("lease holds a scratch until drop")
+    }
+}
+
+impl std::ops::DerefMut for ScratchLease<'_> {
+    fn deref_mut(&mut self) -> &mut SimScratch {
+        self.scratch.as_mut().expect("lease holds a scratch until drop")
+    }
+}
+
+impl Drop for ScratchLease<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            // A poisoned pool means a panic is already unwinding; losing
+            // the arena is fine (don't double-panic in drop).
+            if let Ok(mut free) = self.pool.free.lock() {
+                free.push(scratch);
+            }
+        }
     }
 }
 
@@ -136,6 +180,21 @@ mod tests {
             }
         });
         assert!(pool.idle() >= 1 && pool.idle() <= 3);
+    }
+
+    #[test]
+    fn lease_holds_one_arena_across_many_uses() {
+        let pool = ScratchPool::new();
+        {
+            let mut lease = pool.lease();
+            lease.out.reset_zeroed(3, 3);
+            // The arena stays checked out for the whole batch.
+            assert_eq!(pool.idle(), 0);
+            lease.prod.reset_zeroed(2, 2);
+        }
+        // Drop returns it, sizing intact.
+        assert_eq!(pool.idle(), 1);
+        pool.with(|s| assert_eq!((s.out.rows(), s.out.cols()), (3, 3)));
     }
 
     #[test]
