@@ -10,11 +10,11 @@
 use std::fmt;
 
 use fusecu_dataflow::CostModel;
-use fusecu_fusion::planner::{plan_chain_cached, ChainStep};
+use fusecu_fusion::graph_planner::{try_plan_graph_cached, GraphStep};
 use fusecu_ir::OpGraph;
 
 use crate::fused::{FusedMapping, FusedPerf};
-use crate::intra::{optimize_op_cached, OpPerf};
+use crate::intra::{try_optimize_op_cached, OpPerf};
 use crate::platform::Platform;
 use crate::spec::ArraySpec;
 
@@ -190,13 +190,17 @@ impl fmt::Display for GraphPerf {
 
 /// Evaluates an operator graph on a platform.
 ///
-/// Non-fusing platforms run every matmul solo. FuseCU plans each fusable
-/// chain with Principle 4 (`fusecu-fusion`'s DP planner) and executes
-/// profitable pairs with tile or column fusion.
+/// Non-fusing platforms run every matmul solo. FuseCU plans the whole
+/// graph with Principle 4 (`fusecu-fusion`'s DAG planner): the
+/// maximum-saving matching over the fusable-link DAG decides which pairs
+/// fuse — correct at fan-in/fan-out sites where chain decomposition was
+/// insertion-order dependent — and profitable pairs execute with tile or
+/// column fusion.
 ///
 /// # Panics
 ///
-/// Panics when the buffer cannot hold a unit tiling (`buffer < 3`).
+/// Panics when the buffer cannot hold a unit tiling (`buffer < 3`). Use
+/// [`try_evaluate_graph`] to probe sub-minimal buffers gracefully.
 pub fn evaluate_graph(
     spec: &ArraySpec,
     platform: Platform,
@@ -204,35 +208,57 @@ pub fn evaluate_graph(
     graph: &OpGraph,
 ) -> GraphPerf {
     spec.validate();
+    try_evaluate_graph(spec, platform, model, graph).unwrap_or_else(|| {
+        panic!(
+            "buffer of {} elements cannot hold any tile of the graph",
+            spec.buffer_elems
+        )
+    })
+}
+
+/// Fallible form of [`evaluate_graph`]: `None` when the buffer cannot
+/// hold even a unit tiling of some matmul, instead of panicking.
+///
+/// On fusing platforms, if whole-graph planning itself is unavailable at
+/// this buffer the evaluation degrades to the all-solo schedule rather
+/// than giving up — fusion is an optimization, never a requirement.
+pub fn try_evaluate_graph(
+    spec: &ArraySpec,
+    platform: Platform,
+    model: &CostModel,
+    graph: &OpGraph,
+) -> Option<GraphPerf> {
+    let solo = |mm, count| try_optimize_op_cached(spec, platform, model, mm, count);
     let mut steps = Vec::new();
-    if platform.supports_fusion() {
-        for (_, chain, count) in graph.mm_chains() {
-            let plan = plan_chain_cached(model, &chain, spec.buffer_elems);
+    let plan = platform
+        .supports_fusion()
+        .then(|| try_plan_graph_cached(model, graph, spec.buffer_elems))
+        .flatten();
+    match plan {
+        Some(plan) => {
             for step in plan.steps() {
                 match step {
-                    ChainStep::Solo { index, .. } => {
-                        steps.push(StepPerf::Solo(optimize_op_cached(
-                            spec,
-                            platform,
-                            model,
-                            chain.mm(*index),
-                            count,
-                        )));
+                    GraphStep::Solo { node, count, .. } => {
+                        let mm = graph
+                            .node(*node)
+                            .kind
+                            .as_matmul()
+                            .expect("plan solo steps are matmul nodes");
+                        steps.push(StepPerf::Solo(solo(mm, *count)?));
                     }
-                    ChainStep::Pair { fused, .. } => {
-                        steps.push(StepPerf::Fused(FusedPerf::score(spec, *fused, count)));
+                    GraphStep::Fused { count, fused, .. } => {
+                        steps.push(StepPerf::Fused(FusedPerf::score(spec, *fused, *count)));
                     }
                 }
             }
         }
-    } else {
-        for (_, mm, count) in graph.matmuls() {
-            steps.push(StepPerf::Solo(optimize_op_cached(
-                spec, platform, model, mm, count,
-            )));
+        None => {
+            for (_, mm, count) in graph.matmuls() {
+                steps.push(StepPerf::Solo(solo(mm, count)?));
+            }
         }
     }
-    GraphPerf { platform, steps }
+    Some(GraphPerf { platform, steps })
 }
 
 #[cfg(test)]
@@ -291,6 +317,44 @@ mod tests {
         let fuse = utils.iter().find(|(p, _)| *p == Platform::FuseCu).unwrap().1;
         let tpu = utils.iter().find(|(p, _)| *p == Platform::Tpuv4i).unwrap().1;
         assert!(fuse > tpu, "FuseCU {fuse} vs TPUv4i {tpu}");
+    }
+
+    #[test]
+    fn tiny_buffer_yields_none_instead_of_panicking() {
+        // Regression: a sub-minimal buffer used to abort inside the chain
+        // planner's unwrap before evaluation could even report it.
+        let g = zoo::blenderbot().build_graph();
+        for platform in [Platform::FuseCu, Platform::Tpuv4i] {
+            let starved = ArraySpec {
+                buffer_elems: 2,
+                ..spec()
+            };
+            assert!(
+                try_evaluate_graph(&starved, platform, &MODEL, &g).is_none(),
+                "{platform}"
+            );
+            // Three elements is the minimum footprint of any dataflow —
+            // the smallest buffer with a definable schedule.
+            let minimal = ArraySpec {
+                buffer_elems: 3,
+                ..spec()
+            };
+            let perf = try_evaluate_graph(&minimal, platform, &MODEL, &g)
+                .unwrap_or_else(|| panic!("{platform} must evaluate at the minimum buffer"));
+            assert!(perf.total_ma() > 0);
+        }
+    }
+
+    #[test]
+    fn try_evaluate_matches_evaluate_on_valid_specs() {
+        let g = zoo::bert().build_graph();
+        for platform in [Platform::FuseCu, Platform::UnfCu] {
+            let strict = evaluate_graph(&spec(), platform, &MODEL, &g);
+            let lax = try_evaluate_graph(&spec(), platform, &MODEL, &g).unwrap();
+            assert_eq!(strict.total_ma(), lax.total_ma(), "{platform}");
+            assert_eq!(strict.total_cycles(), lax.total_cycles(), "{platform}");
+            assert_eq!(strict.fused_steps(), lax.fused_steps(), "{platform}");
+        }
     }
 
     #[test]

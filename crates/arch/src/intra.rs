@@ -335,16 +335,30 @@ pub fn optimize_op_cached(
     mm: MatMul,
     count: u64,
 ) -> OpPerf {
-    assert!(count > 0, "instance count must be non-zero");
-    let candidates = op_cache().get_or_compute(tile_key(spec, platform, model, mm), || {
-        op_candidates(spec, platform, model, mm)
-    });
-    select_op(spec, count, &candidates).unwrap_or_else(|| {
+    try_optimize_op_cached(spec, platform, model, mm, count).unwrap_or_else(|| {
         panic!(
             "buffer of {} elements cannot hold any tile of {mm}",
             spec.buffer_elems
         )
     })
+}
+
+/// Fallible form of [`optimize_op_cached`]: `None` when the buffer cannot
+/// hold even a unit tiling (`buffer < 3`), instead of panicking. The entry
+/// point for callers probing sub-minimal buffers (ablation sweeps, the
+/// graceful graph-evaluation path).
+pub fn try_optimize_op_cached(
+    spec: &ArraySpec,
+    platform: Platform,
+    model: &CostModel,
+    mm: MatMul,
+    count: u64,
+) -> Option<OpPerf> {
+    assert!(count > 0, "instance count must be non-zero");
+    let candidates = op_cache().get_or_compute(tile_key(spec, platform, model, mm), || {
+        op_candidates(spec, platform, model, mm)
+    });
+    select_op(spec, count, &candidates)
 }
 
 /// Hit/miss counters of the process-wide operator cache, for the figure

@@ -34,6 +34,9 @@ use fusecu_dataflow::persist::{
     fingerprint_with, CacheFile, RecordReader,
 };
 use fusecu_dataflow::CostModel;
+use fusecu_fusion::graph_planner::{
+    graph_cache_preload, graph_cache_snapshot, try_plan_dag, GraphKey, GraphPlan, GraphStep,
+};
 use fusecu_fusion::planner::{
     plan_cache_preload, plan_cache_snapshot, ChainPlan, ChainStep, PlanKey,
 };
@@ -41,7 +44,7 @@ use fusecu_fusion::{
     optimizer::{pair_cache_preload, pair_cache_snapshot},
     FusedDataflow, FusedDim, FusedNest, FusedPair, FusedTiling, PairKey,
 };
-use fusecu_ir::{MatMul, MmChain};
+use fusecu_ir::{FuseLink, MatMul, MmChain, MmDag, NodeId, OpGraph};
 
 use crate::flex::{best_mapping, TilingFlex};
 use crate::intra::{op_cache_preload, op_cache_snapshot, OpCandidate, TileKey};
@@ -52,6 +55,7 @@ use crate::stationary::Stationary;
 const SECTION_OPERATORS: &str = "operators";
 const SECTION_PAIRS: &str = "pairs";
 const SECTION_PLANS: &str = "plans";
+const SECTION_GRAPHS: &str = "graphs";
 
 /// A behavioral digest of the mapping/cycle model: [`best_mapping`]'s
 /// chosen `(cycles, shape)` over every flexibility grade on a fixed probe
@@ -399,6 +403,249 @@ pub fn load_fusion_caches(path: &Path) -> usize {
     }
 }
 
+// --- whole-graph plan cache ----------------------------------------------
+
+/// A behavioral digest of the whole-graph fusion planner: the full plan
+/// structure (step kinds, endpoints, per-step traffic) [`try_plan_dag`]
+/// chooses on a fixed probe set — a linear attention chain and a fan-in
+/// DAG with competing producers, across both cost models and a buffer
+/// sweep spanning infeasible, tight, and ample. Any change to link
+/// enumeration, link weighting, or the matching search changes this value.
+pub fn graph_planner_digest() -> String {
+    static DIGEST: OnceLock<String> = OnceLock::new();
+    DIGEST
+        .get_or_init(|| {
+            let probes = [probe_chain_graph(), probe_fan_in_graph()];
+            let mut h = DefaultHasher::new();
+            for model in [CostModel::paper(), CostModel::read_write()] {
+                for graph in &probes {
+                    let dag = graph.mm_dag();
+                    for bs in [2u64, 4 * 1024, 64 * 1024] {
+                        match try_plan_dag(&model, &dag, bs) {
+                            None => 0u64.hash(&mut h),
+                            Some(plan) => {
+                                1u64.hash(&mut h);
+                                plan.total_ma().hash(&mut h);
+                                for step in plan.steps() {
+                                    match step {
+                                        GraphStep::Solo {
+                                            node,
+                                            count,
+                                            dataflow,
+                                        } => (0u64, node.0, *count, dataflow.total_ma())
+                                            .hash(&mut h),
+                                        GraphStep::Fused {
+                                            producer,
+                                            consumer,
+                                            count,
+                                            fused,
+                                        } => (1u64, producer.0, consumer.0, *count, fused.total_ma())
+                                            .hash(&mut h),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            format!("graph-planner-{:016x}", h.finish())
+        })
+        .clone()
+}
+
+/// One attention head chain: the canonical profitable fusion.
+fn probe_chain_graph() -> OpGraph {
+    let mut g = OpGraph::new();
+    let a = g.add_matmul("qk", MatMul::new(256, 32, 256), 4);
+    let s = g.add_softmax("sm", 256, 256, 4);
+    let b = g.add_matmul("pv", MatMul::new(256, 256, 32), 4);
+    g.connect(a, s);
+    g.connect(s, b);
+    g
+}
+
+/// Two shape-compatible producers of one consumer: the fan-in site whose
+/// claim the planner must decide by saved traffic, not insertion order.
+fn probe_fan_in_graph() -> OpGraph {
+    let mut g = OpGraph::new();
+    let fat = g.add_matmul("fat", MatMul::new(256, 1024, 256), 1);
+    let slim = g.add_matmul("slim", MatMul::new(256, 32, 256), 1);
+    let add = g.add_elementwise("residual", 256 * 256, 1);
+    let q = g.add_matmul("consumer", MatMul::new(256, 256, 32), 1);
+    g.connect(fat, add);
+    g.connect(slim, add);
+    g.connect(add, q);
+    g
+}
+
+/// The fingerprint stamped on whole-graph plan cache files: the base
+/// format fingerprint extended with [`graph_planner_digest`]. Distinct
+/// from [`arch_fingerprint`] because graph plans depend on the planner,
+/// not the mapping/cycle model: a mapping change keeps graph plans warm,
+/// a planner change cold-starts exactly this file.
+pub fn graph_fingerprint() -> String {
+    fingerprint_with(&graph_planner_digest())
+}
+
+fn encode_graph_entry(key: &GraphKey, value: &Option<GraphPlan>) -> Vec<u64> {
+    let (dag, bs, model) = key;
+    let mut out = Vec::new();
+    out.push(dag.mms().len() as u64);
+    for (id, mm, count) in dag.mms() {
+        out.push(id.0 as u64);
+        encode_mm(*mm, &mut out);
+        out.push(*count);
+    }
+    out.push(dag.links().len() as u64);
+    for l in dag.links() {
+        out.extend([l.producer as u64, l.consumer as u64]);
+    }
+    out.push(*bs);
+    encode_model(model, &mut out);
+    match value {
+        None => out.push(0),
+        Some(plan) => {
+            out.push(1);
+            out.push(plan.steps().len() as u64);
+            for step in plan.steps() {
+                match step {
+                    GraphStep::Solo {
+                        node,
+                        count,
+                        dataflow,
+                    } => {
+                        out.extend([0, node.0 as u64, *count]);
+                        encode_dataflow(dataflow, &mut out);
+                    }
+                    GraphStep::Fused {
+                        producer,
+                        consumer,
+                        count,
+                        fused,
+                    } => {
+                        out.extend([1, producer.0 as u64, consumer.0 as u64, *count]);
+                        encode_fused_nest(fused.nest(), &mut out);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn decode_graph_entry(record: &[u64]) -> Option<(GraphKey, Option<GraphPlan>)> {
+    let mut r = RecordReader::new(record);
+    let mm_count = r.u64()?;
+    let mut mms = Vec::with_capacity(mm_count.min(64) as usize);
+    for _ in 0..mm_count {
+        let id = NodeId(usize::try_from(r.u64()?).ok()?);
+        let mm = decode_mm(&mut r)?;
+        mms.push((id, mm, r.u64()?));
+    }
+    let link_count = r.u64()?;
+    let mut links = Vec::with_capacity(link_count.min(64) as usize);
+    for _ in 0..link_count {
+        links.push(FuseLink {
+            producer: usize::try_from(r.u64()?).ok()?,
+            consumer: usize::try_from(r.u64()?).ok()?,
+        });
+    }
+    // `from_parts` re-checks every link invariant a hostile record could
+    // violate (bad indices, shape or count mismatches, duplicate ids).
+    let dag = MmDag::from_parts(mms, links)?;
+    let bs = r.u64()?;
+    let model = decode_model(&mut r)?;
+    let lookup = |id: NodeId| dag.mms().iter().find(|(n, ..)| *n == id).copied();
+    let value = if r.bool()? {
+        let step_count = r.u64()?;
+        let mut steps = Vec::with_capacity(step_count.min(64) as usize);
+        let mut covered: Vec<NodeId> = Vec::new();
+        for _ in 0..step_count {
+            match r.u64()? {
+                0 => {
+                    let node = NodeId(usize::try_from(r.u64()?).ok()?);
+                    let count = r.u64()?;
+                    let (_, mm, node_count) = lookup(node)?;
+                    let dataflow = decode_dataflow(&model, &mut r)?;
+                    if count != node_count || dataflow.mm() != mm || dataflow.buffer_elems() > bs
+                    {
+                        return None;
+                    }
+                    covered.push(node);
+                    steps.push(GraphStep::Solo {
+                        node,
+                        count,
+                        dataflow,
+                    });
+                }
+                1 => {
+                    let producer = NodeId(usize::try_from(r.u64()?).ok()?);
+                    let consumer = NodeId(usize::try_from(r.u64()?).ok()?);
+                    let count = r.u64()?;
+                    let (_, pmm, pcount) = lookup(producer)?;
+                    let (_, cmm, _) = lookup(consumer)?;
+                    if count != pcount {
+                        return None;
+                    }
+                    let pair = FusedPair::try_new(pmm, cmm).ok()?;
+                    let fused = decode_fused(&model, pair, bs, &mut r)?;
+                    covered.extend([producer, consumer]);
+                    steps.push(GraphStep::Fused {
+                        producer,
+                        consumer,
+                        count,
+                        fused,
+                    });
+                }
+                _ => return None,
+            }
+        }
+        // The plan must cover every matmul of the DAG exactly once.
+        let mut expected: Vec<NodeId> = dag.mms().iter().map(|(n, ..)| *n).collect();
+        expected.sort();
+        covered.sort();
+        if covered != expected {
+            return None;
+        }
+        Some(GraphPlan::from_steps(steps, bs))
+    } else {
+        None
+    };
+    r.finish()?;
+    Some(((dag, bs, model), value))
+}
+
+/// Serializes the process-wide whole-graph plan cache to `path`; returns
+/// the number of entries written. Stamped with [`graph_fingerprint`], so
+/// a planner change invalidates the file.
+pub fn save_graph_plan_cache(path: &Path) -> io::Result<usize> {
+    let mut file = CacheFile::new();
+    file.push_section(
+        SECTION_GRAPHS,
+        graph_cache_snapshot()
+            .iter()
+            .map(|(k, v)| encode_graph_entry(k, v))
+            .collect(),
+    );
+    let n = file.records();
+    file.save_with(path, &graph_fingerprint())?;
+    Ok(n)
+}
+
+/// Preloads the whole-graph plan cache from `path`; all-or-nothing, 0 on
+/// any anomaly (including a stale planner digest in the fingerprint).
+pub fn load_graph_plan_cache(path: &Path) -> usize {
+    let Some(file) = CacheFile::load_with(path, &graph_fingerprint()) else {
+        return 0;
+    };
+    let entries: Option<Vec<_>> = file
+        .section(SECTION_GRAPHS)
+        .iter()
+        .map(|rec| decode_graph_entry(rec))
+        .collect();
+    entries.map_or(0, graph_cache_preload)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,6 +725,77 @@ mod tests {
         assert!(decode_pair_entry(&bad).is_none());
         // A truncated record underruns the reader.
         assert!(decode_pair_entry(&rec[..rec.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn graph_entry_round_trips() {
+        let dag = probe_fan_in_graph().mm_dag();
+        for bs in [2u64, 64 * 1024] {
+            let value = try_plan_dag(&MODEL, &dag, bs);
+            let rec = encode_graph_entry(&(dag.clone(), bs, MODEL), &value);
+            let (key, back) = decode_graph_entry(&rec).unwrap();
+            assert_eq!(key, (dag.clone(), bs, MODEL));
+            assert_eq!(back, value);
+        }
+    }
+
+    #[test]
+    fn tampered_graph_entries_are_rejected() {
+        let dag = probe_fan_in_graph().mm_dag();
+        let value = try_plan_dag(&MODEL, &dag, 64 * 1024);
+        assert!(value.is_some(), "probe must plan at an ample buffer");
+        let rec = encode_graph_entry(&(dag.clone(), 64 * 1024, MODEL), &value);
+        // A link pointing past the matmul list.
+        let mut bad = rec.clone();
+        let link_base = 1 + dag.mms().len() * 5 + 1;
+        bad[link_base] = 99;
+        assert!(decode_graph_entry(&bad).is_none());
+        // A truncated record underruns the reader.
+        assert!(decode_graph_entry(&rec[..rec.len() - 1]).is_none());
+        // A zero tile inside the fused step payload.
+        let mut bad = rec.clone();
+        *bad.last_mut().unwrap() = 0;
+        assert!(decode_graph_entry(&bad).is_none());
+    }
+
+    #[test]
+    fn graph_planner_digest_change_forces_a_cold_start() {
+        let dir =
+            std::env::temp_dir().join(format!("fusecu-graph-digest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graphs.cache");
+
+        // Warm the graph-plan cache with one real entry and persist it.
+        let dag = probe_chain_graph().mm_dag();
+        let plan = try_plan_dag(&MODEL, &dag, 64 * 1024);
+        graph_cache_preload(vec![((dag, 64 * 1024, MODEL), plan)]);
+        assert!(save_graph_plan_cache(&path).unwrap() >= 1);
+
+        // Same digest: the file is readable and carries the entry.
+        let file = CacheFile::load_with(&path, &graph_fingerprint()).unwrap();
+        assert!(file.records() >= 1);
+
+        // Re-stamp the same body under a *different* planner digest, as a
+        // changed link enumeration or matching search would have: the load
+        // must cold-start rather than serve stale fusion structure.
+        file.save_with(&path, &fingerprint_with("graph-planner-changed"))
+            .unwrap();
+        assert!(CacheFile::load_with(&path, &graph_fingerprint()).is_none());
+        assert_eq!(load_graph_plan_cache(&path), 0);
+        // The stale file is also invisible to the other loaders.
+        assert!(CacheFile::load(&path).is_none());
+        assert_eq!(load_fusion_caches(&path), 0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn graph_fingerprint_is_distinct_from_arch_and_base() {
+        assert_eq!(graph_planner_digest(), graph_planner_digest());
+        let fp = graph_fingerprint();
+        assert_ne!(fp, arch_fingerprint());
+        assert_ne!(fp, fusecu_dataflow::persist::fingerprint());
+        assert!(fp.starts_with(&fusecu_dataflow::persist::fingerprint()));
     }
 
     #[test]

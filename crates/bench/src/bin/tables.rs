@@ -99,6 +99,43 @@ fn table_ii_dataflows(parallelism: Parallelism) {
     println!("dataflow cache: {}", engine.cache().stats());
 }
 
+/// Supplementary: whole-graph DAG fusion planning vs greedy chain
+/// decomposition, per Table II model on the branchy per-head layer graph
+/// (Q/K/V fan-out and residual expressed as edges), plus the pinned
+/// fan-in regression graph. The DAG planner's matching is never worse
+/// than the chain decomposition and strictly better wherever a fan-in
+/// site makes the greedy claim pick the wrong producer.
+fn table_dag_fusion() {
+    header("Suppl.: DAG fusion planning vs chain decomposition (512 Ki-elem buffer)");
+    let model = CostModel::paper();
+    println!(
+        "{:<18} {:>10} {:>16} {:>16} {:>10} {:>7}",
+        "workload", "buffer", "chained MA", "DAG MA", "saved", "pairs"
+    );
+    let row = |name: &str, graph: &OpGraph, buffer: u64| {
+        let chained =
+            try_plan_graph_chained(&model, graph, buffer).expect("chain fallback plans");
+        let plan =
+            try_plan_graph_cached(&model, graph, buffer).expect("DAG planner plans the zoo");
+        assert!(plan.total_ma() <= chained.total_ma(), "{name}: DAG plan regressed");
+        println!(
+            "{:<18} {:>10} {:>16} {:>16} {:>10} {:>7}",
+            name,
+            buffer,
+            chained.total_ma(),
+            plan.total_ma(),
+            chained.total_ma() - plan.total_ma(),
+            plan.fused_pair_count()
+        );
+    };
+    let buffer = 512 * 1024;
+    for cfg in zoo::all() {
+        row(&cfg.name, &cfg.build_branchy_graph(), buffer);
+    }
+    // The fan-in regression DAG only differentiates at a small buffer.
+    row("fan-in regress.", &zoo::fan_in_regression_graph(), 1024);
+}
+
 fn main() {
     let cache = DiskCacheSession::from_args();
     let parallelism = Parallelism::from_args();
@@ -106,5 +143,6 @@ fn main() {
     table_ii();
     table_iii();
     table_ii_dataflows(parallelism);
+    table_dag_fusion();
     println!("{}", cache.summary());
 }

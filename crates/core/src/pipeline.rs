@@ -347,6 +347,9 @@ impl DiskCacheSession {
     const OPERATORS_FILE: &'static str = "operators.cache";
     /// Cache file for the fused-pair and chain-plan caches.
     const PLANS_FILE: &'static str = "plans.cache";
+    /// Cache file for the whole-graph fusion-plan cache (stamped with the
+    /// planner fingerprint, not the mapping fingerprint).
+    const GRAPHS_FILE: &'static str = "graphs.cache";
 
     /// A session over the default cache directory (`$FUSECU_CACHE_DIR` if
     /// set, else `target/fusecu-cache`), disabled when the process was
@@ -375,7 +378,8 @@ impl DiskCacheSession {
     pub fn at(dir: PathBuf) -> DiskCacheSession {
         let loaded = DataflowCache::global().load_from(&dir.join(Self::DATAFLOW_FILE))
             + fusecu_arch::persist::load_op_cache(&dir.join(Self::OPERATORS_FILE))
-            + fusecu_arch::persist::load_fusion_caches(&dir.join(Self::PLANS_FILE));
+            + fusecu_arch::persist::load_fusion_caches(&dir.join(Self::PLANS_FILE))
+            + fusecu_arch::persist::load_graph_plan_cache(&dir.join(Self::GRAPHS_FILE));
         DiskCacheSession {
             dir: Some(dir),
             loaded,
@@ -397,7 +401,8 @@ impl DiskCacheSession {
         };
         let n = DataflowCache::global().save_to(&dir.join(Self::DATAFLOW_FILE))?
             + fusecu_arch::persist::save_op_cache(&dir.join(Self::OPERATORS_FILE))?
-            + fusecu_arch::persist::save_fusion_caches(&dir.join(Self::PLANS_FILE))?;
+            + fusecu_arch::persist::save_fusion_caches(&dir.join(Self::PLANS_FILE))?
+            + fusecu_arch::persist::save_graph_plan_cache(&dir.join(Self::GRAPHS_FILE))?;
         self.saved = true;
         Ok(n)
     }
@@ -410,6 +415,7 @@ impl DiskCacheSession {
             .plus(fusecu_arch::op_cache_stats())
             .plus(fusecu_fusion::optimizer::pair_cache_stats())
             .plus(fusecu_fusion::planner::plan_cache_stats())
+            .plus(fusecu_fusion::graph_planner::graph_cache_stats())
     }
 
     /// One summary line for the end of a figure run. Ends with the

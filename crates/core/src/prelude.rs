@@ -7,11 +7,16 @@
 //! assert!(df.total_ma() >= MatMul::new(256, 256, 256).ideal_ma());
 //! ```
 
-pub use fusecu_arch::{evaluate_graph, ArraySpec, EnergyModel, Platform, Stationary, TilingFlex};
+pub use fusecu_arch::{
+    evaluate_graph, try_evaluate_graph, ArraySpec, EnergyModel, Platform, Stationary, TilingFlex,
+};
 pub use fusecu_dataflow::{
     BufferRegime, CostModel, Dataflow, LoopNest, MemoryAccess, NraClass, PartialSumPolicy, Tiling,
 };
-pub use fusecu_fusion::{FusedDataflow, FusedPair, FusionDecision};
+pub use fusecu_fusion::{
+    plan_graph, try_plan_graph, try_plan_graph_cached, try_plan_graph_chained, FusedDataflow,
+    FusedPair, FusionDecision, GraphPlan, GraphStep,
+};
 pub use fusecu_ir::{Conv2d, MatMul, MmChain, MmDim, OpGraph, Operand};
 pub use fusecu_models::{zoo, TransformerConfig};
 pub use fusecu_search::{

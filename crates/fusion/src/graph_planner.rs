@@ -1,0 +1,671 @@
+//! Whole-graph fusion planning: minimum-memory-access fusion structure
+//! over an operator DAG.
+//!
+//! [`plan_chain`](crate::planner::plan_chain) partitions one linear chain;
+//! real transformer blocks branch (Q/K/V fan-out, residual adds), and the
+//! greedy chain decomposition claims fan-in consumers by insertion order,
+//! silently dropping fusion candidates. This module plans over the
+//! [`MmDag`] instead — every matmul plus *every* fusable link — and picks
+//! the fusion structure directly.
+//!
+//! FuseCU fuses exactly two matmuls at a time, so a fusion structure is a
+//! **matching** on the link graph: a set of producer→consumer links no two
+//! of which share a matmul. Each profitable link is weighted by the memory
+//! access it saves over running its endpoints solo (instance counts
+//! applied); the planner finds the maximum-weight matching per link
+//! component by exhaustive branch-and-bound — components of transformer
+//! graphs hold a handful of matmuls, and the closed-form fused oracle
+//! makes scoring every candidate link cheap. On a linear chain the
+//! matching is exactly the chain DP (identical candidate set and weights),
+//! so chain plans and graph plans agree wherever both are defined.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use fusecu_dataflow::memo::{CacheStats, MemoCache};
+use fusecu_dataflow::principles::try_optimize_with;
+use fusecu_dataflow::{CostModel, Dataflow};
+use fusecu_ir::{FuseLink, MmDag, NodeId, OpGraph};
+
+use crate::nest::FusedDataflow;
+use crate::optimizer::{try_decide, FusionDecision};
+use crate::pair::FusedPair;
+use crate::planner::{try_plan_chain_cached, ChainStep};
+
+/// One step of a whole-graph fusion plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphStep {
+    /// The matmul at `node` executes alone with its optimal intra-dataflow.
+    Solo {
+        /// Graph node of the matmul.
+        node: NodeId,
+        /// Instance count of the node.
+        count: u64,
+        /// Its principle-optimal dataflow.
+        dataflow: Dataflow,
+    },
+    /// The matmuls at `producer` and `consumer` execute as a fused pair.
+    Fused {
+        /// Graph node of the producer matmul.
+        producer: NodeId,
+        /// Graph node of the consumer matmul.
+        consumer: NodeId,
+        /// Instance count (equal on both endpoints by link construction).
+        count: u64,
+        /// The fused dataflow.
+        fused: FusedDataflow,
+    },
+}
+
+impl GraphStep {
+    /// Memory access of one instance of this step.
+    pub fn ma(&self) -> u64 {
+        match self {
+            GraphStep::Solo { dataflow, .. } => dataflow.total_ma(),
+            GraphStep::Fused { fused, .. } => fused.total_ma(),
+        }
+    }
+
+    /// Memory access of the step with its instance count applied.
+    pub fn total_ma(&self) -> u64 {
+        self.ma() * self.count()
+    }
+
+    /// Instance count of the step.
+    pub fn count(&self) -> u64 {
+        match self {
+            GraphStep::Solo { count, .. } | GraphStep::Fused { count, .. } => *count,
+        }
+    }
+
+    /// Number of matmuls the step covers (1 or 2).
+    pub fn width(&self) -> usize {
+        match self {
+            GraphStep::Solo { .. } => 1,
+            GraphStep::Fused { .. } => 2,
+        }
+    }
+}
+
+/// A minimum-memory-access fusion plan for a whole operator graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphPlan {
+    steps: Vec<GraphStep>,
+    total_ma: u64,
+    buffer: u64,
+}
+
+impl GraphPlan {
+    /// Rebuilds a plan from its steps, recomputing the total from them.
+    /// This is the reconstruction entry point for the disk persistence
+    /// layer; planning always goes through [`try_plan_graph`].
+    pub fn from_steps(steps: Vec<GraphStep>, buffer: u64) -> GraphPlan {
+        let total_ma = steps.iter().map(GraphStep::total_ma).sum();
+        GraphPlan {
+            steps,
+            total_ma,
+            buffer,
+        }
+    }
+
+    /// The steps, in matmul node order (fused steps sort by producer).
+    pub fn steps(&self) -> &[GraphStep] {
+        &self.steps
+    }
+
+    /// Total memory access over the graph, instance counts applied.
+    pub fn total_ma(&self) -> u64 {
+        self.total_ma
+    }
+
+    /// The buffer size the plan was computed for.
+    pub fn buffer(&self) -> u64 {
+        self.buffer
+    }
+
+    /// Number of fused pairs in the plan (not weighted by count).
+    pub fn fused_pair_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, GraphStep::Fused { .. }))
+            .count()
+    }
+
+    /// Number of solo steps in the plan (not weighted by count).
+    pub fn solo_count(&self) -> usize {
+        self.steps.len() - self.fused_pair_count()
+    }
+}
+
+impl fmt::Display for GraphPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            match step {
+                GraphStep::Solo {
+                    node,
+                    count,
+                    dataflow,
+                } => {
+                    writeln!(
+                        f,
+                        "  n{}: solo  x{count} ma={}",
+                        node.0,
+                        dataflow.total_ma()
+                    )?;
+                }
+                GraphStep::Fused {
+                    producer,
+                    consumer,
+                    count,
+                    fused,
+                } => {
+                    writeln!(
+                        f,
+                        "  n{}+n{}: fused x{count} ma={}",
+                        producer.0,
+                        consumer.0,
+                        fused.total_ma()
+                    )?;
+                }
+            }
+        }
+        write!(f, "  total ma = {}", self.total_ma)
+    }
+}
+
+/// A fusable link that would save memory access: the link, its fused
+/// dataflow, and the saving over solo execution (counts applied).
+struct WeightedLink {
+    link: FuseLink,
+    fused: FusedDataflow,
+    weight: u64,
+}
+
+/// Exhaustive exact search stays tractable well past any transformer
+/// component; beyond this many links per component a deterministic greedy
+/// sweep takes over.
+const EXACT_SEARCH_MAX_LINKS: usize = 24;
+
+/// Maximum-weight matching over one component's links. `links` must be
+/// sorted heaviest-first; returns indices into it. Exhaustive
+/// include/exclude search with a suffix-sum bound; include-first plus a
+/// strict improvement test makes ties resolve toward heavier, earlier
+/// links, deterministically.
+fn best_matching(links: &[&WeightedLink], n_mms: usize) -> Vec<usize> {
+    if links.len() > EXACT_SEARCH_MAX_LINKS {
+        // Greedy fallback: heaviest link first, skip anything touching a
+        // claimed matmul. Never reached by the zoo; a safety valve for
+        // adversarial dense graphs.
+        let mut used = vec![false; n_mms];
+        let mut picked = Vec::new();
+        for (i, wl) in links.iter().enumerate() {
+            if !used[wl.link.producer] && !used[wl.link.consumer] {
+                used[wl.link.producer] = true;
+                used[wl.link.consumer] = true;
+                picked.push(i);
+            }
+        }
+        return picked;
+    }
+
+    // suffix[i]: total weight still reachable from link i on — the
+    // branch-and-bound pruning bound. Every kept link has weight > 0, so
+    // "can't strictly beat the incumbent" is a safe cut.
+    let suffix: Vec<u64> = {
+        let mut s = vec![0u64; links.len() + 1];
+        for i in (0..links.len()).rev() {
+            s[i] = s[i + 1] + links[i].weight;
+        }
+        s
+    };
+
+    fn search(
+        links: &[&WeightedLink],
+        suffix: &[u64],
+        i: usize,
+        used: &mut [bool],
+        cur: &mut Vec<usize>,
+        cur_w: u64,
+        best: &mut (u64, Vec<usize>),
+    ) {
+        if cur_w + suffix[i] <= best.0 {
+            return;
+        }
+        if i == links.len() {
+            *best = (cur_w, cur.clone());
+            return;
+        }
+        let wl = links[i];
+        if !used[wl.link.producer] && !used[wl.link.consumer] {
+            used[wl.link.producer] = true;
+            used[wl.link.consumer] = true;
+            cur.push(i);
+            search(links, suffix, i + 1, used, cur, cur_w + wl.weight, best);
+            cur.pop();
+            used[wl.link.producer] = false;
+            used[wl.link.consumer] = false;
+        }
+        search(links, suffix, i + 1, used, cur, cur_w, best);
+    }
+
+    let mut best = (0u64, Vec::new());
+    let mut used = vec![false; n_mms];
+    search(
+        links,
+        &suffix,
+        0,
+        &mut used,
+        &mut Vec::new(),
+        0,
+        &mut best,
+    );
+    best.1
+}
+
+/// Plans a whole matmul DAG: every matmul runs solo at its
+/// principle-optimal dataflow unless a profitable fusable link claims it
+/// into a fused pair, and the chosen pairs form the maximum-saving
+/// matching over the link set. Returns `None` when `bs` cannot hold any
+/// dataflow at all (`bs < 3`).
+pub fn try_plan_dag(model: &CostModel, dag: &MmDag, bs: u64) -> Option<GraphPlan> {
+    let mms = dag.mms();
+    let solo: Vec<Dataflow> = mms
+        .iter()
+        .map(|(_, mm, _)| try_optimize_with(model, *mm, bs))
+        .collect::<Option<_>>()?;
+
+    // Score every link with the closed-form fused oracle; keep the ones
+    // that beat their endpoints' solo optima.
+    let mut weighted: Vec<WeightedLink> = dag
+        .links()
+        .iter()
+        .filter_map(|&link| {
+            let (_, pmm, count) = mms[link.producer];
+            let (_, cmm, _) = mms[link.consumer];
+            let pair = FusedPair::try_new(pmm, cmm).ok()?;
+            let fused = *try_decide(model, pair, bs)
+                .filter(FusionDecision::profitable)?
+                .fused()?;
+            let solo_ma = solo[link.producer].total_ma() + solo[link.consumer].total_ma();
+            let saved = solo_ma.checked_sub(fused.total_ma())?;
+            (saved > 0).then_some(WeightedLink {
+                link,
+                fused,
+                weight: saved * count,
+            })
+        })
+        .collect();
+    weighted.sort_by(|a, b| {
+        b.weight
+            .cmp(&a.weight)
+            .then(a.link.producer.cmp(&b.link.producer))
+            .then(a.link.consumer.cmp(&b.link.consumer))
+    });
+
+    // Matchings never cross components, so search each independently.
+    let mut fused_of: Vec<Option<&WeightedLink>> = vec![None; mms.len()];
+    for component in dag.components() {
+        let comp_links: Vec<usize> = (0..weighted.len())
+            .filter(|&i| component.contains(&weighted[i].link.producer))
+            .collect();
+        if comp_links.is_empty() {
+            continue;
+        }
+        let comp: Vec<&WeightedLink> = comp_links.iter().map(|&i| &weighted[i]).collect();
+        for picked in best_matching(&comp, mms.len()) {
+            let wl = comp[picked];
+            fused_of[wl.link.producer] = Some(wl);
+            fused_of[wl.link.consumer] = Some(wl);
+        }
+    }
+
+    let mut steps = Vec::new();
+    for (i, (node, _, count)) in mms.iter().enumerate() {
+        match fused_of[i] {
+            Some(wl) if wl.link.producer == i => {
+                let (consumer, _, _) = mms[wl.link.consumer];
+                steps.push(GraphStep::Fused {
+                    producer: *node,
+                    consumer,
+                    count: *count,
+                    fused: wl.fused,
+                });
+            }
+            Some(_) => {} // consumer endpoint: emitted with its producer
+            None => steps.push(GraphStep::Solo {
+                node: *node,
+                count: *count,
+                dataflow: solo[i],
+            }),
+        }
+    }
+    Some(GraphPlan::from_steps(steps, bs))
+}
+
+/// Plans a whole operator graph via its fusable-link DAG. Returns `None`
+/// when `bs < 3` (no dataflow fits at all).
+pub fn try_plan_graph(model: &CostModel, graph: &OpGraph, bs: u64) -> Option<GraphPlan> {
+    try_plan_dag(model, &graph.mm_dag(), bs)
+}
+
+/// Panicking form of [`try_plan_graph`], for callers that have already
+/// validated the buffer (e.g. via `ArraySpec::validate`).
+///
+/// # Panics
+///
+/// Panics when `bs < 3` (no dataflow fits at all).
+pub fn plan_graph(model: &CostModel, graph: &OpGraph, bs: u64) -> GraphPlan {
+    try_plan_graph(model, graph, bs)
+        .unwrap_or_else(|| panic!("buffer of {bs} elements cannot hold any tile"))
+}
+
+/// The memoization key of one whole-graph planning problem.
+pub type GraphKey = (MmDag, u64, CostModel);
+
+fn graph_cache() -> &'static MemoCache<GraphKey, Option<GraphPlan>> {
+    static CACHE: OnceLock<MemoCache<GraphKey, Option<GraphPlan>>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
+
+/// Memoized [`try_plan_dag`]: ablation grids re-plan the same model graph
+/// for every `ArraySpec`, but the plan depends only on `(dag, bs, model)`.
+pub fn try_plan_dag_cached(model: &CostModel, dag: &MmDag, bs: u64) -> Option<GraphPlan> {
+    graph_cache().get_or_compute((dag.clone(), bs, *model), || try_plan_dag(model, dag, bs))
+}
+
+/// Memoized [`try_plan_graph`].
+pub fn try_plan_graph_cached(model: &CostModel, graph: &OpGraph, bs: u64) -> Option<GraphPlan> {
+    try_plan_dag_cached(model, &graph.mm_dag(), bs)
+}
+
+/// Hit/miss counters of the process-wide graph-plan cache.
+pub fn graph_cache_stats() -> CacheStats {
+    graph_cache().stats()
+}
+
+/// Completed graph-plan cache entries, for the disk persistence layer.
+pub fn graph_cache_snapshot() -> Vec<(GraphKey, Option<GraphPlan>)> {
+    graph_cache().snapshot()
+}
+
+/// Preloads graph-plan entries saved by an earlier process; returns the
+/// number inserted. Counters are untouched.
+pub fn graph_cache_preload(
+    entries: impl IntoIterator<Item = (GraphKey, Option<GraphPlan>)>,
+) -> usize {
+    graph_cache().preload(entries)
+}
+
+/// The legacy chain-decomposition plan lifted to a [`GraphPlan`]: the
+/// graph is split by [`OpGraph::mm_chains`] (deterministic fan-in
+/// claiming) and each chain planned by the chain DP. Kept as the
+/// comparison baseline — on branchy graphs [`try_plan_graph`] must never
+/// be worse than this, and the delta is exactly what whole-graph planning
+/// buys.
+pub fn try_plan_graph_chained(model: &CostModel, graph: &OpGraph, bs: u64) -> Option<GraphPlan> {
+    let mut steps = Vec::new();
+    for (ids, chain, count) in graph.mm_chains() {
+        let plan = try_plan_chain_cached(model, &chain, bs)?;
+        for step in plan.steps() {
+            steps.push(match step {
+                ChainStep::Solo { index, dataflow } => GraphStep::Solo {
+                    node: ids[*index],
+                    count,
+                    dataflow: *dataflow,
+                },
+                ChainStep::Pair { index, fused } => GraphStep::Fused {
+                    producer: ids[*index],
+                    consumer: ids[*index + 1],
+                    count,
+                    fused: *fused,
+                },
+            });
+        }
+    }
+    steps.sort_by_key(|s| match s {
+        GraphStep::Solo { node, .. } => *node,
+        GraphStep::Fused { producer, .. } => *producer,
+    });
+    Some(GraphPlan::from_steps(steps, bs))
+}
+
+/// Chain decomposition with cost-aware fan-in claiming: at each fan-in
+/// site the producer whose fused pairing with the consumer saves the most
+/// memory access (at this model/buffer) wins the claim, instead of the
+/// structural default. This is the "legacy path picks the lower-MA
+/// pairing" fix for callers that still want chains.
+pub fn min_ma_chains(
+    model: &CostModel,
+    graph: &OpGraph,
+    bs: u64,
+) -> Vec<(Vec<NodeId>, fusecu_ir::MmChain, u64)> {
+    graph.mm_chains_by(|g, consumer, candidates| {
+        let cmm = g
+            .node(consumer)
+            .kind
+            .as_matmul()
+            .expect("fan-in claim sites are matmuls");
+        let gain = |id: NodeId| -> u64 {
+            let n = g.node(id);
+            let Some(pmm) = n.kind.as_matmul() else {
+                return 0;
+            };
+            let Ok(pair) = FusedPair::try_new(pmm, cmm) else {
+                return 0;
+            };
+            try_decide(model, pair, bs)
+                .filter(FusionDecision::profitable)
+                .map_or(0, |d| d.saved_ma() * n.count)
+        };
+        let mut best = candidates[0];
+        let mut best_gain = gain(best);
+        for &c in &candidates[1..] {
+            let w = gain(c);
+            if w > best_gain {
+                best = c;
+                best_gain = w;
+            }
+        }
+        best
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::plan_chain;
+    use fusecu_ir::{MatMul, MmChain};
+
+    const MODEL: CostModel = CostModel {
+        partial_sums: fusecu_dataflow::PartialSumPolicy::PerVisit,
+    };
+
+    fn attention_graph(count: u64) -> OpGraph {
+        let mut g = OpGraph::new();
+        let a = g.add_matmul("qk", MatMul::new(1024, 64, 1024), count);
+        let s = g.add_softmax("sm", 1024, 1024, count);
+        let b = g.add_matmul("pv", MatMul::new(1024, 1024, 64), count);
+        g.connect(a, s);
+        g.connect(s, b);
+        g
+    }
+
+    #[test]
+    fn linear_chain_graph_plan_matches_chain_dp() {
+        let g = attention_graph(192);
+        let chain = MmChain::try_new(vec![
+            MatMul::new(1024, 64, 1024),
+            MatMul::new(1024, 1024, 64),
+        ])
+        .unwrap();
+        for bs in [512u64, 8_192, 64 * 1024] {
+            let gp = try_plan_graph(&MODEL, &g, bs).unwrap();
+            let cp = plan_chain(&MODEL, &chain, bs);
+            assert_eq!(gp.total_ma(), cp.total_ma() * 192, "bs={bs}");
+            assert_eq!(gp.fused_pair_count(), cp.fused_pair_count(), "bs={bs}");
+        }
+    }
+
+    #[test]
+    fn graph_plan_weights_by_count() {
+        let plan = plan_graph(&MODEL, &attention_graph(192), 64 * 1024);
+        assert_eq!(plan.fused_pair_count(), 1);
+        assert_eq!(plan.steps().len(), 1);
+        assert_eq!(plan.total_ma(), plan.steps()[0].ma() * 192);
+    }
+
+    /// Two shape-compatible producers feed one consumer through a residual
+    /// add. One is a fat cross-NRA producer that cannot profitably fuse,
+    /// the other fuses well — but the fat one was inserted first.
+    fn fan_in_graph(good_first: bool) -> (OpGraph, NodeId, NodeId) {
+        let mut g = OpGraph::new();
+        let mk_bad = |g: &mut OpGraph| g.add_matmul("bad", MatMul::new(1024, 4096, 1024), 1);
+        let mk_good = |g: &mut OpGraph| g.add_matmul("good", MatMul::new(1024, 64, 1024), 1);
+        let (bad, good) = if good_first {
+            let good = mk_good(&mut g);
+            let bad = mk_bad(&mut g);
+            (bad, good)
+        } else {
+            let bad = mk_bad(&mut g);
+            let good = mk_good(&mut g);
+            (bad, good)
+        };
+        let add = g.add_elementwise("residual", 1024 * 1024, 1);
+        let q = g.add_matmul("consumer", MatMul::new(1024, 1024, 64), 1);
+        g.connect(bad, add);
+        g.connect(good, add);
+        g.connect(add, q);
+        (g, bad, good)
+    }
+
+    #[test]
+    fn fan_in_planner_picks_the_lower_ma_pairing() {
+        for good_first in [false, true] {
+            let (g, bad, good) = fan_in_graph(good_first);
+            let plan = try_plan_graph(&MODEL, &g, 64 * 1024).unwrap();
+            assert_eq!(plan.fused_pair_count(), 1, "good_first={good_first}");
+            let fused_producer = plan
+                .steps()
+                .iter()
+                .find_map(|s| match s {
+                    GraphStep::Fused { producer, .. } => Some(*producer),
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(
+                fused_producer, good,
+                "planner must fuse the profitable producer regardless of insertion order"
+            );
+            assert_ne!(fused_producer, bad);
+        }
+    }
+
+    #[test]
+    fn fan_in_plan_total_is_insertion_order_invariant() {
+        let (g1, ..) = fan_in_graph(false);
+        let (g2, ..) = fan_in_graph(true);
+        let p1 = try_plan_graph(&MODEL, &g1, 64 * 1024).unwrap();
+        let p2 = try_plan_graph(&MODEL, &g2, 64 * 1024).unwrap();
+        assert_eq!(p1.total_ma(), p2.total_ma());
+    }
+
+    #[test]
+    fn dag_plan_never_worse_than_chained() {
+        for good_first in [false, true] {
+            let (g, ..) = fan_in_graph(good_first);
+            for bs in [512u64, 8_192, 64 * 1024] {
+                let dag = try_plan_graph(&MODEL, &g, bs).unwrap();
+                let chained = try_plan_graph_chained(&MODEL, &g, bs).unwrap();
+                assert!(
+                    dag.total_ma() <= chained.total_ma(),
+                    "bs={bs} good_first={good_first}: dag {} > chained {}",
+                    dag.total_ma(),
+                    chained.total_ma()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_ma_chains_claims_the_profitable_producer() {
+        for good_first in [false, true] {
+            let (g, _, good) = fan_in_graph(good_first);
+            let chains = min_ma_chains(&MODEL, &g, 64 * 1024);
+            let claimed = chains
+                .iter()
+                .find(|(ids, ..)| ids.len() == 2)
+                .expect("the consumer chains with exactly one producer");
+            assert_eq!(
+                claimed.0[0], good,
+                "cost-aware claiming must pick the profitable producer (good_first={good_first})"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_buffer_returns_none_instead_of_panicking() {
+        let (g, ..) = fan_in_graph(false);
+        assert!(try_plan_graph(&MODEL, &g, 2).is_none());
+        let plan = try_plan_graph(&MODEL, &g, 3).unwrap();
+        let covered: usize = plan.steps().iter().map(GraphStep::width).sum();
+        assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn cached_plan_matches_direct() {
+        let (g, ..) = fan_in_graph(false);
+        for bs in [2u64, 512, 64 * 1024] {
+            assert_eq!(
+                try_plan_graph_cached(&MODEL, &g, bs),
+                try_plan_graph(&MODEL, &g, bs),
+                "bs={bs}"
+            );
+        }
+        let before = graph_cache_stats();
+        let _ = try_plan_graph_cached(&MODEL, &g, 64 * 1024);
+        let delta = graph_cache_stats().since(before);
+        assert_eq!((delta.hits, delta.misses), (1, 0));
+    }
+
+    #[test]
+    fn from_steps_round_trips_a_plan() {
+        let plan = plan_graph(&MODEL, &attention_graph(12), 64 * 1024);
+        let rebuilt = GraphPlan::from_steps(plan.steps().to_vec(), plan.buffer());
+        assert_eq!(rebuilt, plan);
+    }
+
+    #[test]
+    fn display_summarizes_plan() {
+        let plan = plan_graph(&MODEL, &attention_graph(12), 64 * 1024);
+        let s = plan.to_string();
+        assert!(s.contains("fused") && s.contains("total ma"), "{s}");
+    }
+
+    #[test]
+    fn matching_search_is_exact_on_a_path() {
+        // A 4-matmul chain has 3 links; matching can take links 0+2 or
+        // just 1. Weights are the real oracle's — compare against the
+        // chain DP, which is exact.
+        let chain = MmChain::try_new(vec![
+            MatMul::new(256, 32, 2048),
+            MatMul::new(256, 2048, 32),
+            MatMul::new(256, 32, 2048),
+            MatMul::new(256, 2048, 32),
+        ])
+        .unwrap();
+        let mut g = OpGraph::new();
+        let mut prev = None;
+        for i in 0..chain.len() {
+            let n = g.add_matmul(format!("mm{i}"), chain.mm(i), 1);
+            if let Some(p) = prev {
+                g.connect(p, n);
+            }
+            prev = Some(n);
+        }
+        for bs in [4_096u64, 32 * 1024, 256 * 1024] {
+            let gp = try_plan_graph(&MODEL, &g, bs).unwrap();
+            let cp = plan_chain(&MODEL, &chain, bs);
+            assert_eq!(gp.total_ma(), cp.total_ma(), "bs={bs}");
+        }
+    }
+}

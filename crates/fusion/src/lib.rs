@@ -12,8 +12,11 @@
 //! * [`optimizer`] — the closed-form fused optimum and the
 //!   [`optimizer::FusionDecision`] implementing **Principle 4**: only fuse
 //!   operators whose optimal intra-dataflows share the same NRA class;
-//! * [`planner`] — dynamic programming over matmul chains and whole operator
-//!   graphs, fusing exactly the profitable pairs.
+//! * [`planner`] — dynamic programming over matmul chains, fusing exactly
+//!   the profitable pairs;
+//! * [`graph_planner`] — whole-graph fusion structure: maximum-saving
+//!   matching over the fusable-link DAG, correct at fan-in/fan-out sites
+//!   where greedy chain decomposition drops candidates.
 //!
 //! ```
 //! use fusecu_ir::{MatMul, MmChain};
@@ -34,17 +37,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod graph_planner;
 pub mod nest;
 pub mod optimizer;
 pub mod pair;
 pub mod planner;
 
+pub use graph_planner::{
+    min_ma_chains, plan_graph, try_plan_dag, try_plan_dag_cached, try_plan_graph,
+    try_plan_graph_cached, try_plan_graph_chained, GraphKey, GraphPlan, GraphStep,
+};
 pub use nest::{FusedDataflow, FusedMa, FusedNest, FusedTiling};
 pub use optimizer::{
     decide, optimize_pair, optimize_pair_cached, try_decide, FusionDecision, PairKey,
 };
 pub use pair::{ExtTensor, FusedDim, FusedPair, PairError};
-pub use planner::{
-    plan_chain, plan_chain_cached, plan_graph, try_plan_chain, ChainPlan, ChainStep, GraphPlan,
-    PlanKey,
-};
+pub use planner::{plan_chain, plan_chain_cached, try_plan_chain, ChainPlan, ChainStep, PlanKey};

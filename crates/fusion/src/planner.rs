@@ -12,7 +12,7 @@ use std::sync::OnceLock;
 use fusecu_dataflow::memo::{CacheStats, MemoCache};
 use fusecu_dataflow::principles::try_optimize_with;
 use fusecu_dataflow::{CostModel, Dataflow};
-use fusecu_ir::{MmChain, NodeId, OpGraph};
+use fusecu_ir::MmChain;
 
 use crate::nest::FusedDataflow;
 use crate::optimizer::{try_decide, FusionDecision};
@@ -243,50 +243,6 @@ pub fn plan_cache_preload(
     plan_cache().preload(entries)
 }
 
-/// A fusion plan for a whole operator graph.
-#[derive(Debug, Clone)]
-pub struct GraphPlan {
-    chains: Vec<(Vec<NodeId>, u64, ChainPlan)>,
-    total_ma: u64,
-}
-
-impl GraphPlan {
-    /// Per-chain plans: the node ids, the instance count, and the plan.
-    pub fn chains(&self) -> &[(Vec<NodeId>, u64, ChainPlan)] {
-        &self.chains
-    }
-
-    /// Total memory access over the graph (instance counts applied).
-    pub fn total_ma(&self) -> u64 {
-        self.total_ma
-    }
-
-    /// Total fused pairs across all chains (not weighted by count).
-    pub fn fused_pair_count(&self) -> usize {
-        self.chains.iter().map(|(_, _, p)| p.fused_pair_count()).sum()
-    }
-}
-
-/// Plans every matmul chain of a graph and totals the traffic, weighting
-/// each chain by its instance count.
-///
-/// # Panics
-///
-/// Panics when `bs < 3`.
-pub fn plan_graph(model: &CostModel, graph: &OpGraph, bs: u64) -> GraphPlan {
-    let mut chains = Vec::new();
-    let mut total = 0u64;
-    for (ids, chain, count) in graph.mm_chains() {
-        let plan = plan_chain_cached(model, &chain, bs);
-        total += plan.total_ma() * count;
-        chains.push((ids, count, plan));
-    }
-    GraphPlan {
-        chains,
-        total_ma: total,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,22 +330,6 @@ mod tests {
         } else {
             panic!("expected the first step to be the fused large pair");
         }
-    }
-
-    #[test]
-    fn graph_plan_weights_by_count() {
-        let mut g = OpGraph::new();
-        let a = g.add_matmul("qk", MatMul::new(1024, 64, 1024), 192);
-        let s = g.add_softmax("sm", 1024, 1024, 192);
-        let b = g.add_matmul("pv", MatMul::new(1024, 1024, 64), 192);
-        g.connect(a, s);
-        g.connect(s, b);
-        let plan = plan_graph(&MODEL, &g, 64 * 1024);
-        assert_eq!(plan.chains().len(), 1);
-        let (_, count, chain_plan) = &plan.chains()[0];
-        assert_eq!(*count, 192);
-        assert_eq!(plan.total_ma(), chain_plan.total_ma() * 192);
-        assert_eq!(plan.fused_pair_count(), 1);
     }
 
     #[test]

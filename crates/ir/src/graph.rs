@@ -7,10 +7,16 @@
 //! the baseline design), so they neither block fusion nor add DRAM traffic
 //! of their own beyond the tensors already flowing between matmuls.
 //!
-//! [`OpGraph::mm_chains`] extracts the maximal producer→consumer matmul
-//! chains on which Principle 4 decides fusion.
+//! [`OpGraph::mm_chains`] extracts maximal producer→consumer matmul chains
+//! (the legacy linear decomposition); [`crate::graph_plan`] exposes the
+//! full fusable-link DAG on which the whole-graph planner in
+//! `fusecu-fusion` searches fusion structure.
+//!
+//! The graph keeps forward and reverse adjacency lists, built incrementally
+//! as nodes and edges are added, so `successors`/`predecessors`/`fan_out`
+//! are O(degree) lookups rather than scans of the whole edge list (chain
+//! extraction used to be O(V·E) on large decode graphs).
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::chain::MmChain;
@@ -100,6 +106,11 @@ struct Edge {
 pub struct OpGraph {
     nodes: Vec<OpNode>,
     edges: Vec<Edge>,
+    /// Forward adjacency: `succs[n]` lists the targets of `n`'s out-edges,
+    /// in edge-insertion order. Maintained by [`OpGraph::connect`].
+    succs: Vec<Vec<NodeId>>,
+    /// Reverse adjacency, mirroring `succs`.
+    preds: Vec<Vec<NodeId>>,
 }
 
 impl OpGraph {
@@ -131,6 +142,8 @@ impl OpGraph {
             kind,
             count,
         });
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
         id
     }
 
@@ -143,17 +156,24 @@ impl OpGraph {
     pub fn connect(&mut self, from: NodeId, to: NodeId) -> EdgeId {
         assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "node id out of range");
         assert!(
-            !self.edges.iter().any(|e| e.from == from && e.to == to),
+            !self.succs[from.0].contains(&to),
             "duplicate edge {from:?} -> {to:?}"
         );
         let id = EdgeId(self.edges.len());
         self.edges.push(Edge { from, to });
+        self.succs[from.0].push(to);
+        self.preds[to.0].push(from);
         id
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
     }
 
     /// Node lookup.
@@ -169,6 +189,11 @@ impl OpGraph {
             .map(|(i, n)| (NodeId(i), n))
     }
 
+    /// Iterates over the edges as `(from, to)` pairs, in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edges.iter().map(|e| (e.from, e.to))
+    }
+
     /// All matmul nodes with their ids.
     pub fn matmuls(&self) -> impl Iterator<Item = (NodeId, MatMul, u64)> + '_ {
         self.iter()
@@ -182,29 +207,28 @@ impl OpGraph {
 
     /// Out-degree of a node.
     pub fn fan_out(&self, id: NodeId) -> usize {
-        self.edges.iter().filter(|e| e.from == id).count()
+        self.succs[id.0].len()
+    }
+
+    /// In-degree of a node.
+    pub fn fan_in(&self, id: NodeId) -> usize {
+        self.preds[id.0].len()
     }
 
     /// Successors of a node.
     pub fn successors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.edges
-            .iter()
-            .filter(move |e| e.from == id)
-            .map(|e| e.to)
+        self.succs[id.0].iter().copied()
     }
 
     /// Predecessors of a node.
     pub fn predecessors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.edges
-            .iter()
-            .filter(move |e| e.to == id)
-            .map(|e| e.from)
+        self.preds[id.0].iter().copied()
     }
 
     /// Follows transparent nodes downstream from `id` until reaching a
     /// matmul; returns it if the path is a chain of fan-out-1 transparent
     /// nodes each with exactly that single consumer.
-    fn next_matmul(&self, id: NodeId) -> Option<NodeId> {
+    pub(crate) fn next_matmul(&self, id: NodeId) -> Option<NodeId> {
         if self.fan_out(id) != 1 {
             return None;
         }
@@ -272,43 +296,111 @@ impl OpGraph {
     /// length 1). Chains are maximal: they cannot be extended in either
     /// direction. Returned order follows node insertion order of the chain
     /// heads.
+    ///
+    /// When several producers could claim the same consumer (a fan-in
+    /// site, e.g. two matmul outputs meeting in a residual add that feeds
+    /// a third matmul), the claim is resolved by a deterministic
+    /// *structural* rule — the candidate with the smallest reduction
+    /// dimension `k`, then the lexicographically smallest name, then the
+    /// smallest node id — rather than by insertion order. Callers that
+    /// hold a cost model should not rely on this heuristic: use
+    /// [`OpGraph::mm_chains_by`] with a cost-aware chooser (as
+    /// `fusecu-fusion`'s planner does) to pick the minimum-memory-access
+    /// pairing.
     pub fn mm_chains(&self) -> Vec<(Vec<NodeId>, MmChain, u64)> {
-        // successor (next chained matmul) for each matmul node
-        let mut next: HashMap<NodeId, NodeId> = HashMap::new();
-        let mut has_pred: HashMap<NodeId, bool> = HashMap::new();
+        self.mm_chains_by(|g, _consumer, candidates| {
+            *candidates
+                .iter()
+                .min_by_key(|&&id| {
+                    let n = g.node(id);
+                    let k = n.kind.as_matmul().map_or(u64::MAX, |mm| mm.k());
+                    (k, n.name.clone(), id.0)
+                })
+                .expect("chooser called with at least one candidate")
+        })
+    }
+
+    /// [`OpGraph::mm_chains`] with an explicit fan-in chooser: whenever
+    /// more than one shape- and count-compatible producer could chain into
+    /// the same consumer, `choose` picks the winner from the (non-empty,
+    /// node-id-ordered) candidate list. Losing producers end their chains
+    /// before the consumer.
+    pub fn mm_chains_by<F>(&self, mut choose: F) -> Vec<(Vec<NodeId>, MmChain, u64)>
+    where
+        F: FnMut(&OpGraph, NodeId, &[NodeId]) -> NodeId,
+    {
         let mms: Vec<(NodeId, MatMul, u64)> = self.matmuls().collect();
+        // Candidate producers per consumer, in node-id order.
+        let mut claims: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
         for (id, mm, count) in &mms {
             if let Some(succ) = self.next_matmul(*id) {
                 let snode = self.node(succ);
                 if let Some(smm) = snode.kind.as_matmul() {
                     let shape_ok = smm.m() == mm.m() && smm.k() == mm.l();
                     let count_ok = snode.count == *count;
-                    // The consumer must not already be claimed by another
-                    // producer (a matmul has one left operand).
-                    if shape_ok && count_ok && !has_pred.get(&succ).copied().unwrap_or(false) {
-                        next.insert(*id, succ);
-                        has_pred.insert(succ, true);
+                    if shape_ok && count_ok {
+                        match claims.iter_mut().find(|(c, _)| *c == succ) {
+                            Some((_, cands)) => cands.push(*id),
+                            None => claims.push((succ, vec![*id])),
+                        }
                     }
                 }
             }
         }
+        // successor (next chained matmul) for each matmul node
+        let mut next: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        let mut has_pred: Vec<bool> = vec![false; self.nodes.len()];
+        for (consumer, candidates) in &claims {
+            let winner = if candidates.len() == 1 {
+                candidates[0]
+            } else {
+                let picked = choose(self, *consumer, candidates);
+                assert!(
+                    candidates.contains(&picked),
+                    "fan-in chooser must pick one of the candidates"
+                );
+                picked
+            };
+            next[winner.0] = Some(*consumer);
+            has_pred[consumer.0] = true;
+        }
         let mut chains = Vec::new();
         for (id, _, count) in &mms {
-            if has_pred.get(id).copied().unwrap_or(false) {
+            if has_pred[id.0] {
                 continue; // not a chain head
             }
             let mut ids = vec![*id];
-            let mut shapes = vec![self.node(*id).kind.as_matmul().expect("matmul node")];
             let mut cur = *id;
-            while let Some(&succ) = next.get(&cur) {
+            while let Some(succ) = next[cur.0] {
                 ids.push(succ);
-                shapes.push(self.node(succ).kind.as_matmul().expect("matmul node"));
                 cur = succ;
             }
-            let chain = MmChain::try_new(shapes).expect("shape-checked while chaining");
-            chains.push((ids, chain, *count));
+            chains.extend(self.chains_from_ids(ids, *count));
         }
         chains
+    }
+
+    /// Materializes validated [`MmChain`]s from a node-id path. The shapes
+    /// were checked while chaining, so this normally yields one chain; if
+    /// validation fails anyway (a defensive impossibility), the path
+    /// degrades to per-node solo chains instead of panicking — the graceful
+    /// fallback every planner entry point above this expects.
+    fn chains_from_ids(&self, ids: Vec<NodeId>, count: u64) -> Vec<(Vec<NodeId>, MmChain, u64)> {
+        let shapes: Vec<MatMul> = ids
+            .iter()
+            .filter_map(|id| self.node(*id).kind.as_matmul())
+            .collect();
+        if shapes.len() == ids.len() {
+            if let Ok(chain) = MmChain::try_new(shapes) {
+                return vec![(ids, chain, count)];
+            }
+        }
+        ids.into_iter()
+            .filter_map(|id| {
+                let mm = self.node(id).kind.as_matmul()?;
+                Some((vec![id], MmChain::single(mm), count))
+            })
+            .collect()
     }
 }
 
@@ -419,6 +511,83 @@ mod tests {
         let chained: usize = chains.iter().map(|(ids, ..)| ids.len()).sum();
         assert_eq!(chained, 3, "every matmul appears exactly once");
         assert_eq!(chains.len(), 2);
+    }
+
+    /// Two fan-in graphs differing only in producer insertion order must
+    /// decompose into the same chains (up to node renaming): the claim is
+    /// structural, not first-come. The producers differ in `k`, so the
+    /// structural rule has something to distinguish them by.
+    #[test]
+    fn fan_in_claim_is_insertion_order_independent() {
+        let build = |big_first: bool| {
+            let mut g = OpGraph::new();
+            let shapes = if big_first {
+                [("big", 64u64), ("small", 4u64)]
+            } else {
+                [("small", 4), ("big", 64)]
+            };
+            let ps: Vec<NodeId> = shapes
+                .iter()
+                .map(|(name, k)| g.add_matmul(*name, MatMul::new(8, *k, 16), 1))
+                .collect();
+            let add = g.add_elementwise("residual", 8 * 16, 1);
+            let q = g.add_matmul("q", MatMul::new(8, 16, 4), 1);
+            for p in &ps {
+                g.connect(*p, add);
+            }
+            g.connect(add, q);
+            g
+        };
+        for big_first in [true, false] {
+            let g = build(big_first);
+            let chains = g.mm_chains();
+            assert_eq!(chains.len(), 2);
+            let claimed = chains
+                .iter()
+                .find(|(ids, ..)| ids.len() == 2)
+                .expect("one producer chains into q");
+            // The small-k producer wins regardless of insertion order.
+            assert_eq!(g.node(claimed.0[0]).name, "small");
+        }
+    }
+
+    #[test]
+    fn fan_in_chooser_overrides_the_default() {
+        let mut g = OpGraph::new();
+        let p1 = g.add_matmul("p1", MatMul::new(8, 4, 16), 1);
+        let p2 = g.add_matmul("p2", MatMul::new(8, 64, 16), 1);
+        let add = g.add_elementwise("add", 8 * 16, 1);
+        let q = g.add_matmul("q", MatMul::new(8, 16, 4), 1);
+        g.connect(p1, add);
+        g.connect(p2, add);
+        g.connect(add, q);
+        // Default picks the small-k p1; an explicit chooser can force p2.
+        let chains = g.mm_chains_by(|_, consumer, cands| {
+            assert_eq!(consumer, q);
+            assert_eq!(cands, &[p1, p2]);
+            p2
+        });
+        let claimed = chains.iter().find(|(ids, ..)| ids.len() == 2).unwrap();
+        assert_eq!(claimed.0, vec![p2, q]);
+    }
+
+    #[test]
+    fn adjacency_matches_edge_list() {
+        let (g, qk, pv) = attention_graph();
+        // The indexed views agree with a scan of the raw edge list.
+        for (id, _) in g.iter() {
+            let scan_succ: Vec<NodeId> =
+                g.edges().filter(|(f, _)| *f == id).map(|(_, t)| t).collect();
+            let scan_pred: Vec<NodeId> =
+                g.edges().filter(|(_, t)| *t == id).map(|(f, _)| f).collect();
+            assert_eq!(g.successors(id).collect::<Vec<_>>(), scan_succ);
+            assert_eq!(g.predecessors(id).collect::<Vec<_>>(), scan_pred);
+            assert_eq!(g.fan_out(id), scan_succ.len());
+            assert_eq!(g.fan_in(id), scan_pred.len());
+        }
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.fan_in(pv), 1);
+        assert_eq!(g.fan_in(qk), 0);
     }
 
     #[test]

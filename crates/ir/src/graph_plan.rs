@@ -1,0 +1,298 @@
+//! The fusable-link DAG of an operator graph — the structural side of
+//! whole-graph fusion planning.
+//!
+//! [`OpGraph::mm_chains`] decomposes a graph into linear chains, claiming
+//! fan-in consumers greedily, which silently drops fusion candidates on
+//! branchy graphs (Q/K/V fan-out, residual adds). [`MmDag`] instead keeps
+//! *every* fusable producer→consumer link:
+//!
+//! * the producer reaches the consumer through zero or more fan-out-1
+//!   transparent nodes (its full output is consumed there and nowhere
+//!   else, so the intermediate can stay on chip),
+//! * the producer's output shape matches the consumer's left operand
+//!   (`q.m == p.m && q.k == p.l`),
+//! * instance counts match (instances pair one-to-one).
+//!
+//! At a fan-in site several links target one consumer; at most one can be
+//! realized (a matmul has a single left operand), and FuseCU's hardware
+//! fuses two operators at a time, so a *fusion structure* is a matching on
+//! the link set. Choosing the minimum-memory-access matching requires a
+//! cost model and lives in `fusecu-fusion`'s planner; this module provides
+//! the enumeration, the connected components the search decomposes over,
+//! and a hashable identity for plan caching.
+
+use crate::graph::{NodeId, OpGraph};
+use crate::matmul::MatMul;
+
+/// One fusable producer→consumer link of an operator graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuseLink {
+    /// Index into [`MmDag::mms`] of the producer matmul.
+    pub producer: usize,
+    /// Index into [`MmDag::mms`] of the consumer matmul.
+    pub consumer: usize,
+}
+
+/// The matmul-contracted view of an [`OpGraph`]: every matmul node (with
+/// its id, shape, and instance count) plus every fusable link between
+/// them. Transparent nodes are folded into the links.
+///
+/// `MmDag` is `Hash`/`Eq` on exactly the inputs fusion planning depends
+/// on — shapes, counts, node identities, and link structure — making it
+/// the natural memoization key for whole-graph plans.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct MmDag {
+    mms: Vec<(NodeId, MatMul, u64)>,
+    links: Vec<FuseLink>,
+}
+
+impl MmDag {
+    /// Rebuilds a DAG from its parts, re-checking every link invariant
+    /// (valid indices, no self-links, producer/consumer shape agreement,
+    /// equal instance counts, distinct node ids). The reconstruction entry
+    /// point for the disk persistence layer; `None` on any violation.
+    /// In-process construction always goes through [`OpGraph::mm_dag`].
+    pub fn from_parts(mms: Vec<(NodeId, MatMul, u64)>, links: Vec<FuseLink>) -> Option<MmDag> {
+        for (i, (id, ..)) in mms.iter().enumerate() {
+            if mms[..i].iter().any(|(other, ..)| other == id) {
+                return None;
+            }
+        }
+        for l in &links {
+            let (_, pmm, pcount) = mms.get(l.producer)?;
+            let (_, cmm, ccount) = mms.get(l.consumer)?;
+            if l.producer == l.consumer
+                || cmm.m() != pmm.m()
+                || cmm.k() != pmm.l()
+                || ccount != pcount
+            {
+                return None;
+            }
+        }
+        Some(MmDag { mms, links })
+    }
+
+    /// The matmul nodes: `(graph node id, shape, instance count)`, in node
+    /// insertion order.
+    pub fn mms(&self) -> &[(NodeId, MatMul, u64)] {
+        &self.mms
+    }
+
+    /// The fusable links, ordered by producer.
+    pub fn links(&self) -> &[FuseLink] {
+        &self.links
+    }
+
+    /// Number of matmuls.
+    pub fn mm_count(&self) -> usize {
+        self.mms.len()
+    }
+
+    /// Number of fusable links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Index into [`MmDag::mms`] of a graph node id, if it is a matmul.
+    pub fn index_of(&self, id: NodeId) -> Option<usize> {
+        self.mms.iter().position(|(n, ..)| *n == id)
+    }
+
+    /// Whether any consumer has more than one incoming link (a fan-in
+    /// site, where greedy chain claiming is lossy).
+    pub fn has_fan_in(&self) -> bool {
+        let mut seen = vec![false; self.mms.len()];
+        self.links.iter().any(|l| {
+            let dup = seen[l.consumer];
+            seen[l.consumer] = true;
+            dup
+        })
+    }
+
+    /// Connected components of the link graph, each a sorted list of
+    /// matmul indices. Isolated matmuls (no links) form singleton
+    /// components. Components are ordered by their smallest member.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.mms.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for l in &self.links {
+            let (a, b) = (find(&mut parent, l.producer), find(&mut parent, l.consumer));
+            if a != b {
+                parent[a.max(b)] = a.min(b);
+            }
+        }
+        let mut comps: Vec<Vec<usize>> = Vec::new();
+        let mut comp_of_root: Vec<Option<usize>> = vec![None; n];
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            match comp_of_root[root] {
+                Some(c) => comps[c].push(i),
+                None => {
+                    comp_of_root[root] = Some(comps.len());
+                    comps.push(vec![i]);
+                }
+            }
+        }
+        comps
+    }
+
+    /// The links whose endpoints both lie in `component` (a member list as
+    /// returned by [`MmDag::components`]), in link order.
+    pub fn component_links(&self, component: &[usize]) -> Vec<FuseLink> {
+        self.links
+            .iter()
+            .filter(|l| component.contains(&l.producer) && component.contains(&l.consumer))
+            .copied()
+            .collect()
+    }
+}
+
+impl OpGraph {
+    /// Builds the fusable-link DAG of this graph: every matmul plus every
+    /// producer→consumer link a fused pair could realize. See the module
+    /// docs for the link conditions.
+    pub fn mm_dag(&self) -> MmDag {
+        let mms: Vec<(NodeId, MatMul, u64)> = self.matmuls().collect();
+        let mut links = Vec::new();
+        for (pi, (id, mm, count)) in mms.iter().enumerate() {
+            let Some(succ) = self.next_matmul(*id) else {
+                continue;
+            };
+            let snode = self.node(succ);
+            let Some(smm) = snode.kind.as_matmul() else {
+                continue;
+            };
+            if smm.m() == mm.m() && smm.k() == mm.l() && snode.count == *count {
+                let ci = mms
+                    .iter()
+                    .position(|(n, ..)| *n == succ)
+                    .expect("successor is a matmul of this graph");
+                links.push(FuseLink {
+                    producer: pi,
+                    consumer: ci,
+                });
+            }
+        }
+        MmDag { mms, links }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// p1 and p2 meet in a residual add that feeds q: a fan-in site with
+    /// two candidate links.
+    fn fan_in_graph() -> (OpGraph, [NodeId; 3]) {
+        let mut g = OpGraph::new();
+        let p1 = g.add_matmul("p1", MatMul::new(8, 4, 16), 1);
+        let p2 = g.add_matmul("p2", MatMul::new(8, 64, 16), 1);
+        let add = g.add_elementwise("add", 8 * 16, 1);
+        let q = g.add_matmul("q", MatMul::new(8, 16, 4), 1);
+        g.connect(p1, add);
+        g.connect(p2, add);
+        g.connect(add, q);
+        (g, [p1, p2, q])
+    }
+
+    #[test]
+    fn fan_in_keeps_every_candidate_link() {
+        let (g, [p1, p2, q]) = fan_in_graph();
+        let dag = g.mm_dag();
+        assert_eq!(dag.mm_count(), 3);
+        assert_eq!(dag.link_count(), 2, "both producers stay candidates");
+        assert!(dag.has_fan_in());
+        let qi = dag.index_of(q).unwrap();
+        for (p, l) in [(p1, dag.links()[0]), (p2, dag.links()[1])] {
+            assert_eq!(l.producer, dag.index_of(p).unwrap());
+            assert_eq!(l.consumer, qi);
+        }
+        // mm_chains, by contrast, keeps only one of the two.
+        assert_eq!(g.mm_chains().len(), 2);
+    }
+
+    #[test]
+    fn chain_graph_links_mirror_the_chain() {
+        let mut g = OpGraph::new();
+        let a = g.add_matmul("a", MatMul::new(8, 4, 16), 3);
+        let s = g.add_softmax("sm", 8, 16, 3);
+        let b = g.add_matmul("b", MatMul::new(8, 16, 32), 3);
+        let c = g.add_matmul("c", MatMul::new(8, 32, 4), 3);
+        g.connect(a, s);
+        g.connect(s, b);
+        g.connect(b, c);
+        let dag = g.mm_dag();
+        assert_eq!(dag.mm_count(), 3);
+        assert_eq!(dag.link_count(), 2);
+        assert!(!dag.has_fan_in());
+        assert_eq!(dag.components(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn fan_out_and_count_mismatch_block_links() {
+        let mut g = OpGraph::new();
+        let a = g.add_matmul("a", MatMul::new(8, 4, 16), 1);
+        let b = g.add_matmul("b", MatMul::new(8, 16, 4), 1);
+        let r = g.add_elementwise("residual", 8 * 16, 1);
+        g.connect(a, b);
+        g.connect(a, r); // fan-out > 1: a's output is needed elsewhere
+        let c = g.add_matmul("c", MatMul::new(8, 4, 16), 2);
+        let d = g.add_matmul("d", MatMul::new(8, 16, 4), 1); // count mismatch
+        g.connect(c, d);
+        let dag = g.mm_dag();
+        assert_eq!(dag.link_count(), 0);
+        // Four isolated matmuls, four singleton components.
+        assert_eq!(dag.components().len(), 4);
+    }
+
+    #[test]
+    fn components_split_on_link_connectivity() {
+        let (g, _) = fan_in_graph();
+        let mut g = g;
+        let lone = g.add_matmul("lone", MatMul::new(4, 4, 4), 1);
+        let dag = g.mm_dag();
+        let comps = dag.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![dag.index_of(lone).unwrap()]);
+        assert_eq!(dag.component_links(&comps[0]).len(), 2);
+        assert!(dag.component_links(&comps[1]).is_empty());
+    }
+
+    #[test]
+    fn dag_is_a_stable_cache_identity() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |dag: &MmDag| {
+            let mut h = DefaultHasher::new();
+            dag.hash(&mut h);
+            h.finish()
+        };
+        let (g, _) = fan_in_graph();
+        assert_eq!(g.mm_dag(), g.mm_dag());
+        assert_eq!(hash(&g.mm_dag()), hash(&g.mm_dag()));
+        // A shape change is a different identity.
+        let mut g2 = OpGraph::new();
+        let p1 = g2.add_matmul("p1", MatMul::new(8, 4, 16), 1);
+        let p2 = g2.add_matmul("p2", MatMul::new(8, 32, 16), 1); // k differs
+        let add = g2.add_elementwise("add", 8 * 16, 1);
+        let q = g2.add_matmul("q", MatMul::new(8, 16, 4), 1);
+        g2.connect(p1, add);
+        g2.connect(p2, add);
+        g2.connect(add, q);
+        assert_ne!(g.mm_dag(), g2.mm_dag());
+    }
+}

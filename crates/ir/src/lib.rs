@@ -34,9 +34,11 @@
 pub mod chain;
 pub mod conv;
 pub mod graph;
+pub mod graph_plan;
 pub mod matmul;
 
 pub use chain::{ChainError, MmChain};
 pub use conv::Conv2d;
 pub use graph::{EdgeId, NodeId, OpGraph, OpKind, OpNode};
+pub use graph_plan::{FuseLink, MmDag};
 pub use matmul::{MatMul, MmDim, Operand, ShapeError};

@@ -145,6 +145,68 @@ impl TransformerConfig {
         g
     }
 
+    /// Builds the *branchy* per-head view of one transformer layer: the
+    /// same computation as [`TransformerConfig::build_graph`], but with the
+    /// Q/K/V fan-out, the per-head projection→attention data dependencies,
+    /// and the post-attention residual add expressed as graph edges instead
+    /// of being cut at reshape boundaries.
+    ///
+    /// ```text
+    /// input_norm [B·S, H]                                  (x1, fan-out 3)
+    /// ├─ q_proj  [S, H] x [H, d_h]   (xB·h) ──► qk^T  [S, d_h] x [d_h, S]
+    /// ├─ k_proj  [S, H] x [H, d_h]   (xB·h)        └─ softmax ─► pv
+    /// └─ v_proj  [S, H] x [H, d_h]   (xB·h)   pv [S, S] x [S, d_h]  (xB·h)
+    /// pv ──► out_proj [S, d_h] x [d_h, H]    (xB·h)
+    /// out_proj ──► residual_add [B·S, H] ──► ffn_up ─► act ─► ffn_down
+    /// ```
+    ///
+    /// Projections run per head (`[S, H] × [H, d_h]`, `B·h` instances), a
+    /// MAC-preserving reinterpretation of the `[B·S, H] × [H, H]` whole
+    /// matrices that keeps the producer→consumer shapes compatible, so the
+    /// fusable-link DAG contains a four-matmul Q path
+    /// (`q_proj → qk^T → pv → out_proj`). K/V projections stay leaves —
+    /// their outputs are the *right* operands of `qk^T`/`pv`, which FuseCU
+    /// streams from memory — and the residual add blocks the
+    /// `out_proj → ffn_up` link by instance-count mismatch (`B·h` vs 1),
+    /// exercising every link gate of the DAG planner on one graph.
+    pub fn build_branchy_graph(&self) -> OpGraph {
+        let mut g = OpGraph::new();
+        let s = self.seq_len;
+        let h = self.hidden;
+        let f = self.ffn_hidden;
+        let dh = self.head_dim();
+        let tokens = self.tokens();
+        let per_head = self.batch * self.heads;
+
+        let norm = g.add_elementwise("input_norm", tokens * h, 1);
+        let mut projs = [norm; 3];
+        for (slot, name) in projs.iter_mut().zip(["q_proj", "k_proj", "v_proj"]) {
+            *slot = g.add_matmul(name, MatMul::new(s, h, dh), per_head);
+            g.connect(norm, *slot);
+        }
+
+        let qk = g.add_matmul("qk^T", MatMul::new(s, dh, s), per_head);
+        let sm = g.add_softmax("softmax", s, s, per_head);
+        let pv = g.add_matmul("pv", MatMul::new(s, s, dh), per_head);
+        let out = g.add_matmul("out_proj", MatMul::new(s, dh, h), per_head);
+        g.connect(projs[0], qk);
+        g.connect(qk, sm);
+        g.connect(sm, pv);
+        g.connect(pv, out);
+
+        let residual = g.add_elementwise("residual_add", tokens * h, 1);
+        g.connect(out, residual);
+
+        let up = g.add_matmul("ffn_up", MatMul::new(tokens, h, f), 1);
+        let act = g.add_elementwise("activation", tokens * f, 1);
+        let down = g.add_matmul("ffn_down", MatMul::new(tokens, f, h), 1);
+        g.connect(residual, up);
+        g.connect(up, act);
+        g.connect(act, down);
+
+        g
+    }
+
     /// Total MACs of one layer across all instances.
     pub fn layer_macs(&self) -> u64 {
         self.build_graph().total_macs()
@@ -289,6 +351,88 @@ mod tests {
     #[should_panic(expected = "non-empty context")]
     fn decode_rejects_empty_context() {
         let _ = zoo::bert().build_decode_graph(0);
+    }
+
+    #[test]
+    fn branchy_layer_structure() {
+        let g = zoo::bert().build_branchy_graph();
+        // norm + 3 projections + qk + softmax + pv + out + residual + ffn x3.
+        assert_eq!(g.node_count(), 12);
+        let dag = g.mm_dag();
+        assert_eq!(dag.mm_count(), 8);
+        // q_proj→qk^T, qk^T→pv, pv→out_proj, ffn_up→ffn_down. K/V stay
+        // leaves (right operands), and the residual add blocks
+        // out_proj→ffn_up by instance-count mismatch.
+        assert_eq!(dag.link_count(), 4);
+        assert!(!dag.has_fan_in());
+        let comps = dag.components();
+        // The Q path {q_proj, qk^T, pv, out_proj}, the FFN pair, and the
+        // two projection leaves.
+        assert_eq!(comps.len(), 4);
+        assert_eq!(comps.iter().map(Vec::len).max(), Some(4));
+    }
+
+    #[test]
+    fn branchy_graph_preserves_layer_macs() {
+        // The per-head projection split is a pure reinterpretation of the
+        // whole-matrix projections: identical work, more visible structure.
+        for c in zoo::all() {
+            assert_eq!(
+                c.build_branchy_graph().total_macs(),
+                c.layer_macs(),
+                "{}",
+                c.name
+            );
+        }
+    }
+
+    /// The adjacency-indexed accessors must agree with a naive scan of the
+    /// edge list (the O(V·E) implementation they replaced) on every graph
+    /// the zoo can produce.
+    #[test]
+    fn adjacency_indexes_match_edge_scans_across_the_zoo() {
+        use fusecu_ir::NodeId;
+        let mut graphs: Vec<OpGraph> = Vec::new();
+        for c in zoo::all() {
+            graphs.push(c.build_graph());
+            graphs.push(c.build_branchy_graph());
+            graphs.push(c.build_cross_attention_graph(512));
+            graphs.push(c.build_decode_graph(1024));
+        }
+        graphs.push(zoo::fan_in_regression_graph());
+        graphs.push(zoo::fan_in_regression_graph_mirrored());
+        for g in &graphs {
+            let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+            for (id, _) in g.iter() {
+                let succ: Vec<NodeId> = g.successors(id).collect();
+                let scan: Vec<NodeId> = edges
+                    .iter()
+                    .filter(|(s, _)| *s == id)
+                    .map(|(_, d)| *d)
+                    .collect();
+                assert_eq!(succ, scan);
+                assert_eq!(g.fan_out(id), scan.len());
+                let pred: Vec<NodeId> = g.predecessors(id).collect();
+                let scan: Vec<NodeId> = edges
+                    .iter()
+                    .filter(|(_, d)| *d == id)
+                    .map(|(s, _)| *s)
+                    .collect();
+                assert_eq!(pred, scan);
+                assert_eq!(g.fan_in(id), scan.len());
+            }
+            // And the chains built on those accessors cover every matmul
+            // exactly once.
+            let mut covered: Vec<NodeId> = g
+                .mm_chains()
+                .into_iter()
+                .flat_map(|(ids, ..)| ids)
+                .collect();
+            covered.sort();
+            let mut mms: Vec<NodeId> = g.matmuls().map(|(id, ..)| id).collect();
+            mms.sort();
+            assert_eq!(covered, mms);
+        }
     }
 
     #[test]

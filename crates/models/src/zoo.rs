@@ -12,6 +12,8 @@
 //!
 //! Batch size is 16 throughout, as in §V-A.
 
+use fusecu_ir::{MatMul, OpGraph};
+
 use crate::config::TransformerConfig;
 
 /// The paper's evaluation batch size.
@@ -75,6 +77,57 @@ pub fn fig11_seq_lengths() -> Vec<u64> {
     (8..=14).map(|p| 1u64 << p).collect()
 }
 
+/// A deliberately tiny attention model (2 heads, seq 24, hidden 16,
+/// batch 1) whose [`TransformerConfig::build_branchy_graph`] is small
+/// enough to replay cycle-exactly on the functional simulator in debug
+/// builds — the whole-model conformance workload for the DAG planner.
+pub fn mini_attention() -> TransformerConfig {
+    TransformerConfig::with_ffn("MiniAttention", 2, 24, 16, 32, 1)
+}
+
+/// The pinned fan-in regression graph: two shape-compatible producers
+/// (`wide_proj`, inserted first, and `narrow_proj`) meet in a residual add
+/// feeding one `consumer` matmul, so exactly one of them can fuse.
+///
+/// Producers at a fan-in site share `m` and `l` by construction (both must
+/// match the consumer's left operand), leaving their reduction depth `k`
+/// as the only degree of freedom — and fusion profit is *not* monotone in
+/// `k`: at a 1 Ki-element buffer the closed-form oracle saves 8 448 MA
+/// fusing `wide_proj` (`k = 64`) but only 5 376 fusing `narrow_proj`
+/// (`k = 32`), under both cost models. Every structural chooser gets this
+/// graph wrong: insertion order (what the greedy chain decomposition used
+/// to claim) picks `wide` or `narrow` depending on construction order, and
+/// the deterministic smallest-`k` tie-break now used by
+/// `OpGraph::mm_chains` picks `narrow` on both orders. Only cost-scored
+/// claiming — the DAG planner's matching, or `min_ma_chains` — fuses
+/// `wide` here. Shapes are small enough for debug-build simulator replay.
+pub fn fan_in_regression_graph() -> OpGraph {
+    let mut g = OpGraph::new();
+    let wide = g.add_matmul("wide_proj", MatMul::new(96, 64, 96), 1);
+    let narrow = g.add_matmul("narrow_proj", MatMul::new(96, 32, 96), 1);
+    let add = g.add_elementwise("residual_add", 96 * 96, 1);
+    let consumer = g.add_matmul("consumer", MatMul::new(96, 96, 24), 1);
+    g.connect(wide, add);
+    g.connect(narrow, add);
+    g.connect(add, consumer);
+    g
+}
+
+/// [`fan_in_regression_graph`] with the producers inserted in the opposite
+/// order — the pair pins insertion-order invariance of whatever claims the
+/// fan-in site.
+pub fn fan_in_regression_graph_mirrored() -> OpGraph {
+    let mut g = OpGraph::new();
+    let narrow = g.add_matmul("narrow_proj", MatMul::new(96, 32, 96), 1);
+    let wide = g.add_matmul("wide_proj", MatMul::new(96, 64, 96), 1);
+    let add = g.add_elementwise("residual_add", 96 * 96, 1);
+    let consumer = g.add_matmul("consumer", MatMul::new(96, 96, 24), 1);
+    g.connect(narrow, add);
+    g.connect(wide, add);
+    g.connect(add, consumer);
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +177,46 @@ mod tests {
     fn head_dims_are_integral() {
         for c in all() {
             assert_eq!(c.hidden % c.heads, 0, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn mini_attention_is_tiny_and_branchy() {
+        let c = mini_attention();
+        assert_eq!(c.head_dim(), 8);
+        let g = c.build_branchy_graph();
+        assert_eq!(g.mm_dag().link_count(), 4);
+        // Small enough for debug-build functional replay.
+        assert!(g.total_macs() < 200_000);
+    }
+
+    #[test]
+    fn fan_in_regression_graphs_mirror_each_other() {
+        let a = fan_in_regression_graph();
+        let b = fan_in_regression_graph_mirrored();
+        for g in [&a, &b] {
+            let dag = g.mm_dag();
+            assert!(dag.has_fan_in());
+            assert_eq!(dag.mm_count(), 3);
+            assert_eq!(dag.link_count(), 2, "both producers stay candidates");
+        }
+        // Same matmul multiset, opposite insertion order.
+        let shapes = |g: &OpGraph| {
+            let mut v: Vec<_> = g.matmuls().map(|(_, mm, n)| (mm, n)).collect();
+            v.sort_by_key(|(mm, _)| (mm.m(), mm.k(), mm.l()));
+            v
+        };
+        assert_eq!(shapes(&a), shapes(&b));
+        // The structural chain chooser deterministically claims the
+        // narrow producer on both orders — the cost-blind half of the
+        // regression the DAG planner's tests pin the other half of.
+        for g in [&a, &b] {
+            let (_, chain, _) = g
+                .mm_chains()
+                .into_iter()
+                .find(|(ids, ..)| ids.len() == 2)
+                .expect("one fused chain");
+            assert_eq!(chain.mm(0).k(), 32);
         }
     }
 

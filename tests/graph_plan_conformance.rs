@@ -13,9 +13,13 @@
 //! `#[ignore]`d release gate replays the attention chains of two Table II
 //! zoo models (Blenderbot and BERT) at their real prefill shapes.
 
+use std::collections::HashMap;
+
 use fusecu_dataflow::{CostModel, PartialSumPolicy};
-use fusecu_fusion::{plan_chain, ChainPlan, ChainStep};
-use fusecu_ir::{MatMul, MmChain};
+use fusecu_fusion::{
+    plan_chain, plan_graph, try_plan_graph_chained, ChainPlan, ChainStep, GraphPlan, GraphStep,
+};
+use fusecu_ir::{MatMul, MmChain, NodeId, OpGraph};
 use fusecu_models::zoo;
 use fusecu_sim::driver::{execute_fused_nest, execute_nest};
 use fusecu_sim::Matrix;
@@ -150,6 +154,210 @@ fn two_matmul_attention_shape_plan_replays_exactly() {
     }
 }
 
+// --- whole-graph DAG plans ---
+
+/// Replays every step of a whole-graph fusion plan on the simulator — one
+/// instance per step, threading a producer's output matrix into its
+/// consumer's left operand wherever the graph names a unique feeding
+/// producer — and asserts per-step measured traffic equals the planner's
+/// report, per-step products are exact, and the count-weighted sum equals
+/// the plan's total.
+fn assert_graph_plan_replays_exactly(graph: &OpGraph, plan: &GraphPlan, label: &str) {
+    let dag = graph.mm_dag();
+    // consumer → producer, kept only where the feeder is unambiguous (at a
+    // fan-in site the residual add mixes values the simulator doesn't
+    // model, so those consumers get fresh pseudo-random operands).
+    let mut feeder: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut ambiguous: Vec<NodeId> = Vec::new();
+    for l in dag.links() {
+        let p = dag.mms()[l.producer].0;
+        let c = dag.mms()[l.consumer].0;
+        if feeder.insert(c, p).is_some() {
+            ambiguous.push(c);
+        }
+    }
+    for c in &ambiguous {
+        feeder.remove(c);
+    }
+
+    let covered: usize = plan.steps().iter().map(GraphStep::width).sum();
+    assert_eq!(
+        covered,
+        graph.matmuls().count(),
+        "{label}: plan must cover every matmul"
+    );
+
+    let mut outputs: HashMap<NodeId, Matrix> = HashMap::new();
+    let input_for = |outputs: &HashMap<NodeId, Matrix>, node: NodeId, mm: MatMul, seed: u64| {
+        match feeder.get(&node).and_then(|p| outputs.get(p)) {
+            Some(fed) => fed.clone(),
+            None => Matrix::pseudo_random(mm.m() as usize, mm.k() as usize, seed),
+        }
+    };
+
+    let mut measured_total = 0u64;
+    for (si, step) in plan.steps().iter().enumerate() {
+        let seed = SEED + 101 * si as u64;
+        match step {
+            GraphStep::Solo {
+                node,
+                count,
+                dataflow,
+            } => {
+                let name = &graph.node(*node).name;
+                let mm = graph
+                    .node(*node)
+                    .kind
+                    .as_matmul()
+                    .expect("solo step covers a matmul node");
+                let x = input_for(&outputs, *node, mm, seed);
+                let w = Matrix::pseudo_random(mm.k() as usize, mm.l() as usize, seed + 1);
+                let run = execute_nest(&x, &w, mm, dataflow.nest());
+                assert_eq!(
+                    run.measured,
+                    dataflow.ma(),
+                    "{label}: solo step {name} measured traffic disagrees"
+                );
+                assert_eq!(run.out, x.matmul(&w), "{label}: solo step {name} product");
+                measured_total += run.measured.total() * count;
+                outputs.insert(*node, run.out);
+            }
+            GraphStep::Fused {
+                producer,
+                consumer,
+                count,
+                fused,
+            } => {
+                let pname = &graph.node(*producer).name;
+                let cname = &graph.node(*consumer).name;
+                let pair = fused.pair();
+                let (pmm, cmm) = (pair.producer(), pair.consumer());
+                let x = input_for(&outputs, *producer, pmm, seed);
+                let w1 = Matrix::pseudo_random(pmm.k() as usize, pmm.l() as usize, seed + 1);
+                let w2 = Matrix::pseudo_random(cmm.k() as usize, cmm.l() as usize, seed + 2);
+                let run = execute_fused_nest(&x, &w1, &w2, &pair, fused.nest());
+                let total: u64 = run.measured.iter().sum();
+                assert_eq!(
+                    total,
+                    fused.total_ma(),
+                    "{label}: fused step {pname}+{cname} measured traffic disagrees"
+                );
+                assert_eq!(
+                    run.out,
+                    x.matmul(&w1).matmul(&w2),
+                    "{label}: fused step {pname}+{cname} product"
+                );
+                measured_total += total * count;
+                outputs.insert(*consumer, run.out);
+            }
+        }
+    }
+    assert_eq!(
+        measured_total,
+        plan.total_ma(),
+        "{label}: count-weighted step traffic disagrees with the plan total"
+    );
+}
+
+/// The branchy attention block of a zoo model — per-head projections
+/// through `out_proj`, without the FFN — the release-gate slice of
+/// [`fusecu_models::TransformerConfig::build_branchy_graph`] that keeps a
+/// full-shape replay tractable.
+fn attention_block_graph(c: &fusecu_models::TransformerConfig) -> OpGraph {
+    let (s, h, dh) = (c.seq_len, c.hidden, c.head_dim());
+    let per_head = c.batch * c.heads;
+    let mut g = OpGraph::new();
+    let norm = g.add_elementwise("input_norm", c.tokens() * h, 1);
+    let mut projs = [norm; 3];
+    for (slot, name) in projs.iter_mut().zip(["q_proj", "k_proj", "v_proj"]) {
+        *slot = g.add_matmul(name, MatMul::new(s, h, dh), per_head);
+        g.connect(norm, *slot);
+    }
+    let qk = g.add_matmul("qk^T", MatMul::new(s, dh, s), per_head);
+    let sm = g.add_softmax("softmax", s, s, per_head);
+    let pv = g.add_matmul("pv", MatMul::new(s, s, dh), per_head);
+    let out = g.add_matmul("out_proj", MatMul::new(s, dh, h), per_head);
+    g.connect(projs[0], qk);
+    g.connect(qk, sm);
+    g.connect(sm, pv);
+    g.connect(pv, out);
+    g
+}
+
+#[test]
+fn fan_in_regression_dag_plan_beats_chains_and_replays() {
+    // At a 1 Ki buffer the wide producer (k = 64) saves 8 448 MA when
+    // fused against the consumer; the narrow one (k = 32) only 5 376. The
+    // structural chain chooser claims `narrow` on both insertion orders.
+    const BS: u64 = 1024;
+    let graph = zoo::fan_in_regression_graph();
+    let plan = plan_graph(&MODEL, &graph, BS);
+    let chained = try_plan_graph_chained(&MODEL, &graph, BS).expect("chain fallback plans");
+    assert!(
+        plan.total_ma() < chained.total_ma(),
+        "DAG matching must strictly beat chain claiming: {} vs {}",
+        plan.total_ma(),
+        chained.total_ma()
+    );
+    let fused_producer_k = plan
+        .steps()
+        .iter()
+        .find_map(|s| match s {
+            GraphStep::Fused { fused, .. } => Some(fused.pair().producer().k()),
+            GraphStep::Solo { .. } => None,
+        })
+        .expect("the winning plan fuses one pair");
+    assert_eq!(fused_producer_k, 64, "the wide producer wins the fan-in");
+
+    // Insertion order must not matter to the DAG planner.
+    let mirrored_graph = zoo::fan_in_regression_graph_mirrored();
+    let mirrored = plan_graph(&MODEL, &mirrored_graph, BS);
+    assert_eq!(plan.total_ma(), mirrored.total_ma());
+
+    assert_graph_plan_replays_exactly(&graph, &plan, "fan-in regression");
+    assert_graph_plan_replays_exactly(&mirrored_graph, &mirrored, "fan-in regression (mirrored)");
+}
+
+#[test]
+fn mini_attention_branchy_plans_replay_exactly() {
+    // Whole-model DAG plan over the branchy mini-attention layer: Q/K/V
+    // fan-out, the four-matmul Q path, the count-blocked residual link,
+    // and the FFN chain — replayed end to end at several buffer sizes.
+    let graph = zoo::mini_attention().build_branchy_graph();
+    let mut fused_seen = 0;
+    for bs in [64u64, 512, 8 * 1024] {
+        let plan = plan_graph(&MODEL, &graph, bs);
+        let chained = try_plan_graph_chained(&MODEL, &graph, bs).expect("chain fallback plans");
+        assert!(plan.total_ma() <= chained.total_ma());
+        fused_seen += plan.fused_pair_count();
+        assert_graph_plan_replays_exactly(&graph, &plan, &format!("mini-attention bs={bs}"));
+    }
+    assert!(fused_seen > 0, "buffer grid never exercised a fused step");
+}
+
+#[test]
+fn zoo_dag_plans_never_worse_than_chain_decomposition() {
+    // Acceptance gate: on every Table II entry — prefill and branchy
+    // per-head views — the DAG planner's total never exceeds the greedy
+    // chain decomposition's.
+    for c in zoo::all() {
+        for (graph, kind) in [(c.build_graph(), "prefill"), (c.build_branchy_graph(), "branchy")] {
+            for bs in [4 * 1024u64, 64 * 1024] {
+                let dag = plan_graph(&MODEL, &graph, bs);
+                let chained =
+                    try_plan_graph_chained(&MODEL, &graph, bs).expect("chain fallback plans");
+                assert!(
+                    dag.total_ma() <= chained.total_ma(),
+                    "{} {kind} bs={bs}: DAG {} > chained {}",
+                    c.name,
+                    dag.total_ma(),
+                    chained.total_ma()
+                );
+            }
+        }
+    }
+}
+
 // --- release gate: real Table II attention chains (`cargo test -- --ignored`) ---
 
 #[test]
@@ -178,4 +386,36 @@ fn bert_attention_plan_replays_exactly() {
         1,
         "the attention pair must fuse at a 64K buffer"
     );
+}
+
+#[test]
+#[ignore = "heavy: release-mode CI whole-graph conformance gate"]
+fn blenderbot_branchy_attention_graph_plan_replays_exactly() {
+    // The full branchy attention block at Blenderbot's prefill shapes:
+    // per-head projections (256×1024×64), qk^T, pv, out_proj.
+    let graph = attention_block_graph(&zoo::blenderbot());
+    let plan = plan_graph(&MODEL, &graph, 64 * 1024);
+    assert!(
+        plan.fused_pair_count() >= 1,
+        "the attention block must fuse at a 64K buffer"
+    );
+    let chained = try_plan_graph_chained(&MODEL, &graph, 64 * 1024).expect("chain fallback plans");
+    assert!(plan.total_ma() <= chained.total_ma());
+    assert_graph_plan_replays_exactly(&graph, &plan, "Blenderbot branchy attention");
+}
+
+#[test]
+#[ignore = "heavy: release-mode CI whole-graph conformance gate"]
+fn bert_branchy_attention_graph_plan_replays_exactly() {
+    // The full branchy attention block at BERT's prefill shapes:
+    // per-head projections (1024×768×64), qk^T, pv, out_proj.
+    let graph = attention_block_graph(&zoo::bert());
+    let plan = plan_graph(&MODEL, &graph, 64 * 1024);
+    assert!(
+        plan.fused_pair_count() >= 1,
+        "the attention block must fuse at a 64K buffer"
+    );
+    let chained = try_plan_graph_chained(&MODEL, &graph, 64 * 1024).expect("chain fallback plans");
+    assert!(plan.total_ma() <= chained.total_ma());
+    assert_graph_plan_replays_exactly(&graph, &plan, "BERT branchy attention");
 }
