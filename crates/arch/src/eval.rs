@@ -13,7 +13,7 @@ use fusecu_dataflow::CostModel;
 use fusecu_fusion::graph_planner::{try_plan_graph_cached, GraphStep};
 use fusecu_ir::OpGraph;
 
-use crate::fused::{FusedMapping, FusedPerf};
+use crate::fused::{FusedChainPerf, FusedMapping, FusedPerf};
 use crate::intra::{try_optimize_op_cached, OpPerf};
 use crate::platform::Platform;
 use crate::spec::ArraySpec;
@@ -25,6 +25,8 @@ pub enum StepPerf {
     Solo(OpPerf),
     /// A fused pair on FuseCU.
     Fused(FusedPerf),
+    /// A k-ary fused chain on FuseCU (depth three or more).
+    FusedChain(FusedChainPerf),
 }
 
 impl StepPerf {
@@ -33,6 +35,7 @@ impl StepPerf {
         match self {
             StepPerf::Solo(p) => p.total_ma(),
             StepPerf::Fused(p) => p.total_ma(),
+            StepPerf::FusedChain(p) => p.total_ma(),
         }
     }
 
@@ -41,6 +44,7 @@ impl StepPerf {
         match self {
             StepPerf::Solo(p) => p.cycles(),
             StepPerf::Fused(p) => p.cycles(),
+            StepPerf::FusedChain(p) => p.cycles(),
         }
     }
 
@@ -49,6 +53,7 @@ impl StepPerf {
         match self {
             StepPerf::Solo(p) => p.macs(),
             StepPerf::Fused(p) => p.macs(),
+            StepPerf::FusedChain(p) => p.macs(),
         }
     }
 }
@@ -95,11 +100,12 @@ impl GraphPerf {
         self.total_macs() as f64 / (cycles as f64 * spec.peak_macs_per_cycle() as f64)
     }
 
-    /// Number of fused pairs executed (zero on non-fusing platforms).
+    /// Number of fused steps executed — pairs and deeper chains (zero on
+    /// non-fusing platforms).
     pub fn fused_steps(&self) -> usize {
         self.steps
             .iter()
-            .filter(|s| matches!(s, StepPerf::Fused(_)))
+            .filter(|s| !matches!(s, StepPerf::Solo(_)))
             .count()
     }
 
@@ -109,7 +115,7 @@ impl GraphPerf {
             .iter()
             .filter_map(|s| match s {
                 StepPerf::Fused(p) => Some(p.mapping()),
-                StepPerf::Solo(_) => None,
+                StepPerf::Solo(_) | StepPerf::FusedChain(_) => None,
             })
             .collect()
     }
@@ -153,6 +159,22 @@ impl GraphPerf {
                         p.fused().pair(),
                         p.count(),
                         p.mapping(),
+                        p.pipelines(),
+                        p.total_ma(),
+                        p.cycles(),
+                        if p.dram_cycles() > p.compute_cycles() {
+                            "memory-bound"
+                        } else {
+                            "compute-bound"
+                        }
+                    );
+                }
+                StepPerf::FusedChain(p) => {
+                    let _ = writeln!(
+                        out,
+                        "  [{i}] chain {} x{}  {} pipeline(s)  ma={} cycles={} ({})",
+                        p.chain().chain(),
+                        p.count(),
                         p.pipelines(),
                         p.total_ma(),
                         p.cycles(),
@@ -248,6 +270,13 @@ pub fn try_evaluate_graph(
                     }
                     GraphStep::Fused { count, fused, .. } => {
                         steps.push(StepPerf::Fused(FusedPerf::score(spec, *fused, *count)));
+                    }
+                    GraphStep::FusedChain { count, chain, .. } => {
+                        steps.push(StepPerf::FusedChain(FusedChainPerf::score(
+                            spec,
+                            chain.clone(),
+                            *count,
+                        )));
                     }
                 }
             }

@@ -22,7 +22,9 @@
 use std::fmt;
 
 use fusecu_dataflow::CostModel;
-use fusecu_fusion::{optimize_pair_cached, FusedDataflow, FusedDim, FusedPair};
+use fusecu_fusion::{
+    optimize_pair_cached, FusedChain, FusedChainDataflow, FusedDataflow, FusedDim, FusedPair,
+};
 
 use crate::flex::stream_cycles;
 use crate::spec::ArraySpec;
@@ -224,6 +226,110 @@ impl FusedPerf {
     /// Total MACs over all instances.
     pub fn macs(&self) -> u64 {
         self.fused.pair().macs() * self.count
+    }
+}
+
+/// Compute cycles of one k-ary fused chain instance on a group of `cus`
+/// compute units: the phases execute back to back, each streaming its
+/// reduction dimension through the group with the phase's output panel
+/// stationary. The interior panels never leave the chip — there is no
+/// inter-phase DRAM traffic — but every phase still pays its systolic
+/// fill/drain, so deeper chains trade compute overhead for memory access
+/// exactly as the cost model prices them.
+pub fn chain_fusion_cycles(spec: &ArraySpec, chain: &FusedChain, cus: u64) -> u64 {
+    (0..chain.depth())
+        .map(|i| {
+            group_shapes(spec, cus)
+                .into_iter()
+                .map(|(a, b)| stream_cycles(chain.m(), chain.col(i + 1), chain.col(i), a, b, 1))
+                .min()
+                .expect("non-empty shape menu")
+        })
+        .sum()
+}
+
+/// The performance of a k-ary fused chain on FuseCU.
+#[derive(Debug, Clone)]
+pub struct FusedChainPerf {
+    chain: FusedChainDataflow,
+    count: u64,
+    pipelines: u64,
+    compute_cycles: u64,
+    dram_cycles: u64,
+}
+
+impl FusedChainPerf {
+    /// Scores a fused chain dataflow over every pipeline granularity and
+    /// keeps the cheapest, overlapping compute with the chain's memory
+    /// traffic — the k-ary analogue of [`FusedPerf::score`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count` is zero.
+    pub fn score(spec: &ArraySpec, chain: FusedChainDataflow, count: u64) -> FusedChainPerf {
+        assert!(count > 0, "instance count must be non-zero");
+        let mut best: Option<(u64, u64)> = None; // (cycles, pipelines)
+        for cus in [1u64, 2, 4] {
+            if cus > spec.num_cus {
+                continue;
+            }
+            let pipelines = spec.num_cus / cus;
+            let per = chain_fusion_cycles(spec, chain.chain(), cus);
+            let cycles = count.div_ceil(pipelines) * per;
+            if best.is_none_or(|(c, _)| cycles < c) {
+                best = Some((cycles, pipelines));
+            }
+        }
+        let (compute_cycles, pipelines) =
+            best.expect("at least one pipeline granularity is always available");
+        let dram_cycles = (chain.total_ma() * count).div_ceil(spec.bw_elems_per_cycle);
+        FusedChainPerf {
+            chain,
+            count,
+            pipelines,
+            compute_cycles,
+            dram_cycles,
+        }
+    }
+
+    /// The fused chain dataflow.
+    pub fn chain(&self) -> &FusedChainDataflow {
+        &self.chain
+    }
+
+    /// Instance count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of independent chain pipelines running instances in parallel.
+    pub fn pipelines(&self) -> u64 {
+        self.pipelines
+    }
+
+    /// Total memory access over all instances.
+    pub fn total_ma(&self) -> u64 {
+        self.chain.total_ma() * self.count
+    }
+
+    /// Wall-clock compute cycles over all instances.
+    pub fn compute_cycles(&self) -> u64 {
+        self.compute_cycles
+    }
+
+    /// DRAM transfer cycles over all instances.
+    pub fn dram_cycles(&self) -> u64 {
+        self.dram_cycles
+    }
+
+    /// Execution cycles with compute/DRAM overlap.
+    pub fn cycles(&self) -> u64 {
+        self.compute_cycles.max(self.dram_cycles)
+    }
+
+    /// Total MACs over all instances.
+    pub fn macs(&self) -> u64 {
+        self.chain.chain().macs() * self.count
     }
 }
 

@@ -42,7 +42,8 @@ use fusecu_fusion::planner::{
 };
 use fusecu_fusion::{
     optimizer::{pair_cache_preload, pair_cache_snapshot},
-    FusedDataflow, FusedDim, FusedNest, FusedPair, FusedTiling, PairKey,
+    ChainNest, FusedChain, FusedChainDataflow, FusedDataflow, FusedDim, FusedNest, FusedPair,
+    FusedTiling, PairKey,
 };
 use fusecu_ir::{FuseLink, MatMul, MmChain, MmDag, NodeId, OpGraph};
 
@@ -407,15 +408,22 @@ pub fn load_fusion_caches(path: &Path) -> usize {
 
 /// A behavioral digest of the whole-graph fusion planner: the full plan
 /// structure (step kinds, endpoints, per-step traffic) [`try_plan_dag`]
-/// chooses on a fixed probe set — a linear attention chain and a fan-in
-/// DAG with competing producers, across both cost models and a buffer
-/// sweep spanning infeasible, tight, and ample. Any change to link
-/// enumeration, link weighting, or the matching search changes this value.
+/// chooses on a fixed probe set — a linear attention chain, a fan-in DAG
+/// with competing producers, and a four-matmul chain deep enough to admit
+/// k-ary fusion — across both cost models and a buffer sweep spanning
+/// infeasible, tight, and ample. Any change to path enumeration, candidate
+/// weighting, or the cover search changes this value. (The deep-chain
+/// probe arrived with the k-ary planner, so pre-k-ary graph cache files
+/// cold-start exactly once.)
 pub fn graph_planner_digest() -> String {
     static DIGEST: OnceLock<String> = OnceLock::new();
     DIGEST
         .get_or_init(|| {
-            let probes = [probe_chain_graph(), probe_fan_in_graph()];
+            let probes = [
+                probe_chain_graph(),
+                probe_fan_in_graph(),
+                probe_deep_chain_graph(),
+            ];
             let mut h = DefaultHasher::new();
             for model in [CostModel::paper(), CostModel::read_write()] {
                 for graph in &probes {
@@ -441,6 +449,17 @@ pub fn graph_planner_digest() -> String {
                                             fused,
                                         } => (1u64, producer.0, consumer.0, *count, fused.total_ma())
                                             .hash(&mut h),
+                                        GraphStep::FusedChain {
+                                            nodes,
+                                            count,
+                                            chain,
+                                        } => {
+                                            2u64.hash(&mut h);
+                                            for n in nodes {
+                                                n.0.hash(&mut h);
+                                            }
+                                            (*count, chain.total_ma()).hash(&mut h);
+                                        }
                                     }
                                 }
                             }
@@ -461,6 +480,21 @@ fn probe_chain_graph() -> OpGraph {
     let b = g.add_matmul("pv", MatMul::new(256, 256, 32), 4);
     g.connect(a, s);
     g.connect(s, b);
+    g
+}
+
+/// A four-matmul attention-style chain whose depth-3+ fusion is
+/// profitable at the ample probe buffer: the probe pinning the
+/// depth-weighted path cover.
+fn probe_deep_chain_graph() -> OpGraph {
+    let mut g = OpGraph::new();
+    let a = g.add_matmul("q_proj", MatMul::new(256, 64, 32), 2);
+    let b = g.add_matmul("qk", MatMul::new(256, 32, 256), 2);
+    let c = g.add_matmul("pv", MatMul::new(256, 256, 32), 2);
+    let d = g.add_matmul("out_proj", MatMul::new(256, 32, 64), 2);
+    g.connect(a, b);
+    g.connect(b, c);
+    g.connect(c, d);
     g
 }
 
@@ -525,6 +559,18 @@ fn encode_graph_entry(key: &GraphKey, value: &Option<GraphPlan>) -> Vec<u64> {
                     } => {
                         out.extend([1, producer.0 as u64, consumer.0 as u64, *count]);
                         encode_fused_nest(fused.nest(), &mut out);
+                    }
+                    GraphStep::FusedChain {
+                        nodes,
+                        count,
+                        chain,
+                    } => {
+                        out.extend([2, nodes.len() as u64]);
+                        out.extend(nodes.iter().map(|n| n.0 as u64));
+                        out.push(*count);
+                        let nest = chain.nest();
+                        out.push(nest.t_m);
+                        out.extend(nest.phase_tiles.iter().copied());
                     }
                 }
             }
@@ -595,6 +641,46 @@ fn decode_graph_entry(record: &[u64]) -> Option<(GraphKey, Option<GraphPlan>)> {
                         consumer,
                         count,
                         fused,
+                    });
+                }
+                2 => {
+                    let n = usize::try_from(r.u64()?).ok()?;
+                    if !(3..=64).contains(&n) {
+                        return None;
+                    }
+                    let mut nodes = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        nodes.push(NodeId(usize::try_from(r.u64()?).ok()?));
+                    }
+                    let count = r.u64()?;
+                    let mut shapes = Vec::with_capacity(n);
+                    for &id in &nodes {
+                        let (_, mm, node_count) = lookup(id)?;
+                        if node_count != count {
+                            return None;
+                        }
+                        shapes.push(mm);
+                    }
+                    // `try_new` re-checks the shared M and chained edges.
+                    let chain = FusedChain::try_new(&shapes).ok()?;
+                    let t_m = r.u64()?;
+                    let mut tiles = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        tiles.push(r.u64()?);
+                    }
+                    if t_m == 0 || tiles.contains(&0) {
+                        return None; // ChainNest::new panics on zero tiles
+                    }
+                    let fused =
+                        FusedChainDataflow::score(&model, chain, ChainNest::new(t_m, tiles));
+                    if fused.footprint() > bs {
+                        return None;
+                    }
+                    covered.extend(nodes.iter().copied());
+                    steps.push(GraphStep::FusedChain {
+                        nodes,
+                        count,
+                        chain: fused,
                     });
                 }
                 _ => return None,
@@ -737,6 +823,36 @@ mod tests {
             assert_eq!(key, (dag.clone(), bs, MODEL));
             assert_eq!(back, value);
         }
+    }
+
+    #[test]
+    fn graph_entry_with_chain_step_round_trips() {
+        use fusecu_fusion::graph_planner::GraphStep;
+        let dag = probe_deep_chain_graph().mm_dag();
+        for bs in [2u64, 64 * 1024] {
+            let value = try_plan_dag(&MODEL, &dag, bs);
+            if bs > 2 {
+                let plan = value.as_ref().expect("ample buffer must plan");
+                assert!(
+                    plan.steps()
+                        .iter()
+                        .any(|s| matches!(s, GraphStep::FusedChain { .. })),
+                    "the deep-chain probe must exercise the k-ary encode path"
+                );
+            }
+            let rec = encode_graph_entry(&(dag.clone(), bs, MODEL), &value);
+            let (key, back) = decode_graph_entry(&rec).unwrap();
+            assert_eq!(key, (dag.clone(), bs, MODEL));
+            assert_eq!(back, value);
+        }
+        // A zero phase tile inside the chain payload must be rejected.
+        let value = try_plan_dag(&MODEL, &dag, 64 * 1024);
+        let rec = encode_graph_entry(&(dag.clone(), 64 * 1024, MODEL), &value);
+        let mut bad = rec.clone();
+        *bad.last_mut().unwrap() = 0;
+        assert!(decode_graph_entry(&bad).is_none());
+        // A truncated chain record underruns the reader.
+        assert!(decode_graph_entry(&rec[..rec.len() - 1]).is_none());
     }
 
     #[test]

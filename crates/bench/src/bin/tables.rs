@@ -102,30 +102,45 @@ fn table_ii_dataflows(parallelism: Parallelism) {
 /// Supplementary: whole-graph DAG fusion planning vs greedy chain
 /// decomposition, per Table II model on the branchy per-head layer graph
 /// (Q/K/V fan-out and residual expressed as edges), plus the pinned
-/// fan-in regression graph. The DAG planner's matching is never worse
-/// than the chain decomposition and strictly better wherever a fan-in
-/// site makes the greedy claim pick the wrong producer.
+/// fan-in regression graph. The depth-aware path cover is never worse
+/// than the pairwise matching, which is never worse than the chain
+/// decomposition; the depth histogram shows how many fused steps the
+/// plan executes at each width (solo, pair, triple, ...).
 fn table_dag_fusion() {
     header("Suppl.: DAG fusion planning vs chain decomposition (512 Ki-elem buffer)");
     let model = CostModel::paper();
     println!(
-        "{:<18} {:>10} {:>16} {:>16} {:>10} {:>7}",
-        "workload", "buffer", "chained MA", "DAG MA", "saved", "pairs"
+        "{:<18} {:>10} {:>13} {:>13} {:>13} {:>8} {:>6} {:>14}",
+        "workload", "buffer", "chained MA", "pairwise MA", "DAG MA", "saved", "depth", "width hist"
     );
     let row = |name: &str, graph: &OpGraph, buffer: u64| {
         let chained =
             try_plan_graph_chained(&model, graph, buffer).expect("chain fallback plans");
+        let pairwise =
+            try_plan_dag_with(&PlannerConfig::pairs_only(), &model, &graph.mm_dag(), buffer)
+                .expect("pairwise matching plans the zoo");
         let plan =
             try_plan_graph_cached(&model, graph, buffer).expect("DAG planner plans the zoo");
-        assert!(plan.total_ma() <= chained.total_ma(), "{name}: DAG plan regressed");
+        assert!(
+            plan.total_ma() <= pairwise.total_ma() && pairwise.total_ma() <= chained.total_ma(),
+            "{name}: fusion depth regressed"
+        );
+        let hist = plan
+            .depth_histogram()
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
         println!(
-            "{:<18} {:>10} {:>16} {:>16} {:>10} {:>7}",
+            "{:<18} {:>10} {:>13} {:>13} {:>13} {:>8} {:>6} {:>14}",
             name,
             buffer,
             chained.total_ma(),
+            pairwise.total_ma(),
             plan.total_ma(),
             chained.total_ma() - plan.total_ma(),
-            plan.fused_pair_count()
+            plan.max_fusion_depth(),
+            hist
         );
     };
     let buffer = 512 * 1024;

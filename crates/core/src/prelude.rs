@@ -14,13 +14,15 @@ pub use fusecu_dataflow::{
     BufferRegime, CostModel, Dataflow, LoopNest, MemoryAccess, NraClass, PartialSumPolicy, Tiling,
 };
 pub use fusecu_fusion::{
-    plan_graph, try_plan_graph, try_plan_graph_cached, try_plan_graph_chained, FusedDataflow,
-    FusedPair, FusionDecision, GraphPlan, GraphStep,
+    optimize_chain, plan_graph, try_plan_dag_with, try_plan_graph, try_plan_graph_cached,
+    try_plan_graph_chained, FusedChain, FusedChainDataflow, FusedDataflow, FusedPair,
+    FusionDecision, GraphPlan, GraphStep, PlannerConfig,
 };
 pub use fusecu_ir::{Conv2d, MatMul, MmChain, MmDim, OpGraph, Operand};
 pub use fusecu_models::{zoo, TransformerConfig};
 pub use fusecu_search::{
-    DataflowCache, ExhaustiveSearch, Fitness, FusedExhaustive, FusedGenetic, GeneticSearch,
+    ChainExhaustive, DataflowCache, ExhaustiveSearch, Fitness, FusedExhaustive, FusedGenetic,
+    GeneticSearch,
     Parallelism, SweepEngine,
 };
 

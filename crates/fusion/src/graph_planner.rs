@@ -8,16 +8,21 @@
 //! [`MmDag`] instead — every matmul plus *every* fusable link — and picks
 //! the fusion structure directly.
 //!
-//! FuseCU fuses exactly two matmuls at a time, so a fusion structure is a
-//! **matching** on the link graph: a set of producer→consumer links no two
-//! of which share a matmul. Each profitable link is weighted by the memory
-//! access it saves over running its endpoints solo (instance counts
-//! applied); the planner finds the maximum-weight matching per link
-//! component by exhaustive branch-and-bound — components of transformer
-//! graphs hold a handful of matmuls, and the closed-form fused oracle
-//! makes scoring every candidate link cheap. On a linear chain the
-//! matching is exactly the chain DP (identical candidate set and weights),
-//! so chain plans and graph plans agree wherever both are defined.
+//! A fusion structure is a **vertex-disjoint path cover** of the link
+//! graph: each chosen path of `k ≥ 2` matmuls executes as one fused unit
+//! (a pair for `k = 2`, a k-ary chain holding every interior intermediate
+//! resident for `k ≥ 3`), and no two paths share a matmul. Each candidate
+//! path is weighted by the memory access it saves over running its
+//! matmuls solo (instance counts applied); depth-2 paths are priced by the
+//! closed-form pair oracle — bit-identical to the historical max-weight
+//! matching — and deeper paths by the [`crate::chain`] oracle. The planner
+//! finds the maximum-saving disjoint path set per link component by
+//! exhaustive branch-and-bound (components of transformer graphs hold a
+//! handful of matmuls), yielding to a deterministic greedy sweep above
+//! [`PlannerConfig::exact_search_max_links`] candidates. When no deeper
+//! path has positive saving the cover degenerates to the pair matching,
+//! and with no profitable links at all, to solo execution — so the planner
+//! can never be worse than either predecessor.
 
 use std::fmt;
 use std::sync::OnceLock;
@@ -25,12 +30,50 @@ use std::sync::OnceLock;
 use fusecu_dataflow::memo::{CacheStats, MemoCache};
 use fusecu_dataflow::principles::try_optimize_with;
 use fusecu_dataflow::{CostModel, Dataflow};
-use fusecu_ir::{FuseLink, MmDag, NodeId, OpGraph};
+use fusecu_ir::{MmDag, NodeId, OpGraph};
 
+use crate::chain::{optimize_chain_cached, FusedChain, FusedChainDataflow};
 use crate::nest::FusedDataflow;
 use crate::optimizer::{try_decide, FusionDecision};
 use crate::pair::FusedPair;
 use crate::planner::{try_plan_chain_cached, ChainStep};
+
+/// Tunable knobs of the whole-graph planner. [`Default`] reproduces the
+/// shipped behavior; tests and ablations construct their own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerConfig {
+    /// Per-component candidate budget of the exact branch-and-bound cover
+    /// search (historically a hard-coded 24-link cutoff); components with
+    /// more positive-saving candidates fall back to a deterministic
+    /// heaviest-first greedy sweep. Exhaustive search stays tractable well
+    /// past any transformer component, so the sweep is a safety valve for
+    /// adversarial dense graphs, not a path the zoo reaches.
+    pub exact_search_max_links: usize,
+    /// Longest fused path (in matmuls) the planner may realize. Depth 2
+    /// restricts planning to the classical pair matching; the default
+    /// covers every chain a transformer block exposes.
+    pub max_fusion_depth: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> PlannerConfig {
+        PlannerConfig {
+            exact_search_max_links: 24,
+            max_fusion_depth: 6,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// The configuration restricting fusion to pairs — the historical
+    /// max-weight matching planner.
+    pub fn pairs_only() -> PlannerConfig {
+        PlannerConfig {
+            max_fusion_depth: 2,
+            ..PlannerConfig::default()
+        }
+    }
+}
 
 /// One step of a whole-graph fusion plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +98,16 @@ pub enum GraphStep {
         /// The fused dataflow.
         fused: FusedDataflow,
     },
+    /// Three or more matmuls execute as one k-ary fused chain, every
+    /// interior intermediate resident on chip.
+    FusedChain {
+        /// Graph nodes of the chained matmuls, producer-most first.
+        nodes: Vec<NodeId>,
+        /// Instance count (equal along the path by link construction).
+        count: u64,
+        /// The fused chain dataflow.
+        chain: FusedChainDataflow,
+    },
 }
 
 impl GraphStep {
@@ -63,6 +116,7 @@ impl GraphStep {
         match self {
             GraphStep::Solo { dataflow, .. } => dataflow.total_ma(),
             GraphStep::Fused { fused, .. } => fused.total_ma(),
+            GraphStep::FusedChain { chain, .. } => chain.total_ma(),
         }
     }
 
@@ -74,15 +128,18 @@ impl GraphStep {
     /// Instance count of the step.
     pub fn count(&self) -> u64 {
         match self {
-            GraphStep::Solo { count, .. } | GraphStep::Fused { count, .. } => *count,
+            GraphStep::Solo { count, .. }
+            | GraphStep::Fused { count, .. }
+            | GraphStep::FusedChain { count, .. } => *count,
         }
     }
 
-    /// Number of matmuls the step covers (1 or 2).
+    /// Number of matmuls the step covers (1, 2, or the chain depth).
     pub fn width(&self) -> usize {
         match self {
             GraphStep::Solo { .. } => 1,
             GraphStep::Fused { .. } => 2,
+            GraphStep::FusedChain { nodes, .. } => nodes.len(),
         }
     }
 }
@@ -131,9 +188,33 @@ impl GraphPlan {
             .count()
     }
 
+    /// Number of fused steps of any depth — pairs and deeper chains.
+    pub fn fused_step_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| !matches!(s, GraphStep::Solo { .. }))
+            .count()
+    }
+
+    /// Deepest fusion in the plan: the widest step's matmul count
+    /// (1 when everything runs solo).
+    pub fn max_fusion_depth(&self) -> usize {
+        self.steps.iter().map(GraphStep::width).max().unwrap_or(1)
+    }
+
     /// Number of solo steps in the plan (not weighted by count).
     pub fn solo_count(&self) -> usize {
-        self.steps.len() - self.fused_pair_count()
+        self.steps.len() - self.fused_step_count()
+    }
+
+    /// Histogram of step widths: `hist[d]` counts steps covering exactly
+    /// `d + 1` matmuls (`hist[0]` = solos, `hist[1]` = pairs, …).
+    pub fn depth_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_fusion_depth()];
+        for step in &self.steps {
+            hist[step.width() - 1] += 1;
+        }
+        hist
     }
 }
 
@@ -167,171 +248,234 @@ impl fmt::Display for GraphPlan {
                         fused.total_ma()
                     )?;
                 }
+                GraphStep::FusedChain {
+                    nodes,
+                    count,
+                    chain,
+                } => {
+                    let path: Vec<String> = nodes.iter().map(|n| format!("n{}", n.0)).collect();
+                    writeln!(
+                        f,
+                        "  {}: chain x{count} ma={}",
+                        path.join("+"),
+                        chain.total_ma()
+                    )?;
+                }
             }
         }
         write!(f, "  total ma = {}", self.total_ma)
     }
 }
 
-/// A fusable link that would save memory access: the link, its fused
-/// dataflow, and the saving over solo execution (counts applied).
-struct WeightedLink {
-    link: FuseLink,
-    fused: FusedDataflow,
+/// The fused realization of one candidate path.
+enum CoverKind {
+    Pair(FusedDataflow),
+    Chain(FusedChainDataflow),
+}
+
+/// A candidate path whose fused execution saves memory access over its
+/// matmuls' solo optima: the covered matmul indices (producer-most
+/// first), the fused dataflow, and the saving with counts applied.
+struct Candidate {
+    mms: Vec<usize>,
+    kind: CoverKind,
     weight: u64,
 }
 
-/// Exhaustive exact search stays tractable well past any transformer
-/// component; beyond this many links per component a deterministic greedy
-/// sweep takes over.
-const EXACT_SEARCH_MAX_LINKS: usize = 24;
+/// Maximum-weight vertex-disjoint cover over one component's candidates.
+/// `cands` must be sorted heaviest-first; returns indices into it.
+/// Exhaustive include/exclude search with a suffix-sum bound; include-first
+/// plus a strict improvement test makes ties resolve toward heavier,
+/// earlier candidates, deterministically.
+fn best_cover(config: &PlannerConfig, cands: &[&Candidate], n_mms: usize) -> Vec<usize> {
+    let free = |used: &[bool], c: &Candidate| c.mms.iter().all(|&m| !used[m]);
+    let claim = |used: &mut [bool], c: &Candidate, v: bool| {
+        for &m in &c.mms {
+            used[m] = v;
+        }
+    };
 
-/// Maximum-weight matching over one component's links. `links` must be
-/// sorted heaviest-first; returns indices into it. Exhaustive
-/// include/exclude search with a suffix-sum bound; include-first plus a
-/// strict improvement test makes ties resolve toward heavier, earlier
-/// links, deterministically.
-fn best_matching(links: &[&WeightedLink], n_mms: usize) -> Vec<usize> {
-    if links.len() > EXACT_SEARCH_MAX_LINKS {
-        // Greedy fallback: heaviest link first, skip anything touching a
-        // claimed matmul. Never reached by the zoo; a safety valve for
+    if cands.len() > config.exact_search_max_links {
+        // Greedy fallback: heaviest candidate first, skip anything touching
+        // a claimed matmul. Never reached by the zoo; a safety valve for
         // adversarial dense graphs.
         let mut used = vec![false; n_mms];
         let mut picked = Vec::new();
-        for (i, wl) in links.iter().enumerate() {
-            if !used[wl.link.producer] && !used[wl.link.consumer] {
-                used[wl.link.producer] = true;
-                used[wl.link.consumer] = true;
+        for (i, c) in cands.iter().enumerate() {
+            if free(&used, c) {
+                claim(&mut used, c, true);
                 picked.push(i);
             }
         }
         return picked;
     }
 
-    // suffix[i]: total weight still reachable from link i on — the
-    // branch-and-bound pruning bound. Every kept link has weight > 0, so
-    // "can't strictly beat the incumbent" is a safe cut.
+    // suffix[i]: total weight still reachable from candidate i on — the
+    // branch-and-bound pruning bound. Every kept candidate has weight > 0,
+    // so "can't strictly beat the incumbent" is a safe cut.
     let suffix: Vec<u64> = {
-        let mut s = vec![0u64; links.len() + 1];
-        for i in (0..links.len()).rev() {
-            s[i] = s[i + 1] + links[i].weight;
+        let mut s = vec![0u64; cands.len() + 1];
+        for i in (0..cands.len()).rev() {
+            s[i] = s[i + 1] + cands[i].weight;
         }
         s
     };
 
-    fn search(
-        links: &[&WeightedLink],
-        suffix: &[u64],
-        i: usize,
-        used: &mut [bool],
-        cur: &mut Vec<usize>,
-        cur_w: u64,
-        best: &mut (u64, Vec<usize>),
-    ) {
-        if cur_w + suffix[i] <= best.0 {
-            return;
+    struct Search<'a> {
+        cands: &'a [&'a Candidate],
+        suffix: &'a [u64],
+    }
+    impl Search<'_> {
+        fn run(
+            &self,
+            i: usize,
+            used: &mut [bool],
+            cur: &mut Vec<usize>,
+            cur_w: u64,
+            best: &mut (u64, Vec<usize>),
+        ) {
+            if cur_w + self.suffix[i] <= best.0 {
+                return;
+            }
+            if i == self.cands.len() {
+                *best = (cur_w, cur.clone());
+                return;
+            }
+            let c = self.cands[i];
+            if c.mms.iter().all(|&m| !used[m]) {
+                for &m in &c.mms {
+                    used[m] = true;
+                }
+                cur.push(i);
+                self.run(i + 1, used, cur, cur_w + c.weight, best);
+                cur.pop();
+                for &m in &c.mms {
+                    used[m] = false;
+                }
+            }
+            self.run(i + 1, used, cur, cur_w, best);
         }
-        if i == links.len() {
-            *best = (cur_w, cur.clone());
-            return;
-        }
-        let wl = links[i];
-        if !used[wl.link.producer] && !used[wl.link.consumer] {
-            used[wl.link.producer] = true;
-            used[wl.link.consumer] = true;
-            cur.push(i);
-            search(links, suffix, i + 1, used, cur, cur_w + wl.weight, best);
-            cur.pop();
-            used[wl.link.producer] = false;
-            used[wl.link.consumer] = false;
-        }
-        search(links, suffix, i + 1, used, cur, cur_w, best);
     }
 
     let mut best = (0u64, Vec::new());
     let mut used = vec![false; n_mms];
-    search(
-        links,
-        &suffix,
-        0,
-        &mut used,
-        &mut Vec::new(),
-        0,
-        &mut best,
-    );
+    Search {
+        cands,
+        suffix: &suffix,
+    }
+    .run(0, &mut used, &mut Vec::new(), 0, &mut best);
     best.1
 }
 
-/// Plans a whole matmul DAG: every matmul runs solo at its
-/// principle-optimal dataflow unless a profitable fusable link claims it
-/// into a fused pair, and the chosen pairs form the maximum-saving
-/// matching over the link set. Returns `None` when `bs` cannot hold any
-/// dataflow at all (`bs < 3`).
-pub fn try_plan_dag(model: &CostModel, dag: &MmDag, bs: u64) -> Option<GraphPlan> {
+/// Scores one candidate path against its matmuls' solo optima, keeping it
+/// only when the fused execution strictly saves memory access. Depth-2
+/// paths go through the pair oracle and the Principle 4 profitability
+/// gate — exactly the historical matching weights — and deeper paths
+/// through the k-ary chain oracle.
+fn score_path(
+    model: &CostModel,
+    dag: &MmDag,
+    solo: &[Dataflow],
+    path: &[usize],
+    bs: u64,
+) -> Option<Candidate> {
+    let mms = dag.mms();
+    let count = mms[path[0]].2;
+    let solo_ma: u64 = path.iter().map(|&i| solo[i].total_ma()).sum();
+    let (kind, fused_ma) = if path.len() == 2 {
+        let pair = FusedPair::try_new(mms[path[0]].1, mms[path[1]].1).ok()?;
+        let fused = *try_decide(model, pair, bs)
+            .filter(FusionDecision::profitable)?
+            .fused()?;
+        let ma = fused.total_ma();
+        (CoverKind::Pair(fused), ma)
+    } else {
+        let shapes: Vec<_> = path.iter().map(|&i| mms[i].1).collect();
+        let chain = FusedChain::try_new(&shapes).ok()?;
+        let fused = optimize_chain_cached(model, &chain, bs)?;
+        let ma = fused.total_ma();
+        (CoverKind::Chain(fused), ma)
+    };
+    let saved = solo_ma.checked_sub(fused_ma)?;
+    (saved > 0).then_some(Candidate {
+        mms: path.to_vec(),
+        kind,
+        weight: saved * count,
+    })
+}
+
+/// Plans a whole matmul DAG under an explicit [`PlannerConfig`]: every
+/// matmul runs solo at its principle-optimal dataflow unless a profitable
+/// candidate path claims it into a fused pair or deeper chain, and the
+/// chosen paths form the maximum-saving vertex-disjoint cover of the link
+/// graph. Returns `None` when `bs` cannot hold any dataflow at all
+/// (`bs < 3`).
+pub fn try_plan_dag_with(
+    config: &PlannerConfig,
+    model: &CostModel,
+    dag: &MmDag,
+    bs: u64,
+) -> Option<GraphPlan> {
     let mms = dag.mms();
     let solo: Vec<Dataflow> = mms
         .iter()
         .map(|(_, mm, _)| try_optimize_with(model, *mm, bs))
         .collect::<Option<_>>()?;
 
-    // Score every link with the closed-form fused oracle; keep the ones
-    // that beat their endpoints' solo optima.
-    let mut weighted: Vec<WeightedLink> = dag
-        .links()
+    // Score every candidate path with the closed-form oracles; keep the
+    // ones that beat their matmuls' solo optima.
+    let mut cands: Vec<Candidate> = dag
+        .simple_paths(config.max_fusion_depth.max(2))
         .iter()
-        .filter_map(|&link| {
-            let (_, pmm, count) = mms[link.producer];
-            let (_, cmm, _) = mms[link.consumer];
-            let pair = FusedPair::try_new(pmm, cmm).ok()?;
-            let fused = *try_decide(model, pair, bs)
-                .filter(FusionDecision::profitable)?
-                .fused()?;
-            let solo_ma = solo[link.producer].total_ma() + solo[link.consumer].total_ma();
-            let saved = solo_ma.checked_sub(fused.total_ma())?;
-            (saved > 0).then_some(WeightedLink {
-                link,
-                fused,
-                weight: saved * count,
-            })
-        })
+        .filter_map(|path| score_path(model, dag, &solo, path, bs))
         .collect();
-    weighted.sort_by(|a, b| {
+    cands.sort_by(|a, b| {
         b.weight
             .cmp(&a.weight)
-            .then(a.link.producer.cmp(&b.link.producer))
-            .then(a.link.consumer.cmp(&b.link.consumer))
+            .then(a.mms.len().cmp(&b.mms.len()))
+            .then_with(|| a.mms.cmp(&b.mms))
     });
 
-    // Matchings never cross components, so search each independently.
-    let mut fused_of: Vec<Option<&WeightedLink>> = vec![None; mms.len()];
+    // Disjoint covers never cross components, so search each independently.
+    let mut fused_of: Vec<Option<&Candidate>> = vec![None; mms.len()];
     for component in dag.components() {
-        let comp_links: Vec<usize> = (0..weighted.len())
-            .filter(|&i| component.contains(&weighted[i].link.producer))
+        let comp: Vec<&Candidate> = cands
+            .iter()
+            .filter(|c| component.contains(&c.mms[0]))
             .collect();
-        if comp_links.is_empty() {
+        if comp.is_empty() {
             continue;
         }
-        let comp: Vec<&WeightedLink> = comp_links.iter().map(|&i| &weighted[i]).collect();
-        for picked in best_matching(&comp, mms.len()) {
-            let wl = comp[picked];
-            fused_of[wl.link.producer] = Some(wl);
-            fused_of[wl.link.consumer] = Some(wl);
+        for picked in best_cover(config, &comp, mms.len()) {
+            let c = comp[picked];
+            for &m in &c.mms {
+                fused_of[m] = Some(c);
+            }
         }
     }
 
     let mut steps = Vec::new();
     for (i, (node, _, count)) in mms.iter().enumerate() {
         match fused_of[i] {
-            Some(wl) if wl.link.producer == i => {
-                let (consumer, _, _) = mms[wl.link.consumer];
-                steps.push(GraphStep::Fused {
-                    producer: *node,
-                    consumer,
-                    count: *count,
-                    fused: wl.fused,
+            Some(c) if c.mms[0] == i => {
+                steps.push(match &c.kind {
+                    CoverKind::Pair(fused) => {
+                        let (consumer, _, _) = mms[c.mms[1]];
+                        GraphStep::Fused {
+                            producer: *node,
+                            consumer,
+                            count: *count,
+                            fused: *fused,
+                        }
+                    }
+                    CoverKind::Chain(chain) => GraphStep::FusedChain {
+                        nodes: c.mms.iter().map(|&m| mms[m].0).collect(),
+                        count: *count,
+                        chain: chain.clone(),
+                    },
                 });
             }
-            Some(_) => {} // consumer endpoint: emitted with its producer
+            Some(_) => {} // interior/consumer matmul: emitted with its head
             None => steps.push(GraphStep::Solo {
                 node: *node,
                 count: *count,
@@ -340,6 +484,12 @@ pub fn try_plan_dag(model: &CostModel, dag: &MmDag, bs: u64) -> Option<GraphPlan
         }
     }
     Some(GraphPlan::from_steps(steps, bs))
+}
+
+/// Plans a whole matmul DAG with the default [`PlannerConfig`]. Returns
+/// `None` when `bs` cannot hold any dataflow at all (`bs < 3`).
+pub fn try_plan_dag(model: &CostModel, dag: &MmDag, bs: u64) -> Option<GraphPlan> {
+    try_plan_dag_with(&PlannerConfig::default(), model, dag, bs)
 }
 
 /// Plans a whole operator graph via its fusable-link DAG. Returns `None`
@@ -359,7 +509,8 @@ pub fn plan_graph(model: &CostModel, graph: &OpGraph, bs: u64) -> GraphPlan {
         .unwrap_or_else(|| panic!("buffer of {bs} elements cannot hold any tile"))
 }
 
-/// The memoization key of one whole-graph planning problem.
+/// The memoization key of one whole-graph planning problem (under the
+/// default [`PlannerConfig`]).
 pub type GraphKey = (MmDag, u64, CostModel);
 
 fn graph_cache() -> &'static MemoCache<GraphKey, Option<GraphPlan>> {
@@ -398,7 +549,7 @@ pub fn graph_cache_preload(
 
 /// The legacy chain-decomposition plan lifted to a [`GraphPlan`]: the
 /// graph is split by [`OpGraph::mm_chains`] (deterministic fan-in
-/// claiming) and each chain planned by the chain DP. Kept as the
+/// claiming) and each chain planned by the pairwise chain DP. Kept as the
 /// comparison baseline — on branchy graphs [`try_plan_graph`] must never
 /// be worse than this, and the delta is exactly what whole-graph planning
 /// buys.
@@ -425,6 +576,7 @@ pub fn try_plan_graph_chained(model: &CostModel, graph: &OpGraph, bs: u64) -> Op
     steps.sort_by_key(|s| match s {
         GraphStep::Solo { node, .. } => *node,
         GraphStep::Fused { producer, .. } => *producer,
+        GraphStep::FusedChain { nodes, .. } => nodes[0],
     });
     Some(GraphPlan::from_steps(steps, bs))
 }
@@ -487,6 +639,21 @@ mod tests {
         let b = g.add_matmul("pv", MatMul::new(1024, 1024, 64), count);
         g.connect(a, s);
         g.connect(s, b);
+        g
+    }
+
+    /// A linear graph over an arbitrary matmul sequence, fusable wherever
+    /// the shapes chain.
+    fn path_graph(shapes: &[MatMul]) -> OpGraph {
+        let mut g = OpGraph::new();
+        let mut prev = None;
+        for (i, mm) in shapes.iter().enumerate() {
+            let n = g.add_matmul(format!("mm{i}"), *mm, 1);
+            if let Some(p) = prev {
+                g.connect(p, n);
+            }
+            prev = Some(n);
+        }
         g
     }
 
@@ -642,30 +809,131 @@ mod tests {
     }
 
     #[test]
-    fn matching_search_is_exact_on_a_path() {
-        // A 4-matmul chain has 3 links; matching can take links 0+2 or
-        // just 1. Weights are the real oracle's — compare against the
-        // chain DP, which is exact.
-        let chain = MmChain::try_new(vec![
+    fn pairs_only_cover_is_exact_on_a_path() {
+        // A 4-matmul chain has 3 links; a matching can take links 0+2 or
+        // just 1. Weights are the real oracle's — under the pairs-only
+        // config the cover must equal the chain DP, which is exact on
+        // pairs; the default (depth-aware) config may only improve on it.
+        let shapes = [
             MatMul::new(256, 32, 2048),
             MatMul::new(256, 2048, 32),
             MatMul::new(256, 32, 2048),
             MatMul::new(256, 2048, 32),
-        ])
-        .unwrap();
-        let mut g = OpGraph::new();
-        let mut prev = None;
-        for i in 0..chain.len() {
-            let n = g.add_matmul(format!("mm{i}"), chain.mm(i), 1);
-            if let Some(p) = prev {
-                g.connect(p, n);
-            }
-            prev = Some(n);
-        }
+        ];
+        let chain = MmChain::try_new(shapes.to_vec()).unwrap();
+        let g = path_graph(&shapes);
+        let pairs_only = PlannerConfig::pairs_only();
         for bs in [4_096u64, 32 * 1024, 256 * 1024] {
-            let gp = try_plan_graph(&MODEL, &g, bs).unwrap();
+            let dag = g.mm_dag();
+            let pp = try_plan_dag_with(&pairs_only, &MODEL, &dag, bs).unwrap();
             let cp = plan_chain(&MODEL, &chain, bs);
-            assert_eq!(gp.total_ma(), cp.total_ma(), "bs={bs}");
+            assert_eq!(pp.total_ma(), cp.total_ma(), "bs={bs}");
+            let gp = try_plan_dag(&MODEL, &dag, bs).unwrap();
+            assert!(gp.total_ma() <= pp.total_ma(), "bs={bs}");
         }
+    }
+
+    #[test]
+    fn depth_three_chain_beats_the_best_pair_matching() {
+        // The attention Q-suffix of `zoo::mini_attention`:
+        // qk^T (24,8,24) → pv (24,24,8) → out_proj (24,8,16). With the
+        // whole 24-wide intermediate panel resident, the depth-3 chain
+        // reaches the external lower bound; any pair matching must leave
+        // one intermediate in memory.
+        let shapes = [
+            MatMul::new(24, 8, 24),
+            MatMul::new(24, 24, 8),
+            MatMul::new(24, 8, 16),
+        ];
+        let g = path_graph(&shapes);
+        let dag = g.mm_dag();
+        let bs = 4_096;
+        let deep = try_plan_dag(&MODEL, &dag, bs).unwrap();
+        let pairs = try_plan_dag_with(&PlannerConfig::pairs_only(), &MODEL, &dag, bs).unwrap();
+        assert_eq!(deep.max_fusion_depth(), 3);
+        assert_eq!(deep.fused_step_count(), 1);
+        let chain = FusedChain::try_new(&shapes).unwrap();
+        assert_eq!(deep.total_ma(), chain.external_ideal_ma());
+        assert!(
+            deep.total_ma() < pairs.total_ma(),
+            "depth-3 {} must strictly beat pairwise {}",
+            deep.total_ma(),
+            pairs.total_ma()
+        );
+    }
+
+    #[test]
+    fn unprofitable_depth_falls_back_to_the_pair_matching() {
+        // A tiny buffer cannot hold any interior panel chain, so the
+        // depth-aware planner must degrade to exactly the pair matching.
+        let shapes = [
+            MatMul::new(256, 32, 2048),
+            MatMul::new(256, 2048, 32),
+            MatMul::new(256, 32, 2048),
+            MatMul::new(256, 2048, 32),
+        ];
+        let g = path_graph(&shapes);
+        let dag = g.mm_dag();
+        let bs = 4_096; // interior panels are 256x2048 or 256x32 wide
+        let deep = try_plan_dag(&MODEL, &dag, bs).unwrap();
+        let pairs = try_plan_dag_with(&PlannerConfig::pairs_only(), &MODEL, &dag, bs).unwrap();
+        assert!(deep.total_ma() <= pairs.total_ma());
+        if deep.max_fusion_depth() <= 2 {
+            assert_eq!(deep, pairs);
+        }
+    }
+
+    #[test]
+    fn greedy_threshold_covers_both_sides_on_one_graph() {
+        // Outer links save 2·32·48 each at this buffer, the middle link
+        // 2·32·64: the greedy sweep grabs the heavy middle link and blocks
+        // both outer ones, while the exact cover takes the outer pair.
+        // The same graph planned on both sides of the hoisted threshold
+        // pins the exact/greedy split.
+        let shapes = [
+            MatMul::new(32, 16, 48),
+            MatMul::new(32, 48, 64),
+            MatMul::new(32, 64, 48),
+            MatMul::new(32, 48, 16),
+        ];
+        let g = path_graph(&shapes);
+        let dag = g.mm_dag();
+        let bs = 64 * 1024;
+        let exact_cfg = PlannerConfig {
+            exact_search_max_links: 24,
+            max_fusion_depth: 2,
+        };
+        let greedy_cfg = PlannerConfig {
+            exact_search_max_links: 2, // 3 candidate links > 2 -> greedy
+            max_fusion_depth: 2,
+        };
+        let exact = try_plan_dag_with(&exact_cfg, &MODEL, &dag, bs).unwrap();
+        let greedy = try_plan_dag_with(&greedy_cfg, &MODEL, &dag, bs).unwrap();
+        assert_eq!(exact.fused_pair_count(), 2, "{exact}");
+        assert_eq!(greedy.fused_pair_count(), 1, "{greedy}");
+        assert!(
+            exact.total_ma() < greedy.total_ma(),
+            "exact {} must beat greedy {}",
+            exact.total_ma(),
+            greedy.total_ma()
+        );
+        // And the default config (exact, depth-aware) is never worse than
+        // either restricted planner.
+        let dflt = try_plan_dag(&MODEL, &dag, bs).unwrap();
+        assert!(dflt.total_ma() <= exact.total_ma());
+    }
+
+    #[test]
+    fn depth_histogram_counts_step_widths() {
+        let shapes = [
+            MatMul::new(24, 8, 24),
+            MatMul::new(24, 24, 8),
+            MatMul::new(24, 8, 16),
+        ];
+        let g = path_graph(&shapes);
+        let plan = try_plan_graph(&MODEL, &g, 4_096).unwrap();
+        assert_eq!(plan.depth_histogram(), vec![0, 0, 1]);
+        let solo_heavy = plan_graph(&MODEL, &attention_graph(1), 3);
+        assert_eq!(solo_heavy.depth_histogram().len(), solo_heavy.max_fusion_depth());
     }
 }

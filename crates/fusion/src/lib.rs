@@ -14,9 +14,15 @@
 //!   operators whose optimal intra-dataflows share the same NRA class;
 //! * [`planner`] — dynamic programming over matmul chains, fusing exactly
 //!   the profitable pairs;
-//! * [`graph_planner`] — whole-graph fusion structure: maximum-saving
-//!   matching over the fusable-link DAG, correct at fan-in/fan-out sites
-//!   where greedy chain decomposition drops candidates.
+//! * [`chain`] — the depth-parametric k-ary fused cost model: a chain of
+//!   `k` matmuls executes as one unit with every interior intermediate
+//!   panel resident on chip, generalizing the pair nest (depth 2 is
+//!   bit-identical to [`nest`] at full intermediate width);
+//! * [`graph_planner`] — whole-graph fusion structure: a depth-weighted
+//!   vertex-disjoint path cover over the fusable-link DAG, correct at
+//!   fan-in/fan-out sites where greedy chain decomposition drops
+//!   candidates, degrading to the pair matching (and ultimately to solo
+//!   execution) when deeper fusion never wins.
 //!
 //! ```
 //! use fusecu_ir::{MatMul, MmChain};
@@ -37,15 +43,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chain;
 pub mod graph_planner;
 pub mod nest;
 pub mod optimizer;
 pub mod pair;
 pub mod planner;
 
+pub use chain::{
+    optimize_chain, optimize_chain_cached, ChainFusionError, ChainFusionKey, ChainMa, ChainNest,
+    FusedChain, FusedChainDataflow,
+};
 pub use graph_planner::{
-    min_ma_chains, plan_graph, try_plan_dag, try_plan_dag_cached, try_plan_graph,
-    try_plan_graph_cached, try_plan_graph_chained, GraphKey, GraphPlan, GraphStep,
+    min_ma_chains, plan_graph, try_plan_dag, try_plan_dag_cached, try_plan_dag_with,
+    try_plan_graph, try_plan_graph_cached, try_plan_graph_chained, GraphKey, GraphPlan, GraphStep,
+    PlannerConfig,
 };
 pub use nest::{FusedDataflow, FusedMa, FusedNest, FusedTiling};
 pub use optimizer::{

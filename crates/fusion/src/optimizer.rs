@@ -25,7 +25,7 @@ use crate::pair::{FusedDim, FusedPair};
 
 /// Largest `s ∈ [1, hi]` with `feasible(s)`, assuming monotone feasibility.
 /// Returns `None` when even `s = 1` fails.
-fn max_feasible(hi: u64, feasible: impl Fn(u64) -> bool) -> Option<u64> {
+pub(crate) fn max_feasible(hi: u64, feasible: impl Fn(u64) -> bool) -> Option<u64> {
     let hi = hi.max(1);
     if !feasible(1) {
         return None;
@@ -47,7 +47,7 @@ fn max_feasible(hi: u64, feasible: impl Fn(u64) -> bool) -> Option<u64> {
 
 /// Balances one shared tile: smallest even tile with the same iteration
 /// count.
-fn balance(dim_size: u64, tile: u64) -> u64 {
+pub(crate) fn balance(dim_size: u64, tile: u64) -> u64 {
     let t = tile.min(dim_size);
     dim_size.div_ceil(dim_size.div_ceil(t))
 }

@@ -149,6 +149,38 @@ impl MmDag {
         comps
     }
 
+    /// Every simple directed path of `2..=max_len` matmuls through the
+    /// fusable links, as producer-to-consumer index sequences — the
+    /// candidate set of depth-weighted path-cover planning.
+    ///
+    /// Link construction gives every producer at most one outgoing link
+    /// (fan-out blocks fusion), so the link graph is a forest of in-trees
+    /// and each path is a contiguous run: enumeration walks the unique
+    /// successor from every start, emitting each prefix of length ≥ 2.
+    /// Paths start in matmul order and grow shortest-first, so depth-2
+    /// paths from one start precede its deeper extensions.
+    pub fn simple_paths(&self, max_len: usize) -> Vec<Vec<usize>> {
+        let mut succ: Vec<Option<usize>> = vec![None; self.mms.len()];
+        for l in &self.links {
+            succ[l.producer] = Some(l.consumer);
+        }
+        let mut paths = Vec::new();
+        for start in 0..self.mms.len() {
+            let mut path = vec![start];
+            while path.len() < max_len {
+                let Some(next) = succ[*path.last().expect("path is non-empty")] else {
+                    break;
+                };
+                if path.contains(&next) {
+                    break; // cycle guard; unreachable on a DAG
+                }
+                path.push(next);
+                paths.push(path.clone());
+            }
+        }
+        paths
+    }
+
     /// The links whose endpoints both lie in `component` (a member list as
     /// returned by [`MmDag::components`]), in link order.
     pub fn component_links(&self, component: &[usize]) -> Vec<FuseLink> {
@@ -239,6 +271,46 @@ mod tests {
         assert_eq!(dag.link_count(), 2);
         assert!(!dag.has_fan_in());
         assert_eq!(dag.components(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn simple_paths_enumerate_every_run() {
+        let mut g = OpGraph::new();
+        let a = g.add_matmul("a", MatMul::new(8, 4, 16), 3);
+        let s = g.add_softmax("sm", 8, 16, 3);
+        let b = g.add_matmul("b", MatMul::new(8, 16, 32), 3);
+        let c = g.add_matmul("c", MatMul::new(8, 32, 4), 3);
+        g.connect(a, s);
+        g.connect(s, b);
+        g.connect(b, c);
+        let dag = g.mm_dag();
+        // Runs of the 3-chain: ab, abc, bc.
+        assert_eq!(
+            dag.simple_paths(4),
+            vec![vec![0, 1], vec![0, 1, 2], vec![1, 2]]
+        );
+        // Depth cap 2 keeps exactly the links.
+        let pairs: Vec<Vec<usize>> = dag
+            .links()
+            .iter()
+            .map(|l| vec![l.producer, l.consumer])
+            .collect();
+        let mut capped = dag.simple_paths(2);
+        capped.sort();
+        let mut pairs_sorted = pairs;
+        pairs_sorted.sort();
+        assert_eq!(capped, pairs_sorted);
+    }
+
+    #[test]
+    fn simple_paths_respect_fan_in() {
+        let (g, _) = fan_in_graph();
+        let dag = g.mm_dag();
+        // Two producers into one consumer: two depth-2 paths, nothing
+        // deeper (the consumer has no successor).
+        let mut paths = dag.simple_paths(8);
+        paths.sort();
+        assert_eq!(paths, vec![vec![0, 2], vec![1, 2]]);
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Exhaustive search over the k-ary fused-chain nest space.
+//!
+//! Validates the closed-form chain optimizer of `fusecu-fusion`, whose
+//! dominance argument prunes each phase tile to `{1, full}` and bisects
+//! the shared `T_M`. This searcher makes no such assumption: it scans
+//! the full cross product of balanced tile representatives for `T_M`
+//! and every phase dimension, keeping the best feasible nest. Balanced
+//! representatives are lossless for the analytical model (every
+//! iteration-count profile appears), so an uncapped scan is a true
+//! optimality oracle over the chain space — if the closed form ever
+//! missed a cheaper nest, this search would expose it. A per-dimension
+//! cap subsamples the representative lists (endpoints retained) for use
+//! at transformer scale.
+
+use fusecu_dataflow::CostModel;
+use fusecu_fusion::{ChainNest, FusedChain, FusedChainDataflow};
+
+use crate::space::{balanced_tiles, subsample};
+
+/// Exhaustive fused-chain searcher (analytical fitness).
+#[derive(Debug, Clone, Copy)]
+pub struct ChainExhaustive {
+    model: CostModel,
+    max_reps: Option<usize>,
+}
+
+impl ChainExhaustive {
+    /// A full-resolution oracle (no subsampling).
+    pub fn new(model: CostModel) -> ChainExhaustive {
+        ChainExhaustive {
+            model,
+            max_reps: None,
+        }
+    }
+
+    /// A capped searcher scanning at most `max_reps` tile candidates per
+    /// dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_reps < 2` (the endpoints are always needed).
+    pub fn with_cap(model: CostModel, max_reps: usize) -> ChainExhaustive {
+        assert!(max_reps >= 2, "cap must retain the endpoints");
+        ChainExhaustive {
+            model,
+            max_reps: Some(max_reps),
+        }
+    }
+
+    fn tiles_for(&self, d: u64) -> Vec<u64> {
+        let reps = balanced_tiles(d);
+        match self.max_reps {
+            Some(cap) => subsample(reps, cap),
+            None => reps,
+        }
+    }
+
+    /// Scans the chain space; returns the best nest and the number of
+    /// evaluations, or `None` when nothing fits.
+    pub fn optimize(&self, chain: &FusedChain, bs: u64) -> Option<(FusedChainDataflow, u64)> {
+        let k = chain.depth();
+        let tm_reps = self.tiles_for(chain.m());
+        let phase_reps: Vec<Vec<u64>> = (0..k)
+            .map(|i| self.tiles_for(ChainNest::phase_dim(chain, i)))
+            .collect();
+        let mut best: Option<(u64, u64, ChainNest)> = None;
+        let mut evaluations = 0u64;
+        let mut tiles = vec![1u64; k];
+        for &t_m in &tm_reps {
+            self.scan(
+                chain,
+                bs,
+                t_m,
+                &phase_reps,
+                0,
+                &mut tiles,
+                &mut best,
+                &mut evaluations,
+            );
+        }
+        best.map(|(_, _, nest)| {
+            (
+                FusedChainDataflow::score(&self.model, chain.clone(), nest),
+                evaluations,
+            )
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scan(
+        &self,
+        chain: &FusedChain,
+        bs: u64,
+        t_m: u64,
+        phase_reps: &[Vec<u64>],
+        phase: usize,
+        tiles: &mut Vec<u64>,
+        best: &mut Option<(u64, u64, ChainNest)>,
+        evaluations: &mut u64,
+    ) {
+        if phase == phase_reps.len() {
+            let nest = ChainNest::new(t_m, tiles.clone());
+            if !nest.fits(chain, bs) {
+                return;
+            }
+            *evaluations += 1;
+            let key = (
+                nest.evaluate(&self.model, chain).total(),
+                nest.footprint(chain),
+            );
+            if best
+                .as_ref()
+                .is_none_or(|(c, f, _)| key < (*c, *f))
+            {
+                *best = Some((key.0, key.1, nest));
+            }
+            return;
+        }
+        for &t in &phase_reps[phase] {
+            tiles[phase] = t;
+            // The footprint is nondecreasing in each phase tile, so once
+            // the prefix with every remaining tile at its minimum fails,
+            // larger tiles for this phase cannot fit either.
+            let probe: Vec<u64> = tiles[..=phase]
+                .iter()
+                .copied()
+                .chain(phase_reps[phase + 1..].iter().map(|r| r[0]))
+                .collect();
+            if !ChainNest::new(t_m, probe).fits(chain, bs) {
+                break;
+            }
+            self.scan(
+                chain,
+                bs,
+                t_m,
+                phase_reps,
+                phase + 1,
+                tiles,
+                best,
+                evaluations,
+            );
+        }
+        tiles[phase] = 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fusecu_fusion::optimize_chain;
+    use fusecu_ir::MatMul;
+
+    const MODEL: CostModel = CostModel {
+        partial_sums: fusecu_dataflow::PartialSumPolicy::PerVisit,
+    };
+
+    fn chain(m: u64, dims: &[u64]) -> FusedChain {
+        let mms: Vec<MatMul> = dims
+            .windows(2)
+            .map(|w| MatMul::new(m, w[0], w[1]))
+            .collect();
+        FusedChain::try_new(&mms).unwrap()
+    }
+
+    /// The closed-form chain optimizer's dominance pruning is exact: the
+    /// full scan over balanced tiles never finds a cheaper nest, at any
+    /// depth or buffer regime.
+    #[test]
+    fn closed_form_matches_chain_oracle() {
+        let chains = [
+            chain(24, &[8, 24, 8, 16]),
+            chain(12, &[4, 4, 10, 6]),
+            chain(7, &[5, 9, 4]),
+            chain(5, &[13, 3, 6, 2, 7]),
+        ];
+        for c in &chains {
+            for bs in [64u64, 160, 400, 1 << 10, 1 << 14] {
+                let closed = optimize_chain(&MODEL, c, bs);
+                let scanned = ChainExhaustive::new(MODEL).optimize(c, bs);
+                match (closed, scanned) {
+                    (Some(cf), Some((oracle, evals))) => {
+                        assert!(evals > 0);
+                        assert_eq!(
+                            cf.total_ma(),
+                            oracle.total_ma(),
+                            "{c} bs={bs}: closed {} vs oracle {}",
+                            cf.nest(),
+                            oracle.nest()
+                        );
+                        assert!(cf.footprint() <= bs);
+                    }
+                    (None, None) => {}
+                    (cf, oracle) => {
+                        panic!("{c} bs={bs}: closed={cf:?} oracle={oracle:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Capping subsamples the space but keeps the endpoints, so the
+    /// capped searcher still finds a feasible (if not optimal) nest
+    /// whenever the oracle does.
+    #[test]
+    fn capped_scan_stays_feasible() {
+        let c = chain(48, &[16, 32, 12, 24]);
+        let bs = 2 * 1024;
+        let (full, full_evals) = ChainExhaustive::new(MODEL).optimize(&c, bs).unwrap();
+        let (capped, capped_evals) = ChainExhaustive::with_cap(MODEL, 3).optimize(&c, bs).unwrap();
+        assert!(capped_evals < full_evals);
+        assert!(capped.footprint() <= bs);
+        assert!(capped.total_ma() >= full.total_ma());
+    }
+}

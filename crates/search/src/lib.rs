@@ -16,6 +16,9 @@
 //!   algorithm that does not guarantee global optimization".
 //! * [`fused_exhaustive`] — enumeration over the fused-pair nest space,
 //!   validating the closed-form fused optimizer of `fusecu-fusion`.
+//! * [`chain_exhaustive`] — enumeration over the k-ary fused-chain nest
+//!   space, validating the depth-parametric chain optimizer's dominance
+//!   pruning against a full scan of balanced tile representatives.
 //!
 //! Every searcher ranks candidates through a pluggable [`fitness`]
 //! backend: the analytical loop-nest model by default;
@@ -48,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chain_exhaustive;
 pub mod exhaustive;
 pub mod fitness;
 pub mod fused_exhaustive;
@@ -58,6 +62,7 @@ pub mod persist;
 pub mod space;
 
 pub use cache::{CacheStats, DataflowCache, MemoCache};
+pub use chain_exhaustive::ChainExhaustive;
 pub use exhaustive::{ExhaustiveSearch, SearchResult};
 pub use fitness::{Fitness, FusedScorer, FusedSession, NestScorer, NestSession};
 pub use fused_exhaustive::FusedExhaustive;

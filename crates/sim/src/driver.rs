@@ -32,7 +32,7 @@
 
 use fusecu_arch::Stationary;
 use fusecu_dataflow::{LoopNest, MemoryAccess};
-use fusecu_fusion::{FusedNest, FusedPair};
+use fusecu_fusion::{ChainNest, FusedChain, FusedNest, FusedPair};
 use fusecu_ir::{MatMul, MmDim, Operand};
 
 use crate::array::CuArray;
@@ -512,6 +512,172 @@ pub fn execute_fused_nest(
     }
 }
 
+/// The result of replaying a k-ary fused chain: the chain output and the
+/// measured per-external-tensor traffic.
+#[derive(Debug, Clone)]
+pub struct FusedChainRun {
+    /// The computed `O = X × W_0 × … × W_{k-1}`.
+    pub out: Matrix,
+    /// Measured traffic per external tensor, in chain slot order
+    /// (`X, W_0 … W_{k-1}, O`), comparable to `ChainNest::evaluate`.
+    pub measured: Vec<u64>,
+}
+
+/// One step of the k-ary chain replay schedule, as visited by
+/// [`fused_chain_traffic`].
+enum FusedChainStep {
+    /// A new shared `M` row panel begins with the given clamped span:
+    /// every interior panel resets.
+    BeginPanel(usize),
+    /// One tile step `it` of phase `phase` inside row panel `im`:
+    /// reduction phases accumulate into the resident interior panel,
+    /// the final phase drains through `W_{k-1}` into `O`.
+    Phase(usize, usize, usize),
+}
+
+/// The k-ary analogue of [`fused_traffic`]: one hoisted accounting walk
+/// shared by [`execute_fused_chain`] and [`measure_fused_chain_walk`].
+/// `X` and `O` tiles key on `(im, it)` — every visit is fresh, so each row
+/// panel streams exactly its `sm × c` slice. The weight `W_i` keys on its
+/// phase tile index alone: a multi-iteration phase re-streams the whole
+/// weight inside every row panel, a single-iteration phase keeps its one
+/// tile resident across the entire run and charges once — exactly the
+/// analytical model's reload multiplier, so the charges hoist to the
+/// row-panel boundary and the phase loops carry only `visit` calls.
+fn fused_chain_traffic(
+    chain: &FusedChain,
+    nest: &ChainNest,
+    mut visit: impl FnMut(FusedChainStep),
+) -> Vec<u64> {
+    let k = chain.depth();
+    let m = chain.m() as usize;
+    let t_m = nest.clamped_t_m(chain) as usize;
+    let n_m = nest.m_iterations(chain) as usize;
+
+    let mut traffic = vec![0u64; k + 2];
+    let mut w_loaded = vec![false; k];
+    for im in 0..n_m {
+        let sm = t_m.min(m - im * t_m);
+        traffic[0] += sm as u64 * chain.col(0); // X row slice, streamed once
+        traffic[k + 1] += sm as u64 * chain.col(k); // O row slice, written once
+        visit(FusedChainStep::BeginPanel(sm));
+        for phase in 0..k {
+            let iters = nest.phase_iterations(chain, phase) as usize;
+            if iters > 1 || !w_loaded[phase] {
+                w_loaded[phase] = true;
+                traffic[1 + phase] += chain.weight_elems(phase);
+            }
+            for it in 0..iters {
+                visit(FusedChainStep::Phase(phase, im, it));
+            }
+        }
+    }
+    traffic
+}
+
+/// Counters-only chain measurement via the hoisted accounting *walk* — the
+/// exact loop structure [`execute_fused_chain`] runs, minus all value
+/// movement. Benchmark counterpart of [`measure_fused_chain`] (the closed
+/// form). Traffic is in chain slot order (`X, W_0 … W_{k-1}, O`).
+pub fn measure_fused_chain_walk(chain: &FusedChain, nest: &ChainNest) -> Vec<u64> {
+    fused_chain_traffic(chain, nest, |_| {})
+}
+
+/// Counters-only chain measurement in closed form — the k-ary analogue of
+/// [`measure_fused_nest`], byte-identical to the walk and the frozen naive
+/// oracle ([`oracle::measure_fused_chain`]). Traffic is in chain slot
+/// order (`X, W_0 … W_{k-1}, O`):
+///
+/// * `X` and `O` key on the row panel and stream exactly once;
+/// * `W_i` re-streams on every row panel when its phase loop iterates
+///   more than once, otherwise its single tile stays resident for the
+///   whole run — one load.
+pub fn measure_fused_chain(chain: &FusedChain, nest: &ChainNest) -> Vec<u64> {
+    let k = chain.depth();
+    let n_m = nest.m_iterations(chain);
+    let mut traffic = Vec::with_capacity(k + 2);
+    traffic.push(chain.m() * chain.col(0));
+    for i in 0..k {
+        let reloads = if nest.phase_iterations(chain, i) > 1 {
+            n_m
+        } else {
+            1
+        };
+        traffic.push(chain.weight_elems(i) * reloads);
+    }
+    traffic.push(chain.m() * chain.col(k));
+    traffic
+}
+
+/// Replays a k-ary fused chain over real matrices: a shared loop over `M`
+/// row panels, reduction phases accumulating each interior panel
+/// `Y_i[sm, c_{i+1}]` on chip (they never count as traffic), and a final
+/// phase draining the last panel through `W_{k-1}` into `O`. External
+/// tensors charge one (edge-clamped) tile on every residency switch.
+///
+/// # Panics
+///
+/// Panics when `ws` does not hold exactly `chain.depth()` weights or any
+/// matrix does not match the chain's dimensions.
+pub fn execute_fused_chain(
+    x: &Matrix,
+    ws: &[Matrix],
+    chain: &FusedChain,
+    nest: &ChainNest,
+) -> FusedChainRun {
+    let k = chain.depth();
+    assert_eq!(ws.len(), k, "one weight per chained matmul");
+    assert_eq!(
+        (x.rows() as u64, x.cols() as u64),
+        (chain.m(), chain.col(0))
+    );
+    for (i, w) in ws.iter().enumerate() {
+        assert_eq!(
+            (w.rows() as u64, w.cols() as u64),
+            (chain.col(i), chain.col(i + 1)),
+            "weight {i}"
+        );
+    }
+    let t_m = nest.clamped_t_m(chain) as usize;
+    let tiles: Vec<usize> = (0..k)
+        .map(|i| nest.clamped_phase_tile(chain, i) as usize)
+        .collect();
+    let mut out = Matrix::zero(chain.m() as usize, chain.col(k) as usize);
+    // The resident interior panels Y_0 … Y_{k-2}; phase i reads Y_{i-1}
+    // (or X) and accumulates into Y_i without touching memory. Sized per
+    // row panel by the BeginPanel reset.
+    let mut panels: Vec<Matrix> = (0..k - 1).map(|_| Matrix::zero(1, 1)).collect();
+    let mut sm_cur = 0usize;
+    let measured = fused_chain_traffic(chain, nest, |step| match step {
+        FusedChainStep::BeginPanel(sm) => {
+            sm_cur = sm;
+            for (i, p) in panels.iter_mut().enumerate() {
+                p.reset_zeroed(sm, chain.col(i + 1) as usize);
+            }
+        }
+        FusedChainStep::Phase(phase, im, it) => {
+            let t = tiles[phase];
+            if phase + 1 == k {
+                // Drain: O[:, it·t ..] += Y_{k-2} × W_{k-1} column tile.
+                let w_cols = ws[k - 1].tile(0, it * t, chain.col(k - 1) as usize, t);
+                let prod = panels[k - 2].matmul(&w_cols);
+                out.add_tile(im * t_m, it * t, &prod);
+            } else {
+                // Reduce: Y_phase += (X | Y_{phase-1}) row slice × W rows.
+                let src = if phase == 0 {
+                    x.tile(im * t_m, it * t, t_m, t)
+                } else {
+                    panels[phase - 1].tile(0, it * t, sm_cur, t)
+                };
+                let w_rows = ws[phase].tile(it * t, 0, t, chain.col(phase + 1) as usize);
+                let prod = src.matmul(&w_rows);
+                panels[phase].add_tile(0, 0, &prod);
+            }
+        }
+    });
+    FusedChainRun { out, measured }
+}
+
 /// The frozen naive accounting walks, kept as the in-crate reference
 /// oracle for the strength-reduced paths above — the same role
 /// `sim_throughput`'s `legacy` module plays for the allocating drivers.
@@ -526,7 +692,7 @@ pub fn execute_fused_nest(
 /// `position()`/`tile()` lookups.
 pub mod oracle {
     use fusecu_dataflow::{LoopNest, MemoryAccess};
-    use fusecu_fusion::{ExtTensor, FusedDim, FusedNest, FusedPair};
+    use fusecu_fusion::{ChainNest, ExtTensor, FusedChain, FusedDim, FusedNest, FusedPair};
     use fusecu_ir::{MatMul, MmDim, Operand};
 
     /// Naive-walk nest measurement: the frozen reference for
@@ -600,6 +766,55 @@ pub mod oracle {
                 for inn in 0..it(FusedDim::N) {
                     touch(2, ExtTensor::D, (il, inn));
                     touch(3, ExtTensor::E, (im, inn));
+                }
+            }
+        }
+        traffic
+    }
+
+    /// Naive-walk k-ary chain measurement (chain slot order
+    /// `X, W_0 … W_{k-1}, O`): the frozen reference for
+    /// [`super::measure_fused_chain`] and
+    /// [`super::measure_fused_chain_walk`]. Every residency key is checked
+    /// on every innermost iteration, exactly like the other oracles: `X`
+    /// and `O` tiles key on `(im, it)`, weight tiles on their phase index
+    /// alone (so a single-tile phase stays resident across row panels).
+    pub fn measure_fused_chain(chain: &FusedChain, nest: &ChainNest) -> Vec<u64> {
+        let k = chain.depth();
+        let m = chain.m();
+        let t_m = nest.clamped_t_m(chain) as usize;
+        let n_m = nest.m_iterations(chain) as usize;
+        let span = |dim: u64, tile: usize, i: usize| tile.min(dim as usize - i * tile);
+        let mut traffic = vec![0u64; k + 2];
+        let mut resident: Vec<Option<(usize, usize)>> = vec![None; k + 2];
+        for im in 0..n_m {
+            let sm = span(m, t_m, im);
+            for phase in 0..k {
+                let tile = nest.clamped_phase_tile(chain, phase) as usize;
+                let dim = ChainNest::phase_dim(chain, phase);
+                let iters = nest.phase_iterations(chain, phase) as usize;
+                for it in 0..iters {
+                    let sp = span(dim, tile, it);
+                    if phase == 0 && resident[0] != Some((im, it)) {
+                        traffic[0] += (sm * sp) as u64;
+                        resident[0] = Some((im, it));
+                    }
+                    let w_span = if phase + 1 == k {
+                        chain.col(k - 1) as usize * sp
+                    } else {
+                        sp * chain.col(phase + 1) as usize
+                    };
+                    if resident[1 + phase] != Some((0, it)) {
+                        traffic[1 + phase] += w_span as u64;
+                        resident[1 + phase] = Some((0, it));
+                    }
+                    if phase + 1 == k {
+                        let slot = k + 1;
+                        if resident[slot] != Some((im, it)) {
+                            traffic[slot] += (sm * sp) as u64;
+                            resident[slot] = Some((im, it));
+                        }
+                    }
                 }
             }
         }
@@ -878,6 +1093,130 @@ mod tests {
                 let _ = ExtTensor::ALL;
             }
         }
+    }
+
+    /// The deterministic chain grid shared by the replay and tier tests:
+    /// a handful of depths with ragged spans, swept over shared tiles and
+    /// every untiled/tiled phase mask (widths 1 and 2 when tiled).
+    fn chain_grid(
+        mut check: impl FnMut(&fusecu_fusion::FusedChain, &fusecu_fusion::ChainNest),
+    ) {
+        use fusecu_fusion::{ChainNest, FusedChain};
+        use fusecu_ir::MatMul;
+        let mk = |m: u64, cols: &[u64]| {
+            let mms: Vec<MatMul> = cols
+                .windows(2)
+                .map(|w| MatMul::new(m, w[0], w[1]))
+                .collect();
+            FusedChain::try_new(&mms).unwrap()
+        };
+        for c in [
+            mk(7, &[5, 9, 4]),
+            mk(12, &[4, 4, 10, 6]),
+            mk(24, &[8, 24, 8, 16]),
+            mk(5, &[13, 3, 6, 2, 7]),
+        ] {
+            let k = c.depth();
+            for t_m in [1u64, 3, 5, 24] {
+                for mask in 0u64..(1 << k) {
+                    let tiles: Vec<u64> = (0..k)
+                        .map(|i| {
+                            if mask & (1 << i) != 0 {
+                                ChainNest::phase_dim(&c, i)
+                            } else {
+                                1 + (i as u64 % 2)
+                            }
+                        })
+                        .collect();
+                    check(&c, &ChainNest::new(t_m, tiles));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_accounting_tiers_agree() {
+        // Naive oracle == hoisted walk == closed form == analytical model,
+        // across depths 3..5, ragged spans, and untiled/tiled phase masks.
+        let model = CostModel::paper();
+        chain_grid(|c, nest| {
+            let naive = oracle::measure_fused_chain(c, nest);
+            assert_eq!(
+                measure_fused_chain_walk(c, nest),
+                naive,
+                "walk vs naive: chain={c} nest={nest}"
+            );
+            assert_eq!(
+                measure_fused_chain(c, nest),
+                naive,
+                "closed form vs naive: chain={c} nest={nest}"
+            );
+            assert_eq!(
+                nest.evaluate(&model, c).per_tensor(),
+                naive,
+                "analytical model vs naive: chain={c} nest={nest}"
+            );
+        });
+    }
+
+    #[test]
+    fn fused_chain_replay_matches_golden_and_model() {
+        // Full replay: exact product and byte-exact agreement with the
+        // analytical k-ary chain model, for every grid point.
+        let model = CostModel::paper();
+        chain_grid(|c, nest| {
+            let k = c.depth();
+            let x = Matrix::pseudo_random(c.m() as usize, c.col(0) as usize, 7);
+            let ws: Vec<Matrix> = (0..k)
+                .map(|i| {
+                    Matrix::pseudo_random(
+                        c.col(i) as usize,
+                        c.col(i + 1) as usize,
+                        8 + i as u64,
+                    )
+                })
+                .collect();
+            let golden = ws.iter().fold(x.clone(), |acc, w| acc.matmul(w));
+            let run = execute_fused_chain(&x, &ws, c, nest);
+            assert_eq!(run.out, golden, "chain={c} nest={nest}");
+            assert_eq!(
+                run.measured,
+                nest.evaluate(&model, c).per_tensor(),
+                "chain={c} nest={nest}"
+            );
+        });
+    }
+
+    #[test]
+    fn optimized_fused_chain_replays_exactly() {
+        use fusecu_fusion::{optimize_chain, FusedChain};
+        use fusecu_ir::MatMul;
+        // The mini-attention Q suffix: qk^T → pv → out_proj.
+        let c = FusedChain::try_new(&[
+            MatMul::new(24, 8, 24),
+            MatMul::new(24, 24, 8),
+            MatMul::new(24, 8, 16),
+        ])
+        .unwrap();
+        let x = Matrix::pseudo_random(24, 8, 17);
+        let ws = [
+            Matrix::pseudo_random(8, 24, 18),
+            Matrix::pseudo_random(24, 8, 19),
+            Matrix::pseudo_random(8, 16, 20),
+        ];
+        let golden = ws.iter().fold(x.clone(), |acc, w| acc.matmul(w));
+        let model = CostModel::paper();
+        let mut any = false;
+        for bs in [64u64, 600, 4_096] {
+            if let Some(fused) = optimize_chain(&model, &c, bs) {
+                any = true;
+                let run = execute_fused_chain(&x, &ws, &c, fused.nest());
+                assert_eq!(run.out, golden, "bs={bs}");
+                let total: u64 = run.measured.iter().sum();
+                assert_eq!(total, fused.total_ma(), "bs={bs}");
+            }
+        }
+        assert!(any, "at least one buffer size must admit the chain");
     }
 
     #[test]

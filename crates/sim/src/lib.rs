@@ -27,7 +27,9 @@
 //!   checks strength-reduced to loop boundaries, and a closed form with
 //!   no tile loops at all ([`driver::measure_nest`] /
 //!   [`driver::measure_fused_nest`], the [`SimMode::TrafficOnly`]
-//!   scoring path).
+//!   scoring path). K-ary fused chains get the same three tiers plus a
+//!   full replay ([`driver::execute_fused_chain`]) that threads every
+//!   interior intermediate through resident on-chip panels.
 //!
 //! All simulations are exact over `i64`, so every check is bit-precise.
 

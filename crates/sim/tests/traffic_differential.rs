@@ -156,3 +156,166 @@ fn fused_tiers_agree_on_boundary_tilings() {
         }
     }
 }
+
+// --- k-ary fused chains: the depth-parametric model vs the simulator ---
+
+use fusecu_fusion::{
+    try_plan_dag_with, ChainNest, FusedChain, PlannerConfig,
+};
+use fusecu_ir::OpGraph;
+use fusecu_sim::driver::{execute_fused_chain, measure_fused_chain, measure_fused_chain_walk};
+use fusecu_sim::Matrix;
+
+/// Asserts the three chain tiers agree and match [`ChainNest::evaluate`].
+fn assert_chain_paths_agree(chain: &FusedChain, nest: &ChainNest) -> Vec<u64> {
+    let naive = oracle::measure_fused_chain(chain, nest);
+    let walk = measure_fused_chain_walk(chain, nest);
+    let closed = measure_fused_chain(chain, nest);
+    assert_eq!(walk, naive, "hoisted walk vs naive oracle: {chain} {nest:?}");
+    assert_eq!(closed, naive, "closed form vs naive oracle: {chain} {nest:?}");
+    let predicted = nest.evaluate(&model(), chain);
+    assert_eq!(
+        closed,
+        predicted.per_tensor(),
+        "closed form vs analytical model: {chain} {nest:?}"
+    );
+    closed
+}
+
+/// A random fan-out tree of matmuls over a shared `M`: node `i > 0`
+/// consumes the output of a random earlier node, so every prefix of
+/// `parents`/`dims` is a valid DAG with chains, forks, and solo leaves.
+fn tree_graph(m: u64, head: u64, dims: &[u64], parents: &[usize]) -> OpGraph {
+    let mut g = OpGraph::new();
+    let mut ids = Vec::new();
+    let mut cols = Vec::new();
+    for (i, (&n, &p)) in dims.iter().zip(parents).enumerate() {
+        let k = if i == 0 { head } else { cols[p % i] };
+        let id = g.add_matmul(format!("mm{i}"), MatMul::new(m, k, n), 1);
+        if i > 0 {
+            g.connect(ids[p % i], id);
+        }
+        ids.push(id);
+        cols.push(n);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Random chain depth × dims × (possibly oversized, ragged) tiling:
+    /// naive == hoisted == closed form == analytical, at any depth.
+    #[test]
+    fn chain_tiers_agree_on_random_genomes(
+        dims in proptest::collection::vec(1u64..12, 3..7),
+        t_m in 1u64..16,
+        tiles in proptest::collection::vec(1u64..16, 5..6),
+    ) {
+        let mms: Vec<MatMul> = dims
+            .windows(2)
+            .map(|w| MatMul::new(13, w[0], w[1]))
+            .collect();
+        let chain = FusedChain::try_new(&mms).unwrap();
+        let nest = ChainNest::new(t_m, tiles[..chain.depth()].to_vec());
+        assert_chain_paths_agree(&chain, &nest);
+    }
+
+    /// The analytical k-ary model matches a step-by-step replay on real
+    /// matrices exactly — and the replayed chain computes the right
+    /// product (interior panels never corrupt the numerics).
+    #[test]
+    fn chain_replay_matches_model_exactly(
+        dims in proptest::collection::vec(1u64..8, 3..7),
+        t_m in 1u64..10,
+        tiles in proptest::collection::vec(1u64..10, 5..6),
+        seed in 0u64..1024,
+    ) {
+        let m = 9u64;
+        let mms: Vec<MatMul> = dims
+            .windows(2)
+            .map(|w| MatMul::new(m, w[0], w[1]))
+            .collect();
+        let chain = FusedChain::try_new(&mms).unwrap();
+        let nest = ChainNest::new(t_m, tiles[..chain.depth()].to_vec());
+
+        let x = Matrix::pseudo_random(m as usize, chain.col(0) as usize, seed);
+        let ws: Vec<Matrix> = (0..chain.depth())
+            .map(|i| {
+                Matrix::pseudo_random(
+                    chain.col(i) as usize,
+                    chain.col(i + 1) as usize,
+                    seed + 1 + i as u64,
+                )
+            })
+            .collect();
+        let run = execute_fused_chain(&x, &ws, &chain, &nest);
+        let predicted = nest.evaluate(&model(), &chain);
+        prop_assert_eq!(&run.measured[..], predicted.per_tensor());
+        let reference = ws.iter().fold(x, |acc, w| acc.matmul(w));
+        prop_assert_eq!(run.out, reference);
+    }
+
+    /// On random small DAGs, the depth-aware path-cover plan never
+    /// scores worse than the best pairwise matching over the same links.
+    #[test]
+    fn dag_depth_plan_never_loses_to_pair_matching(
+        head in 1u64..48,
+        dims in proptest::collection::vec(1u64..48, 2..7),
+        parents in proptest::collection::vec(0usize..6, 2..7),
+        bs_shift in 8u32..14,
+    ) {
+        let n = dims.len().min(parents.len());
+        let graph = tree_graph(64, head, &dims[..n], &parents[..n]);
+        let dag = graph.mm_dag();
+        let bs = 1u64 << bs_shift;
+        let deep = try_plan_dag_with(&PlannerConfig::default(), &model(), &dag, bs);
+        let pairs = try_plan_dag_with(&PlannerConfig::pairs_only(), &model(), &dag, bs);
+        let (Some(deep), Some(pairs)) = (&deep, &pairs) else {
+            // Tiny buffers can make some solo optimum infeasible; both
+            // planners must then agree the graph is unplannable.
+            prop_assert!(deep.is_none() && pairs.is_none());
+            return Ok(());
+        };
+        prop_assert!(
+            deep.total_ma() <= pairs.total_ma(),
+            "depth-aware {} > pairwise {}",
+            deep.total_ma(),
+            pairs.total_ma()
+        );
+    }
+}
+
+/// Boundary chains pinned deterministically: unit tiles, full-dimension
+/// tiles, oversized tiles, ragged edges, and unit interior dims.
+#[test]
+fn chain_tiers_agree_on_boundary_nests() {
+    let chains = [
+        FusedChain::try_new(&[
+            MatMul::new(12, 6, 9),
+            MatMul::new(12, 9, 4),
+            MatMul::new(12, 4, 7),
+        ])
+        .unwrap(),
+        FusedChain::try_new(&[
+            MatMul::new(5, 1, 1),
+            MatMul::new(5, 1, 8),
+            MatMul::new(5, 8, 1),
+            MatMul::new(5, 1, 3),
+        ])
+        .unwrap(),
+    ];
+    for chain in &chains {
+        let k = chain.depth();
+        let nests = [
+            ChainNest::new(1, vec![1; k]),
+            ChainNest::new(chain.m(), (0..k).map(|i| ChainNest::phase_dim(chain, i)).collect()),
+            ChainNest::new(64, vec![64; k]),
+            ChainNest::new(5, vec![3; k]),
+            ChainNest::new(7, (0..k).map(|i| 1 + i as u64).collect()),
+        ];
+        for nest in &nests {
+            assert_chain_paths_agree(chain, nest);
+        }
+    }
+}

@@ -17,11 +17,12 @@ use std::collections::HashMap;
 
 use fusecu_dataflow::{CostModel, PartialSumPolicy};
 use fusecu_fusion::{
-    plan_chain, plan_graph, try_plan_graph_chained, ChainPlan, ChainStep, GraphPlan, GraphStep,
+    plan_chain, plan_graph, try_plan_dag_with, try_plan_graph_chained, ChainPlan, ChainStep,
+    GraphPlan, GraphStep, PlannerConfig,
 };
 use fusecu_ir::{MatMul, MmChain, NodeId, OpGraph};
 use fusecu_models::zoo;
-use fusecu_sim::driver::{execute_fused_nest, execute_nest};
+use fusecu_sim::driver::{execute_fused_chain, execute_fused_nest, execute_nest};
 use fusecu_sim::Matrix;
 
 /// The paper's per-visit accounting — the one the drivers reproduce
@@ -250,6 +251,41 @@ fn assert_graph_plan_replays_exactly(graph: &OpGraph, plan: &GraphPlan, label: &
                 measured_total += total * count;
                 outputs.insert(*consumer, run.out);
             }
+            GraphStep::FusedChain {
+                nodes,
+                count,
+                chain,
+            } => {
+                let head = nodes[0];
+                let tail = *nodes.last().expect("chains are non-empty");
+                let names: Vec<&str> = nodes
+                    .iter()
+                    .map(|n| graph.node(*n).name.as_str())
+                    .collect();
+                let path = names.join("+");
+                let fc = chain.chain();
+                let x = input_for(&outputs, head, fc.mm(0), seed);
+                let ws: Vec<Matrix> = (0..fc.depth())
+                    .map(|i| {
+                        Matrix::pseudo_random(
+                            fc.col(i) as usize,
+                            fc.col(i + 1) as usize,
+                            seed + 1 + i as u64,
+                        )
+                    })
+                    .collect();
+                let run = execute_fused_chain(&x, &ws, fc, chain.nest());
+                let total: u64 = run.measured.iter().sum();
+                assert_eq!(
+                    total,
+                    chain.total_ma(),
+                    "{label}: chain step {path} measured traffic disagrees"
+                );
+                let golden = ws.iter().fold(x, |acc, w| acc.matmul(w));
+                assert_eq!(run.out, golden, "{label}: chain step {path} product");
+                measured_total += total * count;
+                outputs.insert(tail, run.out);
+            }
         }
     }
     assert_eq!(
@@ -304,7 +340,7 @@ fn fan_in_regression_dag_plan_beats_chains_and_replays() {
         .iter()
         .find_map(|s| match s {
             GraphStep::Fused { fused, .. } => Some(fused.pair().producer().k()),
-            GraphStep::Solo { .. } => None,
+            GraphStep::Solo { .. } | GraphStep::FusedChain { .. } => None,
         })
         .expect("the winning plan fuses one pair");
     assert_eq!(fused_producer_k, 64, "the wide producer wins the fan-in");
@@ -329,7 +365,7 @@ fn mini_attention_branchy_plans_replay_exactly() {
         let plan = plan_graph(&MODEL, &graph, bs);
         let chained = try_plan_graph_chained(&MODEL, &graph, bs).expect("chain fallback plans");
         assert!(plan.total_ma() <= chained.total_ma());
-        fused_seen += plan.fused_pair_count();
+        fused_seen += plan.fused_step_count();
         assert_graph_plan_replays_exactly(&graph, &plan, &format!("mini-attention bs={bs}"));
     }
     assert!(fused_seen > 0, "buffer grid never exercised a fused step");
@@ -338,19 +374,30 @@ fn mini_attention_branchy_plans_replay_exactly() {
 #[test]
 fn zoo_dag_plans_never_worse_than_chain_decomposition() {
     // Acceptance gate: on every Table II entry — prefill and branchy
-    // per-head views — the DAG planner's total never exceeds the greedy
-    // chain decomposition's.
+    // per-head views — the fusion-depth dominance chain holds:
+    // depth-aware DAG plan ≤ pairs-only DAG matching ≤ greedy chain
+    // decomposition.
+    let pairs_only = PlannerConfig::pairs_only();
     for c in zoo::all() {
         for (graph, kind) in [(c.build_graph(), "prefill"), (c.build_branchy_graph(), "branchy")] {
             for bs in [4 * 1024u64, 64 * 1024] {
                 let dag = plan_graph(&MODEL, &graph, bs);
+                let pairwise = try_plan_dag_with(&pairs_only, &MODEL, &graph.mm_dag(), bs)
+                    .expect("pairs-only planner plans");
                 let chained =
                     try_plan_graph_chained(&MODEL, &graph, bs).expect("chain fallback plans");
                 assert!(
-                    dag.total_ma() <= chained.total_ma(),
-                    "{} {kind} bs={bs}: DAG {} > chained {}",
+                    dag.total_ma() <= pairwise.total_ma(),
+                    "{} {kind} bs={bs}: DAG-with-depth {} > pairwise {}",
                     c.name,
                     dag.total_ma(),
+                    pairwise.total_ma()
+                );
+                assert!(
+                    pairwise.total_ma() <= chained.total_ma(),
+                    "{} {kind} bs={bs}: pairwise {} > chained {}",
+                    c.name,
+                    pairwise.total_ma(),
                     chained.total_ma()
                 );
             }
@@ -358,7 +405,66 @@ fn zoo_dag_plans_never_worse_than_chain_decomposition() {
     }
 }
 
+/// The pinned mini-attention depth regression (satellite of the k-ary
+/// planner): the depth-aware plan fuses the whole four-matmul Q path
+/// (`q_proj → qk^T → pv → out_proj`) into one chain priced at its
+/// external lower bound, strictly beating the best pairwise matching by a
+/// pinned MA delta — and the chain replays byte-exactly on the simulator.
+/// Shared by the debug test and the release-mode `#[ignore]` gate.
+fn assert_mini_attention_depth_plan_is_pinned() {
+    const BS: u64 = 4 * 1024;
+    let graph = zoo::mini_attention().build_branchy_graph();
+    let deep = plan_graph(&MODEL, &graph, BS);
+    let pairs = try_plan_dag_with(&PlannerConfig::pairs_only(), &MODEL, &graph.mm_dag(), BS)
+        .expect("pairs-only planner plans");
+
+    // The Q path fuses end to end; nothing deeper exists in the layer.
+    assert_eq!(deep.max_fusion_depth(), 4);
+    let (nodes, chain) = deep
+        .steps()
+        .iter()
+        .find_map(|s| match s {
+            GraphStep::FusedChain { nodes, chain, .. } => Some((nodes, chain)),
+            _ => None,
+        })
+        .expect("the depth plan holds exactly one fused chain");
+    let names: Vec<&str> = nodes.iter().map(|n| graph.node(*n).name.as_str()).collect();
+    assert_eq!(names, ["q_proj", "qk^T", "pv", "out_proj"]);
+
+    // The chain reaches its external-tensor lower bound: every interior
+    // intermediate (Q, scores, context) stays on chip.
+    assert_eq!(chain.total_ma(), 1_408);
+    assert_eq!(chain.total_ma(), chain.chain().external_ideal_ma());
+
+    // Pinned totals: two head instances of the chain save 768 MA each
+    // over the best pairwise matching (which can only fuse qk^T+pv).
+    assert_eq!(deep.total_ma(), 7_424);
+    assert_eq!(pairs.total_ma(), 8_960);
+    assert_eq!(pairs.total_ma() - deep.total_ma(), 1_536);
+    assert!(
+        deep.total_ma() < pairs.total_ma(),
+        "depth-aware plan must strictly beat the pair matching"
+    );
+
+    // Byte-verified by simulator replay, not just priced.
+    assert_graph_plan_replays_exactly(&graph, &deep, "mini-attention depth pin");
+}
+
+#[test]
+fn mini_attention_depth_plan_beats_pair_matching_pinned() {
+    assert_mini_attention_depth_plan_is_pinned();
+}
+
 // --- release gate: real Table II attention chains (`cargo test -- --ignored`) ---
+
+#[test]
+#[ignore = "heavy: release-mode CI whole-graph conformance gate"]
+fn mini_attention_depth_plan_pinned_release_gate() {
+    // The same pinned depth regression, re-run in the release-mode gate:
+    // optimizer settings must not change the planned structure, the
+    // pinned totals, or the replayed traffic.
+    assert_mini_attention_depth_plan_is_pinned();
+}
 
 #[test]
 #[ignore = "heavy: release-mode CI whole-graph conformance gate"]
@@ -396,7 +502,7 @@ fn blenderbot_branchy_attention_graph_plan_replays_exactly() {
     let graph = attention_block_graph(&zoo::blenderbot());
     let plan = plan_graph(&MODEL, &graph, 64 * 1024);
     assert!(
-        plan.fused_pair_count() >= 1,
+        plan.fused_step_count() >= 1,
         "the attention block must fuse at a 64K buffer"
     );
     let chained = try_plan_graph_chained(&MODEL, &graph, 64 * 1024).expect("chain fallback plans");
@@ -412,10 +518,11 @@ fn bert_branchy_attention_graph_plan_replays_exactly() {
     let graph = attention_block_graph(&zoo::bert());
     let plan = plan_graph(&MODEL, &graph, 64 * 1024);
     assert!(
-        plan.fused_pair_count() >= 1,
+        plan.fused_step_count() >= 1,
         "the attention block must fuse at a 64K buffer"
     );
     let chained = try_plan_graph_chained(&MODEL, &graph, 64 * 1024).expect("chain fallback plans");
     assert!(plan.total_ma() <= chained.total_ma());
     assert_graph_plan_replays_exactly(&graph, &plan, "BERT branchy attention");
 }
+
