@@ -162,4 +162,7 @@ fn main() {
     timing(MatMul::new(1024, 768, 768));
     scaling(MatMul::new(1024, 768, 768));
     println!("\n{}", cache.summary());
+    if std::env::args().any(|a| a == "--stats-json") {
+        println!("{}", cache.stats_json());
+    }
 }

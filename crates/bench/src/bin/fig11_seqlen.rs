@@ -59,4 +59,7 @@ fn main() {
         fusecu::arch::op_cache_stats()
     );
     println!("{}", cache.summary());
+    if std::env::args().any(|a| a == "--stats-json") {
+        println!("{}", cache.stats_json());
+    }
 }

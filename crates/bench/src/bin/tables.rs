@@ -160,4 +160,7 @@ fn main() {
     table_ii_dataflows(parallelism);
     table_dag_fusion();
     println!("{}", cache.summary());
+    if std::env::args().any(|a| a == "--stats-json") {
+        println!("{}", cache.stats_json());
+    }
 }

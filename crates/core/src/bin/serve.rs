@@ -1,0 +1,233 @@
+//! `fusecu-serve` — the optimizer as a persistent daemon.
+//!
+//! ```text
+//! fusecu-serve [--listen tcp:HOST:PORT] [--batch-window-us N] [--max-batch N]
+//!              [--snapshot-interval-secs N] [--snapshot-dirty N]
+//!              [--serial | --threads N] [--no-disk-cache] [--stats-json]
+//! ```
+//!
+//! Speaks the newline-delimited protocol of [`fusecu::server`] on
+//! stdin/stdout (the default) or on a TCP socket; see that module's docs
+//! for the request grammar. Requests arriving within the batch window are
+//! coalesced and deduplicated; answers preserve per-client request order.
+//!
+//! Three admin verbs are handled ahead of the batcher:
+//!
+//! * `<id> stats` — one-line JSON: server counters plus the per-section
+//!   cache report;
+//! * `<id> flush` — incremental cache snapshot now, answers
+//!   `ok flushed <entries>`;
+//! * `<id> shutdown` — flush, answer `ok bye`, exit (TCP mode: the whole
+//!   daemon, not just the connection).
+//!
+//! The disk caches are preloaded at startup and snapshotted incrementally:
+//! a background thread flushes whenever `--snapshot-dirty` entries are
+//! pending or `--snapshot-interval-secs` has elapsed, whichever comes
+//! first, so a crash loses at most one snapshot interval of new entries.
+//! On EOF/shutdown the daemon flushes and prints the cache summary (JSON
+//! with `--stats-json`) to stderr.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use fusecu::pipeline::DiskCacheSession;
+use fusecu::server::{spawn_frontend, BatchConfig, Server, Submission};
+use fusecu_search::Parallelism;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_u64(name: &str, default: u64) -> u64 {
+    arg_value(name)
+        .map(|v| v.parse().unwrap_or_else(|_| die(name)))
+        .unwrap_or(default)
+}
+
+fn die(flag: &str) -> ! {
+    eprintln!("fusecu-serve: bad value for {flag}");
+    std::process::exit(2)
+}
+
+/// Shared daemon state: the service, the batch sink, the disk session,
+/// and the shutdown latch.
+struct Daemon {
+    server: Arc<Server>,
+    sink: Sender<Submission>,
+    session: Arc<Mutex<DiskCacheSession>>,
+    quit: AtomicBool,
+}
+
+impl Daemon {
+    /// Answers the admin verbs inline; `None` means the line is a normal
+    /// request for the batcher.
+    fn try_admin(&self, line: &str) -> Option<String> {
+        let trimmed = line.trim();
+        let (id, verb) = trimmed.split_once(char::is_whitespace)?;
+        match verb.trim() {
+            "stats" => {
+                let cache = self.session.lock().unwrap().stats_json();
+                Some(format!(
+                    "{id} ok {{\"server\":{},\"cache\":{cache}}}",
+                    self.server.stats().json()
+                ))
+            }
+            "flush" => {
+                let flushed = self.session.lock().unwrap().flush();
+                Some(match flushed {
+                    Ok(n) => format!("{id} ok flushed {n}"),
+                    Err(_) => format!("{id} err io"),
+                })
+            }
+            "shutdown" => {
+                let _ = self.session.lock().unwrap().flush();
+                self.quit.store(true, Ordering::SeqCst);
+                Some(format!("{id} ok bye"))
+            }
+            _ => None,
+        }
+    }
+
+    /// Pumps one client: reads request lines from `input`, writes response
+    /// lines to `output` in request order while keeping requests pipelined
+    /// through the batcher. Returns when the client closes or shutdown is
+    /// requested.
+    fn pump(&self, input: impl BufRead, mut output: impl Write + Send) {
+        // In-order reply queue: the reader pushes one receiver per
+        // request, the writer drains them in sequence.
+        let (pending_tx, pending_rx) = channel::<Receiver<String>>();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for rx in pending_rx {
+                    let Ok(resp) = rx.recv() else { continue };
+                    if writeln!(output, "{resp}").is_err() || output.flush().is_err() {
+                        return;
+                    }
+                }
+            });
+            for line in input.lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (tx, rx) = channel();
+                if let Some(resp) = self.try_admin(&line) {
+                    let _ = tx.send(resp);
+                } else if self.sink.send(Submission { line, reply: tx }).is_err() {
+                    break;
+                }
+                if pending_tx.send(rx).is_err() {
+                    break;
+                }
+                if self.quit.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            drop(pending_tx);
+        });
+    }
+}
+
+fn main() -> ExitCode {
+    let parallelism = Parallelism::from_args();
+    let stats_json = std::env::args().any(|a| a == "--stats-json");
+    let cfg = BatchConfig {
+        window: Duration::from_micros(arg_u64("--batch-window-us", 1000)),
+        max_batch: arg_u64("--max-batch", 1024) as usize,
+    };
+    let snapshot_interval = Duration::from_secs(arg_u64("--snapshot-interval-secs", 30));
+    let snapshot_dirty = arg_u64("--snapshot-dirty", 256) as usize;
+
+    let session = Arc::new(Mutex::new(DiskCacheSession::from_args()));
+    let server = Arc::new(Server::new(parallelism));
+    let (sink, batch_handle) = spawn_frontend(Arc::clone(&server), cfg);
+    let daemon = Arc::new(Daemon {
+        server,
+        sink,
+        session: Arc::clone(&session),
+        quit: AtomicBool::new(false),
+    });
+
+    // Periodic incremental snapshots: dirty-entry threshold or timer,
+    // whichever fires first. Holds only the session (not the daemon, whose
+    // drop stops the batcher); dies with the process.
+    {
+        let session = Arc::clone(&session);
+        std::thread::spawn(move || {
+            let tick = Duration::from_millis(200).min(snapshot_interval);
+            let mut since_flush = Duration::ZERO;
+            loop {
+                std::thread::sleep(tick);
+                since_flush += tick;
+                let mut session = session.lock().unwrap();
+                let dirty = session.dirty_entries();
+                if dirty >= snapshot_dirty || (since_flush >= snapshot_interval && dirty > 0) {
+                    let _ = session.flush();
+                    since_flush = Duration::ZERO;
+                }
+            }
+        });
+    }
+
+    match arg_value("--listen") {
+        None => {
+            let stdin = std::io::stdin();
+            daemon.pump(stdin.lock(), std::io::stdout());
+        }
+        Some(addr) => {
+            let Some(hostport) = addr.strip_prefix("tcp:") else {
+                eprintln!("fusecu-serve: --listen expects tcp:HOST:PORT, got {addr}");
+                return ExitCode::from(2);
+            };
+            let listener = match std::net::TcpListener::bind(hostport) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("fusecu-serve: cannot bind {hostport}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("fusecu-serve: listening on {}", listener.local_addr().unwrap());
+            // Poll the listener so a `shutdown` issued on one connection
+            // ends the accept loop without needing another client.
+            listener.set_nonblocking(true).expect("nonblocking listener");
+            std::thread::scope(|scope| {
+                while !daemon.quit.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(false).expect("blocking stream");
+                            let daemon = Arc::clone(&daemon);
+                            scope.spawn(move || {
+                                let reader =
+                                    BufReader::new(stream.try_clone().expect("clone stream"));
+                                daemon.pump(reader, stream);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            });
+        }
+    }
+
+    // EOF or shutdown: stop the batcher, flush, report.
+    drop(daemon);
+    let _ = batch_handle.join();
+    let mut session = session.lock().unwrap();
+    let _ = session.flush();
+    if stats_json {
+        eprintln!("{}", session.stats_json());
+    } else {
+        eprintln!("{}", session.summary());
+    }
+    ExitCode::SUCCESS
+}

@@ -37,6 +37,7 @@
 
 pub mod pipeline;
 pub mod prelude;
+pub mod server;
 
 pub use fusecu_arch as arch;
 pub use fusecu_dataflow as dataflow;

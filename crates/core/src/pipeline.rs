@@ -31,7 +31,9 @@ use fusecu_arch::{evaluate_graph, ArraySpec, GraphPerf, Platform};
 use fusecu_dataflow::CostModel;
 use fusecu_ir::MatMul;
 use fusecu_models::TransformerConfig;
-use fusecu_search::{par_map, CacheStats, DataflowCache, Parallelism, SweepEngine, SweepOutcome};
+use fusecu_search::{
+    par_map, CacheStats, DataflowCache, Parallelism, SectionCounters, SweepEngine, SweepOutcome,
+};
 
 /// The cost model used for architecture evaluation (Fig 10/11).
 pub fn evaluation_model() -> CostModel {
@@ -332,12 +334,27 @@ pub fn sequence_sweep_with(
 /// [`DiskCacheSession::save`]). A missing, corrupt, or stale-fingerprint
 /// file is a cold start, never an error. Print
 /// [`DiskCacheSession::summary`] at the end of a run for the aggregate
-/// hit/miss line.
+/// hit/miss line, or [`DiskCacheSession::stats_json`] for the
+/// machine-readable per-section breakdown (`--stats-json`).
+///
+/// Long-running processes (the `serve` daemon) should call
+/// [`DiskCacheSession::flush`] periodically instead of relying on the
+/// save-on-drop: flush tracks how many entries each cache file held at
+/// its last write and rewrites **only the files whose caches grew**
+/// (atomic temp-file + rename per file, safe against concurrent readers
+/// and other flushing processes), so previously-flushed entries survive
+/// a later panic or `SIGKILL` and an all-hits interval writes nothing.
 #[derive(Debug)]
 pub struct DiskCacheSession {
     dir: Option<PathBuf>,
     loaded: usize,
     saved: bool,
+    /// Entries each cache file held at the last flush/save, indexed as
+    /// [dataflow, operators, plans (pairs+chains), graphs]. Counts only
+    /// grow (deterministic memo caches), so `current > flushed` is the
+    /// dirty test; an eviction can make `current` drop below `flushed`,
+    /// in which case the on-disk file is a superset and still valid.
+    flushed: [usize; 4],
 }
 
 impl DiskCacheSession {
@@ -370,12 +387,21 @@ impl DiskCacheSession {
             dir: None,
             loaded: 0,
             saved: false,
+            flushed: [0; 4],
         }
     }
 
     /// A session over an explicit directory, preloading every cache file
     /// found there.
     pub fn at(dir: PathBuf) -> DiskCacheSession {
+        // The flush baseline is captured *before* the preloads: computing
+        // the arch/graph fingerprints below runs digest probes whose
+        // results land in the pair/chain caches but are not yet on any
+        // disk file, so they must count as dirty. The price is that the
+        // first flush after construction rewrites the preloaded files
+        // once (a save is always a full superset snapshot); from then on
+        // flushes are incremental.
+        let flushed = Self::current_counts();
         let loaded = DataflowCache::global().load_from(&dir.join(Self::DATAFLOW_FILE))
             + fusecu_arch::persist::load_op_cache(&dir.join(Self::OPERATORS_FILE))
             + fusecu_arch::persist::load_fusion_caches(&dir.join(Self::PLANS_FILE))
@@ -384,6 +410,7 @@ impl DiskCacheSession {
             dir: Some(dir),
             loaded,
             saved: false,
+            flushed,
         }
     }
 
@@ -392,9 +419,40 @@ impl DiskCacheSession {
         self.loaded
     }
 
+    /// Current entry counts of the persisted caches, grouped by cache
+    /// file: [dataflow, operators, plans (pairs + chain plans), graphs].
+    fn current_counts() -> [usize; 4] {
+        let dataflow: usize = DataflowCache::global()
+            .sections()
+            .iter()
+            .map(|s| s.entries)
+            .sum();
+        [
+            dataflow,
+            fusecu_arch::op_cache_counters().entries,
+            fusecu_fusion::optimizer::pair_cache_counters().entries
+                + fusecu_fusion::planner::plan_cache_counters().entries,
+            fusecu_fusion::graph_planner::graph_cache_counters().entries,
+        ]
+    }
+
+    /// Completed entries not yet written to disk — the daemon's snapshot
+    /// trigger. Always 0 for a disabled session.
+    pub fn dirty_entries(&self) -> usize {
+        if self.dir.is_none() {
+            return 0;
+        }
+        Self::current_counts()
+            .iter()
+            .zip(&self.flushed)
+            .map(|(&cur, &old)| cur.saturating_sub(old))
+            .sum()
+    }
+
     /// Writes every completed cache entry back to the session directory;
     /// returns the number of entries written, or 0 for a disabled session.
-    /// Called automatically on drop (best-effort, errors swallowed).
+    /// Unconditional: every cache file is rewritten even when nothing
+    /// changed. Prefer [`DiskCacheSession::flush`] for periodic snapshots.
     pub fn save(&mut self) -> io::Result<usize> {
         let Some(dir) = &self.dir else {
             return Ok(0);
@@ -404,7 +462,40 @@ impl DiskCacheSession {
             + fusecu_arch::persist::save_fusion_caches(&dir.join(Self::PLANS_FILE))?
             + fusecu_arch::persist::save_graph_plan_cache(&dir.join(Self::GRAPHS_FILE))?;
         self.saved = true;
+        self.flushed = Self::current_counts();
         Ok(n)
+    }
+
+    /// Incremental snapshot: rewrites only the cache files whose caches
+    /// gained entries since the last flush/save, and returns the number
+    /// of entries written (0 when everything is clean or the session is
+    /// disabled). Each file is written atomically (temp file + rename),
+    /// so a reader — or a crash mid-flush — never observes a torn file,
+    /// and entries flushed earlier survive a later panic or `SIGKILL`.
+    /// Called automatically on drop (best-effort, errors swallowed).
+    pub fn flush(&mut self) -> io::Result<usize> {
+        let Some(dir) = &self.dir else {
+            return Ok(0);
+        };
+        let counts = Self::current_counts();
+        let mut written = 0;
+        if counts[0] > self.flushed[0] {
+            written += DataflowCache::global().save_to(&dir.join(Self::DATAFLOW_FILE))?;
+            self.flushed[0] = counts[0];
+        }
+        if counts[1] > self.flushed[1] {
+            written += fusecu_arch::persist::save_op_cache(&dir.join(Self::OPERATORS_FILE))?;
+            self.flushed[1] = counts[1];
+        }
+        if counts[2] > self.flushed[2] {
+            written += fusecu_arch::persist::save_fusion_caches(&dir.join(Self::PLANS_FILE))?;
+            self.flushed[2] = counts[2];
+        }
+        if counts[3] > self.flushed[3] {
+            written += fusecu_arch::persist::save_graph_plan_cache(&dir.join(Self::GRAPHS_FILE))?;
+            self.flushed[3] = counts[3];
+        }
+        Ok(written)
     }
 
     /// Aggregate hit/miss counters of every memo cache the session
@@ -416,6 +507,51 @@ impl DiskCacheSession {
             .plus(fusecu_fusion::optimizer::pair_cache_stats())
             .plus(fusecu_fusion::planner::plan_cache_stats())
             .plus(fusecu_fusion::graph_planner::graph_cache_stats())
+    }
+
+    /// Per-section counters of every process-wide memo cache, including
+    /// the in-memory-only chain cache (which [`DiskCacheSession::stats`]
+    /// and the persisted files exclude).
+    pub fn stats_sections(&self) -> Vec<SectionCounters> {
+        let [principle, exhaustive, genetic] = DataflowCache::global().sections();
+        vec![
+            principle,
+            exhaustive,
+            genetic,
+            fusecu_arch::op_cache_counters(),
+            fusecu_fusion::optimizer::pair_cache_counters(),
+            fusecu_fusion::planner::plan_cache_counters(),
+            fusecu_fusion::chain::chain_cache_counters(),
+            fusecu_fusion::graph_planner::graph_cache_counters(),
+        ]
+    }
+
+    /// One-line machine-readable cache report (the binaries' `--stats-json`
+    /// output): per-section hits/misses/entries/evictions plus an overall
+    /// aggregate across every section listed.
+    pub fn stats_json(&self) -> String {
+        let sections = self.stats_sections();
+        let mut overall = CacheStats::default();
+        let mut body = String::new();
+        for s in &sections {
+            overall = overall.plus(s.stats);
+            if !body.is_empty() {
+                body.push(',');
+            }
+            body.push_str(&format!("\"{}\":{}", s.name, s.json()));
+        }
+        let dir = match &self.dir {
+            Some(dir) => format!("\"{}\"", json_escape(&dir.display().to_string())),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"dir\":{dir},\"preloaded\":{},\"dirty\":{},\"sections\":{{{body}}},\"overall\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.6}}}}}",
+            self.loaded,
+            self.dirty_entries(),
+            overall.hits,
+            overall.misses,
+            overall.hit_rate()
+        )
     }
 
     /// One summary line for the end of a figure run. Ends with the
@@ -442,9 +578,21 @@ impl DiskCacheSession {
 impl Drop for DiskCacheSession {
     fn drop(&mut self) {
         if !self.saved {
-            let _ = self.save();
+            let _ = self.flush();
         }
     }
+}
+
+/// Minimal JSON string escaping for paths embedded in the stats report.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,762 @@
+//! Optimizer-as-a-service: the request protocol and batching engine
+//! behind `fusecu serve`.
+//!
+//! A figure binary pays the process-startup tax — parsing, preloading the
+//! disk caches, warming the memo maps — on every invocation. The serve
+//! daemon pays it once: a persistent process answers optimization queries
+//! over a newline-delimited text protocol, backed by the same process-wide
+//! sharded memo caches the binaries use, so every repeated query is a
+//! cache hit and every *concurrently repeated* query is deduplicated to a
+//! single computation.
+//!
+//! ## Protocol
+//!
+//! One request per line, ASCII, whitespace-separated tokens:
+//!
+//! ```text
+//! <id> ping
+//! <id> optimize-op <m> <k> <l> <bs> <model>
+//! <id> plan-chain <bs> <model> <n> <m1> <k1> <l1> ... <mn> <kn> <ln>
+//! <id> plan-graph <bs> <model> <nm> {<id> <m> <k> <l> <count>}* <nl> {<p> <c>}*
+//! <id> score <m> <k> <l> <order> <tm> <tk> <tl> <model>
+//! ```
+//!
+//! `<id>` is an opaque client token echoed back verbatim; `<model>` is
+//! `paper` or `rw`; `<order>` is a permutation of `mkl` (outermost
+//! first). Responses are one line each:
+//!
+//! ```text
+//! <id> ok <payload>
+//! <id> err <code>
+//! ```
+//!
+//! A malformed line never kills the daemon — it produces `<id> err
+//! <code>` (or `- err <code>` when even the id is missing). Responses are
+//! deterministic: the same request line always yields the same response
+//! bytes, whether answered serially, in a batch, or from the warm cache.
+//!
+//! ## Batching and deduplication
+//!
+//! [`run_batch_loop`] coalesces requests arriving within a window into
+//! one batch, deduplicates them on their canonical encoding (the request
+//! line minus the id), computes each distinct query once through the
+//! parallel engine, and fans the answers back out — N identical in-flight
+//! queries cost one computation *and* one cache insertion.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fusecu_dataflow::{CostModel, LoopNest, Tiling};
+use fusecu_ir::{FuseLink, MatMul, MmChain, MmDag, MmDim, NodeId};
+use fusecu_search::{par_map, DataflowCache, Parallelism};
+
+/// Largest matmul chain a `plan-chain` request may carry.
+pub const MAX_CHAIN_OPS: usize = 64;
+/// Largest node count a `plan-graph` request may carry.
+pub const MAX_GRAPH_NODES: usize = 64;
+/// Largest link count a `plan-graph` request may carry.
+pub const MAX_GRAPH_LINKS: usize = 256;
+/// Largest accepted matmul dimension (keeps a single query's work bounded).
+pub const MAX_DIM: u64 = 1 << 24;
+/// Largest accepted buffer size in elements.
+pub const MAX_BUFFER: u64 = 1 << 40;
+
+/// A parsed, validated request body (everything after the id token).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered without touching the optimizer.
+    Ping,
+    /// One-shot principle-optimized dataflow for a single matmul.
+    OptimizeOp {
+        /// The matmul shape.
+        mm: MatMul,
+        /// Buffer size in elements.
+        bs: u64,
+        /// Cost model.
+        model: CostModel,
+    },
+    /// Optimal k-ary fusion plan for a linear matmul chain.
+    PlanChain {
+        /// The chain, producer to consumer.
+        chain: MmChain,
+        /// Buffer size in elements.
+        bs: u64,
+        /// Cost model.
+        model: CostModel,
+    },
+    /// Whole-graph fusion plan for a matmul DAG.
+    PlanGraph {
+        /// The DAG (validated by [`MmDag::from_parts`]).
+        dag: MmDag,
+        /// Buffer size in elements.
+        bs: u64,
+        /// Cost model.
+        model: CostModel,
+    },
+    /// Memory access of one explicit dataflow (pure evaluation, uncached).
+    Score {
+        /// The matmul shape.
+        mm: MatMul,
+        /// Loop nest to score.
+        nest: LoopNest,
+        /// Cost model.
+        model: CostModel,
+    },
+}
+
+/// Why a request line was rejected. The wire code is
+/// [`ParseError::code`]; every variant is a client error, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line had no request body after the id.
+    Empty,
+    /// Unknown verb token.
+    BadVerb,
+    /// Wrong token count or a token that failed to parse as a number.
+    BadToken,
+    /// A dimension, tile, count, or buffer size outside its valid range.
+    BadRange,
+    /// Unknown cost-model token (must be `paper` or `rw`).
+    BadModel,
+    /// `<order>` was not a permutation of `mkl`.
+    BadOrder,
+    /// Chain shapes do not compose producer-to-consumer.
+    BadChain,
+    /// Graph nodes/links violate a DAG invariant.
+    BadGraph,
+    /// A size field exceeded the protocol limit.
+    TooLarge,
+}
+
+impl ParseError {
+    /// The wire token sent back as `<id> err <code>`.
+    pub fn code(self) -> &'static str {
+        match self {
+            ParseError::Empty => "empty",
+            ParseError::BadVerb => "bad-verb",
+            ParseError::BadToken => "bad-token",
+            ParseError::BadRange => "bad-range",
+            ParseError::BadModel => "bad-model",
+            ParseError::BadOrder => "bad-order",
+            ParseError::BadChain => "bad-chain",
+            ParseError::BadGraph => "bad-graph",
+            ParseError::TooLarge => "too-large",
+        }
+    }
+}
+
+fn parse_u64(tok: Option<&str>) -> Result<u64, ParseError> {
+    tok.ok_or(ParseError::BadToken)?
+        .parse::<u64>()
+        .map_err(|_| ParseError::BadToken)
+}
+
+fn parse_usize(tok: Option<&str>) -> Result<usize, ParseError> {
+    tok.ok_or(ParseError::BadToken)?
+        .parse::<usize>()
+        .map_err(|_| ParseError::BadToken)
+}
+
+fn parse_dim(tok: Option<&str>) -> Result<u64, ParseError> {
+    let v = parse_u64(tok)?;
+    if v == 0 || v > MAX_DIM {
+        return Err(ParseError::BadRange);
+    }
+    Ok(v)
+}
+
+fn parse_mm(toks: &mut std::str::SplitWhitespace<'_>) -> Result<MatMul, ParseError> {
+    let m = parse_dim(toks.next())?;
+    let k = parse_dim(toks.next())?;
+    let l = parse_dim(toks.next())?;
+    Ok(MatMul::new(m, k, l))
+}
+
+fn parse_bs(tok: Option<&str>) -> Result<u64, ParseError> {
+    let v = parse_u64(tok)?;
+    // Three elements is the principle optimizer's hard floor (one live
+    // element per tensor).
+    if !(3..=MAX_BUFFER).contains(&v) {
+        return Err(ParseError::BadRange);
+    }
+    Ok(v)
+}
+
+fn parse_model(tok: Option<&str>) -> Result<CostModel, ParseError> {
+    match tok {
+        Some("paper") => Ok(CostModel::paper()),
+        Some("rw") => Ok(CostModel::read_write()),
+        _ => Err(ParseError::BadModel),
+    }
+}
+
+/// The wire token of a cost model (`paper` / `rw`).
+pub fn model_token(model: &CostModel) -> &'static str {
+    if *model == CostModel::paper() {
+        "paper"
+    } else {
+        "rw"
+    }
+}
+
+fn dim_char(d: MmDim) -> char {
+    match d {
+        MmDim::M => 'm',
+        MmDim::K => 'k',
+        MmDim::L => 'l',
+    }
+}
+
+fn parse_order(tok: Option<&str>) -> Result<[MmDim; 3], ParseError> {
+    let tok = tok.ok_or(ParseError::BadToken)?;
+    let mut order = [MmDim::M; 3];
+    if tok.len() != 3 {
+        return Err(ParseError::BadOrder);
+    }
+    for (slot, c) in order.iter_mut().zip(tok.chars()) {
+        *slot = match c {
+            'm' => MmDim::M,
+            'k' => MmDim::K,
+            'l' => MmDim::L,
+            _ => return Err(ParseError::BadOrder),
+        };
+    }
+    if order[0] == order[1] || order[0] == order[2] || order[1] == order[2] {
+        return Err(ParseError::BadOrder);
+    }
+    Ok(order)
+}
+
+impl Request {
+    /// Parses a request body (the line after the id token has been split
+    /// off). Every byte of the body is consumed; trailing tokens are an
+    /// error.
+    pub fn parse(body: &str) -> Result<Request, ParseError> {
+        let mut toks = body.split_whitespace();
+        let verb = toks.next().ok_or(ParseError::Empty)?;
+        let req = match verb {
+            "ping" => Request::Ping,
+            "optimize-op" => {
+                let mm = parse_mm(&mut toks)?;
+                let bs = parse_bs(toks.next())?;
+                let model = parse_model(toks.next())?;
+                Request::OptimizeOp { mm, bs, model }
+            }
+            "plan-chain" => {
+                let bs = parse_bs(toks.next())?;
+                let model = parse_model(toks.next())?;
+                let n = parse_usize(toks.next())?;
+                if n == 0 {
+                    return Err(ParseError::BadRange);
+                }
+                if n > MAX_CHAIN_OPS {
+                    return Err(ParseError::TooLarge);
+                }
+                let mut mms = Vec::with_capacity(n);
+                for _ in 0..n {
+                    mms.push(parse_mm(&mut toks)?);
+                }
+                let chain = MmChain::try_new(mms).map_err(|_| ParseError::BadChain)?;
+                Request::PlanChain { chain, bs, model }
+            }
+            "plan-graph" => {
+                let bs = parse_bs(toks.next())?;
+                let model = parse_model(toks.next())?;
+                let nm = parse_usize(toks.next())?;
+                if nm == 0 {
+                    return Err(ParseError::BadRange);
+                }
+                if nm > MAX_GRAPH_NODES {
+                    return Err(ParseError::TooLarge);
+                }
+                let mut mms = Vec::with_capacity(nm);
+                for _ in 0..nm {
+                    let id = parse_usize(toks.next())?;
+                    let mm = parse_mm(&mut toks)?;
+                    let count = parse_u64(toks.next())?;
+                    if count == 0 || count > MAX_DIM {
+                        return Err(ParseError::BadRange);
+                    }
+                    mms.push((NodeId(id), mm, count));
+                }
+                let nl = parse_usize(toks.next())?;
+                if nl > MAX_GRAPH_LINKS {
+                    return Err(ParseError::TooLarge);
+                }
+                let mut links = Vec::with_capacity(nl);
+                for _ in 0..nl {
+                    let producer = parse_usize(toks.next())?;
+                    let consumer = parse_usize(toks.next())?;
+                    links.push(FuseLink { producer, consumer });
+                }
+                let dag = MmDag::from_parts(mms, links).ok_or(ParseError::BadGraph)?;
+                Request::PlanGraph { dag, bs, model }
+            }
+            "score" => {
+                let mm = parse_mm(&mut toks)?;
+                let order = parse_order(toks.next())?;
+                let tm = parse_dim(toks.next())?;
+                let tk = parse_dim(toks.next())?;
+                let tl = parse_dim(toks.next())?;
+                let model = parse_model(toks.next())?;
+                Request::Score {
+                    mm,
+                    nest: LoopNest::new(order, Tiling::new(tm, tk, tl)),
+                    model,
+                }
+            }
+            _ => return Err(ParseError::BadVerb),
+        };
+        if toks.next().is_some() {
+            return Err(ParseError::BadToken);
+        }
+        Ok(req)
+    }
+
+    /// The canonical wire encoding of the body — what [`Request::parse`]
+    /// round-trips to, and the key batches deduplicate on. Two lines with
+    /// different ids but the same canonical body are the same query.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        match self {
+            Request::Ping => "ping".to_string(),
+            Request::OptimizeOp { mm, bs, model } => format!(
+                "optimize-op {} {} {} {bs} {}",
+                mm.m(),
+                mm.k(),
+                mm.l(),
+                model_token(model)
+            ),
+            Request::PlanChain { chain, bs, model } => {
+                let mut s = format!("plan-chain {bs} {} {}", model_token(model), chain.mms().len());
+                for mm in chain.mms() {
+                    let _ = write!(s, " {} {} {}", mm.m(), mm.k(), mm.l());
+                }
+                s
+            }
+            Request::PlanGraph { dag, bs, model } => {
+                let mut s = format!("plan-graph {bs} {} {}", model_token(model), dag.mms().len());
+                for (id, mm, count) in dag.mms() {
+                    let _ = write!(s, " {} {} {} {} {count}", id.0, mm.m(), mm.k(), mm.l());
+                }
+                let _ = write!(s, " {}", dag.links().len());
+                for link in dag.links() {
+                    let _ = write!(s, " {} {}", link.producer, link.consumer);
+                }
+                s
+            }
+            Request::Score { mm, nest, model } => {
+                let order: String = nest.order.iter().map(|&d| dim_char(d)).collect();
+                format!(
+                    "score {} {} {} {order} {} {} {} {}",
+                    mm.m(),
+                    mm.k(),
+                    mm.l(),
+                    nest.tiling.tile(MmDim::M),
+                    nest.tiling.tile(MmDim::K),
+                    nest.tiling.tile(MmDim::L),
+                    model_token(model)
+                )
+            }
+        }
+    }
+}
+
+/// Monotonic counters of one [`Server`]'s lifetime, all lock-free.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Request lines received (well-formed or not).
+    pub requests: AtomicU64,
+    /// Lines rejected with an `err` response.
+    pub parse_errors: AtomicU64,
+    /// Batches dispatched.
+    pub batches: AtomicU64,
+    /// Requests answered by batch-level deduplication (a duplicate of an
+    /// in-batch query; cache hits are counted by the caches themselves).
+    pub deduped: AtomicU64,
+    /// Distinct queries actually computed (or cache-answered) by batches.
+    pub computed: AtomicU64,
+}
+
+impl ServerStats {
+    /// One-line JSON rendering for the daemon's `stats` verb.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"parse_errors\":{},\"batches\":{},\"deduped\":{},\"computed\":{}}}",
+            self.requests.load(Ordering::Relaxed),
+            self.parse_errors.load(Ordering::Relaxed),
+            self.batches.load(Ordering::Relaxed),
+            self.deduped.load(Ordering::Relaxed),
+            self.computed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The optimizer service: stateless request evaluation over the
+/// process-wide memo caches, plus batch dedup. Cheap to share behind an
+/// [`Arc`]; all state is the global caches and the atomic counters.
+#[derive(Debug)]
+pub struct Server {
+    parallelism: Parallelism,
+    stats: ServerStats,
+}
+
+impl Server {
+    /// A server evaluating batch misses under the given work-distribution
+    /// policy.
+    pub fn new(parallelism: Parallelism) -> Server {
+        Server {
+            parallelism,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Evaluates one parsed request to its `ok ...` payload. Deterministic
+    /// and total: every valid request has exactly one answer.
+    pub fn eval(&self, req: &Request) -> String {
+        match req {
+            Request::Ping => "ok pong".to_string(),
+            Request::OptimizeOp { mm, bs, model } => {
+                match DataflowCache::global().principle(model, *mm, *bs) {
+                    Some(df) => {
+                        let order: String =
+                            df.nest().order.iter().map(|&d| dim_char(d)).collect();
+                        let t = df.tiling();
+                        format!(
+                            "ok ma {} order {order} tiles {} {} {}",
+                            df.total_ma(),
+                            t.tile(MmDim::M),
+                            t.tile(MmDim::K),
+                            t.tile(MmDim::L)
+                        )
+                    }
+                    None => "ok infeasible".to_string(),
+                }
+            }
+            Request::PlanChain { chain, bs, model } => {
+                match fusecu_fusion::planner::try_plan_chain_cached(model, chain, *bs) {
+                    Some(plan) => format!(
+                        "ok ma {} steps {} fused {}",
+                        plan.total_ma(),
+                        plan.steps().len(),
+                        plan.fused_pair_count()
+                    ),
+                    None => "ok infeasible".to_string(),
+                }
+            }
+            Request::PlanGraph { dag, bs, model } => {
+                match fusecu_fusion::graph_planner::try_plan_dag_cached(model, dag, *bs) {
+                    Some(plan) => format!(
+                        "ok ma {} steps {} fused {} depth {}",
+                        plan.total_ma(),
+                        plan.steps().len(),
+                        plan.fused_step_count(),
+                        plan.max_fusion_depth()
+                    ),
+                    None => "ok infeasible".to_string(),
+                }
+            }
+            Request::Score { mm, nest, model } => {
+                format!("ok ma {}", model.evaluate(*mm, nest).total())
+            }
+        }
+    }
+
+    /// Answers one raw request line (`<id> <verb> ...`) serially — the
+    /// reference path batches must match byte-for-byte.
+    pub fn answer_line(&self, line: &str) -> String {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let trimmed = line.trim();
+        let (id, body) = match trimmed.split_once(char::is_whitespace) {
+            Some((id, body)) => (id, body),
+            None if trimmed.is_empty() => {
+                self.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                return "- err empty".to_string();
+            }
+            // A lone token: treat it as an id with an empty body.
+            None => (trimmed, ""),
+        };
+        match Request::parse(body) {
+            Ok(req) => {
+                self.stats.computed.fetch_add(1, Ordering::Relaxed);
+                format!("{id} {}", self.eval(&req))
+            }
+            Err(e) => {
+                self.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                format!("{id} err {}", e.code())
+            }
+        }
+    }
+
+    /// Answers a batch of raw request lines, deduplicating on the
+    /// canonical body so N identical in-flight queries cost one
+    /// computation. Responses are positionally aligned with `lines` and
+    /// byte-identical to answering each line through
+    /// [`Server::answer_line`].
+    pub fn answer_batch(&self, lines: &[String]) -> Vec<String> {
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .requests
+            .fetch_add(lines.len() as u64, Ordering::Relaxed);
+
+        // Parse every line; slot either a ready error response or the
+        // index of the deduplicated query answering it.
+        enum Slot {
+            Ready(String),
+            Query { id: String, unique: usize },
+        }
+        let mut uniques: Vec<Request> = Vec::new();
+        let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let slots: Vec<Slot> = lines
+            .iter()
+            .map(|line| {
+                let trimmed = line.trim();
+                let (id, body) = match trimmed.split_once(char::is_whitespace) {
+                    Some((id, body)) => (id, body),
+                    None if trimmed.is_empty() => {
+                        self.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                        return Slot::Ready("- err empty".to_string());
+                    }
+                    None => (trimmed, ""),
+                };
+                match Request::parse(body) {
+                    Ok(req) => {
+                        let key = req.canonical();
+                        let unique = match index.get(&key) {
+                            Some(&u) => {
+                                self.stats.deduped.fetch_add(1, Ordering::Relaxed);
+                                u
+                            }
+                            None => {
+                                let u = uniques.len();
+                                index.insert(key, u);
+                                uniques.push(req);
+                                u
+                            }
+                        };
+                        Slot::Query {
+                            id: id.to_string(),
+                            unique,
+                        }
+                    }
+                    Err(e) => {
+                        self.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                        Slot::Ready(format!("{id} err {}", e.code()))
+                    }
+                }
+            })
+            .collect();
+
+        // Compute each distinct query once, fanned across workers.
+        self.stats
+            .computed
+            .fetch_add(uniques.len() as u64, Ordering::Relaxed);
+        let answers = par_map(self.parallelism, &uniques, |_, req| self.eval(req));
+
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Ready(resp) => resp,
+                Slot::Query { id, unique } => format!("{id} {}", answers[unique]),
+            })
+            .collect()
+    }
+}
+
+/// Tuning knobs of the batching front-end.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// How long the collector waits after the first request of a batch for
+    /// more requests to coalesce.
+    pub window: Duration,
+    /// Hard cap on requests per batch.
+    pub max_batch: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            window: Duration::from_micros(1000),
+            max_batch: 1024,
+        }
+    }
+}
+
+/// One queued request: the raw line plus the channel its response goes
+/// back on.
+#[derive(Debug)]
+pub struct Submission {
+    /// The raw request line.
+    pub line: String,
+    /// Where the response line is sent.
+    pub reply: Sender<String>,
+}
+
+/// The batching front-end: blocks for the first request, coalesces
+/// everything arriving within the window (up to `max_batch`), answers the
+/// batch with dedup, and fans the responses back out. Returns when every
+/// submission sender has been dropped.
+pub fn run_batch_loop(server: &Server, cfg: BatchConfig, rx: &Receiver<Submission>) {
+    while let Ok(first) = rx.recv() {
+        let mut subs = vec![first];
+        let deadline = Instant::now() + cfg.window;
+        while subs.len() < cfg.max_batch {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(left) {
+                Ok(sub) => subs.push(sub),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let lines: Vec<String> = subs.iter().map(|s| s.line.clone()).collect();
+        let responses = server.answer_batch(&lines);
+        for (sub, resp) in subs.iter().zip(responses) {
+            // A client that hung up just loses its answer.
+            let _ = sub.reply.send(resp);
+        }
+    }
+}
+
+/// Spawns the batch loop on its own thread and returns the submission
+/// sink. Drop every clone of the sender to stop the loop; join the handle
+/// to wait for it.
+pub fn spawn_frontend(
+    server: Arc<Server>,
+    cfg: BatchConfig,
+) -> (Sender<Submission>, std::thread::JoinHandle<()>) {
+    let (tx, rx) = std::sync::mpsc::channel::<Submission>();
+    let handle = std::thread::spawn(move || run_batch_loop(&server, cfg, &rx));
+    (tx, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Server {
+        Server::new(Parallelism::Serial)
+    }
+
+    #[test]
+    fn parse_round_trips_canonical() {
+        for body in [
+            "ping",
+            "optimize-op 1024 768 768 524288 paper",
+            "plan-chain 524288 rw 2 128 64 32 128 32 96",
+            "plan-graph 32768 paper 2 0 64 64 64 1 1 64 64 64 1 1 0 1",
+            "score 64 64 64 mkl 16 64 8 rw",
+        ] {
+            let req = Request::parse(body).unwrap();
+            assert_eq!(req.canonical(), body);
+            assert_eq!(Request::parse(&req.canonical()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_error_not_panic() {
+        let s = server();
+        for line in [
+            "",
+            "1",
+            "1 frobnicate",
+            "1 optimize-op 0 1 1 1024 paper",
+            "1 optimize-op 8 8 8 2 paper",
+            "1 optimize-op 8 8 8 1024 quantum",
+            "1 plan-chain 1024 paper 2 8 8 8 9 9 9",
+            "1 plan-graph 1024 paper 1 0 8 8 8 1 1 0 0",
+            "1 score 8 8 8 mmm 1 1 1 paper",
+            "1 score 8 8 8 mkl 0 1 1 paper",
+            "1 optimize-op 8 8 8 1024 paper trailing",
+        ] {
+            let resp = s.answer_line(line);
+            assert!(resp.contains(" err "), "{line:?} -> {resp}");
+        }
+        assert_eq!(s.stats().parse_errors.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn batch_matches_serial_and_dedups() {
+        let lines: Vec<String> = vec![
+            "1 optimize-op 256 128 64 32768 paper".into(),
+            "2 optimize-op 256 128 64 32768 paper".into(),
+            "3 score 64 64 64 klm 8 8 8 rw".into(),
+            "4 bad-verb-here".into(),
+            "5 optimize-op 256 128 64 32768 paper".into(),
+        ];
+        let batch = server();
+        let got = batch.answer_batch(&lines);
+        let serial = server();
+        let want: Vec<String> = lines.iter().map(|l| serial.answer_line(l)).collect();
+        assert_eq!(got, want);
+        // ids echo through; identical bodies answered identically.
+        assert!(got[0].starts_with("1 ok ma "));
+        assert_eq!(got[0].split_once(' ').unwrap().1, got[1].split_once(' ').unwrap().1);
+        assert_eq!(got[0].split_once(' ').unwrap().1, got[4].split_once(' ').unwrap().1);
+        // Three copies of one query -> 2 deduped; uniques are the
+        // optimize-op and the score -> 2 computed.
+        assert_eq!(batch.stats().deduped.load(Ordering::Relaxed), 2);
+        assert_eq!(batch.stats().computed.load(Ordering::Relaxed), 2);
+        assert_eq!(batch.stats().parse_errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn frontend_coalesces_and_replies() {
+        let server = Arc::new(Server::new(Parallelism::Serial));
+        let (tx, handle) = spawn_frontend(
+            Arc::clone(&server),
+            BatchConfig {
+                window: Duration::from_millis(5),
+                max_batch: 64,
+            },
+        );
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        for i in 0..8 {
+            tx.send(Submission {
+                line: format!("{i} optimize-op 128 64 32 16384 rw"),
+                reply: reply_tx.clone(),
+            })
+            .unwrap();
+        }
+        let mut responses: Vec<String> = (0..8).map(|_| reply_rx.recv().unwrap()).collect();
+        responses.sort();
+        assert_eq!(responses.len(), 8);
+        let payload = responses[0].split_once(' ').unwrap().1.to_string();
+        for r in &responses {
+            assert_eq!(r.split_once(' ').unwrap().1, payload);
+        }
+        drop(tx);
+        handle.join().unwrap();
+        // All 8 arrived before the window closed -> dedup saved 7 evals.
+        assert!(server.stats().deduped.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn optimize_op_matches_direct_principle() {
+        let s = server();
+        let mm = MatMul::new(1024, 768, 768);
+        let model = CostModel::paper();
+        let df = fusecu_dataflow::principles::try_optimize_with(&model, mm, 512 * 1024).unwrap();
+        let resp = s.answer_line("7 optimize-op 1024 768 768 524288 paper");
+        assert_eq!(
+            resp,
+            format!(
+                "7 ok ma {} order {} tiles {} {} {}",
+                df.total_ma(),
+                df.nest()
+                    .order
+                    .iter()
+                    .map(|&d| dim_char(d))
+                    .collect::<String>(),
+                df.tiling().tile(MmDim::M),
+                df.tiling().tile(MmDim::K),
+                df.tiling().tile(MmDim::L)
+            )
+        );
+    }
+}

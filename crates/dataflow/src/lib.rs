@@ -43,6 +43,6 @@ pub mod tiling;
 pub use einsum::{EinsumNest, EinsumSpec, EinsumTensor};
 pub use hierarchy::{optimize_two_level, TwoLevelDataflow, TwoLevelNest};
 pub use loopnest::{CostModel, Dataflow, LoopNest, MemoryAccess, NraClass, PartialSumPolicy};
-pub use memo::{CacheStats, MemoCache};
+pub use memo::{CacheStats, MemoCache, SectionCounters};
 pub use regime::BufferRegime;
 pub use tiling::Tiling;

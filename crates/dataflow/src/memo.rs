@@ -75,6 +75,32 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// One named cache's counters at one instant, for machine-readable stats
+/// (`--stats-json`, the serve daemon's `stats` verb): lifetime hit/miss
+/// counters, the current entry count, and lifetime evictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionCounters {
+    /// The cache section's name (e.g. `"principle"`, `"operators"`).
+    pub name: &'static str,
+    /// Lifetime hit/miss counters.
+    pub stats: CacheStats,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Lifetime entries dropped by [`MemoCache::evict_all`].
+    pub evictions: u64,
+}
+
+impl SectionCounters {
+    /// One JSON object (no trailing newline) for this section, e.g.
+    /// `{"hits":3,"misses":1,"entries":4,"evictions":0}`.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"entries\":{},\"evictions\":{}}}",
+            self.stats.hits, self.stats.misses, self.entries, self.evictions
+        )
+    }
+}
+
 /// Number of independently locked shards; a small power of two is plenty
 /// for the worker counts `std::thread::scope` sweeps run with.
 const SHARDS: usize = 16;
@@ -90,6 +116,7 @@ pub struct MemoCache<K, V> {
     shards: Vec<Mutex<HashMap<K, Arc<OnceLock<V>>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
@@ -99,6 +126,7 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -152,6 +180,40 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Drops all entries while *keeping* the hit/miss counters, recording
+    /// the removed entries as evictions. This is the long-running daemon's
+    /// memory-cap escape hatch ([`MemoCache::evictions`] feeds the
+    /// per-section cache stats): unlike [`MemoCache::clear`], the
+    /// lifetime counters keep accumulating across the eviction. Returns
+    /// the number of entries evicted.
+    pub fn evict_all(&self) -> usize {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut guard = shard.lock().expect("cache shard poisoned");
+            evicted += guard.len();
+            guard.clear();
+        }
+        self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Lifetime count of entries dropped by [`MemoCache::evict_all`]
+    /// (reset only by [`MemoCache::clear`]).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// This cache's [`SectionCounters`] under `name`.
+    pub fn counters(&self, name: &'static str) -> SectionCounters {
+        SectionCounters {
+            name,
+            stats: self.stats(),
+            entries: self.len(),
+            evictions: self.evictions(),
+        }
     }
 
     /// Current hit/miss counters.
@@ -283,6 +345,30 @@ mod tests {
         cache.get_or_compute(1, || 10);
         assert_eq!(cache.preload([(1, 99)]), 0);
         assert_eq!(cache.get_or_compute(1, || 99), 10);
+    }
+
+    #[test]
+    fn evict_all_keeps_counters_and_counts_evictions() {
+        let cache: MemoCache<u64, u64> = MemoCache::new();
+        for k in 0..5u64 {
+            cache.get_or_compute(k, || k + 1);
+        }
+        cache.get_or_compute(0, || unreachable!());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 5 });
+        assert_eq!(cache.evict_all(), 5);
+        assert!(cache.is_empty());
+        // Hit/miss history survives the eviction; the drop is counted.
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 5 });
+        assert_eq!(cache.evictions(), 5);
+        // An evicted key recomputes (a miss), it does not resurrect.
+        assert_eq!(cache.get_or_compute(0, || 77), 77);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 6 });
+        let c = cache.counters("unit");
+        assert_eq!((c.name, c.entries, c.evictions), ("unit", 1, 5));
+        assert_eq!(c.json(), "{\"hits\":1,\"misses\":6,\"entries\":1,\"evictions\":5}");
+        // `clear` resets everything, including the eviction counter.
+        cache.clear();
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]

@@ -52,7 +52,12 @@
 //! file: one bad record discards the whole file, since a file that fails
 //! validation anywhere is not trusted anywhere. Saving writes to a
 //! temporary sibling and renames, so a crashed writer can at worst leave a
-//! stale `.tmp`, never a torn cache file.
+//! stale temp file, never a torn cache file. Temp names are unique per
+//! writer (`.tmp.<pid>.<seq>`), so two processes — or two threads of one
+//! daemon — snapshotting the same path concurrently each rename a
+//! complete file into place instead of interleaving writes into a shared
+//! `.tmp`; readers racing either writer see the old file or a new one,
+//! never a mix.
 
 use std::collections::hash_map::DefaultHasher;
 use std::fmt::Write as _;
@@ -180,8 +185,12 @@ impl CacheFile {
     }
 
     /// Writes the file atomically under an explicit fingerprint:
-    /// serialize to `<path>.tmp`, then rename over `path`. Creates the
-    /// parent directory if needed.
+    /// serialize to a writer-unique temp sibling, then rename over
+    /// `path`. Creates the parent directory if needed. Because the temp
+    /// name carries the process id and a per-process sequence number,
+    /// concurrent writers never share a temp file: the last rename wins
+    /// whole, and a concurrent reader observes either the previous
+    /// complete file or a new complete file.
     pub fn save_with(&self, path: &Path, fingerprint: &str) -> io::Result<()> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -195,9 +204,15 @@ impl CacheFile {
             "{MAGIC}\nfingerprint {fingerprint}\nchecksum {:016x}\n{body}",
             h.finish()
         );
-        let tmp = path.with_extension("tmp");
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
         fs::write(&tmp, text)?;
-        fs::rename(&tmp, path)
+        fs::rename(&tmp, path).inspect_err(|_| {
+            // Renaming failed (e.g. the directory vanished): don't leave
+            // the orphaned temp behind.
+            let _ = fs::remove_file(&tmp);
+        })
     }
 
     /// [`CacheFile::load_with`] under the base [`fingerprint`].

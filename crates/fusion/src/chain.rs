@@ -29,7 +29,7 @@
 use std::fmt;
 use std::sync::OnceLock;
 
-use fusecu_dataflow::memo::{CacheStats, MemoCache};
+use fusecu_dataflow::memo::{CacheStats, MemoCache, SectionCounters};
 use fusecu_dataflow::CostModel;
 use fusecu_ir::MatMul;
 
@@ -495,6 +495,27 @@ pub fn optimize_chain_cached(
 /// Hit/miss counters of the process-wide chain-optimum cache.
 pub fn chain_cache_stats() -> CacheStats {
     chain_cache().stats()
+}
+
+/// Per-section counters of the process-wide chain-optimum cache, for
+/// machine-readable stats (`--stats-json`, the serve daemon). Unlike the
+/// other sections this cache is in-memory only (chain optima are cheap
+/// to rebuild from the persisted graph plans), so `entries` always
+/// starts at zero in a fresh process.
+pub fn chain_cache_counters() -> SectionCounters {
+    chain_cache().counters("chains")
+}
+
+/// Drops every chain-optimum cache entry, keeping the hit/miss counters
+/// and counting the drops as evictions. Returns the number evicted.
+pub fn chain_cache_evict_all() -> usize {
+    chain_cache().evict_all()
+}
+
+/// Drops all chain-optimum cache entries and resets its counters — for
+/// tests and the stress harness's cold-start-per-process baseline.
+pub fn chain_cache_clear() {
+    chain_cache().clear();
 }
 
 #[cfg(test)]

@@ -27,7 +27,7 @@
 use std::fmt;
 use std::sync::OnceLock;
 
-use fusecu_dataflow::memo::{CacheStats, MemoCache};
+use fusecu_dataflow::memo::{CacheStats, MemoCache, SectionCounters};
 use fusecu_dataflow::principles::try_optimize_with;
 use fusecu_dataflow::{CostModel, Dataflow};
 use fusecu_ir::{MmDag, NodeId, OpGraph};
@@ -532,6 +532,24 @@ pub fn try_plan_graph_cached(model: &CostModel, graph: &OpGraph, bs: u64) -> Opt
 /// Hit/miss counters of the process-wide graph-plan cache.
 pub fn graph_cache_stats() -> CacheStats {
     graph_cache().stats()
+}
+
+/// Per-section counters of the process-wide graph-plan cache, for
+/// machine-readable stats (`--stats-json`, the serve daemon).
+pub fn graph_cache_counters() -> SectionCounters {
+    graph_cache().counters("graphs")
+}
+
+/// Drops every graph-plan cache entry, keeping the hit/miss counters and
+/// counting the drops as evictions. Returns the number evicted.
+pub fn graph_cache_evict_all() -> usize {
+    graph_cache().evict_all()
+}
+
+/// Drops all graph-plan cache entries and resets its counters — for
+/// tests and the stress harness's cold-start-per-process baseline.
+pub fn graph_cache_clear() {
+    graph_cache().clear();
 }
 
 /// Completed graph-plan cache entries, for the disk persistence layer.

@@ -16,7 +16,7 @@
 
 use std::sync::OnceLock;
 
-use fusecu_dataflow::memo::{CacheStats, MemoCache};
+use fusecu_dataflow::memo::{CacheStats, MemoCache, SectionCounters};
 use fusecu_dataflow::principles::try_optimize_with;
 use fusecu_dataflow::{CostModel, NraClass};
 
@@ -126,6 +126,24 @@ fn pair_cache() -> &'static MemoCache<PairKey, Option<FusedDataflow>> {
 /// planner revisits the same adjacent pairs across chains.
 pub fn optimize_pair_cached(model: &CostModel, pair: FusedPair, bs: u64) -> Option<FusedDataflow> {
     pair_cache().get_or_compute((pair, bs, *model), || optimize_pair(model, pair, bs))
+}
+
+/// Per-section counters of the process-wide fused-pair cache, for
+/// machine-readable stats (`--stats-json`, the serve daemon).
+pub fn pair_cache_counters() -> SectionCounters {
+    pair_cache().counters("pairs")
+}
+
+/// Drops every fused-pair cache entry, keeping the hit/miss counters and
+/// counting the drops as evictions. Returns the number evicted.
+pub fn pair_cache_evict_all() -> usize {
+    pair_cache().evict_all()
+}
+
+/// Drops all fused-pair cache entries and resets its counters — for
+/// tests and the stress harness's cold-start-per-process baseline.
+pub fn pair_cache_clear() {
+    pair_cache().clear();
 }
 
 /// Hit/miss counters of the process-wide fused-pair cache.

@@ -9,7 +9,7 @@
 use std::fmt;
 use std::sync::OnceLock;
 
-use fusecu_dataflow::memo::{CacheStats, MemoCache};
+use fusecu_dataflow::memo::{CacheStats, MemoCache, SectionCounters};
 use fusecu_dataflow::principles::try_optimize_with;
 use fusecu_dataflow::{CostModel, Dataflow};
 use fusecu_ir::MmChain;
@@ -228,6 +228,24 @@ pub fn plan_chain_cached(model: &CostModel, chain: &MmChain, bs: u64) -> ChainPl
 /// Hit/miss counters of the process-wide chain-plan cache.
 pub fn plan_cache_stats() -> CacheStats {
     plan_cache().stats()
+}
+
+/// Per-section counters of the process-wide chain-plan cache, for
+/// machine-readable stats (`--stats-json`, the serve daemon).
+pub fn plan_cache_counters() -> SectionCounters {
+    plan_cache().counters("plans")
+}
+
+/// Drops every chain-plan cache entry, keeping the hit/miss counters and
+/// counting the drops as evictions. Returns the number evicted.
+pub fn plan_cache_evict_all() -> usize {
+    plan_cache().evict_all()
+}
+
+/// Drops all chain-plan cache entries and resets its counters — for
+/// tests and the stress harness's cold-start-per-process baseline.
+pub fn plan_cache_clear() {
+    plan_cache().clear();
 }
 
 /// Completed chain-plan cache entries, for the disk persistence layer.

@@ -27,7 +27,7 @@ use fusecu_dataflow::principles::try_optimize_with;
 use fusecu_dataflow::{CostModel, Dataflow};
 use fusecu_ir::MatMul;
 
-pub use fusecu_dataflow::memo::{CacheStats, MemoCache};
+pub use fusecu_dataflow::memo::{CacheStats, MemoCache, SectionCounters};
 
 use crate::exhaustive::{ExhaustiveSearch, SearchResult};
 use crate::genetic::GeneticSearch;
@@ -108,6 +108,23 @@ impl DataflowCache {
             .stats()
             .plus(self.exhaustive.stats())
             .plus(self.genetic.stats())
+    }
+
+    /// Per-optimizer counters for machine-readable stats
+    /// (`--stats-json`, the serve daemon's `stats` verb).
+    pub fn sections(&self) -> [SectionCounters; 3] {
+        [
+            self.principle.counters("principle"),
+            self.exhaustive.counters("exhaustive"),
+            self.genetic.counters("genetic"),
+        ]
+    }
+
+    /// Drops all entries while keeping the hit/miss counters, recording
+    /// the removed entries as evictions (the serve daemon's memory cap).
+    /// Returns the number of entries evicted.
+    pub fn evict_all(&self) -> usize {
+        self.principle.evict_all() + self.exhaustive.evict_all() + self.genetic.evict_all()
     }
 
     /// Number of distinct cached points across the three maps.

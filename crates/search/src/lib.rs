@@ -61,7 +61,7 @@ pub mod parallel;
 pub mod persist;
 pub mod space;
 
-pub use cache::{CacheStats, DataflowCache, MemoCache};
+pub use cache::{CacheStats, DataflowCache, MemoCache, SectionCounters};
 pub use chain_exhaustive::ChainExhaustive;
 pub use exhaustive::{ExhaustiveSearch, SearchResult};
 pub use fitness::{Fitness, FusedScorer, FusedSession, NestScorer, NestSession};

@@ -1,0 +1,177 @@
+//! Serve-protocol conformance: every request variant round-trips through
+//! its canonical wire encoding byte-identically, malformed lines are
+//! rejected with an error response (never a panic, never daemon death),
+//! and batch answers are byte-identical to serial answers.
+
+use proptest::prelude::*;
+
+use fusecu::server::{ParseError, Request, Server};
+use fusecu_search::Parallelism;
+
+fn model_token(rw: bool) -> &'static str {
+    if rw {
+        "rw"
+    } else {
+        "paper"
+    }
+}
+
+const ORDERS: [&str; 6] = ["mkl", "mlk", "kml", "klm", "lmk", "lkm"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `optimize-op` bodies round-trip: parse -> canonical -> parse is the
+    /// identity and the canonical encoding reproduces the input bytes.
+    #[test]
+    fn optimize_op_round_trips(
+        m in 1u64..4096,
+        k in 1u64..4096,
+        l in 1u64..4096,
+        bs in 3u64..10_000_000,
+        rw in any::<bool>(),
+    ) {
+        let body = format!("optimize-op {m} {k} {l} {bs} {}", model_token(rw));
+        let req = Request::parse(&body).expect("valid body");
+        prop_assert_eq!(&req.canonical(), &body);
+        prop_assert_eq!(Request::parse(&req.canonical()).expect("canonical parses"), req);
+    }
+
+    /// `score` bodies round-trip across every loop order and in-range
+    /// tiling.
+    #[test]
+    fn score_round_trips(
+        m in 1u64..1024,
+        k in 1u64..1024,
+        l in 1u64..1024,
+        order_ix in 0u64..6,
+        seed in any::<u64>(),
+        rw in any::<bool>(),
+    ) {
+        let (tm, tk, tl) = (1 + seed % m, 1 + (seed >> 16) % k, 1 + (seed >> 32) % l);
+        let body = format!(
+            "score {m} {k} {l} {} {tm} {tk} {tl} {}",
+            ORDERS[order_ix as usize],
+            model_token(rw)
+        );
+        let req = Request::parse(&body).expect("valid body");
+        prop_assert_eq!(&req.canonical(), &body);
+        prop_assert_eq!(Request::parse(&req.canonical()).expect("canonical parses"), req);
+    }
+
+    /// `plan-chain` bodies round-trip: chains built left-to-right so every
+    /// producer/consumer pair composes.
+    #[test]
+    fn plan_chain_round_trips(
+        m in 1u64..512,
+        k0 in 1u64..512,
+        dims in proptest::collection::vec(1u64..512, 1..5),
+        bs in 3u64..10_000_000,
+        rw in any::<bool>(),
+    ) {
+        let mut body = format!("plan-chain {bs} {} {}", model_token(rw), dims.len());
+        let mut k = k0;
+        for &l in &dims {
+            body.push_str(&format!(" {m} {k} {l}"));
+            k = l;
+        }
+        let req = Request::parse(&body).expect("valid body");
+        prop_assert_eq!(&req.canonical(), &body);
+        prop_assert_eq!(Request::parse(&req.canonical()).expect("canonical parses"), req);
+    }
+
+    /// `plan-graph` bodies round-trip on generated two-chain DAGs with a
+    /// shared producer (the smallest graph exercising both node and link
+    /// encodings).
+    #[test]
+    fn plan_graph_round_trips(
+        m in 1u64..256,
+        k in 1u64..256,
+        mid in 1u64..256,
+        l1 in 1u64..256,
+        l2 in 1u64..256,
+        count in 1u64..32,
+        bs in 3u64..10_000_000,
+        rw in any::<bool>(),
+    ) {
+        // Node 0 feeds nodes 1 and 2: consumer m/k must equal producer m/l.
+        let body = format!(
+            "plan-graph {bs} {} 3 0 {m} {k} {mid} {count} 1 {m} {mid} {l1} {count} 2 {m} {mid} {l2} {count} 2 0 1 0 2",
+            model_token(rw)
+        );
+        let req = Request::parse(&body).expect("valid body");
+        prop_assert_eq!(&req.canonical(), &body);
+        prop_assert_eq!(Request::parse(&req.canonical()).expect("canonical parses"), req);
+    }
+
+    /// Arbitrary junk never panics the parser: it either parses (and then
+    /// must round-trip) or yields a typed error.
+    #[test]
+    fn arbitrary_lines_never_panic(
+        junk in proptest::collection::vec(any::<u64>(), 1..12),
+        verb_ix in 0u64..8,
+    ) {
+        let verb = [
+            "ping", "optimize-op", "plan-chain", "plan-graph", "score",
+            "", "quantum-leap", "optimize-op\u{7}",
+        ][verb_ix as usize];
+        let mut body = verb.to_string();
+        for j in &junk {
+            body.push_str(&format!(" {j}"));
+        }
+        match Request::parse(&body) {
+            Ok(req) => {
+                prop_assert_eq!(Request::parse(&req.canonical()).expect("canonical parses"), req);
+            }
+            Err(e) => {
+                // The wire code is stable and non-empty.
+                prop_assert!(!e.code().is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn error_codes_are_specific() {
+    for (body, want) in [
+        ("", ParseError::Empty),
+        ("frobnicate 1 2", ParseError::BadVerb),
+        ("optimize-op 8 8", ParseError::BadToken),
+        ("optimize-op 0 8 8 1024 paper", ParseError::BadRange),
+        ("optimize-op 8 8 8 2 paper", ParseError::BadRange),
+        ("optimize-op 8 8 8 1024 quantum", ParseError::BadModel),
+        ("score 8 8 8 mmm 1 1 1 paper", ParseError::BadOrder),
+        ("plan-chain 1024 paper 2 8 8 8 9 9 9", ParseError::BadChain),
+        ("plan-graph 1024 paper 1 0 8 8 8 1 1 0 0", ParseError::BadGraph),
+        ("plan-chain 1024 paper 100", ParseError::TooLarge),
+        ("ping pong", ParseError::BadToken),
+    ] {
+        assert_eq!(Request::parse(body).unwrap_err(), want, "{body:?}");
+    }
+}
+
+/// The server survives a firehose of malformed lines interleaved with
+/// valid ones, and the valid ones still answer correctly afterwards.
+#[test]
+fn malformed_flood_leaves_server_alive() {
+    let server = Server::new(Parallelism::Serial);
+    let lines: Vec<String> = (0..200)
+        .map(|i| match i % 4 {
+            0 => format!("{i} optimize-op {} {} {} 32768 paper", 1 + i, 2 + i, 3 + i),
+            1 => format!("{i} optimize-op what is this"),
+            2 => format!("{i} plan-graph 1024 paper 999999999999999999999"),
+            _ => format!("{i} \u{0}\u{1}\u{2}"),
+        })
+        .collect();
+    let responses = server.answer_batch(&lines);
+    assert_eq!(responses.len(), lines.len());
+    for (line, resp) in lines.iter().zip(&responses) {
+        let serial = Server::new(Parallelism::Serial).answer_line(line);
+        assert_eq!(resp, &serial, "batch and serial answers must agree");
+        if line.contains("32768") {
+            assert!(resp.contains(" ok ma "), "{resp}");
+        } else {
+            assert!(resp.contains(" err "), "{resp}");
+        }
+    }
+}
