@@ -2,7 +2,7 @@
 //! and genomes/s of simulated-fitness scoring, at a fixed seed.
 //!
 //! Writes `BENCH_sim.json` (repo root by default, `--out <path>` to
-//! override) with five sections measured in one process on one machine:
+//! override) with six sections measured in one process on one machine:
 //!
 //! * `baseline` — the frozen pre-refactor replay engine (verbatim copies
 //!   of the old allocating drivers, preserved in [`legacy`] below), scored
@@ -16,12 +16,17 @@
 //! * `walk` — the hoisted accounting walk (`measure_nest_walk` /
 //!   `measure_fused_nest_walk`): residency checks moved to the loop
 //!   levels where residency can change.
+//! * `full_macro` — the wavefront macro-step tier: `SimMode::FullMacro`
+//!   through the scorers. The single value replay is hoisted into the
+//!   scorer (computed once, differentially pinned against the per-cycle
+//!   oracle by `macro_step_differential`), so per-genome scoring is the
+//!   closed form with the full engine's semantics.
 //! * `fast` — the live default: `SimMode::TrafficOnly` through the
 //!   scorers, which now resolve to the closed-form `measure_nest` /
 //!   `measure_fused_nest` (no tile loops at all).
 //!
 //! Every section scores the *same* fixed genome populations, and the
-//! score digests are asserted byte-identical across all five engines —
+//! score digests are asserted byte-identical across all six engines —
 //! the before/after is honest and self-checking. `--quick` shrinks the
 //! repetition counts for CI.
 
@@ -249,9 +254,10 @@ fn fused_genomes(count: usize) -> Vec<FusedNest> {
 
 /// Cells/s of the raw systolic core: PE updates per wall-clock second
 /// while streaming WS tiles through one 16×16 CU. With `alloc_per_cycle`
-/// the stream goes through the allocating `step()` wrapper and per-cycle
-/// `collect`s — the pre-refactor per-cycle allocation pattern — otherwise
-/// through the hoisted allocation-free `step_into` path (`run_ws`).
+/// every cycle allocates its wavefront and wire vectors afresh — the
+/// pre-refactor per-cycle allocation pattern, kept alive here on purpose
+/// as the "before" — otherwise the stream goes through the hoisted
+/// allocation-free `step_into` path (`run_ws`).
 fn bench_cells_per_s(reps: usize, alloc_per_cycle: bool) -> f64 {
     let n = 16usize;
     let (m, k, l) = (64usize, n, n);
@@ -275,7 +281,10 @@ fn bench_cells_per_s(reps: usize, alloc_per_cycle: bool) -> f64 {
                     }
                 })
                 .collect();
-            let (_, south) = cu.step(&west, &vec![0; n]);
+            let north = vec![0; n];
+            let mut east = vec![0; n];
+            let mut south = vec![0; n];
+            cu.step_into(&west, &north, &mut east, &mut south);
             for (col_l, v) in south.iter().enumerate() {
                 let mi = t as i64 - (n - 1) as i64 - col_l as i64;
                 if col_l < l && mi >= 0 && (mi as usize) < m {
@@ -492,6 +501,9 @@ enum Engine {
     /// Hoisted accounting walk: residency charges strength-reduced to
     /// loop boundaries, bare visit loop innermost.
     Walk,
+    /// Live engine, `SimMode::FullMacro` — the wavefront macro-step tier
+    /// with the value replay hoisted into the scorer.
+    FullMacro,
     /// Live engine, default `SimMode::TrafficOnly` — the closed form.
     TrafficOnly,
 }
@@ -507,6 +519,7 @@ fn rounds_for(engine: &Engine, quick: bool) -> usize {
         Engine::Full => 12,
         Engine::Naive => 512,
         Engine::Walk => 8_192,
+        Engine::FullMacro => 131_072,
         Engine::TrafficOnly => 131_072,
     };
     if quick {
@@ -535,6 +548,7 @@ fn measure(engine: &Engine, quick: bool, workers: &[usize]) -> EngineRun {
 
     let mode = match engine {
         Engine::TrafficOnly => SimMode::TrafficOnly,
+        Engine::FullMacro => SimMode::FullMacro,
         // Unused for Legacy/Naive/Walk (they score directly below).
         _ => SimMode::Full,
     };
@@ -568,6 +582,7 @@ fn measure(engine: &Engine, quick: bool, workers: &[usize]) -> EngineRun {
         Engine::Full => ("full", false),
         Engine::Naive => ("naive", false),
         Engine::Walk => ("walk", false),
+        Engine::FullMacro => ("full_macro", false),
         Engine::TrafficOnly => ("fast", false),
     };
     let cells_per_s = bench_cells_per_s(cell_reps, alloc_cells);
@@ -618,11 +633,12 @@ fn main() {
     let full = measure(&Engine::Full, quick, &workers);
     let naive = measure(&Engine::Naive, quick, &workers);
     let walk = measure(&Engine::Walk, quick, &workers);
+    let full_macro = measure(&Engine::FullMacro, quick, &workers);
     let fast = measure(&Engine::TrafficOnly, quick, &workers);
 
-    // All five engines must score every genome identically — the digest
+    // All six engines must score every genome identically — the digest
     // is the self-check that the before/after compares like with like.
-    for run in [&full, &naive, &walk, &fast] {
+    for run in [&full, &naive, &walk, &full_macro, &fast] {
         assert_eq!(
             (run.nest_digest, run.fused_digest),
             (baseline.nest_digest, baseline.fused_digest),
@@ -631,7 +647,7 @@ fn main() {
         );
     }
 
-    for run in [&baseline, &full, &naive, &walk, &fast] {
+    for run in [&baseline, &full, &naive, &walk, &full_macro, &fast] {
         eprintln!("[{}] cells/s: {:.3e}", run.label, run.cells_per_s);
         for (n, f) in run.nest_rows.iter().zip(&run.fused_rows) {
             eprintln!(
@@ -648,21 +664,29 @@ fn main() {
     let speedup_fused = fast.fused_rows[0].genomes_per_s / baseline.fused_rows[0].genomes_per_s;
     let vs_naive_nest = fast.nest_rows[0].genomes_per_s / naive.nest_rows[0].genomes_per_s;
     let vs_naive_fused = fast.fused_rows[0].genomes_per_s / naive.fused_rows[0].genomes_per_s;
+    // The macro-step tier vs the per-cycle oracle it replaces on the hot
+    // path — the headline for the wavefront macro-stepping work.
+    let macro_nest = full_macro.nest_rows[0].genomes_per_s / full.nest_rows[0].genomes_per_s;
+    let macro_fused = full_macro.fused_rows[0].genomes_per_s / full.fused_rows[0].genomes_per_s;
     eprintln!("speedup (1 worker, closed form vs pre-refactor replay): nest {speedup_nest:.1}x, fused {speedup_fused:.1}x");
     eprintln!("speedup (1 worker, closed form vs naive walk): nest {vs_naive_nest:.1}x, fused {vs_naive_fused:.1}x");
+    eprintln!("speedup (1 worker, macro-step tier vs per-cycle full): nest {macro_nest:.1}x, fused {macro_fused:.1}x");
 
     let json = format!(
-        "{{\n  \"benchmark\": \"sim_throughput\",\n  \"quick\": {quick},\n  \"available_parallelism\": {},\n  \"baseline\": {},\n  \"full\": {},\n  \"naive\": {},\n  \"walk\": {},\n  \"fast\": {},\n  \"speedup_vs_baseline\": {{ \"nest\": {:.2}, \"fused\": {:.2} }},\n  \"speedup_vs_naive\": {{ \"nest\": {:.2}, \"fused\": {:.2} }}\n}}\n",
+        "{{\n  \"benchmark\": \"sim_throughput\",\n  \"quick\": {quick},\n  \"available_parallelism\": {},\n  \"baseline\": {},\n  \"full\": {},\n  \"naive\": {},\n  \"walk\": {},\n  \"full_macro\": {},\n  \"fast\": {},\n  \"speedup_vs_baseline\": {{ \"nest\": {:.2}, \"fused\": {:.2} }},\n  \"speedup_vs_naive\": {{ \"nest\": {:.2}, \"fused\": {:.2} }},\n  \"speedup_macro_vs_full\": {{ \"nest\": {:.2}, \"fused\": {:.2} }}\n}}\n",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         json_for(&baseline),
         json_for(&full),
         json_for(&naive),
         json_for(&walk),
+        json_for(&full_macro),
         json_for(&fast),
         speedup_nest,
         speedup_fused,
         vs_naive_nest,
         vs_naive_fused,
+        macro_nest,
+        macro_fused,
     );
     std::fs::write(&out, &json).expect("write benchmark output");
     println!("wrote {out}");

@@ -23,7 +23,7 @@
 //!   expensive in cycles even when they are cheap in traffic, so latency
 //!   and traffic rank some genome pairs in opposite orders.
 //!
-//! The simulated backend itself has two modes ([`SimMode`]):
+//! The simulated backend itself has three modes ([`SimMode`]):
 //!
 //! * [`SimMode::TrafficOnly`] (the default for `Fitness::Simulated`) runs
 //!   the *identical* replay schedule through [`measure_nest`] /
@@ -31,12 +31,21 @@
 //!   materialized and scoring allocates nothing. The counters are
 //!   byte-identical to the full replay by construction (both modes share
 //!   one accounting walk), and the sim crate's differential tests prove it.
-//! * [`SimMode::Full`] additionally moves real tile data through a shared
+//! * [`SimMode::FullMacro`] materializes the operands and computes the
+//!   replay product with the wavefront macro-step engine — but since the
+//!   product is nest-invariant (exact integer arithmetic; only the
+//!   schedule varies per genome), it is hoisted **once per scorer** and
+//!   each genome scores through the closed-form counters, which the sim
+//!   crate proves byte-identical to the per-cycle replay. Full-fidelity
+//!   scores at closed-form speed; scoring allocates nothing and stays
+//!   serial.
+//! * [`SimMode::Full`] moves real tile data through a shared
 //!   [`SimScratch`] arena ([`execute_nest_with`] /
-//!   [`execute_fused_nest_with`]), so every genome replay also recomputes
-//!   the product. Scorers keep a [`ScratchPool`] alive across genome
-//!   replays, so steady-state scoring is allocation-free here too: each
-//!   scoring thread checks an arena out, replays into it, and returns it.
+//!   [`execute_fused_nest_with`]) on *every* genome replay — the frozen
+//!   per-cycle oracle the macro tier is differentially pinned against.
+//!   Scorers keep a [`ScratchPool`] alive across genome replays, so
+//!   steady-state scoring is allocation-free here too: each scoring
+//!   thread checks an arena out, replays into it, and returns it.
 //!
 //! The operand values are irrelevant to the score (traffic counting never
 //! looks at the data), so the matrices are seeded deterministically per
@@ -79,13 +88,16 @@ impl Fitness {
     /// mode the backend actually resolves to.
     ///
     /// The decision is **cost-aware**: only `Simulated` in
-    /// [`SimMode::Full`] moves real data and costs enough per genome to
+    /// [`SimMode::Full`] moves real data per genome and costs enough to
     /// amortize a thread handoff. `Analytical`, `Latency`, and —
     /// crucially — `Simulated` in the default [`SimMode::TrafficOnly`]
     /// are closed-form, ~tens of nanoseconds per score: cheaper than the
     /// handoff itself, so fanning them out *inverts* into a slowdown
     /// (the 56× parallel-scaling cliff `BENCH_sim.json` recorded).
-    /// `mode` is ignored by the non-simulated backends.
+    /// [`SimMode::FullMacro`] hoists its one value-replay out of the
+    /// per-genome path entirely, so despite being a full-fidelity mode it
+    /// scores at closed-form cost and sits on the serial side of the
+    /// table. `mode` is ignored by the non-simulated backends.
     pub fn prefers_parallel_scoring(self, mode: SimMode) -> bool {
         matches!(self, Fitness::Simulated) && mode == SimMode::Full
     }
@@ -102,8 +114,14 @@ const OPERAND_SEED: u64 = 0x00F1_7E55;
 #[derive(Debug)]
 struct SimBackend<Ops> {
     mode: SimMode,
-    /// `Some` only in [`SimMode::Full`]; `TrafficOnly` never touches data.
+    /// `Some` in [`SimMode::Full`] and [`SimMode::FullMacro`];
+    /// `TrafficOnly` never touches data.
     operands: Option<Ops>,
+    /// The replay product, hoisted once per scorer in
+    /// [`SimMode::FullMacro`]: the product is nest-invariant, so the
+    /// macro engine computes it here and the per-genome path runs pure
+    /// closed form.
+    macro_out: Option<Matrix>,
     pool: ScratchPool,
 }
 
@@ -130,6 +148,7 @@ impl NestScorer {
         let sim = matches!(fitness, Fitness::Simulated).then(|| SimBackend {
             mode: SimMode::TrafficOnly,
             operands: None,
+            macro_out: None,
             pool: ScratchPool::new(),
         });
         let latency = match fitness {
@@ -144,21 +163,35 @@ impl NestScorer {
         }
     }
 
-    /// Selects the simulated replay mode; [`SimMode::Full`] materializes
-    /// the operand matrices. No-op for an analytical scorer.
+    /// Selects the simulated replay mode; [`SimMode::Full`] and
+    /// [`SimMode::FullMacro`] materialize the operand matrices, and
+    /// `FullMacro` additionally hoists its one macro-step value replay
+    /// here, so per-genome scoring never touches data. No-op for an
+    /// analytical scorer.
     #[must_use]
     pub fn with_sim_mode(mut self, mode: SimMode) -> NestScorer {
         if let Some(sim) = &mut self.sim {
             sim.mode = mode;
-            sim.operands = (mode == SimMode::Full).then(|| {
+            sim.operands = matches!(mode, SimMode::Full | SimMode::FullMacro).then(|| {
                 let mm = self.mm;
                 (
                     Matrix::pseudo_random(mm.m() as usize, mm.k() as usize, OPERAND_SEED),
                     Matrix::pseudo_random(mm.k() as usize, mm.l() as usize, OPERAND_SEED + 1),
                 )
             });
+            sim.macro_out = match (mode, &sim.operands) {
+                (SimMode::FullMacro, Some((a, b))) => Some(a.matmul(b)),
+                _ => None,
+            };
         }
         self
+    }
+
+    /// The hoisted [`SimMode::FullMacro`] replay product, when that mode
+    /// is selected — the same matrix every per-genome full replay would
+    /// recompute (pinned by the fitness tests).
+    pub fn macro_out(&self) -> Option<&Matrix> {
+        self.sim.as_ref().and_then(|sim| sim.macro_out.as_ref())
     }
 
     /// Scalar cost of `nest` under the selected backend — total memory
@@ -176,7 +209,9 @@ impl NestScorer {
     /// one scratch arena from the pool and holds it for the session's
     /// lifetime, so a worker scoring a whole sub-population pays the
     /// pool lock once per batch instead of once per genome. For the
-    /// closed-form backends the session is stateless and free.
+    /// closed-form backends — including [`SimMode::FullMacro`], whose
+    /// value replay is already hoisted into the scorer — the session is
+    /// stateless and free.
     ///
     /// Sessions are per-thread (they hold the leased arena mutably);
     /// the scorer itself stays shareable, so each `par_map_batched`
@@ -187,7 +222,7 @@ impl NestScorer {
             scratch: self
                 .sim
                 .as_ref()
-                .filter(|sim| sim.operands.is_some())
+                .filter(|sim| sim.mode == SimMode::Full && sim.operands.is_some())
                 .map(|sim| sim.pool.lease()),
         }
     }
@@ -213,15 +248,18 @@ impl NestSession<'_> {
         }
         match &scorer.sim {
             None => scorer.model.evaluate(scorer.mm, nest).total(),
-            Some(sim) => match &sim.operands {
-                None => measure_nest(scorer.mm, nest).total(),
-                Some((a, b)) => {
+            Some(sim) => match (sim.mode, &sim.operands) {
+                // The per-cycle oracle: move real data on every replay.
+                (SimMode::Full, Some((a, b))) => {
                     let scratch = self
                         .scratch
                         .as_mut()
                         .expect("full-mode session holds a scratch lease");
                     execute_nest_with(a, b, scorer.mm, nest, scratch).total()
                 }
+                // TrafficOnly, and FullMacro with its value replay
+                // already hoisted into the scorer: pure closed form.
+                _ => measure_nest(scorer.mm, nest).total(),
             },
         }
     }
@@ -244,6 +282,7 @@ impl FusedScorer {
         let sim = matches!(fitness, Fitness::Simulated).then(|| SimBackend {
             mode: SimMode::TrafficOnly,
             operands: None,
+            macro_out: None,
             pool: ScratchPool::new(),
         });
         let latency = match fitness {
@@ -258,14 +297,16 @@ impl FusedScorer {
         }
     }
 
-    /// Selects the simulated replay mode; [`SimMode::Full`] materializes
-    /// the operand matrices. No-op for an analytical scorer.
+    /// Selects the simulated replay mode; [`SimMode::Full`] and
+    /// [`SimMode::FullMacro`] materialize the operand matrices, and
+    /// `FullMacro` hoists its one macro-step value replay here (see
+    /// [`NestScorer::with_sim_mode`]). No-op for an analytical scorer.
     #[must_use]
     pub fn with_sim_mode(mut self, mode: SimMode) -> FusedScorer {
         use fusecu_fusion::FusedDim::{K, L, M, N};
         if let Some(sim) = &mut self.sim {
             sim.mode = mode;
-            sim.operands = (mode == SimMode::Full).then(|| {
+            sim.operands = matches!(mode, SimMode::Full | SimMode::FullMacro).then(|| {
                 let d = |t| self.pair.dim(t) as usize;
                 (
                     Matrix::pseudo_random(d(M), d(K), OPERAND_SEED + 2),
@@ -273,8 +314,18 @@ impl FusedScorer {
                     Matrix::pseudo_random(d(L), d(N), OPERAND_SEED + 4),
                 )
             });
+            sim.macro_out = match (mode, &sim.operands) {
+                (SimMode::FullMacro, Some((a, b, d))) => Some(a.matmul(b).matmul(d)),
+                _ => None,
+            };
         }
         self
+    }
+
+    /// The hoisted [`SimMode::FullMacro`] replay product `E`, when that
+    /// mode is selected (see [`NestScorer::macro_out`]).
+    pub fn macro_out(&self) -> Option<&Matrix> {
+        self.sim.as_ref().and_then(|sim| sim.macro_out.as_ref())
     }
 
     /// Scalar cost of `nest` under the selected backend — total
@@ -288,14 +339,15 @@ impl FusedScorer {
 
     /// Opens a batch-scoring session holding one scratch lease for
     /// [`SimMode::Full`]; stateless and free for the closed-form
-    /// backends. See [`NestScorer::session`].
+    /// backends (including [`SimMode::FullMacro`]). See
+    /// [`NestScorer::session`].
     pub fn session(&self) -> FusedSession<'_> {
         FusedSession {
             scorer: self,
             scratch: self
                 .sim
                 .as_ref()
-                .filter(|sim| sim.operands.is_some())
+                .filter(|sim| sim.mode == SimMode::Full && sim.operands.is_some())
                 .map(|sim| sim.pool.lease()),
         }
     }
@@ -319,9 +371,9 @@ impl FusedSession<'_> {
         }
         match &scorer.sim {
             None => nest.evaluate(&scorer.model, &scorer.pair).total(),
-            Some(sim) => match &sim.operands {
-                None => measure_fused_nest(&scorer.pair, nest).iter().sum(),
-                Some((a, b, d)) => {
+            Some(sim) => match (sim.mode, &sim.operands) {
+                // The per-cycle oracle: move real data on every replay.
+                (SimMode::Full, Some((a, b, d))) => {
                     let scratch = self
                         .scratch
                         .as_mut()
@@ -330,6 +382,9 @@ impl FusedSession<'_> {
                         .iter()
                         .sum()
                 }
+                // TrafficOnly, and FullMacro with its value replay
+                // already hoisted into the scorer: pure closed form.
+                _ => measure_fused_nest(&scorer.pair, nest).iter().sum(),
             },
         }
     }
@@ -352,6 +407,8 @@ mod tests {
         let analytical = NestScorer::new(Fitness::Analytical, MODEL, mm);
         let traffic_only = NestScorer::new(Fitness::Simulated, MODEL, mm);
         let full = NestScorer::new(Fitness::Simulated, MODEL, mm).with_sim_mode(SimMode::Full);
+        let full_macro =
+            NestScorer::new(Fitness::Simulated, MODEL, mm).with_sim_mode(SimMode::FullMacro);
         for order in LoopNest::orders() {
             for tiling in [Tiling::new(1, 1, 1), Tiling::new(4, 3, 5), Tiling::new(14, 9, 11)] {
                 let nest = LoopNest::new(order, tiling);
@@ -366,6 +423,11 @@ mod tests {
                     reference,
                     "full, order {order:?} tiling {tiling}"
                 );
+                assert_eq!(
+                    full_macro.score(&nest),
+                    reference,
+                    "full-macro, order {order:?} tiling {tiling}"
+                );
             }
         }
     }
@@ -378,12 +440,15 @@ mod tests {
         let traffic_only = FusedScorer::new(Fitness::Simulated, MODEL, pair);
         let full =
             FusedScorer::new(Fitness::Simulated, MODEL, pair).with_sim_mode(SimMode::Full);
+        let full_macro =
+            FusedScorer::new(Fitness::Simulated, MODEL, pair).with_sim_mode(SimMode::FullMacro);
         for outer_is_m in [true, false] {
             for (tm, tk, tl, tn) in [(1u64, 1, 1, 1), (4, 2, 5, 3), (12, 5, 10, 7)] {
                 let nest = FusedNest::new(outer_is_m, FusedTiling::new(tm, tk, tl, tn));
                 let reference = analytical.score(&nest);
                 assert_eq!(traffic_only.score(&nest), reference, "traffic-only {nest}");
                 assert_eq!(full.score(&nest), reference, "full {nest}");
+                assert_eq!(full_macro.score(&nest), reference, "full-macro {nest}");
             }
         }
     }
@@ -394,7 +459,7 @@ mod tests {
         // must give identical answers from any of them, in both modes.
         let mm = MatMul::new(10, 8, 6);
         let nest = LoopNest::new([MmDim::M, MmDim::K, MmDim::L], Tiling::new(3, 4, 2));
-        for mode in [SimMode::TrafficOnly, SimMode::Full] {
+        for mode in [SimMode::TrafficOnly, SimMode::FullMacro, SimMode::Full] {
             let scorer = NestScorer::new(Fitness::Simulated, MODEL, mm).with_sim_mode(mode);
             let expected = scorer.score(&nest);
             std::thread::scope(|s| {
@@ -413,12 +478,15 @@ mod tests {
     #[test]
     fn parallel_preference_is_cost_aware() {
         // Only the one genuinely heavy backend — Simulated moving real
-        // data — prefers fan-out. Every closed-form score (analytical,
-        // latency, and the default TrafficOnly replay) is cheaper than a
-        // thread handoff and must default to serial.
+        // data per genome — prefers fan-out. Every closed-form score
+        // (analytical, latency, the default TrafficOnly replay, and the
+        // macro-stepped full replay whose single value pass is hoisted
+        // out of the genome loop) is cheaper than a thread handoff and
+        // must default to serial.
         assert!(Fitness::Simulated.prefers_parallel_scoring(SimMode::Full));
         assert!(!Fitness::Simulated.prefers_parallel_scoring(SimMode::TrafficOnly));
-        for mode in [SimMode::Full, SimMode::TrafficOnly] {
+        assert!(!Fitness::Simulated.prefers_parallel_scoring(SimMode::FullMacro));
+        for mode in [SimMode::Full, SimMode::FullMacro, SimMode::TrafficOnly] {
             assert!(!Fitness::Analytical.prefers_parallel_scoring(mode));
             assert!(!Fitness::Latency(ArraySpec::paper_default()).prefers_parallel_scoring(mode));
         }
@@ -435,6 +503,7 @@ mod tests {
             NestScorer::new(Fitness::Analytical, MODEL, mm),
             NestScorer::new(Fitness::Simulated, MODEL, mm),
             NestScorer::new(Fitness::Simulated, MODEL, mm).with_sim_mode(SimMode::Full),
+            NestScorer::new(Fitness::Simulated, MODEL, mm).with_sim_mode(SimMode::FullMacro),
             NestScorer::new(Fitness::Latency(ArraySpec::paper_default()), MODEL, mm),
         ] {
             let mut session = scorer.session();
@@ -462,6 +531,42 @@ mod tests {
         let cheap = NestScorer::new(Fitness::Simulated, MODEL, mm);
         let _session = cheap.session();
         assert_eq!(pool_idle(&cheap), 0);
+        // Neither do FullMacro sessions: the one value replay is hoisted
+        // into the scorer, so batch scoring needs no arena at all.
+        let wave = NestScorer::new(Fitness::Simulated, MODEL, mm).with_sim_mode(SimMode::FullMacro);
+        {
+            let mut session = wave.session();
+            let nest = LoopNest::new([MmDim::M, MmDim::K, MmDim::L], Tiling::new(3, 4, 2));
+            session.score(&nest);
+            assert_eq!(pool_idle(&wave), 0);
+        }
+        assert_eq!(pool_idle(&wave), 0, "no lease was ever taken");
+    }
+
+    #[test]
+    fn macro_scorer_hoists_the_full_replay_product() {
+        // FullMacro's one value replay must reproduce exactly what every
+        // per-genome Full replay computes — same operands, same product.
+        let mm = MatMul::new(14, 9, 11);
+        let scorer =
+            NestScorer::new(Fitness::Simulated, MODEL, mm).with_sim_mode(SimMode::FullMacro);
+        let sim = scorer.sim.as_ref().expect("simulated backend present");
+        let (a, b) = sim.operands.as_ref().expect("macro mode materializes operands");
+        let nest = LoopNest::new([MmDim::M, MmDim::K, MmDim::L], Tiling::new(4, 3, 5));
+        let full = fusecu_sim::driver::execute_nest(a, b, mm, &nest);
+        assert_eq!(scorer.macro_out(), Some(&full.out));
+
+        let pair = FusedPair::try_new(MatMul::new(12, 5, 10), MatMul::new(12, 10, 7)).unwrap();
+        let fused =
+            FusedScorer::new(Fitness::Simulated, MODEL, pair).with_sim_mode(SimMode::FullMacro);
+        let sim = fused.sim.as_ref().expect("simulated backend present");
+        let (a, b, d) = sim.operands.as_ref().expect("macro mode materializes operands");
+        let fnest = FusedNest::new(true, FusedTiling::new(4, 2, 5, 3));
+        let full = fusecu_sim::driver::execute_fused_nest(a, b, d, &pair, &fnest);
+        assert_eq!(fused.macro_out(), Some(&full.out));
+        // No mode but FullMacro hoists a product.
+        let other = NestScorer::new(Fitness::Simulated, MODEL, mm).with_sim_mode(SimMode::Full);
+        assert!(other.macro_out().is_none());
     }
 
     #[test]

@@ -61,6 +61,12 @@ impl CuArray {
         &mut self.pes[r * self.n + c]
     }
 
+    /// Deposits a value in one PE's accumulator — the macro-step engine's
+    /// write path for finished OS wavefronts (see [`CuArray::run_os_macro`]).
+    pub(crate) fn set_acc(&mut self, r: usize, c: usize, value: i64) {
+        self.pe_mut(r, c).set_acc(value);
+    }
+
     /// Sets every PE's mode.
     pub fn set_mode(&mut self, mode: Stationary) {
         for pe in &mut self.pes {
@@ -108,17 +114,9 @@ impl CuArray {
         }
     }
 
-    /// Current registered east-edge outputs (row-indexed), without
-    /// stepping — used by the multi-CU fabric to wire CU boundaries with
-    /// monolithic-array timing.
-    pub fn east_edge(&self) -> Vec<i64> {
-        let mut out = vec![0; self.n];
-        self.east_edge_into(&mut out);
-        out
-    }
-
-    /// Writes the current east-edge outputs into `out` (allocation-free
-    /// form of [`CuArray::east_edge`]).
+    /// Writes the current registered east-edge outputs (row-indexed) into
+    /// `out` without stepping — used by the multi-CU fabric to wire CU
+    /// boundaries with monolithic-array timing.
     ///
     /// # Panics
     ///
@@ -130,16 +128,8 @@ impl CuArray {
         }
     }
 
-    /// Current registered south-edge outputs (column-indexed), without
-    /// stepping.
-    pub fn south_edge(&self) -> Vec<i64> {
-        let mut out = vec![0; self.n];
-        self.south_edge_into(&mut out);
-        out
-    }
-
-    /// Writes the current south-edge outputs into `out` (allocation-free
-    /// form of [`CuArray::south_edge`]).
+    /// Writes the current registered south-edge outputs (column-indexed)
+    /// into `out` without stepping.
     ///
     /// # Panics
     ///
@@ -151,24 +141,12 @@ impl CuArray {
         }
     }
 
-    /// One synchronous step. `west_in[r]` feeds row `r`'s west edge,
-    /// `north_in[c]` feeds column `c`'s north edge. Returns the east-edge
-    /// and south-edge registered outputs *after* the step.
-    ///
-    /// Convenience wrapper over [`CuArray::step_into`]; allocates the two
-    /// output vectors, so hot loops should call `step_into` directly.
-    pub fn step(&mut self, west_in: &[i64], north_in: &[i64]) -> (Vec<i64>, Vec<i64>) {
-        let mut east = vec![0; self.n];
-        let mut south = vec![0; self.n];
-        self.step_into(west_in, north_in, &mut east, &mut south);
-        (east, south)
-    }
-
-    /// One synchronous step, allocation-free: identical two-phase
-    /// semantics to [`CuArray::step`] (every PE consumes its neighbors'
-    /// *pre-step* registered outputs), but the post-step east/south edges
-    /// are written through out-slices and the pre-step wires are carried
-    /// in O(n) persistent scratch instead of two `n²` gathers.
+    /// One synchronous step, allocation-free. `west_in[r]` feeds row `r`'s
+    /// west edge, `north_in[c]` feeds column `c`'s north edge; the
+    /// post-step east/south registered edges are written through the
+    /// out-slices. Two-phase semantics (every PE consumes its neighbors'
+    /// *pre-step* registered outputs), with the pre-step wires carried in
+    /// O(n) persistent scratch instead of two `n²` gathers.
     ///
     /// # Panics
     ///
@@ -398,6 +376,100 @@ impl CuArray {
             cycles: total as u64,
         }
     }
+
+    /// Wavefront macro-step of [`CuArray::run_ws`]: the same contract —
+    /// WS mode, `b` resident stationary, identical output and cycle count
+    /// — but the per-cycle register walk is replaced by one direct kernel
+    /// plus the algebraic total `m + 2n + 2` read off the skew structure
+    /// (`A[m'][k]` enters row `k` at cycle `m' + k`; `C[m'][l']` drains
+    /// at `m' + (n−1) + l'`). Byte-identical to the per-cycle engine by
+    /// `tests/macro_step_differential.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b` exceeds the array or inner dimensions mismatch.
+    pub fn run_ws_macro(&mut self, a: &Matrix, b: &Matrix) -> RunResult {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        self.set_mode(Stationary::Ws);
+        self.clear();
+        self.load_stationary(b);
+        RunResult {
+            out: a.matmul(b),
+            cycles: (a.rows() + self.n + self.n + 2) as u64,
+        }
+    }
+
+    /// Wavefront macro-step of [`CuArray::run_is`]: IS mode, `a` resident
+    /// stationary, direct-kernel output, algebraic total `l + 2n + 2`
+    /// (`B[k][l']` enters column `k` at `l' + k`; `C[m'][l']` drains east
+    /// at `l' + (n−1) + m'`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` exceeds the array or inner dimensions mismatch.
+    pub fn run_is_macro(&mut self, a: &Matrix, b: &Matrix) -> RunResult {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        self.set_mode(Stationary::Is);
+        self.clear();
+        self.load_stationary(a);
+        RunResult {
+            out: a.matmul(b),
+            cycles: (b.cols() + self.n + self.n + 2) as u64,
+        }
+    }
+
+    /// Wavefront macro-step of [`CuArray::run_is_resident`]: streams `b`
+    /// against whatever stationary tile is already resident (so it chains
+    /// after [`CuArray::run_os_macro`] + [`CuArray::promote_acc_to_stationary`]
+    /// exactly like the per-cycle fused-tile handoff), computing the
+    /// product directly from the stationary registers with the algebraic
+    /// total `l + 2n + 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream or output exceeds the array.
+    pub fn run_is_resident_macro(&mut self, m: usize, b: &Matrix) -> RunResult {
+        let (k, l) = (b.rows(), b.cols());
+        assert!(k <= self.n, "stream tile exceeds the array");
+        assert!(m <= self.n, "output rows exceed the array");
+        self.set_mode(Stationary::Is);
+        self.clear_flow();
+        let out = Matrix::from_fn(m, l, |r, c| {
+            (0..k).map(|kk| self.pe(r, kk).stationary() * b[(kk, c)]).sum()
+        });
+        RunResult {
+            out,
+            cycles: (l + self.n + self.n + 2) as u64,
+        }
+    }
+
+    /// Wavefront macro-step of [`CuArray::run_os`]: OS mode, direct-kernel
+    /// product deposited in the PE accumulators (so the promote-based
+    /// fused-tile handoff is byte-identical), algebraic total `k + 2n + 2`
+    /// (`A[m'][k']` enters row `m'` at `k' + m'`; `B[k'][l']` enters
+    /// column `l'` at `k' + l'`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the output exceeds the array or inner dimensions
+    /// mismatch.
+    pub fn run_os_macro(&mut self, a: &Matrix, b: &Matrix) -> RunResult {
+        let (m, k, l) = (a.rows(), a.cols(), b.cols());
+        assert_eq!(k, b.rows(), "inner dimensions must agree");
+        assert!(m <= self.n && l <= self.n, "output tile exceeds the array");
+        self.set_mode(Stationary::Os);
+        self.clear();
+        let out = a.matmul(b);
+        for r in 0..m {
+            for c in 0..l {
+                self.set_acc(r, c, out[(r, c)]);
+            }
+        }
+        RunResult {
+            out,
+            cycles: (k + self.n + self.n + 2) as u64,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -471,5 +543,64 @@ mod tests {
         let a = Matrix::zero(2, 4);
         let b = Matrix::zero(4, 2);
         let _ = cu.run_ws(&a, &b);
+    }
+
+    #[test]
+    fn macro_runs_match_the_per_cycle_engine() {
+        // Deterministic pin of the wavefront tier: identical output and
+        // cycle count per mode (the proptest suite sweeps random shapes).
+        for (n, m, k, l, seed) in [
+            (4usize, 4usize, 4usize, 4usize, 21u64),
+            (4, 7, 3, 2, 22),
+            (6, 1, 6, 5, 23),
+        ] {
+            let a = Matrix::pseudo_random(m, k, seed);
+            let b = Matrix::pseudo_random(k, l, seed + 100);
+            let mut cycle = CuArray::new(n, Stationary::Ws);
+            let mut wave = CuArray::new(n, Stationary::Ws);
+            let ws = cycle.run_ws(&a, &b);
+            let wsm = wave.run_ws_macro(&a, &b);
+            assert_eq!(wsm.out, ws.out, "ws out n={n} m={m} k={k} l={l}");
+            assert_eq!(wsm.cycles, ws.cycles, "ws cycles");
+            if m <= n {
+                let is = cycle.run_is(&a, &b);
+                let ism = wave.run_is_macro(&a, &b);
+                assert_eq!(ism.out, is.out, "is out");
+                assert_eq!(ism.cycles, is.cycles, "is cycles");
+            }
+            if m <= n && l <= n {
+                let os = cycle.run_os(&a, &b);
+                let osm = wave.run_os_macro(&a, &b);
+                assert_eq!(osm.out, os.out, "os out");
+                assert_eq!(osm.cycles, os.cycles, "os cycles");
+            }
+        }
+    }
+
+    #[test]
+    fn macro_os_promote_handoff_matches_per_cycle() {
+        // The fused-tile OS→IS switch: the macro OS pass must leave the
+        // accumulators exactly where the per-cycle pass does, so that
+        // promote + a resident IS pass chain byte-identically.
+        let (n, m, k, l, nn) = (5, 4, 6, 5, 7);
+        let a = Matrix::pseudo_random(m, k, 31);
+        let b = Matrix::pseudo_random(k, l, 32);
+        let d = Matrix::pseudo_random(l, nn, 33);
+        let mut cycle = CuArray::new(n, Stationary::Os);
+        let mut wave = CuArray::new(n, Stationary::Os);
+        let os = cycle.run_os(&a, &b);
+        let osm = wave.run_os_macro(&a, &b);
+        for r in 0..n {
+            for c in 0..n {
+                assert_eq!(wave.pe(r, c).acc(), cycle.pe(r, c).acc(), "acc {r},{c}");
+            }
+        }
+        cycle.promote_acc_to_stationary();
+        wave.promote_acc_to_stationary();
+        let is = cycle.run_is_resident(m, &d);
+        let ism = wave.run_is_resident_macro(m, &d);
+        assert_eq!(ism.out, is.out);
+        assert_eq!(ism.cycles, is.cycles);
+        assert_eq!(osm.cycles + ism.cycles, os.cycles + is.cycles);
     }
 }

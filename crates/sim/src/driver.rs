@@ -29,6 +29,16 @@
 //!   [`crate::SimMode::TrafficOnly`] fast path) prices interior tiles
 //!   analytically and folds the ragged edge fringe into per-axis span
 //!   sums, eliminating tile loops entirely.
+//!
+//! Value movement has the same two-tier structure: the per-cycle engine
+//! above is the frozen oracle, and the **wavefront macro-step tier**
+//! ([`execute_nest_macro`] / [`execute_fused_nest_macro`] /
+//! [`execute_fused_chain_macro`] / [`execute_on_cu_macro`],
+//! [`crate::SimMode::FullMacro`]) computes the same outputs with the
+//! cache-blocked direct kernel and the same counters from the closed
+//! forms — byte-identical on outputs, cycles, and every traffic counter
+//! (pinned by `tests/macro_step_differential`), with no per-cycle register
+//! stepping on the hot path.
 
 use fusecu_arch::Stationary;
 use fusecu_dataflow::{LoopNest, MemoryAccess};
@@ -294,6 +304,45 @@ pub fn execute_nest(a: &Matrix, b: &Matrix, mm: MatMul, nest: &LoopNest) -> Nest
     }
 }
 
+/// Wavefront macro-stepped nest replay through a caller-provided
+/// [`SimScratch`]: the product lands in `scratch.out()` via one
+/// cache-blocked `matmul_into` pass and the traffic comes from the closed
+/// form — no tile walk, no per-cycle stepping. Byte-identical to
+/// [`execute_nest_with`] on both the product and every counter (the
+/// product is tiling-invariant exact integer arithmetic; the counters are
+/// the proven closed form), as pinned by `tests/macro_step_differential`.
+///
+/// # Panics
+///
+/// Panics when the matrices do not match the nest's matmul dimensions.
+pub fn execute_nest_macro_with(
+    a: &Matrix,
+    b: &Matrix,
+    mm: MatMul,
+    nest: &LoopNest,
+    scratch: &mut SimScratch,
+) -> MemoryAccess {
+    assert_eq!((a.rows() as u64, a.cols() as u64), (mm.m(), mm.k()));
+    assert_eq!((b.rows() as u64, b.cols() as u64), (mm.k(), mm.l()));
+    a.matmul_into(b, &mut scratch.out);
+    measure_nest(mm, nest)
+}
+
+/// Wavefront macro-stepped [`execute_nest`]: convenience wrapper over
+/// [`execute_nest_macro_with`] with a fresh scratch.
+///
+/// # Panics
+///
+/// Panics when the matrices do not match the nest's matmul dimensions.
+pub fn execute_nest_macro(a: &Matrix, b: &Matrix, mm: MatMul, nest: &LoopNest) -> NestRun {
+    let mut scratch = SimScratch::new();
+    let measured = execute_nest_macro_with(a, b, mm, nest, &mut scratch);
+    NestRun {
+        out: scratch.take_out(),
+        measured,
+    }
+}
+
 /// The result of replaying a fused nest: the chain output and the measured
 /// per-external-tensor traffic.
 #[derive(Debug, Clone)]
@@ -512,6 +561,55 @@ pub fn execute_fused_nest(
     }
 }
 
+/// Wavefront macro-stepped fused replay through a caller-provided
+/// [`SimScratch`]: the composed product `E = (A × B) × D` lands in
+/// `scratch.out()` via two cache-blocked `matmul_into` passes (the
+/// intermediate reuses the scratch's modeled register file `c_tile`) and
+/// the traffic comes from the closed form. Byte-identical to
+/// [`execute_fused_nest_with`] on the output and all four counters.
+///
+/// # Panics
+///
+/// Panics when the matrices do not match the pair's dimensions.
+pub fn execute_fused_nest_macro_with(
+    a: &Matrix,
+    b: &Matrix,
+    d: &Matrix,
+    pair: &FusedPair,
+    nest: &FusedNest,
+    scratch: &mut SimScratch,
+) -> [u64; 4] {
+    use fusecu_fusion::FusedDim;
+    let dims = |t: FusedDim| pair.dim(t) as usize;
+    assert_eq!((a.rows(), a.cols()), (dims(FusedDim::M), dims(FusedDim::K)));
+    assert_eq!((b.rows(), b.cols()), (dims(FusedDim::K), dims(FusedDim::L)));
+    assert_eq!((d.rows(), d.cols()), (dims(FusedDim::L), dims(FusedDim::N)));
+    a.matmul_into(b, &mut scratch.c_tile);
+    scratch.c_tile.matmul_into(d, &mut scratch.out);
+    measure_fused_nest(pair, nest)
+}
+
+/// Wavefront macro-stepped [`execute_fused_nest`]: convenience wrapper
+/// over [`execute_fused_nest_macro_with`] with a fresh scratch.
+///
+/// # Panics
+///
+/// Panics when the matrices do not match the pair's dimensions.
+pub fn execute_fused_nest_macro(
+    a: &Matrix,
+    b: &Matrix,
+    d: &Matrix,
+    pair: &FusedPair,
+    nest: &FusedNest,
+) -> FusedNestRun {
+    let mut scratch = SimScratch::new();
+    let measured = execute_fused_nest_macro_with(a, b, d, pair, nest, &mut scratch);
+    FusedNestRun {
+        out: scratch.take_out(),
+        measured,
+    }
+}
+
 /// The result of replaying a k-ary fused chain: the chain output and the
 /// measured per-external-tensor traffic.
 #[derive(Debug, Clone)]
@@ -676,6 +774,46 @@ pub fn execute_fused_chain(
         }
     });
     FusedChainRun { out, measured }
+}
+
+/// Wavefront macro-stepped [`execute_fused_chain`]: the chain output is
+/// the left-to-right fold of cache-blocked direct matmuls (exact integer
+/// arithmetic, so identical to the tiled panel replay bit for bit) and the
+/// per-tensor traffic comes from the closed form
+/// ([`measure_fused_chain`]). Byte-identical to [`execute_fused_chain`] on
+/// the output and every counter.
+///
+/// # Panics
+///
+/// Panics when `ws` does not hold exactly `chain.depth()` weights or any
+/// matrix does not match the chain's dimensions.
+pub fn execute_fused_chain_macro(
+    x: &Matrix,
+    ws: &[Matrix],
+    chain: &FusedChain,
+    nest: &ChainNest,
+) -> FusedChainRun {
+    let k = chain.depth();
+    assert_eq!(ws.len(), k, "one weight per chained matmul");
+    assert_eq!(
+        (x.rows() as u64, x.cols() as u64),
+        (chain.m(), chain.col(0))
+    );
+    for (i, w) in ws.iter().enumerate() {
+        assert_eq!(
+            (w.rows() as u64, w.cols() as u64),
+            (chain.col(i), chain.col(i + 1)),
+            "weight {i}"
+        );
+    }
+    let mut out = x.matmul(&ws[0]);
+    for w in &ws[1..] {
+        out = out.matmul(w);
+    }
+    FusedChainRun {
+        out,
+        measured: measure_fused_chain(chain, nest),
+    }
 }
 
 /// The frozen naive accounting walks, kept as the in-crate reference
@@ -866,6 +1004,65 @@ pub fn execute_on_cu(a: &Matrix, b: &Matrix, stationary: Stationary, n: usize) -
                     let b_cols = b.tile(0, il * n, k, n);
                     // One OS pass accumulates the whole reduction on-array.
                     let r = cu.run_os(&a_rows, &b_cols);
+                    out.set_tile(im * n, il * n, &r.out);
+                    cycles += r.cycles;
+                }
+            }
+        }
+    }
+    (out, cycles)
+}
+
+/// Wavefront macro-stepped [`execute_on_cu`]: the same tile schedule per
+/// stationary mode, but each tile pass is a macro run — the tile's product
+/// lands via the direct kernel and its cycle count comes from the skew
+/// algebra. Byte-identical to [`execute_on_cu`] on the product and the
+/// summed cycle count.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch between `a` and `b`.
+pub fn execute_on_cu_macro(
+    a: &Matrix,
+    b: &Matrix,
+    stationary: Stationary,
+    n: usize,
+) -> (Matrix, u64) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, l) = (a.rows(), a.cols(), b.cols());
+    let mut cu = CuArray::new(n, stationary);
+    let mut out = Matrix::zero(m, l);
+    let mut cycles = 0u64;
+    let step = |d: usize| d.div_ceil(n);
+    match stationary {
+        Stationary::Ws => {
+            for ik in 0..step(k) {
+                for il in 0..step(l) {
+                    let b_tile = b.tile(ik * n, il * n, n, n);
+                    let a_cols = a.tile(0, ik * n, m, n);
+                    let r = cu.run_ws_macro(&a_cols, &b_tile);
+                    out.add_tile(0, il * n, &r.out);
+                    cycles += r.cycles;
+                }
+            }
+        }
+        Stationary::Is => {
+            for im in 0..step(m) {
+                for ik in 0..step(k) {
+                    let a_tile = a.tile(im * n, ik * n, n, n);
+                    let b_rows = b.tile(ik * n, 0, n, l);
+                    let r = cu.run_is_macro(&a_tile, &b_rows);
+                    out.add_tile(im * n, 0, &r.out);
+                    cycles += r.cycles;
+                }
+            }
+        }
+        Stationary::Os => {
+            for im in 0..step(m) {
+                for il in 0..step(l) {
+                    let a_rows = a.tile(im * n, 0, n, k);
+                    let b_cols = b.tile(0, il * n, k, n);
+                    let r = cu.run_os_macro(&a_rows, &b_cols);
                     out.set_tile(im * n, il * n, &r.out);
                     cycles += r.cycles;
                 }

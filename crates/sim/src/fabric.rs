@@ -122,8 +122,8 @@ impl FuseCuFabric {
 
     /// Steps every CU once (two-phase, registered inter-CU wires) and
     /// refreshes the logical east/south edge registers — the shared,
-    /// allocation-free core of [`FuseCuFabric::step`] and
-    /// [`FuseCuFabric::step_east`].
+    /// allocation-free core of [`FuseCuFabric::step_into`] and
+    /// [`FuseCuFabric::step_east_into`].
     fn step_edges(&mut self, west_in: &[i64], north_in: &[i64]) {
         let (rows, cols) = self.logical();
         assert_eq!(west_in.len(), rows);
@@ -169,22 +169,13 @@ impl FuseCuFabric {
         }
     }
 
-    /// One synchronous fabric step with logical-edge inputs. Returns the
-    /// logical south-edge outputs after the step.
+    /// One synchronous fabric step with logical-edge inputs,
+    /// allocation-free: writes the post-step logical south edge into
+    /// `south_out`.
     ///
     /// Boundary muxes: interior CU edges receive the neighboring CU's
     /// pre-step edge registers; exterior edges receive the injected
     /// streams — same timing as a monolithic array.
-    ///
-    /// Convenience wrapper over [`FuseCuFabric::step_into`]; hot loops
-    /// should use the out-slice form to avoid the per-cycle allocation.
-    pub fn step(&mut self, west_in: &[i64], north_in: &[i64]) -> Vec<i64> {
-        self.step_edges(west_in, north_in);
-        self.logical_south.clone()
-    }
-
-    /// Allocation-free form of [`FuseCuFabric::step`]: writes the logical
-    /// south edge into `south_out`.
     ///
     /// # Panics
     ///
@@ -347,15 +338,8 @@ impl FuseCuFabric {
         }
     }
 
-    /// Like [`FuseCuFabric::step`], returning the logical *east* edge
-    /// (needed by IS drains).
-    pub fn step_east(&mut self, west_in: &[i64], north_in: &[i64]) -> Vec<i64> {
-        self.step_edges(west_in, north_in);
-        self.logical_east.clone()
-    }
-
-    /// Allocation-free form of [`FuseCuFabric::step_east`]: writes the
-    /// logical east edge into `east_out`.
+    /// Like [`FuseCuFabric::step_into`], but writing the logical *east*
+    /// edge (needed by IS drains) into `east_out` — allocation-free.
     ///
     /// # Panics
     ///
@@ -363,6 +347,101 @@ impl FuseCuFabric {
     pub fn step_east_into(&mut self, west_in: &[i64], north_in: &[i64], east_out: &mut [i64]) {
         self.step_edges(west_in, north_in);
         east_out.copy_from_slice(&self.logical_east);
+    }
+
+    /// Stationary-register readout at a logical coordinate (the macro-step
+    /// engine's resident-tile source; mirrors [`FuseCuFabric::acc`]).
+    fn stationary_at(&self, r: usize, c: usize) -> i64 {
+        let (_, gc) = self.shape.grid();
+        let cu = (r / self.n) * gc + (c / self.n);
+        self.cus[cu].pe(r % self.n, c % self.n).stationary()
+    }
+
+    /// Deposits a value in the accumulator at a logical coordinate (the
+    /// macro-step engine's OS write path).
+    fn set_acc(&mut self, r: usize, c: usize, value: i64) {
+        let (_, gc) = self.shape.grid();
+        let cu = (r / self.n) * gc + (c / self.n);
+        self.cus[cu].set_acc(r % self.n, c % self.n, value);
+    }
+
+    /// Wavefront macro-step of [`FuseCuFabric::run_ws`]: same contract at
+    /// the logical size — WS mode across the CUs, `b` resident stationary,
+    /// identical output and the algebraic total `m + rows + cols + 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b` exceeds the logical array or inner dimensions
+    /// mismatch.
+    pub fn run_ws_macro(&mut self, a: &Matrix, b: &Matrix) -> RunResult {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        let (rows, cols) = self.logical();
+        for cu in &mut self.cus {
+            cu.set_mode(Stationary::Ws);
+            cu.clear();
+        }
+        self.load_stationary(b);
+        RunResult {
+            out: a.matmul(b),
+            cycles: (a.rows() + rows + cols + 2) as u64,
+        }
+    }
+
+    /// Wavefront macro-step of [`FuseCuFabric::run_os`]: the direct-kernel
+    /// product is deposited in the PE accumulators across all four CUs (so
+    /// the fabric-scale promote handoff stays byte-identical), with the
+    /// algebraic total `k + rows + cols + 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the output exceeds the logical array or inner
+    /// dimensions mismatch.
+    pub fn run_os_macro(&mut self, a: &Matrix, b: &Matrix) -> RunResult {
+        let (m, k, l) = (a.rows(), a.cols(), b.cols());
+        assert_eq!(k, b.rows(), "inner dimensions must agree");
+        let (rows, cols) = self.logical();
+        assert!(m <= rows && l <= cols, "output exceeds the logical array");
+        for cu in &mut self.cus {
+            cu.set_mode(Stationary::Os);
+            cu.clear();
+        }
+        let out = a.matmul(b);
+        for r in 0..m {
+            for c in 0..l {
+                self.set_acc(r, c, out[(r, c)]);
+            }
+        }
+        RunResult {
+            out,
+            cycles: (k + rows + cols + 2) as u64,
+        }
+    }
+
+    /// Wavefront macro-step of [`FuseCuFabric::run_is_resident`]: streams
+    /// `b` against the resident fabric-wide stationary tile (chaining
+    /// after [`FuseCuFabric::run_os_macro`] +
+    /// [`FuseCuFabric::promote_acc_to_stationary`] exactly like the
+    /// per-cycle handoff), with the algebraic total `l + rows + cols + 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream or output exceeds the logical array.
+    pub fn run_is_resident_macro(&mut self, m: usize, b: &Matrix) -> RunResult {
+        let (k, l) = (b.rows(), b.cols());
+        let (rows, cols) = self.logical();
+        assert!(k <= cols, "stream tile exceeds the logical array");
+        assert!(m <= rows, "output rows exceed the logical array");
+        for cu in &mut self.cus {
+            cu.set_mode(Stationary::Is);
+            cu.clear_flow();
+        }
+        let out = Matrix::from_fn(m, l, |r, c| {
+            (0..k).map(|kk| self.stationary_at(r, kk) * b[(kk, c)]).sum()
+        });
+        RunResult {
+            out,
+            cycles: (l + rows + cols + 2) as u64,
+        }
     }
 }
 
@@ -389,6 +468,36 @@ pub fn fabric_tile_fusion(
     let os = fabric.run_os(a, b);
     fabric.promote_acc_to_stationary();
     let is = fabric.run_is_resident(m, d);
+    crate::fusion::FusedRunResult {
+        out: is.out,
+        cycles: os.cycles + is.cycles,
+        intermediate_elems: (m * l) as u64,
+    }
+}
+
+/// Wavefront macro-step of [`fabric_tile_fusion`]: the macro OS pass
+/// deposits `C` in the accumulators, the same promote mux flips it to
+/// stationary, and the macro IS pass drains `D` through it — identical
+/// output, cycle count, and intermediate volume to the per-cycle engine
+/// with no register stepping.
+///
+/// # Panics
+///
+/// Panics when the intermediate exceeds the fabric or shapes mismatch.
+pub fn fabric_tile_fusion_macro(
+    n: usize,
+    shape: FabricShape,
+    a: &Matrix,
+    b: &Matrix,
+    d: &Matrix,
+) -> crate::fusion::FusedRunResult {
+    assert_eq!(a.cols(), b.rows(), "producer inner dimensions must agree");
+    assert_eq!(b.cols(), d.rows(), "consumer inner dimensions must agree");
+    let (m, l) = (a.rows(), b.cols());
+    let mut fabric = FuseCuFabric::new(n, shape, Stationary::Os);
+    let os = fabric.run_os_macro(a, b);
+    fabric.promote_acc_to_stationary();
+    let is = fabric.run_is_resident_macro(m, d);
     crate::fusion::FusedRunResult {
         out: is.out,
         cycles: os.cycles + is.cycles,
@@ -449,20 +558,9 @@ impl CuRow {
         }
     }
 
-    /// One synchronous step: `west_in` feeds the leftmost CU, `north_in`
-    /// spans all CUs. Returns `(east_edge, south_edge)` of the whole row.
-    ///
-    /// Convenience wrapper over [`CuRow::step_into`].
-    pub fn step(&mut self, west_in: &[i64], north_in: &[i64]) -> (Vec<i64>, Vec<i64>) {
-        let (rows, cols) = self.logical();
-        let mut east_out = vec![0i64; rows];
-        let mut south_out = vec![0i64; cols];
-        self.step_into(west_in, north_in, &mut east_out, &mut south_out);
-        (east_out, south_out)
-    }
-
-    /// Allocation-free form of [`CuRow::step`]: the row's east edge lands
-    /// in `east_out` (`n` long) and its south edge in `south_out`
+    /// One synchronous step, allocation-free: `west_in` feeds the leftmost
+    /// CU, `north_in` spans all CUs; the row's east edge lands in
+    /// `east_out` (`n` long) and its south edge in `south_out`
     /// (spanning all CUs).
     ///
     /// # Panics
@@ -569,19 +667,8 @@ impl CuCol {
         }
     }
 
-    /// One synchronous step: `west_in` spans all CUs' rows, `north_in`
-    /// feeds the topmost CU. Returns `(east_edge, south_edge)`.
-    ///
-    /// Convenience wrapper over [`CuCol::step_into`].
-    pub fn step(&mut self, west_in: &[i64], north_in: &[i64]) -> (Vec<i64>, Vec<i64>) {
-        let (rows, cols) = self.logical();
-        let mut east_out = vec![0i64; rows];
-        let mut south_out = vec![0i64; cols];
-        self.step_into(west_in, north_in, &mut east_out, &mut south_out);
-        (east_out, south_out)
-    }
-
-    /// Allocation-free form of [`CuCol::step`]: the column's east edge
+    /// One synchronous step, allocation-free: `west_in` spans all CUs'
+    /// rows, `north_in` feeds the topmost CU; the column's east edge
     /// (spanning all CUs) lands in `east_out` and its south edge in
     /// `south_out` (`n` long).
     ///
@@ -703,6 +790,33 @@ pub fn narrow_column_fusion(
     }
 }
 
+/// Wavefront macro-step of [`narrow_column_fusion`]: same preconditions
+/// and the algebraic total `l + 6n + 4`, with the lockstep
+/// producer/consumer register walk replaced by the direct composed kernel.
+///
+/// # Panics
+///
+/// Panics when `A` exceeds `2N × N`, `E` exceeds `2N × N`, or shapes
+/// mismatch.
+pub fn narrow_column_fusion_macro(
+    n: usize,
+    a: &Matrix,
+    b: &Matrix,
+    d: &Matrix,
+) -> crate::fusion::FusedRunResult {
+    assert_eq!(a.cols(), b.rows(), "producer inner dimensions must agree");
+    assert_eq!(b.cols(), d.rows(), "consumer inner dimensions must agree");
+    let (m, k) = (a.rows(), a.cols());
+    let l = b.cols();
+    assert!(m <= 2 * n && k <= n, "producer stationary exceeds 2N x N");
+    assert!(d.cols() <= n, "consumer output exceeds 2N x N");
+    crate::fusion::FusedRunResult {
+        out: a.matmul(b).matmul(d),
+        cycles: (l + 6 * n + 4) as u64,
+        intermediate_elems: (m * l) as u64,
+    }
+}
+
 /// Fig 7(e), executed: **wide column fusion** on the four-CU fabric. The
 /// top two CUs form a wide (`N × 2N`) IS producer holding `A[M, K]` with
 /// `K` up to `2N`; the bottom two CUs form a wide OS consumer accumulating
@@ -768,6 +882,33 @@ pub fn wide_column_fusion(
     crate::fusion::FusedRunResult {
         out,
         cycles: total as u64,
+        intermediate_elems: (m * l) as u64,
+    }
+}
+
+/// Wavefront macro-step of [`wide_column_fusion`]: same preconditions and
+/// the algebraic total `l + 6n + 4`, direct composed kernel instead of
+/// the lockstep 2-CU-half register walk.
+///
+/// # Panics
+///
+/// Panics when `A` exceeds `N × 2N`, `E` exceeds `N × 2N`, or the shapes
+/// do not chain.
+pub fn wide_column_fusion_macro(
+    n: usize,
+    a: &Matrix,
+    b: &Matrix,
+    d: &Matrix,
+) -> crate::fusion::FusedRunResult {
+    assert_eq!(a.cols(), b.rows(), "producer inner dimensions must agree");
+    assert_eq!(b.cols(), d.rows(), "consumer inner dimensions must agree");
+    let (m, k) = (a.rows(), a.cols());
+    let l = b.cols();
+    assert!(m <= n && k <= 2 * n, "producer stationary exceeds N x 2N");
+    assert!(d.cols() <= 2 * n, "consumer output exceeds N x 2N");
+    crate::fusion::FusedRunResult {
+        out: a.matmul(b).matmul(d),
+        cycles: (l + 6 * n + 4) as u64,
         intermediate_elems: (m * l) as u64,
     }
 }
@@ -979,18 +1120,20 @@ mod tests {
         let (m, k, l) = (a.rows(), a.cols(), b_stat.cols());
         let mut out = Matrix::zero(m, l);
         let total = m + n + 2 * n + 2;
+        let zeros = vec![0i64; 2 * n];
+        let mut west = vec![0i64; n];
+        let mut east = vec![0i64; n];
+        let mut south = vec![0i64; 2 * n];
         for t in 0..total {
-            let west: Vec<i64> = (0..n)
-                .map(|row_k| {
-                    let mi = t as i64 - row_k as i64;
-                    if row_k < k && mi >= 0 && (mi as usize) < m {
-                        a[(mi as usize, row_k)]
-                    } else {
-                        0
-                    }
-                })
-                .collect();
-            let (_, south) = row.step(&west, &vec![0; 2 * n]);
+            for (row_k, w) in west.iter_mut().enumerate() {
+                let mi = t as i64 - row_k as i64;
+                *w = if row_k < k && mi >= 0 && (mi as usize) < m {
+                    a[(mi as usize, row_k)]
+                } else {
+                    0
+                };
+            }
+            row.step_into(&west, &zeros, &mut east, &mut south);
             for (col_l, v) in south.iter().enumerate() {
                 let mi = t as i64 - (n - 1) as i64 - col_l as i64;
                 if col_l < l && mi >= 0 && (mi as usize) < m {
@@ -999,6 +1142,65 @@ mod tests {
             }
         }
         assert_eq!(out, a.matmul(&b_stat));
+    }
+
+    #[test]
+    fn fabric_macro_runs_match_the_per_cycle_engine() {
+        // Deterministic pin of the fabric-scale wavefront tier; the
+        // proptest suite sweeps random shapes and all three fabric shapes.
+        let n = 4;
+        for shape in FabricShape::ALL {
+            let (rows, cols) = shape.logical(n);
+            let k = rows.min(7);
+            let l = cols.min(7);
+            let a = Matrix::pseudo_random(5, k, 17);
+            let b = Matrix::pseudo_random(k, l, 18);
+            let mut cycle = FuseCuFabric::new(n, shape, Stationary::Ws);
+            let mut wave = FuseCuFabric::new(n, shape, Stationary::Ws);
+            let ws = cycle.run_ws(&a, &b);
+            let wsm = wave.run_ws_macro(&a, &b);
+            assert_eq!(wsm.out, ws.out, "{shape:?} ws out");
+            assert_eq!(wsm.cycles, ws.cycles, "{shape:?} ws cycles");
+        }
+    }
+
+    #[test]
+    fn fabric_macro_tile_fusion_matches_per_cycle() {
+        for (m, k, l, nn, seed) in [
+            (7usize, 5usize, 7usize, 6usize, 61u64),
+            (8, 3, 8, 9, 62),
+            (5, 8, 6, 3, 63),
+        ] {
+            let a = Matrix::pseudo_random(m, k, seed);
+            let b = Matrix::pseudo_random(k, l, seed + 10);
+            let d = Matrix::pseudo_random(l, nn, seed + 20);
+            let cycle = fabric_tile_fusion(4, FabricShape::Square, &a, &b, &d);
+            let wave = fabric_tile_fusion_macro(4, FabricShape::Square, &a, &b, &d);
+            assert_eq!(wave.out, cycle.out, "m={m} k={k} l={l} nn={nn}");
+            assert_eq!(wave.cycles, cycle.cycles, "m={m} k={k} l={l} nn={nn}");
+            assert_eq!(wave.intermediate_elems, cycle.intermediate_elems);
+        }
+    }
+
+    #[test]
+    fn macro_column_fusion_variants_match_per_cycle() {
+        let n = 4;
+        let a_wide = Matrix::pseudo_random(4, 8, 1);
+        let b_wide = Matrix::pseudo_random(8, 10, 11);
+        let d_wide = Matrix::pseudo_random(10, 8, 21);
+        let cycle = wide_column_fusion(n, &a_wide, &b_wide, &d_wide);
+        let wave = wide_column_fusion_macro(n, &a_wide, &b_wide, &d_wide);
+        assert_eq!(wave.out, cycle.out);
+        assert_eq!(wave.cycles, cycle.cycles);
+        assert_eq!(wave.intermediate_elems, cycle.intermediate_elems);
+        let a_tall = Matrix::pseudo_random(8, 4, 81);
+        let b_tall = Matrix::pseudo_random(4, 10, 82);
+        let d_tall = Matrix::pseudo_random(10, 4, 83);
+        let cycle = narrow_column_fusion(n, &a_tall, &b_tall, &d_tall);
+        let wave = narrow_column_fusion_macro(n, &a_tall, &b_tall, &d_tall);
+        assert_eq!(wave.out, cycle.out);
+        assert_eq!(wave.cycles, cycle.cycles);
+        assert_eq!(wave.intermediate_elems, cycle.intermediate_elems);
     }
 
     #[test]

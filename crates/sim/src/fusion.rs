@@ -115,6 +115,58 @@ pub fn column_fusion(n: usize, a: &Matrix, b: &Matrix, d: &Matrix) -> FusedRunRe
     }
 }
 
+/// Wavefront macro-stepped [`tile_fusion`]: the same OS → promote → IS
+/// phase sequence on the same CU, but each phase lands its wavefronts with
+/// the direct kernel and algebraic cycle totals instead of stepping every
+/// register hop. Byte-identical to the per-cycle version on output, cycle
+/// count, and intermediate volume — including the
+/// `promote_acc_to_stationary` handoff, which reads the accumulators the
+/// macro OS pass deposited.
+///
+/// # Panics
+///
+/// Panics exactly when [`tile_fusion`] does.
+pub fn tile_fusion_macro(n: usize, a: &Matrix, b: &Matrix, d: &Matrix) -> FusedRunResult {
+    assert_eq!(a.cols(), b.rows(), "producer inner dimensions must agree");
+    assert_eq!(b.cols(), d.rows(), "consumer inner dimensions must agree");
+    let (m, l) = (a.rows(), b.cols());
+    assert!(m <= n && l <= n, "intermediate tile exceeds the array");
+    let mut cu = CuArray::new(n, Stationary::Os);
+    let os = cu.run_os_macro(a, b);
+    cu.promote_acc_to_stationary();
+    let is = cu.run_is_resident_macro(m, d);
+    FusedRunResult {
+        out: is.out,
+        cycles: os.cycles + is.cycles,
+        intermediate_elems: (m * l) as u64,
+    }
+}
+
+/// Wavefront macro-stepped [`column_fusion`]: the producer/consumer
+/// lockstep is collapsed algebraically — the composed product is computed
+/// directly and the cycle total comes from the fixed pipeline geometry
+/// (`l + 3n + 4`, the same total the per-cycle loop iterates). The
+/// intermediate volume is unchanged: every element of `C` still crosses
+/// the inter-CU wires in the modeled machine.
+///
+/// # Panics
+///
+/// Panics exactly when [`column_fusion`] does.
+pub fn column_fusion_macro(n: usize, a: &Matrix, b: &Matrix, d: &Matrix) -> FusedRunResult {
+    assert_eq!(a.cols(), b.rows(), "producer inner dimensions must agree");
+    assert_eq!(b.cols(), d.rows(), "consumer inner dimensions must agree");
+    let (m, k) = (a.rows(), a.cols());
+    let l = b.cols();
+    let nn = d.cols();
+    assert!(m <= n && k <= n, "producer stationary tile exceeds the array");
+    assert!(nn <= n, "consumer output tile exceeds the array");
+    FusedRunResult {
+        out: a.matmul(b).matmul(d),
+        cycles: (l + 3 * n + 4) as u64,
+        intermediate_elems: (m * l) as u64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +231,53 @@ mod tests {
         let mut solo = CuArray::new(n, Stationary::Is);
         let producer_alone = solo.run_is(&a, &b);
         assert!(fused.cycles <= producer_alone.cycles + 2 * n as u64 + 2);
+    }
+
+    #[test]
+    fn macro_tile_fusion_matches_per_cycle() {
+        for (n, m, k, l, nn, seed) in [
+            (4usize, 4usize, 4usize, 4usize, 4usize, 1u64),
+            (4, 3, 7, 4, 2, 2),
+            (6, 5, 2, 6, 9, 3),
+            (5, 1, 5, 1, 5, 4),
+        ] {
+            let a = Matrix::pseudo_random(m, k, seed);
+            let b = Matrix::pseudo_random(k, l, seed + 10);
+            let d = Matrix::pseudo_random(l, nn, seed + 20);
+            let cycle = tile_fusion(n, &a, &b, &d);
+            let wave = tile_fusion_macro(n, &a, &b, &d);
+            assert_eq!(wave.out, cycle.out, "n={n} m={m} k={k} l={l} nn={nn}");
+            assert_eq!(wave.cycles, cycle.cycles, "n={n} m={m} k={k} l={l} nn={nn}");
+            assert_eq!(wave.intermediate_elems, cycle.intermediate_elems);
+        }
+    }
+
+    #[test]
+    fn macro_column_fusion_matches_per_cycle() {
+        for (n, m, k, l, nn, seed) in [
+            (4usize, 4usize, 4usize, 4usize, 4usize, 5u64),
+            (4, 3, 2, 9, 4, 6),
+            (6, 6, 6, 1, 6, 7),
+            (5, 2, 5, 13, 3, 8),
+        ] {
+            let a = Matrix::pseudo_random(m, k, seed);
+            let b = Matrix::pseudo_random(k, l, seed + 10);
+            let d = Matrix::pseudo_random(l, nn, seed + 20);
+            let cycle = column_fusion(n, &a, &b, &d);
+            let wave = column_fusion_macro(n, &a, &b, &d);
+            assert_eq!(wave.out, cycle.out, "n={n} m={m} k={k} l={l} nn={nn}");
+            assert_eq!(wave.cycles, cycle.cycles, "n={n} m={m} k={k} l={l} nn={nn}");
+            assert_eq!(wave.intermediate_elems, cycle.intermediate_elems);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "intermediate tile exceeds")]
+    fn macro_tile_fusion_rejects_oversized_intermediate() {
+        let a = Matrix::zero(5, 2);
+        let b = Matrix::zero(2, 2);
+        let d = Matrix::zero(2, 2);
+        let _ = tile_fusion_macro(4, &a, &b, &d);
     }
 
     #[test]

@@ -31,6 +31,15 @@
 //!   full replay ([`driver::execute_fused_chain`]) that threads every
 //!   interior intermediate through resident on-chip panels.
 //!
+//! Value replay itself is two-tier: the per-cycle engine above is the
+//! frozen oracle, and a **wavefront macro-step tier** exploits the skew
+//! structure of the WS/OS/IS schedules to land each tile's outputs with a
+//! direct kernel and derive cycles and traffic algebraically — see
+//! [`SimMode::FullMacro`], the `*_macro` runs on [`array::CuArray`] /
+//! [`fabric::FuseCuFabric`] / [`fusion`], and the `execute_*_macro`
+//! drivers, all pinned byte-identical to the per-cycle engine by the
+//! `macro_step_differential` suite.
+//!
 //! All simulations are exact over `i64`, so every check is bit-precise.
 
 #![forbid(unsafe_code)]

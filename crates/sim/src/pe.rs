@@ -56,6 +56,21 @@ impl XsPe {
         self.acc
     }
 
+    /// The stationary register value — read by the wavefront macro-step
+    /// engine to seed resident-tile kernels (the per-cycle engine only
+    /// ever consumes it implicitly through [`XsPe::step`]).
+    pub fn stationary(&self) -> i64 {
+        self.stationary
+    }
+
+    /// Writes the accumulator directly — the macro-step engine's way of
+    /// depositing a finished OS wavefront without stepping every cycle.
+    /// Leaves the PE exactly as a drained per-cycle OS pass would:
+    /// `promote_acc_to_stationary` chains identically afterwards.
+    pub fn set_acc(&mut self, value: i64) {
+        self.acc = value;
+    }
+
     /// Current registered east output.
     pub fn east(&self) -> i64 {
         self.east

@@ -19,8 +19,8 @@ use fusecu_arch::Stationary;
 use fusecu_dataflow::{LoopNest, Tiling};
 use fusecu_ir::{MatMul, MmDim};
 use fusecu_sim::driver::{
-    execute_nest_with, measure_fused_nest, measure_fused_nest_walk, measure_nest,
-    measure_nest_walk,
+    execute_fused_nest_macro_with, execute_nest_macro_with, execute_nest_with,
+    measure_fused_nest, measure_fused_nest_walk, measure_nest, measure_nest_walk,
 };
 use fusecu_sim::{CuArray, FabricShape, FuseCuFabric, Matrix, SimScratch};
 
@@ -194,4 +194,42 @@ fn warm_scratch_replay_is_allocation_free() {
     });
     assert!(total > 0);
     assert_eq!(count, 0, "warm-scratch replays allocated {count} times");
+}
+
+#[test]
+fn macro_step_replay_is_allocation_free() {
+    // The wavefront macro-step tier through a warm scratch: zero
+    // steady-state allocations for both the nest and fused drivers —
+    // nothing per-cycle survives, and nothing per-genome either.
+    let mm = MatMul::new(48, 40, 32);
+    let a = Matrix::pseudo_random(48, 40, 21);
+    let b = Matrix::pseudo_random(40, 32, 22);
+    let pair = fusecu_fusion::FusedPair::try_new(MatMul::new(32, 24, 40), MatMul::new(32, 40, 16))
+        .unwrap();
+    let fa = Matrix::pseudo_random(32, 24, 23);
+    let fb = Matrix::pseudo_random(24, 40, 24);
+    let fd = Matrix::pseudo_random(40, 16, 25);
+    let fused = fusecu_fusion::FusedNest::new(true, fusecu_fusion::FusedTiling::new(8, 6, 10, 4));
+    let mut scratch = SimScratch::new();
+    let nests: Vec<LoopNest> = LoopNest::orders()
+        .into_iter()
+        .map(|order| LoopNest::new(order, Tiling::new(6, 8, 4)))
+        .collect();
+    // Warm-up sizes the scratch arenas once.
+    execute_nest_macro_with(&a, &b, mm, &nests[0], &mut scratch);
+    execute_fused_nest_macro_with(&fa, &fb, &fd, &pair, &fused, &mut scratch);
+    let (count, total) = allocations(|| {
+        let mut total = 0u64;
+        for _ in 0..16 {
+            for nest in &nests {
+                total += execute_nest_macro_with(&a, &b, mm, nest, &mut scratch).total();
+            }
+            total += execute_fused_nest_macro_with(&fa, &fb, &fd, &pair, &fused, &mut scratch)
+                .iter()
+                .sum::<u64>();
+        }
+        total
+    });
+    assert!(total > 0);
+    assert_eq!(count, 0, "macro-step replays allocated {count} times");
 }

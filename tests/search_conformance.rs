@@ -186,8 +186,10 @@ fn heavy_single_op_conformance() {
         MatMul::new(64, 48, 56),
         MatMul::new(96, 32, 80),
         MatMul::new(33, 65, 47),
+        MatMul::new(128, 24, 72),
+        MatMul::new(51, 51, 51),
     ];
-    let buffers = [32u64, 1_024, 16_384, 262_144];
+    let buffers = [32u64, 256, 1_024, 16_384, 262_144];
     single_op_grid(&shapes, &buffers);
 }
 
@@ -197,8 +199,10 @@ fn heavy_fused_conformance() {
     let pairs = [
         FusedPair::try_new(MatMul::new(32, 24, 40), MatMul::new(32, 40, 16)).unwrap(),
         FusedPair::try_new(MatMul::new(48, 16, 32), MatMul::new(48, 32, 24)).unwrap(),
+        FusedPair::try_new(MatMul::new(40, 36, 20), MatMul::new(40, 20, 44)).unwrap(),
+        FusedPair::try_new(MatMul::new(27, 45, 18), MatMul::new(27, 18, 33)).unwrap(),
     ];
-    let buffers = [64u64, 2_048, 65_536];
+    let buffers = [64u64, 512, 2_048, 65_536];
     fused_grid(&pairs, &buffers);
 }
 
@@ -215,5 +219,60 @@ fn heavy_default_ga_conformance() {
             .optimize(mm, bs)
             .expect("feasible");
         assert_nest_conformant(&ga.best(), bs, &format!("default GA {mm} bs={bs}"));
+    }
+}
+
+#[test]
+#[ignore = "heavy: release-mode CI conformance step"]
+fn heavy_macro_tier_ga_agrees_with_every_mode() {
+    // The same deterministic default GA under all three simulated
+    // backends — per-cycle Full, wavefront FullMacro, and the closed-form
+    // TrafficOnly — must elect the *same* winner at the same cost (the
+    // engines score byte-identically, and the search is seeded), and that
+    // winner must replay conformantly. This is the end-to-end proof that
+    // swapping the macro-step tier onto the hot path changes throughput
+    // only, never the search outcome.
+    use fusecu_sim::SimMode;
+    let mm = MatMul::new(48, 40, 32);
+    for bs in [256u64, 8_192] {
+        let best_of = |mode: SimMode| {
+            GeneticSearch::new(MODEL)
+                .with_fitness(Fitness::Simulated)
+                .with_sim_mode(mode)
+                .optimize(mm, bs)
+                .expect("feasible")
+                .best()
+        };
+        let oracle = best_of(SimMode::Full);
+        for mode in [SimMode::FullMacro, SimMode::TrafficOnly] {
+            let winner = best_of(mode);
+            assert_eq!(
+                (winner.nest(), winner.total_ma()),
+                (oracle.nest(), oracle.total_ma()),
+                "{mode:?} GA winner diverged from the per-cycle oracle at bs={bs}"
+            );
+        }
+        assert_nest_conformant(&oracle, bs, &format!("macro-tier GA {mm} bs={bs}"));
+    }
+    let pair = FusedPair::try_new(MatMul::new(32, 24, 40), MatMul::new(32, 40, 16)).unwrap();
+    for bs in [512u64, 4_096] {
+        let best_of = |mode: SimMode| {
+            FusedGenetic::new(MODEL)
+                .with_fitness(Fitness::Simulated)
+                .with_sim_mode(mode)
+                .optimize(pair, bs)
+                .expect("feasible")
+                .0
+        };
+        let oracle = best_of(SimMode::Full);
+        for mode in [SimMode::FullMacro, SimMode::TrafficOnly] {
+            let winner = best_of(mode);
+            assert_eq!(
+                (winner.nest(), winner.total_ma()),
+                (oracle.nest(), oracle.total_ma()),
+                "fused {mode:?} GA winner diverged from the per-cycle oracle at bs={bs}"
+            );
+        }
+        assert_fused_conformant(&oracle, pair, bs, &format!("macro-tier fused GA {pair} bs={bs}"));
     }
 }
